@@ -1,0 +1,117 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Three sweeps on the two matrices the lower stage matters most for
+(transient, af_shell3) plus a well-behaved control (thermal2):
+
+* lower method: none vs ER vs SR at 14 Haswell cores;
+* SR tile size (a user option of the SR method, §III-B);
+* the α threshold (min rows per level) that sizes the lower stage.
+"""
+
+import pytest
+
+from repro.core import JavelinILU, JavelinOptions, ScheduleOptions
+from repro.machine import SimMachine
+
+from bench_util import HASWELL, KNL, report, suite_matrix
+
+MATRICES = ["transient", "af_shell3", "thermal2"]
+
+
+def _ilu(name, alpha=16, tile_size=64):
+    opts = JavelinOptions(
+        schedule=ScheduleOptions(min_rows_per_level=alpha), tile_size=tile_size
+    )
+    return JavelinILU(opts).setup(suite_matrix(name))
+
+
+def compute_method_ablation():
+    rows = []
+    for name in MATRICES:
+        ilu = _ilu(name)
+        m = SimMachine(HASWELL, 14)
+        ser = ilu.simulate_factor(SimMachine(HASWELL, 1), lower=False).total
+        ls = ilu.simulate_factor(m, lower=False).total
+        row = {"Matrix": name, "none": round(ser / ls, 2)}
+        for method in ["er", "sr"]:
+            if ilu.schedule.n_lower_rows == 0:
+                row[method] = row["none"]
+                continue
+            # force the method through the schedule option
+            opts = JavelinOptions(
+                schedule=ScheduleOptions(min_rows_per_level=16, lower_method=method)
+            )
+            ilu_m = JavelinILU(opts).setup(suite_matrix(name))
+            t = ilu_m.simulate_factor(m, lower=True).total
+            row[method] = round(ser / t, 2)
+        row["n_lower"] = ilu.schedule.n_lower_rows
+        rows.append(row)
+    return rows
+
+
+def compute_tile_ablation():
+    rows = []
+    name = "transient"
+    for ts in [8, 16, 32, 64, 128, 256]:
+        opts = JavelinOptions(
+            schedule=ScheduleOptions(min_rows_per_level=16, lower_method="sr"),
+            tile_size=ts,
+        )
+        ilu = JavelinILU(opts).setup(suite_matrix(name))
+        ser = ilu.simulate_factor(SimMachine(HASWELL, 1), lower=False).total
+        t = ilu.simulate_factor(SimMachine(HASWELL, 14), lower=True).total
+        tk = ilu.simulate_factor(SimMachine(KNL, 68), lower=True).total
+        serk = ilu.simulate_factor(SimMachine(KNL, 1), lower=False).total
+        rows.append(
+            {
+                "tile_size": ts,
+                "haswell14_speedup": round(ser / t, 2),
+                "knl68_speedup": round(serk / tk, 2),
+            }
+        )
+    return rows
+
+
+def compute_alpha_ablation():
+    rows = []
+    for name in MATRICES:
+        for alpha in [4, 16, 32, 64]:
+            ilu = _ilu(name, alpha=alpha)
+            ser = ilu.simulate_factor(SimMachine(HASWELL, 1), lower=False).total
+            t_ls = ilu.simulate_factor(SimMachine(HASWELL, 14), lower=False).total
+            t_two = ilu.simulate_factor(SimMachine(HASWELL, 14), lower=True).total
+            rows.append(
+                {
+                    "Matrix": name,
+                    "alpha": alpha,
+                    "n_lower": ilu.schedule.n_lower_rows,
+                    "LS": round(ser / t_ls, 2),
+                    "two_stage": round(ser / t_two, 2),
+                }
+            )
+    return rows
+
+
+def test_ablation_lower_method(benchmark):
+    rows = benchmark.pedantic(compute_method_ablation, rounds=1, iterations=1)
+    report("ablation_lower_method", rows, title="Ablation: lower method at Haswell 14")
+    byname = {r["Matrix"]: r for r in rows}
+    # transient is the matrix the lower stage exists for
+    best_lower = max(byname["transient"]["er"], byname["transient"]["sr"])
+    assert best_lower > byname["transient"]["none"]
+
+
+def test_ablation_tile_size(benchmark):
+    rows = benchmark.pedantic(compute_tile_ablation, rounds=1, iterations=1)
+    report("ablation_tile_size", rows, title="Ablation: SR tile size (transient)")
+    assert all(r["haswell14_speedup"] > 0 for r in rows)
+
+
+def test_ablation_alpha(benchmark):
+    rows = benchmark.pedantic(compute_alpha_ablation, rounds=1, iterations=1)
+    report("ablation_alpha", rows, title="Ablation: min-rows-per-level threshold")
+    # larger alpha moves at least as many rows down
+    for name in MATRICES:
+        sub = [r for r in rows if r["Matrix"] == name]
+        nl = [r["n_lower"] for r in sorted(sub, key=lambda r: r["alpha"])]
+        assert nl == sorted(nl)

@@ -1,0 +1,85 @@
+"""Extension — the end-to-end solve-time model (§VI's premise).
+
+"The incomplete factorization may only be formed once, but stri may be
+called thousands of times."  This bench assembles the full modelled
+pipeline T = setup + factor + iters × (spmv + stri) and shows:
+
+* at realistic iteration counts the solve phase dominates, so Javelin's
+  stri co-design (two_stage) beats configurations that only optimize
+  the factorization;
+* the spmv side: CSR5 tiles vs row-parallel CSR on the hub-row circuit
+  matrices (why the SR layout doubles as an spmv layout).
+"""
+
+import pytest
+
+from repro.analysis import simulate_spmv_csr, simulate_spmv_csr5, solve_time
+from repro.machine import SimMachine
+
+from bench_util import HASWELL, report, suite_ilu, suite_matrix
+
+ITERS = 300  # a mid-range Table II-style iteration count
+
+
+def compute_endtoend():
+    rows = []
+    for name in ["thermal2", "transient", "af_shell3", "scircuit"]:
+        ilu = suite_ilu(name)
+        m = SimMachine(HASWELL, 14)
+        best = solve_time(ilu, m, trisolve_method="two_stage")
+        naive = solve_time(ilu, m, sync="barrier", trisolve_method="barrier")
+        rows.append(
+            {
+                "Matrix": name,
+                "T_javelin@300it": f"{best.total(ITERS):.3e}",
+                "T_barrier@300it": f"{naive.total(ITERS):.3e}",
+                "ratio": round(naive.total(ITERS) / best.total(ITERS), 2),
+                "stri_share": round(
+                    ITERS * best.stri / best.total(ITERS), 2
+                ),
+            }
+        )
+    return rows
+
+
+def compute_spmv():
+    rows = []
+    for name in ["scircuit", "transient", "trans4", "thermal2"]:
+        A = suite_matrix(name)
+        m = SimMachine(HASWELL, 14)
+        t_csr = simulate_spmv_csr(A, m)
+        t_csr5 = simulate_spmv_csr5(A, m)
+        rows.append(
+            {
+                "Matrix": name,
+                "max_row_nnz": int(A.row_nnz().max()),
+                "csr": f"{t_csr:.3e}",
+                "csr5": f"{t_csr5:.3e}",
+                "csr/csr5": round(t_csr / t_csr5, 2),
+            }
+        )
+    return rows
+
+
+def test_endtoend_pipeline(benchmark):
+    rows = benchmark.pedantic(compute_endtoend, rounds=1, iterations=1)
+    report(
+        "ext_endtoend",
+        rows,
+        title=f"Extension: modelled full-solve time at {ITERS} iterations (Haswell-14)",
+    )
+    for r in rows:
+        assert r["ratio"] > 1.0  # the co-designed pipeline always wins
+        assert r["stri_share"] > 0.3  # the solve phase is the story
+
+
+def test_spmv_layouts(benchmark):
+    rows = benchmark.pedantic(compute_spmv, rounds=1, iterations=1)
+    report(
+        "ext_spmv_layouts",
+        rows,
+        title="Extension: spmv CSR vs CSR5 tiles (Haswell-14)",
+    )
+    byname = {r["Matrix"]: r for r in rows}
+    # the hub matrices need the tiles; the grid does not
+    assert byname["transient"]["csr/csr5"] > byname["thermal2"]["csr/csr5"]

@@ -1,0 +1,81 @@
+"""Fig. 9 — slowdown of WSMP(-like) vs Javelin at 1–8 cores.
+
+For each matrix and p ∈ {1, 2, 4, 8}:
+``slowdown = time(WSMP-like, p) / time(Javelin, p)``, on both simulated
+machines.  Matrices where the heavyweight baseline fails its internal
+numerical constraints are marked 'x', as in the paper.  The shape to
+reproduce: Javelin is orders of magnitude faster everywhere, and WSMP
+shows no real scaling (the paper stops plotting it past 8 cores).
+"""
+
+import pytest
+
+from repro.baselines import WSMPFailure, WSMPLikeILU
+from repro.machine import SimMachine
+
+from bench_util import HASWELL, KNL, report, suite_ilu, suite_matrix
+
+CORE_COUNTS = [1, 2, 4, 8]
+# representative slice of the suite (every structural family)
+MATRICES = [
+    "wang3",
+    "TSOPF_RS_b300_c2",
+    "3D_28984_Tetra",
+    "fem_filter",
+    "trans4",
+    "scircuit",
+    "offshore",
+    "af_shell3",
+    "ecology2",
+    "thermal2",
+]
+
+
+def compute_fig9(spec, spec_name):
+    rows = []
+    for name in MATRICES:
+        A = suite_matrix(name)
+        ilu = suite_ilu(name)
+        w = WSMPLikeILU(tau=1e-3)
+        try:
+            w.factor(A)
+            failed = False
+        except WSMPFailure:
+            failed = True
+        row = {"Matrix": name, "machine": spec_name}
+        for p in CORE_COUNTS:
+            if failed:
+                row[f"p{p}"] = "x"
+                continue
+            tw = w.simulate_factor(A, SimMachine(spec, p))
+            tj = ilu.simulate_factor(SimMachine(spec, p), lower=False).total
+            row[f"p{p}"] = round(tw / tj, 1)
+        rows.append(row)
+    return rows
+
+
+@pytest.mark.parametrize("spec_name", ["haswell", "knl"])
+def test_fig9_slowdown(benchmark, spec_name):
+    spec = HASWELL if spec_name == "haswell" else KNL
+    rows = benchmark.pedantic(compute_fig9, args=(spec, spec_name), rounds=1, iterations=1)
+    report(
+        f"fig9_wsmp_{spec_name}",
+        rows,
+        title=f"Fig. 9: slowdown of WSMP-like vs Javelin ({spec_name})",
+    )
+    big = 0
+    total = 0
+    for r in rows:
+        for p in CORE_COUNTS:
+            v = r[f"p{p}"]
+            if v == "x":
+                continue
+            total += 1
+            # Javelin never loses; on most matrices it wins by orders of
+            # magnitude (the block-dense TSOPF/af_shell3 families are the
+            # friendliest possible case for a supernodal code, so their
+            # margin is smaller — but still a loss for WSMP)
+            assert v > 1.3, (r["Matrix"], p, v)
+            if v > 10.0:
+                big += 1
+    assert big >= 0.6 * total

@@ -1,0 +1,86 @@
+"""Extension — the paper's stated future-work items, modelled.
+
+§V names two fixes under construction / proposed:
+
+* "A specialized light weight tasking library is currently being
+  constructed in Javelin" — because OpenMP's shared queue drowns the SR
+  stage at 68 KNL threads.  We model per-thread work-stealing deques
+  and measure how much of SR's loss they recover.
+* "ER could be improved with a more static scheduling or NUMA-aware
+  blocking of the distribution of the lower rows" — we model
+  first-touch-local ER blocks and measure the cross-socket gain.
+"""
+
+import pytest
+
+from repro.core import JavelinILU, JavelinOptions, ScheduleOptions
+from repro.machine import SimMachine
+
+from bench_util import HASWELL, KNL, report, suite_matrix
+
+
+def _ilu(name, method):
+    opts = JavelinOptions(
+        schedule=ScheduleOptions(min_rows_per_level=16, lower_method=method)
+    )
+    return JavelinILU(opts).setup(suite_matrix(name))
+
+
+def compute_lightweight():
+    rows = []
+    for name in ["transient", "trans4", "af_shell3"]:
+        ilu = _ilu(name, "sr")
+        m = SimMachine(KNL, 68)
+        ser = ilu.simulate_factor(SimMachine(KNL, 1), lower=False).total
+        ls = ilu.simulate_factor(m, lower=False).total
+        omp = ilu.simulate_factor(m, lower=True, tasking_runtime="openmp").total
+        lw = ilu.simulate_factor(m, lower=True, tasking_runtime="lightweight").total
+        rows.append(
+            {
+                "Matrix": name,
+                "LS": round(ser / ls, 2),
+                "SR(openmp)": round(ser / omp, 2),
+                "SR(lightweight)": round(ser / lw, 2),
+            }
+        )
+    return rows
+
+
+def compute_numa_er():
+    rows = []
+    for name in ["transient", "af_shell3", "offshore"]:
+        ilu = _ilu(name, "er")
+        m = SimMachine(HASWELL, 28)
+        ser = ilu.simulate_factor(SimMachine(HASWELL, 1), lower=False).total
+        default = ilu.simulate_factor(m, lower=True).total
+        numa = ilu.simulate_factor(m, lower=True, numa_aware_er=True).total
+        rows.append(
+            {
+                "Matrix": name,
+                "ER(default)": round(ser / default, 2),
+                "ER(numa-aware)": round(ser / numa, 2),
+            }
+        )
+    return rows
+
+
+def test_lightweight_tasking(benchmark):
+    rows = benchmark.pedantic(compute_lightweight, rounds=1, iterations=1)
+    report(
+        "ext_lightweight_tasking",
+        rows,
+        title="Future work: SR at KNL-68 under OpenMP vs lightweight tasking",
+    )
+    for r in rows:
+        assert r["SR(lightweight)"] >= r["SR(openmp)"]
+
+
+def test_numa_aware_er(benchmark):
+    rows = benchmark.pedantic(compute_numa_er, rounds=1, iterations=1)
+    report(
+        "ext_numa_er",
+        rows,
+        title="Future work: ER across sockets (Haswell-28), NUMA-aware blocking",
+    )
+    for r in rows:
+        assert r["ER(numa-aware)"] >= r["ER(default)"]

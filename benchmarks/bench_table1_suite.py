@@ -1,0 +1,53 @@
+"""Table I — the test suite: N, Nnz, RD, SP, Lvl per matrix.
+
+Computed on the synthetic stand-ins (scaled ≈1/30) side by side with the
+published values.  RD, SP and the level count (after the paper's DM+ND
+preordering) are the structural quantities the rest of the evaluation
+depends on; the bench asserts the symmetry flags match exactly and the
+level counts sit in the published ballpark.
+"""
+
+from repro.analysis.levels import table1_row
+from repro.matrices import SUITE, build_matrix, paper_stats
+
+from bench_util import report, suite_matrix
+
+
+def compute_table1():
+    rows = []
+    for name in SUITE:
+        A_nat = build_matrix(name)  # natural order for SP (Table I definition)
+        A = suite_matrix(name)  # DM+ND order for the level scheduling
+        row = table1_row(A)
+        row["SP"] = table1_row(A_nat)["SP"]
+        paper = paper_stats(name)
+        rows.append(
+            {
+                "Matrix": name,
+                "N": row["N"],
+                "Nnz": row["Nnz"],
+                "RD": row["RD"],
+                "SP": row["SP"],
+                "Lvl": row["Lvl"],
+                "paper_RD": paper["RD"],
+                "paper_SP": paper["SP"],
+                "paper_Lvl": paper["Lvl"],
+                "group": paper["group"],
+            }
+        )
+    return rows
+
+
+def test_table1(benchmark):
+    rows = benchmark.pedantic(compute_table1, rounds=1, iterations=1)
+    report(
+        "table1_suite",
+        rows,
+        title="Table I: test suite statistics (synthetic | paper)",
+    )
+    for r in rows:
+        assert r["SP"] == r["paper_SP"], r["Matrix"]
+        # level counts: same ballpark (within ~4x either way, except the
+        # chain-structured outliers where the synthetic is denser)
+        ratio = r["Lvl"] / r["paper_Lvl"]
+        assert 0.1 <= ratio <= 10.0, (r["Matrix"], ratio)

@@ -1,0 +1,120 @@
+"""Table II — GMRES iteration counts by preordering (group A).
+
+ILU(0)-preconditioned GMRES to relative residual 1e-6 under AMD, RCM,
+ND, natural order, and the two Javelin-imposed level-set orderings
+LS-RCM and LS-ND.  Shapes to reproduce (§VII): RCM-family orderings
+need the fewest iterations, ND-family the most, and imposing the level
+ordering on top (LS-RCM vs RCM, LS-ND vs ND) costs little — the
+paper's argument that Javelin "leaves the system in an order that has
+desirable properties".
+
+The group A stand-ins are rebuilt with a small diagonal shift so the
+systems are ill-conditioned enough for ordering effects to show
+(the default suite builds are strongly dominant and converge in a
+handful of iterations under any ordering).
+"""
+
+import functools
+
+import numpy as np
+import pytest
+
+from repro.core import JavelinILU
+from repro.matrices.generators import fem_shell, grid2d, grid3d
+from repro.ordering import (
+    level_schedule,
+    minimum_degree_order,
+    natural_order,
+    rcm_order,
+)
+from repro.ordering.nd import nested_dissection_order
+from repro.solvers import gmres
+
+from bench_util import report
+
+SHIFT = 0.05
+GROUP_A_WEAK = {
+    "offshore": lambda: grid3d(9, stencil="27pt", shift=SHIFT),
+    "parabolic_fem": lambda: grid3d(11, stencil="7pt", shift=SHIFT),
+    "af_shell3": lambda: fem_shell(16, dofs_per_node=3, shift=SHIFT),
+    "thermal2": lambda: grid3d(12, stencil="7pt", shift=SHIFT),
+    "ecology2": lambda: grid2d(34, stencil="5pt", shift=SHIFT),
+    "apache2": lambda: grid3d(11, stencil="7pt", shift=SHIFT, seed=1),
+}
+
+ORDERINGS = ["AMD", "RCM", "ND", "NAT", "LS-RCM", "LS-ND", "COL"]
+# COL (greedy coloring) is not in the paper's Table II — §VII dismisses it
+# as "known to be worse in terms of iteration than any other ordering
+# considered here"; the extra column verifies that claim holds here too.
+
+
+def _permute(A, p):
+    return A.permute(p, p)
+
+
+def _ordered(A, ordering):
+    if ordering == "AMD":
+        return _permute(A, minimum_degree_order(A))
+    if ordering == "RCM":
+        return _permute(A, rcm_order(A))
+    if ordering == "ND":
+        return _permute(A, nested_dissection_order(A))
+    if ordering == "NAT":
+        return A
+    if ordering == "LS-RCM":
+        B = _permute(A, rcm_order(A))
+        return _permute(B, level_schedule(B).permutation())
+    if ordering == "LS-ND":
+        B = _permute(A, nested_dissection_order(A))
+        return _permute(B, level_schedule(B).permutation())
+    if ordering == "COL":
+        from repro.ordering import coloring_order
+
+        perm, _ = coloring_order(A)
+        return _permute(A, perm)
+    raise ValueError(ordering)
+
+
+@functools.lru_cache(maxsize=None)
+def iterations_for(name, ordering):
+    A = _ordered(GROUP_A_WEAK[name](), ordering)
+    ilu = JavelinILU().setup(A)
+    ilu.factor()
+    rng = np.random.default_rng(42)
+    b = rng.standard_normal(A.n_rows)
+    r = gmres(A, b, M=ilu.solve, tol=1e-6, restart=50, maxiter=2000)
+    return r.iterations if r.converged else -1
+
+
+def compute_table2():
+    rows = []
+    for name in GROUP_A_WEAK:
+        row = {"Matrix": name}
+        for o in ORDERINGS:
+            row[o] = iterations_for(name, o)
+        rows.append(row)
+    return rows
+
+
+def test_table2_iterations(benchmark):
+    rows = benchmark.pedantic(compute_table2, rounds=1, iterations=1)
+    report(
+        "table2_iterations",
+        rows,
+        columns=["Matrix"] + ORDERINGS,
+        title="Table II: GMRES iterations to 1e-6 by preordering (group A)",
+    )
+    for r in rows:
+        for o in ORDERINGS:
+            assert r[o] > 0, (r["Matrix"], o, "did not converge")
+        # the level-set ordering costs little on top of its base order
+        assert r["LS-RCM"] <= 2.0 * r["RCM"] + 5
+        assert r["LS-ND"] <= 2.0 * r["ND"] + 5
+    # aggregate trend: RCM-family converges at least as fast as ND-family
+    rcm_total = sum(r["RCM"] for r in rows)
+    nd_total = sum(r["ND"] for r in rows)
+    assert rcm_total <= 1.2 * nd_total
+    # and coloring is the worst of the lot, as §VII asserts
+    col_total = sum(r["COL"] for r in rows)
+    assert col_total >= nd_total
+    assert col_total >= rcm_total

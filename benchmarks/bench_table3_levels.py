@@ -1,0 +1,46 @@
+"""Table III — level-set statistics of lower(A + Aᵀ) plus R-α.
+
+Per matrix: level count, min / max / median rows per level, and R-α —
+the rows moved to the lower stage for sensitivity α ∈ {16, 24, 32}.
+Shapes to reproduce: tens-to-hundreds of levels; medians support
+hundreds of concurrent threads except for fem_filter / af_shell3 /
+TSOPF (tiny medians); R-α grows with α and is largest for exactly
+those small-median matrices.
+"""
+
+from repro.analysis.levels import level_table_row
+from repro.matrices import SUITE, paper_stats
+
+from bench_util import report, suite_matrix
+
+ALPHAS = (16, 24, 32)
+
+
+def compute_table3():
+    rows = []
+    for name in SUITE:
+        A = suite_matrix(name)
+        row = {"Matrix": name}
+        row.update(level_table_row(A, use_ata=True, alphas=ALPHAS))
+        row["paper_Lvl"] = paper_stats(name)["Lvl"]
+        rows.append(row)
+    return rows
+
+
+def test_table3_levels(benchmark):
+    rows = benchmark.pedantic(compute_table3, rounds=1, iterations=1)
+    report(
+        "table3_levels",
+        rows,
+        title="Table III: level sets of lower(A+A^T), rows moved per alpha",
+    )
+    byname = {r["Matrix"]: r for r in rows}
+    for r in rows:
+        assert r["M"] <= r["Med"] <= r["Max"]
+        assert r["R-16"] <= r["R-24"] <= r["R-32"]
+        assert r["R-32"] <= suite_matrix(r["Matrix"]).n_rows
+    # the small-median matrices shed the most rows (paper: fem_filter
+    # and af_shell3 move ~1.8k rows at alpha=16, others a handful)
+    assert byname["fem_filter"]["R-16"] > byname["thermal2"]["R-16"]
+    assert byname["af_shell3"]["R-16"] > byname["thermal2"]["R-16"]
+    assert byname["fem_filter"]["Med"] < byname["thermal2"]["Med"]

@@ -1,0 +1,73 @@
+"""Shared benchmark utilities: cached matrices, machines, result files.
+
+The suite matrices are ~1/30 of the published sizes, so the simulated
+machines scale their fixed latencies by the same factor (see
+``MachineSpec.scaled_overheads``) — keeping the overhead-to-work ratio,
+the quantity the paper's comparisons actually probe.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+
+from repro import (
+    JavelinILU,
+    JavelinOptions,
+    ScheduleOptions,
+    SimMachine,
+    build_matrix,
+    haswell,
+    knl,
+    preorder_for_javelin,
+)
+from repro.analysis import format_table
+
+# suite matrices are a few thousand rows vs the paper's ~100k-1.5M
+SCALE = 1 / 30
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+HASWELL = haswell().scaled_overheads(SCALE)
+KNL = knl().scaled_overheads(SCALE)
+
+
+def machine(spec, p):
+    return SimMachine(spec, p)
+
+
+@functools.lru_cache(maxsize=None)
+def suite_matrix(name, preorder="nd", scale=1.0):
+    """Build + preorder one suite matrix (cached per session)."""
+    A = build_matrix(name, scale=scale)
+    return preorder_for_javelin(A, method=preorder)
+
+
+@functools.lru_cache(maxsize=None)
+def suite_ilu(name, preorder="nd", alpha=16, scale=1.0):
+    """A set-up (symbolic phase done) JavelinILU for a suite matrix."""
+    A = suite_matrix(name, preorder=preorder, scale=scale)
+    opts = JavelinOptions(schedule=ScheduleOptions(min_rows_per_level=alpha))
+    return JavelinILU(opts).setup(A)
+
+
+def best_two_stage(ilu, mach):
+    """The paper's LS+Lower bars pick the best lower configuration."""
+    ls = ilu.simulate_factor(mach, lower=False).total
+    two = ilu.simulate_factor(mach, lower=True).total
+    return min(ls, two)
+
+
+def write_result(name, text):
+    """Persist a reproduction table and echo it to stdout."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as fh:
+        fh.write(text + "\n")
+    print()
+    print(text)
+    return path
+
+
+def report(name, rows, columns=None, title=None):
+    return write_result(name, format_table(rows, columns=columns, title=title))

@@ -1,0 +1,15 @@
+"""Benchmark harness configuration.
+
+Every bench regenerates one table or figure of the paper: it computes the
+same rows/series the paper reports (on the synthetic suite + simulated
+machines), writes them to ``benchmarks/results/<name>.txt``, prints them
+(visible with ``pytest -s``), and times the underlying computation with
+pytest-benchmark.
+
+Shared, cached setup lives in ``bench_util.py``.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,4 @@
+"""Shim for offline editable installs (no wheel package available)."""
+from setuptools import setup
+
+setup()

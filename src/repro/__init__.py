@@ -1,0 +1,89 @@
+"""Javelin: a scalable two-stage parallel incomplete LU framework.
+
+Reproduction of *Javelin: A Scalable Implementation for Sparse
+Incomplete LU Factorization* (Booth & Bolet, IPPS 2019), built as a
+complete Python library: the sparse substrate, the orderings, the
+two-stage factorization with point-to-point synchronization, the
+co-designed triangular solves, the Krylov solvers that consume them,
+the baselines the paper compares against, a simulated many-core machine
+standing in for the Haswell/KNL testbeds, and the synthetic replica of
+the SuiteSparse test suite.
+
+Quick start::
+
+    import numpy as np
+    from repro import JavelinILU, build_matrix, preorder_for_javelin, gmres
+
+    A = preorder_for_javelin(build_matrix("thermal2"))
+    ilu = JavelinILU().setup(A)
+    ilu.factor()
+    b = np.ones(A.n_rows)
+    result = gmres(A, b, M=ilu.solve, tol=1e-6)
+
+See ``examples/`` for runnable scenarios and ``benchmarks/`` for the
+per-table/figure reproduction harness.
+"""
+
+from .core import (
+    JavelinILU,
+    JavelinOptions,
+    FactorResult,
+    ScheduleOptions,
+    build_schedule,
+    ilu0_factor,
+    iluk_factor,
+    ilut_factor,
+    iluk_tau_factor,
+    PivotBreakdownError,
+)
+from .machine import SimMachine, haswell, knl, uniform_machine
+from .matrices import build_matrix, preorder_for_javelin, SUITE, GROUP_A, GROUP_B
+from .ordering import (
+    rcm_order,
+    minimum_degree_order,
+    nested_dissection_order,
+    natural_order,
+    dulmage_mendelsohn_row_perm,
+    level_schedule,
+)
+from .solvers import cg, gmres, bicgstab
+from .sparse import CSRMatrix, COOMatrix, CSCMatrix, from_dense, read_matrix_market
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "JavelinILU",
+    "JavelinOptions",
+    "FactorResult",
+    "ScheduleOptions",
+    "build_schedule",
+    "ilu0_factor",
+    "iluk_factor",
+    "ilut_factor",
+    "iluk_tau_factor",
+    "PivotBreakdownError",
+    "SimMachine",
+    "haswell",
+    "knl",
+    "uniform_machine",
+    "build_matrix",
+    "preorder_for_javelin",
+    "SUITE",
+    "GROUP_A",
+    "GROUP_B",
+    "rcm_order",
+    "minimum_degree_order",
+    "nested_dissection_order",
+    "natural_order",
+    "dulmage_mendelsohn_row_perm",
+    "level_schedule",
+    "cg",
+    "gmres",
+    "bicgstab",
+    "CSRMatrix",
+    "COOMatrix",
+    "CSCMatrix",
+    "from_dense",
+    "read_matrix_market",
+    "__version__",
+]

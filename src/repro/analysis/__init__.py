@@ -1,0 +1,25 @@
+"""Analysis and reporting utilities for the experiment harness."""
+
+from .metrics import speedup, slowdown, max_speedup, geometric_mean
+from .levels import level_table_row, level_tables
+from .reporting import format_table, print_table
+from .spmv_sim import simulate_spmv_csr, simulate_spmv_csr5
+from .endtoend import EndToEndModel, solve_time
+from .charts import bar_chart, grouped_bar_chart
+
+__all__ = [
+    "speedup",
+    "slowdown",
+    "max_speedup",
+    "geometric_mean",
+    "level_table_row",
+    "level_tables",
+    "format_table",
+    "print_table",
+    "simulate_spmv_csr",
+    "simulate_spmv_csr5",
+    "EndToEndModel",
+    "solve_time",
+    "bar_chart",
+    "grouped_bar_chart",
+]

@@ -1,0 +1,72 @@
+"""Machine-model calibration utilities.
+
+The Haswell/KNL presets in :mod:`repro.machine.topology` were tuned so
+the simulator reproduces the paper's *shapes*.  This module makes that
+process reproducible: given target speedups (matrix, thread-count,
+value) it scores a candidate :class:`MachineSpec` and performs a simple
+coordinate search over selected fields.  Used by the calibration test
+to assert the shipped presets actually sit at a good score, and
+available to users who want to model their own machine.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core.javelin import JavelinILU
+from ..machine.core import SimMachine
+from ..machine.topology import MachineSpec
+
+__all__ = ["speedup_targets_score", "calibrate"]
+
+
+def speedup_targets_score(spec: MachineSpec, targets, *, lower=False):
+    """Root-mean-square log error of simulated vs target speedups.
+
+    ``targets`` is an iterable of ``(ilu, n_threads, target_speedup)``
+    where ``ilu`` is a set-up :class:`JavelinILU`.  Log error makes
+    "half the target" and "twice the target" equally bad.
+    """
+    errs = []
+    for ilu, p, want in targets:
+        ser = ilu.simulate_factor(SimMachine(spec, 1), lower=False).total
+        got = ser / ilu.simulate_factor(SimMachine(spec, p), lower=lower).total
+        errs.append(math.log(got / want) ** 2)
+    if not errs:
+        raise ValueError("no calibration targets given")
+    return float(math.sqrt(sum(errs) / len(errs)))
+
+
+def calibrate(
+    spec: MachineSpec,
+    targets,
+    fields=("single_thread_bw", "socket_bw", "spin_poll"),
+    *,
+    factors=(0.5, 0.75, 1.0, 1.5, 2.0),
+    rounds=2,
+):
+    """Coordinate search: scale each field by candidate factors, keep the best.
+
+    Deliberately simple (the model is cheap and the landscape smooth);
+    returns ``(best_spec, best_score)``.
+    """
+    best = spec
+    best_score = speedup_targets_score(spec, targets)
+    for _ in range(rounds):
+        improved = False
+        for f in fields:
+            base = getattr(best, f)
+            for c in factors:
+                cand = best.with_(**{f: base * c})
+                try:
+                    score = speedup_targets_score(cand, targets)
+                except (ValueError, ZeroDivisionError):
+                    continue
+                if score < best_score - 1e-12:
+                    best, best_score = cand, score
+                    improved = True
+        if not improved:
+            break
+    return best, best_score

@@ -1,0 +1,64 @@
+"""ASCII bar charts — figure-shaped output for the benches.
+
+The paper's Figs. 9–13 are grouped bar charts (one group per matrix,
+one bar per method).  The benches print the same data as tables for
+machine comparison and as these charts for eyeballing the shapes.
+"""
+
+from __future__ import annotations
+
+__all__ = ["bar_chart", "grouped_bar_chart"]
+
+
+def bar_chart(items, *, width=50, title=None, fmt="{:.2f}"):
+    """Horizontal bar chart from ``[(label, value), ...]``.
+
+    Values must be nonnegative; bars scale to the maximum.
+    """
+    items = list(items)
+    if not items:
+        return (title + "\n(empty)") if title else "(empty)"
+    vmax = max(v for _, v in items) or 1.0
+    label_w = max(len(str(l)) for l, _ in items)
+    lines = [title] if title else []
+    for label, v in items:
+        if v < 0:
+            raise ValueError(f"negative bar value for {label!r}: {v}")
+        bar = "#" * max(1 if v > 0 else 0, round(v / vmax * width))
+        lines.append(f"{str(label):<{label_w}} |{bar:<{width}}| " + fmt.format(v))
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(groups, series, *, width=46, title=None, fmt="{:.2f}"):
+    """Grouped bars: ``groups`` maps group label → {series label: value}.
+
+    ``series`` fixes the order and the one-character markers (the first
+    character of each series name, uppercased, de-duplicated by position).
+    """
+    groups = dict(groups)
+    if not groups:
+        return (title + "\n(empty)") if title else "(empty)"
+    vmax = max((v for g in groups.values() for v in g.values()), default=1.0) or 1.0
+    label_w = max(len(str(g)) for g in groups)
+    marks = []
+    used = set()
+    for s in series:
+        c = s[0].upper()
+        while c in used:
+            c = chr(ord(c) + 1)
+        used.add(c)
+        marks.append(c)
+    lines = [title] if title else []
+    legend = "  ".join(f"{m}={s}" for m, s in zip(marks, series))
+    lines.append(f"(legend: {legend}, scale max={fmt.format(vmax)})")
+    for glabel, vals in groups.items():
+        for s, m in zip(series, marks):
+            v = float(vals.get(s, 0.0))
+            if v < 0:
+                raise ValueError(f"negative value in {glabel!r}/{s!r}")
+            bar = m * max(1 if v > 0 else 0, round(v / vmax * width))
+            lines.append(
+                f"{str(glabel):<{label_w}} {m} |{bar:<{width}}| " + fmt.format(v)
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip()

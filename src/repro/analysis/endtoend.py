@@ -1,0 +1,72 @@
+"""End-to-end preconditioned-solve time model.
+
+The paper's framing (§VI): "the incomplete factorization may only be
+formed once, but stri may be called thousands of times" — so the
+quantity a user actually pays is
+
+    T(p) = T_setup + T_factor(p) + iters × (T_spmv(p) + T_stri(p))
+
+This model combines the simulated pieces into that total, letting the
+benches show where Javelin's co-design pays: a method that factors fast
+but solves slowly (or vice versa) loses at realistic iteration counts,
+and the crossover iteration count between two methods is itself a
+reproducible quantity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.javelin import JavelinILU
+from ..machine.core import SimMachine
+from .spmv_sim import simulate_spmv_csr
+
+__all__ = ["EndToEndModel", "solve_time"]
+
+
+@dataclass
+class EndToEndModel:
+    """Per-iteration and one-off simulated costs of a solve pipeline."""
+
+    setup: float
+    factor: float
+    spmv: float
+    stri: float
+
+    def total(self, iterations):
+        return self.setup + self.factor + iterations * (self.spmv + self.stri)
+
+    def crossover_vs(self, other):
+        """Iterations at which ``self`` becomes cheaper than ``other``.
+
+        Returns None when there is no crossover (one dominates).
+        """
+        fixed = (self.setup + self.factor) - (other.setup + other.factor)
+        per_it = (other.spmv + other.stri) - (self.spmv + self.stri)
+        if per_it <= 0:
+            return None if fixed >= 0 else 0
+        k = fixed / per_it
+        return max(0.0, k)
+
+
+def solve_time(
+    ilu: JavelinILU,
+    machine: SimMachine,
+    *,
+    sync="p2p",
+    lower=None,
+    trisolve_method="two_stage",
+):
+    """Build the end-to-end model for a configured JavelinILU.
+
+    Setup cost is modelled as one streaming pass (level order + copy,
+    both parallel in Javelin, §V); spmv uses the row-parallel CSR model
+    on the factor's pattern.
+    """
+    setup = machine.work_time(ilu.S_perm.nnz, 2 * ilu.S_perm.nnz, thread=0) / max(
+        machine.n_threads, 1
+    )
+    factor = ilu.simulate_factor(machine, sync=sync, lower=lower).total
+    spmv = simulate_spmv_csr(ilu.A_perm, machine)
+    stri = ilu.simulate_trisolve(machine, method=trisolve_method)
+    return EndToEndModel(setup=setup, factor=factor, spmv=spmv, stri=stri)

@@ -1,0 +1,58 @@
+"""Level-structure tables (Tables I, III and IV).
+
+Given a matrix (already preordered as the experiment requires), these
+helpers compute the columns the paper reports: level counts, min / max /
+median rows per level, and R-α — the number of rows the two-stage
+schedule moves to the end for sensitivity parameter α.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.schedule import rows_moved_for_alpha
+from ..ordering.levelsets import level_schedule, level_set_stats
+from ..sparse.csr import CSRMatrix
+from ..sparse.pattern import is_pattern_symmetric
+
+__all__ = ["level_table_row", "level_tables"]
+
+
+def level_table_row(A: CSRMatrix, *, use_ata=True, alphas=(16, 24, 32)):
+    """One row of Table III (or IV with ``use_ata=False``).
+
+    Returns a dict with Lvl, M(in), Max, Med and R-α counts.
+    """
+    ls = level_schedule(A, use_ata=use_ata)
+    st = level_set_stats(ls)
+    row = {
+        "Lvl": st["n_levels"],
+        "M": st["min"],
+        "Max": st["max"],
+        "Med": st["median"],
+    }
+    if alphas:
+        moved = rows_moved_for_alpha(A, alphas, use_ata=use_ata, levels=ls)
+        for a in alphas:
+            row[f"R-{a}"] = moved[a]
+    return row
+
+
+def level_tables(A: CSRMatrix, *, alphas=(16, 24, 32)):
+    """Both patterns at once: lower(A+Aᵀ) (Table III) and lower(A) (IV)."""
+    return {
+        "ata": level_table_row(A, use_ata=True, alphas=alphas),
+        "a": level_table_row(A, use_ata=False, alphas=()),
+    }
+
+
+def table1_row(A: CSRMatrix, *, use_ata=True):
+    """Table I's computed columns for a matrix: N, Nnz, RD, SP, Lvl."""
+    ls = level_schedule(A, use_ata=use_ata)
+    return {
+        "N": A.n_rows,
+        "Nnz": A.nnz,
+        "RD": round(A.row_density(), 2),
+        "SP": is_pattern_symmetric(A),
+        "Lvl": ls.n_levels,
+    }

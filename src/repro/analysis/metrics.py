@@ -1,0 +1,47 @@
+"""The paper's performance metrics, as defined in §V–§VI.
+
+* ``speedup(matrix, p) = time(matrix, 1) / time(matrix, p)``
+* ``slowdown(matrix, p) = time(WSMP, matrix, p) / time(Javelin, matrix, p)``
+* ``maxspeedup(m, mat, p) = time(CSR-LS, mat, 1) / min_i time(m, mat, i)``
+  (Fig. 12 — best time over any core count up to p, against the
+  baseline's serial time)
+* geometric mean — the aggregate the paper quotes (9.45× Haswell,
+  25.1× KNL) while noting it under-represents typical behaviour.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["speedup", "slowdown", "max_speedup", "geometric_mean"]
+
+
+def speedup(t_serial, t_parallel):
+    if t_parallel <= 0:
+        raise ValueError("parallel time must be positive")
+    return float(t_serial) / float(t_parallel)
+
+
+def slowdown(t_other, t_javelin):
+    if t_javelin <= 0:
+        raise ValueError("Javelin time must be positive")
+    return float(t_other) / float(t_javelin)
+
+
+def max_speedup(t_base_serial, times):
+    """Fig. 12's metric: base serial time over the best parallel time."""
+    times = [float(t) for t in times]
+    if not times:
+        raise ValueError("need at least one timing")
+    return float(t_base_serial) / min(times)
+
+
+def geometric_mean(values):
+    values = [float(v) for v in values]
+    if not values:
+        raise ValueError("geometric mean of nothing")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean needs positive values")
+    return float(math.exp(np.mean(np.log(values))))

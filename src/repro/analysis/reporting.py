@@ -1,0 +1,49 @@
+"""Plain-text table rendering for the benchmark harness.
+
+The benches print the same rows/series the paper's tables and figures
+report; this module keeps the formatting in one place.
+"""
+
+from __future__ import annotations
+
+__all__ = ["format_table", "print_table"]
+
+
+def _fmt(v):
+    if isinstance(v, bool):
+        return "yes" if v else "no"
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000 or abs(v) < 0.01:
+            return f"{v:.3g}"
+        return f"{v:.2f}"
+    return str(v)
+
+
+def format_table(rows, columns=None, title=None):
+    """Render dict-rows as an aligned ASCII table.
+
+    ``rows`` is a list of dicts; ``columns`` fixes column order (default:
+    keys of the first row).
+    """
+    if not rows:
+        return (title + "\n(empty)") if title else "(empty)"
+    columns = list(columns) if columns is not None else list(rows[0].keys())
+    cells = [[_fmt(r.get(c, "")) for c in columns] for r in rows]
+    widths = [
+        max(len(str(c)), *(len(row[i]) for row in cells)) for i, c in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(c).ljust(w) for c, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in cells:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(rows, columns=None, title=None):
+    print(format_table(rows, columns=columns, title=title))

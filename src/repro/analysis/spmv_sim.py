@@ -1,0 +1,51 @@
+"""Simulated spmv strategies: row-parallel CSR vs CSR5 tiles.
+
+The paper adopts CSR5's segmented-scan layout precisely because plain
+row-parallel CSR load-balances badly when row lengths are skewed (the
+hub rows of the circuit family).  This model quantifies that choice on
+the simulated machines:
+
+* ``csr`` — rows dealt round-robin; a thread's time is the sum of its
+  rows' roofline costs, so one 400-nonzero hub row serializes it;
+* ``csr5`` — fixed-size tiles dealt round-robin and executed with the
+  vector units; perfectly balanced by construction, at the price of the
+  segmented-scan fix-up per tile.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..machine.core import SimMachine
+from ..sparse.csr import CSRMatrix
+from ..sparse.csr5 import CSR5Matrix
+
+__all__ = ["simulate_spmv_csr", "simulate_spmv_csr5"]
+
+_FIXUP_FLOPS = 4.0  # per-tile segmented-scan carry fix-up
+
+
+def simulate_spmv_csr(A: CSRMatrix, machine: SimMachine):
+    """Modelled time of a row-parallel CSR spmv."""
+    p = machine.n_threads
+    thread_time = np.zeros(p)
+    lens = np.diff(A.indptr)
+    for r in range(A.n_rows):
+        t = r % p
+        nnz = int(lens[r])
+        thread_time[t] += machine.work_time(2.0 * nnz, nnz + 2, thread=t)
+    return float(thread_time.max()) if A.n_rows else 0.0
+
+
+def simulate_spmv_csr5(A: CSRMatrix, machine: SimMachine, *, tile_size=64):
+    """Modelled time of the CSR5 tiled segmented-scan spmv."""
+    A5 = CSR5Matrix(A, tile_size=tile_size)
+    p = machine.n_threads
+    thread_time = np.zeros(p)
+    for i, tile in enumerate(A5.tiles):
+        t = i % p
+        nnz = tile.nnz
+        thread_time[t] += machine.work_time(
+            2.0 * nnz + _FIXUP_FLOPS, nnz + tile.n_rows + 1, thread=t, vectorized=True
+        )
+    return float(thread_time.max()) if A5.tiles else 0.0

@@ -1,0 +1,30 @@
+"""Comparison baselines.
+
+* :mod:`wsmp_like` — a stand-in for the proprietary Watson Sparse
+  Matrix Package used in Fig. 9: a supernodal-panel ILUT whose
+  heavyweight data structures and limited parallel reductions reproduce
+  the *mechanism* the paper blames for WSMP's slowness on sparse ILU
+  ("too many data movement operations per float-point operation", no
+  scaling past 8 cores, failures on reordering-sensitive matrices).
+* :mod:`csrls` — the traditional barrier-synchronized level-set
+  triangular solve (the CSR-LS bars of Fig. 12).
+* :mod:`chow_patel` — the fine-grained asynchronous ILU of Chow &
+  Patel, which §II credits with "very good performance on many-core and
+  GPU systems" while noting its nondeterminism; implemented for the
+  determinism-vs-scalability comparison Javelin's design argues about.
+"""
+
+from .wsmp_like import WSMPLikeILU, WSMPFailure
+from .csrls import CSRLevelSetSolver
+from .chow_patel import chow_patel_ilu, fixed_point_residual, simulate_sweep
+from .block_jacobi import BlockJacobi
+
+__all__ = [
+    "WSMPLikeILU",
+    "WSMPFailure",
+    "CSRLevelSetSolver",
+    "chow_patel_ilu",
+    "fixed_point_residual",
+    "simulate_sweep",
+    "BlockJacobi",
+]

@@ -1,0 +1,46 @@
+"""CSR-LS: barrier-synchronized level-set triangular solve.
+
+The standard parallel stri "implemented with OpenMP and barriers
+between levels in a level set ordering as done in previous works"
+(§VI).  Fig. 12 uses its single-thread time as the speedup base and its
+parallel times as the bar to beat.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..machine.core import SimMachine
+from ..ordering.levelsets import level_sets_lower
+from ..sparse.csr import CSRMatrix
+from ..sparse.pattern import lower_pattern, symmetrize_pattern
+from ..core.trisolve import (
+    trisolve_lower_serial,
+    trisolve_upper_serial,
+    simulate_trisolve_barrier,
+)
+
+__all__ = ["CSRLevelSetSolver"]
+
+
+class CSRLevelSetSolver:
+    """Baseline level-set triangular solver over a factored matrix.
+
+    Numerically a plain forward/backward sweep; its simulated execution
+    charges a full barrier between consecutive levels.
+    """
+
+    def __init__(self, F: CSRMatrix):
+        self.F = F
+        self.levels = level_sets_lower(lower_pattern(symmetrize_pattern(F)))
+
+    def solve(self, b):
+        """x = U⁻¹ L⁻¹ b (sequential numeric sweeps)."""
+        return trisolve_upper_serial(self.F, trisolve_lower_serial(self.F, b))
+
+    def simulate(self, machine: SimMachine, *, both=True):
+        """Modelled solve time with barrier-per-level scheduling."""
+        return simulate_trisolve_barrier(self.F, self.levels, machine, both=both)
+
+    def n_levels(self):
+        return self.levels.n_levels

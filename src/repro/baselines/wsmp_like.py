@@ -1,0 +1,189 @@
+"""WSMP-like baseline: supernodal-panel ILUT (Fig. 9's comparator).
+
+WSMP itself is proprietary, so this module rebuilds the *mechanism* the
+paper identifies when explaining Fig. 9 (§V):
+
+* the factorization is organized around supernode-like panels — groups
+  of consecutive rows with (nearly) matching sparsity patterns.  In a
+  sparse incomplete factorization "there does not exist many
+  similarities in nonzero structure", so the panels degenerate to a few
+  rows each while still paying panel-sized data-structure costs;
+* every panel pays fixed assembly/scatter overheads ("too many data
+  movement operations per float-point operation");
+* parallelism comes from panel-level reductions with barrier-style
+  synchronization that stops scaling around 8 cores;
+* the internal preordering imposes numerical constraints — pivots that
+  pass in Javelin's lightweight path can fail here, which Fig. 9 marks
+  with an 'x' (:class:`WSMPFailure`).
+
+Numerically it runs the dual-threshold ILUT (τ set so that the kept
+nonzeros match ILU(0)'s, the paper's protocol) and is a perfectly valid
+preconditioner — just an expensive one to build.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.ilut import ilut_factor
+from ..core.iluk import PivotBreakdownError
+from ..machine.core import SimMachine
+from ..sparse.csr import CSRMatrix
+
+__all__ = ["WSMPLikeILU", "WSMPFailure"]
+
+# Panel cost constants: per-panel fixed overhead (index translation,
+# workspace scatter/gather) and per-entry data-movement multiplier.
+# These are the "heavyweight data structure" taxes Javelin avoids.
+_PANEL_SETUP_FLOP_EQ = 4000.0  # flop-equivalents charged per panel
+_DATA_MOVE_FACTOR = 6.0  # extra bytes moved per nonzero vs plain CSR
+_MAX_SCALING_CORES = 8  # the paper: "WSMP does not scale past this point"
+
+
+class WSMPFailure(RuntimeError):
+    """The baseline failed on this matrix (the 'x' columns of Fig. 9)."""
+
+
+@dataclass
+class Supernode:
+    start: int
+    stop: int  # rows [start, stop)
+    width: int  # union pattern width
+
+    @property
+    def n_rows(self):
+        return self.stop - self.start
+
+
+class WSMPLikeILU:
+    """Supernodal-panel ILUT baseline.
+
+    Parameters
+    ----------
+    tau:
+        Drop tolerance; Fig. 9's protocol picks τ so kept fill matches
+        ILU(0) (``tau_for_ilu0_nnz`` does this automatically when
+        ``tau=None``).
+    similarity:
+        Fraction of pattern overlap required to merge a row into the
+        current supernode (0.9 ≈ classical supernode detection).
+    pivot_tol:
+        Relative pivot threshold below which the baseline *fails* —
+        deliberately stricter than Javelin's, reproducing the paper's
+        observation that WSMP's internal structure/reordering makes it
+        fail "due to numerical constraints" where Javelin succeeds.
+    """
+
+    def __init__(self, tau=None, similarity=0.9, pivot_tol=1e-8):
+        self.tau = tau
+        self.similarity = similarity
+        self.pivot_tol = pivot_tol
+        self._factored = False
+
+    # ------------------------------------------------------------------
+    def detect_supernodes(self, A: CSRMatrix):
+        """Greedy supernode detection on consecutive rows."""
+        n = A.n_rows
+        nodes = []
+        r = 0
+        while r < n:
+            base_cols = set(int(c) for c in A.indices[A.indptr[r] : A.indptr[r + 1]])
+            stop = r + 1
+            union = set(base_cols)
+            while stop < n:
+                cols = set(int(c) for c in A.indices[A.indptr[stop] : A.indptr[stop + 1]])
+                inter = len(cols & base_cols)
+                denom = max(len(cols | base_cols), 1)
+                if inter / denom < self.similarity:
+                    break
+                union |= cols
+                stop += 1
+            nodes.append(Supernode(start=r, stop=stop, width=len(union)))
+            r = stop
+        return nodes
+
+    # ------------------------------------------------------------------
+    def tau_for_ilu0_nnz(self, A: CSRMatrix, *, tol=0.15, max_rounds=12):
+        """Bisection for a τ whose kept nonzeros ≈ nnz(ILU(0)) = nnz(A)."""
+        target = A.nnz
+        lo, hi = 1e-8, 0.5
+        best = 1e-3
+        for _ in range(max_rounds):
+            mid = float(np.sqrt(lo * hi))
+            try:
+                F = ilut_factor(A, tau=mid, pivot_tol=0.0)
+            except PivotBreakdownError as e:
+                raise WSMPFailure(f"ILUT breakdown while matching nnz: {e}") from e
+            if abs(F.nnz - target) / target <= tol:
+                return mid
+            if F.nnz > target:
+                lo = mid  # too much fill kept -> raise tau
+            else:
+                hi = mid
+            best = mid
+        return best
+
+    # ------------------------------------------------------------------
+    def factor(self, A: CSRMatrix):
+        """Numeric factorization (dual-threshold ILUT, no pivoting)."""
+        tau = self.tau if self.tau is not None else self.tau_for_ilu0_nnz(A)
+        # WSMP's internal ordering constraints: simulate its stricter
+        # numerical environment by requiring relatively large pivots.
+        try:
+            F = ilut_factor(A, tau=tau, pivot_tol=0.0)
+        except PivotBreakdownError as e:
+            raise WSMPFailure(str(e)) from e
+        d = np.abs(F.diagonal())
+        scale = np.abs(F.data).max() if F.nnz else 1.0
+        if d.size and d.min() < self.pivot_tol * scale:
+            raise WSMPFailure(
+                f"pivot {d.min():.3e} below the package's stability threshold"
+            )
+        self.F = F
+        self.supernodes = self.detect_supernodes(A)
+        self._factored = True
+        return F
+
+    # ------------------------------------------------------------------
+    def simulate_factor(self, A: CSRMatrix, machine: SimMachine):
+        """Modelled factorization time of the panel-based code.
+
+        Each supernode charges: a fixed panel setup (flop-equivalents),
+        panel work with the data-movement multiplier on its bytes, and a
+        reduction barrier.  Panels are distributed over
+        ``min(p, 8)`` effectively usable cores.
+        """
+        nodes = self.supernodes if self._factored else self.detect_supernodes(A)
+        p_eff = min(machine.n_threads, _MAX_SCALING_CORES)
+        # charge per panel, round-robin over effective cores
+        core_time = np.zeros(p_eff)
+        for i, sn in enumerate(nodes):
+            nnz_panel = 0
+            flops_panel = _PANEL_SETUP_FLOP_EQ
+            for r in range(sn.start, sn.stop):
+                row_nnz = int(A.indptr[r + 1] - A.indptr[r])
+                nnz_panel += row_nnz
+                # dense-panel arithmetic: the panel updates touch the full
+                # union width per row, the classic supernodal cost shape
+                flops_panel += 2.0 * row_nnz * max(sn.width, 1)
+            t = machine.work_time(
+                flops_panel, nnz_panel * _DATA_MOVE_FACTOR, thread=i % p_eff
+            )
+            core_time[i % p_eff] += t
+        makespan = float(core_time.max())
+        # reduction barriers between panel waves
+        waves = -(-len(nodes) // max(p_eff, 1))
+        makespan += waves * machine.barrier_cost()
+        return makespan
+
+    def simulate_setup(self, A: CSRMatrix, machine: SimMachine):
+        """Modelled preprocessing (ordering + symbolic + structure copy).
+
+        The paper: "Javelin is ∼10× faster than WSMP in this stage" —
+        the panel detection, index translation and workspace allocation
+        all stream the matrix several times.
+        """
+        passes = 8.0  # structure scans during panel setup
+        return machine.work_time(A.nnz * 2.0, A.nnz * passes, thread=0)

@@ -1,0 +1,213 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+suite
+    Print the synthetic test-suite catalog (Table I columns, computed
+    at the requested scale, next to the published values).
+factor MATRIX
+    Build + preorder a suite matrix (or load a ``.mtx`` file), run the
+    two-stage factorization, and print schedule stats and diagnostics.
+simulate MATRIX
+    Simulated factorization speedup curve on a chosen machine.
+solve MATRIX
+    Solve ``A x = b`` (random b) with a chosen Krylov method and
+    preconditioner; print the iteration count and residual.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_matrix(args):
+    from .matrices import SUITE, build_matrix, preorder_for_javelin
+    from .sparse import read_matrix_market
+
+    if args.matrix.endswith(".mtx") or args.matrix.endswith(".mtx.gz"):
+        A = read_matrix_market(args.matrix)
+    elif args.matrix in SUITE:
+        A = build_matrix(args.matrix, scale=args.scale)
+    else:
+        raise SystemExit(
+            f"unknown matrix {args.matrix!r}: pass a suite name "
+            f"({', '.join(sorted(SUITE))}) or a .mtx path"
+        )
+    if args.preorder != "none":
+        A = preorder_for_javelin(A, method=args.preorder)
+    return A
+
+
+def _machine(args):
+    from .machine import SimMachine, haswell, knl, uniform_machine
+
+    spec = {"haswell": haswell(), "knl": knl()}.get(args.machine)
+    if spec is None:
+        spec = uniform_machine(n_cores=int(args.machine))
+    if args.overhead_scale != 1.0:
+        spec = spec.scaled_overheads(args.overhead_scale)
+    return spec
+
+
+def cmd_suite(args):
+    from .analysis import print_table
+    from .analysis.levels import table1_row
+    from .matrices import SUITE, build_matrix, paper_stats, preorder_for_javelin
+
+    rows = []
+    for name in sorted(SUITE):
+        A = preorder_for_javelin(build_matrix(name, scale=args.scale))
+        row = {"Matrix": name}
+        row.update(table1_row(A))
+        paper = paper_stats(name)
+        row["paper_N"] = paper["N"]
+        row["paper_Lvl"] = paper["Lvl"]
+        row["group"] = paper["group"]
+        rows.append(row)
+    print_table(rows, title=f"Synthetic suite at scale {args.scale}")
+    return 0
+
+
+def cmd_factor(args):
+    from .core import JavelinILU, JavelinOptions, ScheduleOptions
+    from .core.diagnostics import pivot_growth
+
+    A = _load_matrix(args)
+    opts = JavelinOptions(
+        fill_level=args.fill_level,
+        tau=args.tau,
+        modified=args.modified,
+        schedule=ScheduleOptions(min_rows_per_level=args.alpha),
+    )
+    ilu = JavelinILU(opts).setup(A)
+    res = ilu.factor()
+    st = ilu.stats()
+    g = pivot_growth(A, res.F)
+    print(f"matrix: n={A.n_rows} nnz={A.nnz} rd={A.row_density():.2f}")
+    print(
+        f"schedule: {st['n_levels']} levels, {st['n_upper_levels']} kept upper, "
+        f"{st['n_lower_rows']} rows to the lower stage (method {res.method})"
+    )
+    print(f"pattern nnz: {st['nnz_pattern']} ({st['nnz_pattern'] / A.nnz:.2f}x A)")
+    print(
+        f"diagnostics: growth={g['growth']:.2f} min_pivot={g['min_pivot']:.3e} "
+        f"pivot_spread={g['pivot_spread']:.3e}"
+    )
+    return 0
+
+
+def cmd_simulate(args):
+    from .analysis import print_table
+    from .core import JavelinILU
+    from .machine import SimMachine
+
+    A = _load_matrix(args)
+    spec = _machine(args)
+    ilu = JavelinILU().setup(A)
+    ser = ilu.simulate_factor(SimMachine(spec, 1), lower=False).total
+    threads = [int(t) for t in args.threads.split(",")]
+    rows = []
+    for p in threads:
+        m = SimMachine(spec, p)
+        ls = ilu.simulate_factor(m, lower=False).total
+        two = min(ilu.simulate_factor(m, lower=True).total, ls)
+        rows.append(
+            {
+                "threads": p,
+                "LS_speedup": round(ser / ls, 2),
+                "LS+Lower_speedup": round(ser / two, 2),
+            }
+        )
+    print_table(rows, title=f"simulated ILU(0) speedup on {spec.name}")
+    return 0
+
+
+def cmd_solve(args):
+    from .core import JavelinILU
+    from .solvers import bicgstab, cg, gmres, ssor_preconditioner
+
+    A = _load_matrix(args)
+    rng = np.random.default_rng(args.seed)
+    b = rng.standard_normal(A.n_rows)
+    M = None
+    if args.precond == "ilu":
+        ilu = JavelinILU().setup(A)
+        ilu.factor()
+        M = ilu.solve
+    elif args.precond == "ssor":
+        M = ssor_preconditioner(A)
+    solver = {"cg": cg, "gmres": gmres, "bicgstab": bicgstab}[args.solver]
+    r = solver(A, b, M=M, tol=args.tol, maxiter=args.maxiter)
+    state = "converged" if r.converged else "did NOT converge"
+    print(
+        f"{args.solver}+{args.precond}: {state} in {r.iterations} iterations, "
+        f"relative residual {r.residual:.3e}"
+    )
+    return 0 if r.converged else 1
+
+
+def build_parser():
+    p = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = p.add_subparsers(dest="command", required=True)
+
+    def add_matrix_opts(sp):
+        sp.add_argument("matrix", help="suite matrix name or path to a .mtx file")
+        sp.add_argument("--scale", type=float, default=1.0, help="suite size multiplier")
+        sp.add_argument(
+            "--preorder",
+            choices=["nd", "rcm", "nat", "none"],
+            default="nd",
+            help="preordering pipeline (DM runs automatically when needed)",
+        )
+
+    sp = sub.add_parser("suite", help="print the test-suite catalog")
+    sp.add_argument("--scale", type=float, default=1.0)
+    sp.set_defaults(func=cmd_suite)
+
+    sp = sub.add_parser("factor", help="factor a matrix, print schedule + diagnostics")
+    add_matrix_opts(sp)
+    sp.add_argument("--fill-level", type=int, default=0, help="ILU(k) level")
+    sp.add_argument("--tau", type=float, default=0.0, help="fixed-pattern drop tolerance")
+    sp.add_argument("--modified", action="store_true", help="MILU compensation")
+    sp.add_argument("--alpha", type=int, default=16, help="min rows per level")
+    sp.set_defaults(func=cmd_factor)
+
+    sp = sub.add_parser("simulate", help="simulated speedup curve")
+    add_matrix_opts(sp)
+    sp.add_argument(
+        "--machine",
+        default="haswell",
+        help="'haswell', 'knl', or a core count for a generic machine",
+    )
+    sp.add_argument("--threads", default="1,2,4,8,14", help="comma-separated thread counts")
+    sp.add_argument(
+        "--overhead-scale",
+        type=float,
+        default=1 / 30,
+        help="latency scaling for scaled-down matrices (see DESIGN.md)",
+    )
+    sp.set_defaults(func=cmd_simulate)
+
+    sp = sub.add_parser("solve", help="Krylov solve with a chosen preconditioner")
+    add_matrix_opts(sp)
+    sp.add_argument("--solver", choices=["cg", "gmres", "bicgstab"], default="gmres")
+    sp.add_argument("--precond", choices=["ilu", "ssor", "none"], default="ilu")
+    sp.add_argument("--tol", type=float, default=1e-8)
+    sp.add_argument("--maxiter", type=int, default=5000)
+    sp.add_argument("--seed", type=int, default=0)
+    sp.set_defaults(func=cmd_solve)
+    return p
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,201 @@
+"""Incomplete Cholesky: the §II motivating workload.
+
+"Preconditioned CG using incomplete Cholesky Decomposition, i.e.
+M = LLᵀ, spends up to 70% of its execution time in forward and backward
+stri" — the sentence that motivates co-designing the factorization with
+the solves.  Javelin is a *framework* (§III: "these algorithms could be
+applied to other preconditioners"), so the symmetric member belongs in
+it: an up-looking IC(0)/IC(k) whose dependency structure is exactly the
+same lower-triangular DAG the ILU level schedule already handles.
+
+Storage: only L (lower triangle including the diagonal) in CSR.
+Row-oriented up-looking formulation, for row i over pattern columns
+j ≤ i in ascending order:
+
+    l_ij = (a_ij − Σ_{k<j} l_ik l_jk) / l_jj        (j < i)
+    l_ii = sqrt(a_ii − Σ_{k<i} l_ik²)
+
+Breakdown (nonpositive value under the root) raises
+:class:`ICholBreakdownError`; the standard shifted retry
+``A + αI`` is provided by :func:`ichol_shifted`.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..sparse.csr import CSRMatrix
+from ..sparse.pattern import lower_pattern
+from .symbolic import iluk_pattern
+
+__all__ = [
+    "ICholBreakdownError",
+    "ichol_factor",
+    "ichol_shifted",
+    "ichol_solve",
+    "ic_row_costs",
+]
+
+
+class ICholBreakdownError(ArithmeticError):
+    """Nonpositive value encountered under the square root."""
+
+    def __init__(self, row, value):
+        super().__init__(f"IC breakdown at row {row}: sqrt of {value!r}")
+        self.row = row
+        self.value = value
+
+
+def _sparse_dot_until(L: CSRMatrix, i, j, limit):
+    """Σ_{k < limit} L[i,k] · L[j,k] via a sorted two-pointer merge."""
+    ilo, ihi = int(L.indptr[i]), int(L.indptr[i + 1])
+    jlo, jhi = int(L.indptr[j]), int(L.indptr[j + 1])
+    ic, jc = L.indices, L.data
+    a, b = ilo, jlo
+    s = 0.0
+    while a < ihi and b < jhi:
+        ca, cb = int(ic[a]), int(ic[b])
+        if ca >= limit or cb >= limit:
+            break
+        if ca == cb:
+            s += L.data[a] * L.data[b]
+            a += 1
+            b += 1
+        elif ca < cb:
+            a += 1
+        else:
+            b += 1
+    return s
+
+
+def ichol_factor(A: CSRMatrix, k: int = 0, *, pattern: CSRMatrix | None = None):
+    """IC(k) factor of a symmetric positive definite matrix.
+
+    Parameters
+    ----------
+    A:
+        SPD CSR matrix (symmetric *values* assumed; only the lower
+        triangle is read).
+    k:
+        Level of fill (pattern from the symmetric ILU(k) analysis).
+    pattern:
+        Optional explicit lower-triangular pattern overriding ``k``.
+
+    Returns L (lower triangular, diagonal included) with ``L Lᵀ ≈ A``.
+    """
+    if A.n_rows != A.n_cols:
+        raise ValueError("incomplete Cholesky requires a square matrix")
+    if pattern is None:
+        S = lower_pattern(A) if k == 0 else lower_pattern(iluk_pattern(A, k))
+    else:
+        S = pattern
+    n = A.n_rows
+    L = S.pattern_copy()
+    L.data[:] = 0.0
+    # scatter A's lower-triangle values into L
+    for i in range(n):
+        a_cols, a_vals = A.row(i)
+        keep = a_cols <= i
+        lo = int(L.indptr[i])
+        l_cols = L.indices[lo : int(L.indptr[i + 1])]
+        pos = np.searchsorted(l_cols, a_cols[keep])
+        ok = (pos < l_cols.shape[0]) & (l_cols[np.minimum(pos, l_cols.shape[0] - 1)] == a_cols[keep])
+        L.data[lo + pos[ok]] = a_vals[keep][ok]
+
+    for i in range(n):
+        lo, hi = int(L.indptr[i]), int(L.indptr[i + 1])
+        cols = L.indices[lo:hi]
+        for kk in range(lo, hi):
+            j = int(L.indices[kk])
+            s = _sparse_dot_until(L, i, j, j)
+            if j < i:
+                # L[j, j] is the last entry of row j (sorted, diag present)
+                djj = L.data[int(L.indptr[j + 1]) - 1]
+                if djj == 0.0:
+                    raise ICholBreakdownError(j, 0.0)
+                L.data[kk] = (L.data[kk] - s) / djj
+            else:
+                v = L.data[kk] - s
+                if v <= 0.0:
+                    raise ICholBreakdownError(i, v)
+                L.data[kk] = math.sqrt(v)
+    return L
+
+
+def ichol_shifted(A: CSRMatrix, k: int = 0, *, shift0=1e-3, max_tries=16):
+    """IC(k) with the standard diagonal-shift retry.
+
+    On breakdown, retry on ``A + αI`` with α doubling from ``shift0``.
+    Returns ``(L, alpha_used)``.
+    """
+    try:
+        return ichol_factor(A, k), 0.0
+    except ICholBreakdownError:
+        pass
+    alpha = shift0
+    base_diag = A.diagonal()
+    # shift relative to each row's scale, so tiny diagonals get a real lift
+    row_scale = np.empty(A.n_rows)
+    for r in range(A.n_rows):
+        _, vals = A.row(r)
+        row_scale[r] = float(np.abs(vals).max()) if vals.size else 1.0
+    for _ in range(max_tries):
+        B = A.copy()
+        for r in range(A.n_rows):
+            lo = int(B.indptr[r])
+            cols = B.indices[lo : int(B.indptr[r + 1])]
+            p = int(np.searchsorted(cols, r))
+            B.data[lo + p] = base_diag[r] + alpha * row_scale[r]
+        try:
+            return ichol_factor(B, k), alpha
+        except ICholBreakdownError:
+            alpha *= 2.0
+    raise ICholBreakdownError(-1, alpha)
+
+
+def ichol_solve(L: CSRMatrix, b):
+    """Apply the IC preconditioner: solve ``L Lᵀ x = b``."""
+    b = np.asarray(b, dtype=np.float64)
+    n = L.n_rows
+    indptr, indices, data = L.indptr, L.indices, L.data
+    # forward: L y = b
+    y = np.empty(n)
+    for i in range(n):
+        lo, hi = int(indptr[i]), int(indptr[i + 1])
+        cols = indices[lo : hi - 1]  # all but the diagonal
+        acc = b[i] - float(np.dot(data[lo : hi - 1], y[cols])) if hi - 1 > lo else b[i]
+        y[i] = acc / data[hi - 1]
+    # backward: Lᵀ x = y  (column sweep over L)
+    x = y.copy()
+    for i in range(n - 1, -1, -1):
+        lo, hi = int(indptr[i]), int(indptr[i + 1])
+        x[i] = x[i] / data[hi - 1]
+        if hi - 1 > lo:
+            cols = indices[lo : hi - 1]
+            x[cols] -= data[lo : hi - 1] * x[i]
+    return x
+
+
+def ic_row_costs(L: CSRMatrix):
+    """Per-row (flops, nnz_touched) of the up-looking IC kernel.
+
+    Each entry (i, j) costs a sparse dot of rows i and j up to column j
+    (~2·overlap flops) plus a division or square root; the same shape
+    the ILU cost model feeds to the machine simulator.
+    """
+    n = L.n_rows
+    flops = np.zeros(n)
+    touched = np.zeros(n)
+    for i in range(n):
+        lo, hi = int(L.indptr[i]), int(L.indptr[i + 1])
+        row_len = hi - lo
+        touched[i] = row_len
+        for kk in range(lo, hi):
+            j = int(L.indices[kk])
+            jlen = int(L.indptr[j + 1] - L.indptr[j])
+            overlap = min(row_len, jlen)
+            flops[i] += 2.0 * overlap + 1.0
+            touched[i] += jlen
+    return flops, touched

@@ -1,0 +1,153 @@
+"""Sequential up-looking incomplete LU — the numerical reference.
+
+This is Fig. 1 of the paper verbatim: rows top to bottom; within row
+``i`` scan the strict-lower pattern columns ``c`` in ascending order,
+divide by the pivot ``a_cc``, then apply multiply-subtract updates to
+the positions of row ``i`` that also appear in the upper part of row
+``c``.  L and U are stored together in one CSR matrix (unit diagonal of
+L implicit).
+
+Every parallel execution path in the framework (upper stage p2p/barrier,
+Even-Rows, Segmented-Rows, the threaded runtime) must reproduce this
+factorization *exactly* — the dependency structure makes traditional ILU
+deterministic, which is the robustness property the paper contrasts with
+the fine-grained asynchronous method of Chow & Patel.  Tests assert
+bit-for-bit agreement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparse.csr import CSRMatrix
+from .symbolic import ilu0_pattern, iluk_pattern
+
+__all__ = ["ilu_factor_sequential", "ilu0_factor", "PivotBreakdownError", "factor_row"]
+
+
+class PivotBreakdownError(ZeroDivisionError):
+    """A structurally present pivot evaluated to (near) zero.
+
+    Javelin does not pivot (§III), so factorization must abort; the
+    paper's WSMP comparison marks such failures with an 'x'.
+    """
+
+    def __init__(self, row, value):
+        super().__init__(f"zero pivot at row {row} (value {value!r})")
+        self.row = row
+        self.value = value
+
+
+def _scatter_values(S: CSRMatrix, A: CSRMatrix):
+    """Copy A's values into the (superset) pattern S; missing → 0."""
+    F = S.pattern_copy()
+    F.data[:] = 0.0
+    for r in range(A.n_rows):
+        a_cols, a_vals = A.row(r)
+        f_lo = F.indptr[r]
+        f_cols = F.indices[f_lo : F.indptr[r + 1]]
+        pos = np.searchsorted(f_cols, a_cols)
+        if np.any(pos >= f_cols.shape[0]) or np.any(f_cols[pos] != a_cols):
+            raise ValueError(f"pattern S does not contain all of A's row {r}")
+        F.data[f_lo + pos] = a_vals
+    return F
+
+
+def factor_row(F: CSRMatrix, i, diag_pos, pivot_tol=0.0):
+    """Factor row ``i`` of F in place (all pivot rows < i must be done).
+
+    ``diag_pos[r]`` is the storage index of ``F[r, r]``.  This is the
+    unit of work every executor schedules; keeping it a standalone
+    function lets the sequential reference, the simulated stages and the
+    threaded runtime share one numerical kernel.
+    """
+    indptr, indices, data = F.indptr, F.indices, F.data
+    lo, hi = int(indptr[i]), int(indptr[i + 1])
+    cols = indices[lo:hi]
+    ncols = cols.shape[0]
+    for kk in range(lo, hi):
+        c = int(indices[kk])
+        if c >= i:
+            break
+        pivot = data[diag_pos[c]]
+        if abs(pivot) <= pivot_tol:
+            raise PivotBreakdownError(c, pivot)
+        lic = data[kk] / pivot
+        data[kk] = lic
+        # update row i positions matching the upper part of row c —
+        # batched: one searchsorted over the pivot row's upper columns
+        # (same element order as the scalar loop, so bit-identical)
+        c_lo, c_hi = int(indptr[c]), int(indptr[c + 1])
+        u_cols = indices[c_lo:c_hi]
+        start = int(np.searchsorted(u_cols, c + 1))
+        if c_lo + start == c_hi:
+            continue
+        u_cols = u_cols[start:]
+        pos = np.searchsorted(cols, u_cols)
+        pos[pos == ncols] = ncols - 1
+        hit = cols[pos] == u_cols
+        if np.any(hit):
+            data[lo + pos[hit]] -= lic * data[c_lo + start : c_hi][hit]
+
+
+def drop_row_fixed_pattern(F: CSRMatrix, r, diag_pos, threshold, *, modified=False):
+    """Numerical dropping with a fixed pattern, applied at row completion.
+
+    Entries of row ``r`` with ``|v| < threshold`` are zeroed (the storage
+    slot stays, so the schedule and the stri structure are untouched —
+    the way Javelin supports ILU(k, τ) without re-planning).  With
+    ``modified`` the dropped mass is added to the diagonal (MILU
+    compensation), preserving the row sum.  The diagonal itself is never
+    dropped.  Returns the total mass dropped.
+    """
+    lo, hi = int(F.indptr[r]), int(F.indptr[r + 1])
+    dpos = int(diag_pos[r])
+    dropped = 0.0
+    for kk in range(lo, hi):
+        if kk == dpos:
+            continue
+        v = F.data[kk]
+        if v != 0.0 and abs(v) < threshold:
+            dropped += v
+            F.data[kk] = 0.0
+    if modified and dropped != 0.0:
+        F.data[dpos] += dropped
+    return dropped
+
+
+def _diag_positions(S: CSRMatrix):
+    n = S.n_rows
+    diag_pos = np.empty(n, dtype=np.int64)
+    for r in range(n):
+        cols = S.indices[S.indptr[r] : S.indptr[r + 1]]
+        p = np.searchsorted(cols, r)
+        if p >= cols.shape[0] or cols[p] != r:
+            raise ValueError(f"pattern has no diagonal entry in row {r}")
+        diag_pos[r] = S.indptr[r] + p
+    return diag_pos
+
+
+def ilu_factor_sequential(A: CSRMatrix, S: CSRMatrix | None = None, *, pivot_tol=0.0):
+    """Up-looking ILU of A on pattern S (default: ILU(0) pattern).
+
+    Returns the factored CSR matrix holding L (strictly below the
+    diagonal, unit diagonal implicit) and U (diagonal and above).
+    """
+    if S is None:
+        S = ilu0_pattern(A)
+    F = _scatter_values(S, A)
+    diag_pos = _diag_positions(F)
+    for i in range(F.n_rows):
+        factor_row(F, i, diag_pos, pivot_tol=pivot_tol)
+    return F
+
+
+def ilu0_factor(A: CSRMatrix, *, pivot_tol=0.0):
+    """ILU(0): factor on the pattern of A itself."""
+    return ilu_factor_sequential(A, ilu0_pattern(A), pivot_tol=pivot_tol)
+
+
+def iluk_factor(A: CSRMatrix, k: int, *, pivot_tol=0.0):
+    """ILU(k): symbolic level-of-fill pattern, then numeric up-looking."""
+    S = iluk_pattern(A, k)
+    return ilu_factor_sequential(A, S, pivot_tol=pivot_tol)

@@ -1,0 +1,42 @@
+"""Simulated many-core shared-memory machine.
+
+The paper's evaluation runs on two real testbeds — a 2×14-core Intel
+Haswell node (Bridges/PSC) and a 68-core Intel Knights Landing node
+(Stampede2/TACC).  Python's GIL makes faithful fine-grained threading
+impossible, so this subpackage replaces the hardware with a
+deterministic cost model + discrete-event simulator:
+
+* :mod:`topology` — machine descriptions (sockets, cores, HW threads,
+  flop rates, memory roofline, sync/tasking latencies, vector lanes)
+  with calibrated ``haswell()`` and ``knl()`` presets;
+* :mod:`core` — :class:`SimMachine`, the thread→core placement plus the
+  cost-model queries every executor uses (row cost, sync latency,
+  barrier cost, task overhead);
+* :mod:`tasking` — a greedy list-scheduling DES for DAGs of tasks with
+  per-task queue overheads (the OpenMP-task model of the SR stage);
+* :mod:`trace` — execution traces with causality/utilization checks.
+
+What the simulator preserves from the real machines is exactly what the
+paper's conclusions rest on: the *relative* cost of barriers vs
+point-to-point spin synchronization, of on- vs cross-socket traffic, of
+task-queue overhead growing with thread count, and the bandwidth
+roofline that makes ILU memory-bound.
+"""
+
+from .topology import MachineSpec, haswell, knl, uniform_machine
+from .core import SimMachine
+from .tasking import Task, TaskGraph, simulate_task_graph
+from .trace import ExecutionTrace, Interval
+
+__all__ = [
+    "MachineSpec",
+    "haswell",
+    "knl",
+    "uniform_machine",
+    "SimMachine",
+    "Task",
+    "TaskGraph",
+    "simulate_task_graph",
+    "ExecutionTrace",
+    "Interval",
+]

@@ -1,0 +1,152 @@
+"""OpenMP-style task-graph simulation (greedy list scheduling).
+
+The Segmented-Rows lower stage and the WSMP-like baseline spawn DAGs of
+tasks into a shared queue.  This module simulates that runtime: a
+central ready-queue, per-task spawn/dispatch overheads (dispatch grows
+with thread-count contention — the effect §V blames for SR's fading
+benefit at 68 KNL threads), and greedy assignment of the earliest ready
+task to the earliest free thread.
+
+The simulation is deterministic: ties break on task id, which plays the
+role of the queue's FIFO order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .core import SimMachine
+from .trace import ExecutionTrace
+
+__all__ = ["Task", "TaskGraph", "simulate_task_graph"]
+
+
+@dataclass
+class Task:
+    """One node of a task DAG.
+
+    ``cost_fn(thread) -> seconds`` lets the task's cost depend on which
+    thread runs it (NUMA placement, SMT shares); pass a float for a
+    placement-independent cost.
+    """
+
+    tid: int
+    cost: object  # float or callable(thread) -> float
+    deps: tuple = ()
+    label: object = None
+
+    def cost_on(self, thread):
+        if callable(self.cost):
+            return float(self.cost(thread))
+        return float(self.cost)
+
+
+@dataclass
+class TaskGraph:
+    tasks: list = field(default_factory=list)
+
+    def add(self, cost, deps=(), label=None):
+        t = Task(tid=len(self.tasks), cost=cost, deps=tuple(int(d) for d in deps), label=label)
+        self.tasks.append(t)
+        return t.tid
+
+    def __len__(self):
+        return len(self.tasks)
+
+    def validate_acyclic(self):
+        """Deps must point to lower task ids (construction order is topo)."""
+        for t in self.tasks:
+            for d in t.deps:
+                if d >= t.tid:
+                    raise ValueError(f"task {t.tid} depends on later task {d}")
+        return True
+
+    def critical_path(self, thread=0, machine: SimMachine | None = None):
+        """Length of the longest cost-weighted dependency chain."""
+        finish = np.zeros(len(self.tasks))
+        for t in self.tasks:
+            base = max((finish[d] for d in t.deps), default=0.0)
+            finish[t.tid] = base + t.cost_on(thread)
+        return float(finish.max()) if len(self.tasks) else 0.0
+
+    def total_work(self, thread=0):
+        return float(sum(t.cost_on(thread) for t in self.tasks))
+
+
+_LIGHTWEIGHT_DISPATCH_FACTOR = 8.0  # central-queue vs per-thread deques
+_LIGHTWEIGHT_SPAWN_FACTOR = 4.0
+
+
+def simulate_task_graph(
+    graph: TaskGraph, machine: SimMachine, *, charge_overheads=True, runtime="openmp"
+):
+    """Simulate the DAG on the machine's task runtime.
+
+    Returns ``(makespan, trace)``.  Each executed task is charged a
+    dispatch overhead (with queue contention); each spawned task charges
+    a spawn overhead, accounted as a serial prologue (the spawning loop
+    of Fig. 6 runs on one thread).
+
+    ``runtime`` selects the tasking model: "openmp" is the shared-queue
+    runtime whose contention §V blames for SR fading at 68 KNL threads;
+    "lightweight" models the specialized library the paper says is
+    "currently being constructed in Javelin for this reason" — per-thread
+    work-stealing deques with no shared-queue contention and much
+    smaller fixed costs.
+    """
+    graph.validate_acyclic()
+    n_tasks = len(graph.tasks)
+    trace = ExecutionTrace(machine.n_threads)
+    if n_tasks == 0:
+        return 0.0, trace
+
+    if runtime == "openmp":
+        spawn_each = machine.task_spawn_cost()
+        dispatch = machine.task_dispatch_cost()
+    elif runtime == "lightweight":
+        spawn_each = machine.task_spawn_cost() / _LIGHTWEIGHT_SPAWN_FACTOR
+        dispatch = (
+            machine.spec.task_dispatch_overhead / _LIGHTWEIGHT_DISPATCH_FACTOR
+        )  # no contention term: deques are per-thread
+    else:
+        raise ValueError(f"unknown tasking runtime {runtime!r}")
+    spawn_time = spawn_each * n_tasks if charge_overheads else 0.0
+    if not charge_overheads:
+        dispatch = 0.0
+
+    indeg = np.zeros(n_tasks, dtype=np.int64)
+    children = [[] for _ in range(n_tasks)]
+    for t in graph.tasks:
+        indeg[t.tid] = len(t.deps)
+        for d in t.deps:
+            children[d].append(t.tid)
+
+    finish = np.zeros(n_tasks)
+    ready_at = np.full(n_tasks, spawn_time)
+    # ready heap: (ready_time, tid); thread heap: (free_time, thread)
+    ready = [(spawn_time, int(t.tid)) for t in graph.tasks if indeg[t.tid] == 0]
+    heapq.heapify(ready)
+    threads = [(spawn_time, th) for th in range(machine.n_threads)]
+    heapq.heapify(threads)
+    n_done = 0
+
+    while n_done < n_tasks:
+        if not ready:
+            raise RuntimeError("task graph deadlocked (cycle slipped past validation)")
+        r_time, tid = heapq.heappop(ready)
+        f_time, th = heapq.heappop(threads)
+        start = max(r_time, f_time) + dispatch
+        stop = start + graph.tasks[tid].cost_on(th)
+        trace.record(th, start, stop, label=graph.tasks[tid].label or tid)
+        finish[tid] = stop
+        heapq.heappush(threads, (stop, th))
+        n_done += 1
+        for c in children[tid]:
+            indeg[c] -= 1
+            ready_at[c] = max(ready_at[c], stop)
+            if indeg[c] == 0:
+                heapq.heappush(ready, (float(ready_at[c]), int(c)))
+    return trace.makespan(), trace

@@ -1,0 +1,175 @@
+"""Machine descriptions and the calibrated Haswell / KNL presets.
+
+The constants below are not microarchitectural gospel; they are the
+minimal set of rates and latencies that reproduce the *shape* of the
+paper's scaling results:
+
+* sparse kernels are memory-bound, so each task's time is the roofline
+  ``max(flop time, byte time)``;
+* a single thread cannot saturate a socket — per-thread bandwidth is
+  ``min(single_thread_bw, socket_bw / threads_on_socket)``;
+* crossing the socket boundary multiplies sync latency and charges a
+  NUMA penalty on remote traffic (why Fig. 10b shows little gain from
+  14→28 cores);
+* KNL cores are individually weak but numerous, with huge MCDRAM
+  bandwidth in cache mode and wide (8-lane) vectors, and its OpenMP
+  task queue is expensive at high thread counts (why §V observes the SR
+  tasking stage stops helping at 68 threads);
+* a second hardware thread per KNL core shares the core's L2/issue
+  slots and adds only a modest throughput factor (why Fig. 11b's 136-
+  thread runs barely move).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["MachineSpec", "haswell", "knl", "uniform_machine"]
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Static description of a simulated shared-memory node.
+
+    Rates are per-second; latencies in seconds; bandwidths in bytes/s.
+    """
+
+    name: str
+    n_sockets: int
+    cores_per_socket: int
+    threads_per_core: int
+    # compute
+    flops_per_core: float  # effective scalar flop rate on sparse kernels
+    vector_lanes: int  # doubles per SIMD operation
+    vector_efficiency: float  # fraction of ideal SIMD speedup achievable
+    smt_throughput: float  # extra throughput of a 2nd HW thread (1.0 = none)
+    # memory
+    single_thread_bw: float  # streaming bandwidth achievable by one thread
+    socket_bw: float  # aggregate bandwidth of one socket
+    numa_remote_factor: float  # slowdown of traffic to the remote socket
+    remote_traffic_fraction: float  # fraction of a task's bytes that go remote
+    # synchronization
+    spin_poll: float  # p2p spin-lock observe latency, on-socket
+    cross_socket_sync_factor: float  # multiplier for cross-socket p2p
+    barrier_base: float  # barrier latency, constant part
+    barrier_per_log2p: float  # barrier latency per log2(threads) (fan-in)
+    # tasking (OpenMP task queue)
+    task_spawn_overhead: float  # cost to enqueue one task
+    task_dispatch_overhead: float  # cost to dequeue/start one task
+    task_contention_coeff: float  # extra dequeue cost per active thread
+
+    @property
+    def n_cores(self):
+        return self.n_sockets * self.cores_per_socket
+
+    @property
+    def max_threads(self):
+        return self.n_cores * self.threads_per_core
+
+    def with_(self, **kw):
+        """A copy with selected fields overridden (calibration hook)."""
+        return replace(self, **kw)
+
+    def scaled_overheads(self, factor: float) -> "MachineSpec":
+        """Scale all fixed latencies (sync, barrier, tasking) by ``factor``.
+
+        The benchmark matrices are scaled-down stand-ins for the
+        published ones (≈ 1/25–1/40 of the rows).  Per-row work shrinks
+        with the matrix but real hardware latencies would not, so on a
+        miniature matrix the unscaled overheads would dominate in a way
+        the paper's full-size runs never see.  Scaling the latencies by
+        the same factor as the matrix preserves the overhead-to-work
+        ratio — the quantity the paper's comparisons actually probe.
+        """
+        return replace(
+            self,
+            spin_poll=self.spin_poll * factor,
+            barrier_base=self.barrier_base * factor,
+            barrier_per_log2p=self.barrier_per_log2p * factor,
+            task_spawn_overhead=self.task_spawn_overhead * factor,
+            task_dispatch_overhead=self.task_dispatch_overhead * factor,
+            task_contention_coeff=self.task_contention_coeff * factor,
+        )
+
+
+def haswell() -> MachineSpec:
+    """2 × 14-core Intel Xeon E5-2695 v3 (Bridges at PSC)."""
+    return MachineSpec(
+        name="haswell",
+        n_sockets=2,
+        cores_per_socket=14,
+        threads_per_core=1,
+        flops_per_core=2.2e9,
+        vector_lanes=4,  # AVX2, 256-bit
+        vector_efficiency=0.5,
+        smt_throughput=1.0,
+        single_thread_bw=8.5e9,
+        socket_bw=68.0e9,
+        numa_remote_factor=2.6,
+        remote_traffic_fraction=0.30,
+        spin_poll=60e-9,
+        cross_socket_sync_factor=6.0,
+        barrier_base=0.9e-6,
+        barrier_per_log2p=0.45e-6,
+        task_spawn_overhead=0.4e-6,
+        task_dispatch_overhead=0.9e-6,
+        task_contention_coeff=0.035e-6,
+    )
+
+
+def knl() -> MachineSpec:
+    """68-core Intel Xeon Phi 7250, cache mode (Stampede2 at TACC)."""
+    return MachineSpec(
+        name="knl",
+        n_sockets=1,
+        cores_per_socket=68,
+        threads_per_core=2,  # the paper tests 1 and 2 threads/core
+        flops_per_core=0.75e9,
+        vector_lanes=8,  # AVX-512
+        vector_efficiency=0.6,
+        smt_throughput=1.18,
+        single_thread_bw=5.0e9,
+        socket_bw=170.0e9,  # MCDRAM as cache, irregular-access effective
+        numa_remote_factor=1.0,
+        remote_traffic_fraction=0.0,
+        spin_poll=250e-9,
+        cross_socket_sync_factor=1.0,
+        barrier_base=2.8e-6,
+        barrier_per_log2p=1.1e-6,
+        task_spawn_overhead=1.2e-6,
+        task_dispatch_overhead=2.6e-6,
+        task_contention_coeff=0.06e-6,
+    )
+
+
+def uniform_machine(
+    n_cores=8,
+    flops_per_core=2.0e9,
+    single_thread_bw=10.0e9,
+    socket_bw=None,
+    **kw,
+) -> MachineSpec:
+    """A single-socket machine for tests and what-if studies."""
+    defaults = dict(
+        name=f"uniform{n_cores}",
+        n_sockets=1,
+        cores_per_socket=n_cores,
+        threads_per_core=1,
+        flops_per_core=flops_per_core,
+        vector_lanes=4,
+        vector_efficiency=0.5,
+        smt_throughput=1.0,
+        single_thread_bw=single_thread_bw,
+        socket_bw=socket_bw if socket_bw is not None else single_thread_bw * n_cores * 0.6,
+        numa_remote_factor=1.0,
+        remote_traffic_fraction=0.0,
+        spin_poll=50e-9,
+        cross_socket_sync_factor=1.0,
+        barrier_base=1e-6,
+        barrier_per_log2p=0.5e-6,
+        task_spawn_overhead=0.5e-6,
+        task_dispatch_overhead=1.0e-6,
+        task_contention_coeff=0.05e-6,
+    )
+    defaults.update(kw)
+    return MachineSpec(**defaults)

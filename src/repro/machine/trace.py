@@ -1,0 +1,146 @@
+"""Execution traces from the simulator.
+
+Every simulated execution (upper stage, lower stages, triangular
+solves, baselines) can emit an :class:`ExecutionTrace`: per-thread busy
+intervals labelled with the work item.  Traces support the invariants
+the tests lean on — causality (no task starts before its dependencies
+finish plus the sync latency), non-overlap within a thread, and
+conservation (total busy time equals the sum of task costs) — plus
+utilization summaries used by the ablation benches.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Interval", "ExecutionTrace"]
+
+
+@dataclass(frozen=True)
+class Interval:
+    """One busy interval on a thread."""
+
+    thread: int
+    start: float
+    stop: float
+    label: object = None
+
+    @property
+    def duration(self):
+        return self.stop - self.start
+
+
+@dataclass
+class ExecutionTrace:
+    """Per-thread timeline of a simulated execution."""
+
+    n_threads: int
+    intervals: list = field(default_factory=list)
+
+    def record(self, thread, start, stop, label=None):
+        if stop < start:
+            raise ValueError(f"negative interval on thread {thread}: [{start}, {stop}]")
+        self.intervals.append(Interval(int(thread), float(start), float(stop), label))
+
+    def makespan(self):
+        return max((iv.stop for iv in self.intervals), default=0.0)
+
+    def busy_time(self, thread=None):
+        if thread is None:
+            return sum(iv.duration for iv in self.intervals)
+        return sum(iv.duration for iv in self.intervals if iv.thread == thread)
+
+    def utilization(self):
+        """Mean fraction of the makespan each thread spends busy."""
+        span = self.makespan()
+        if span == 0.0:
+            return 1.0
+        return self.busy_time() / (span * self.n_threads)
+
+    def thread_intervals(self, thread):
+        return sorted(
+            (iv for iv in self.intervals if iv.thread == thread), key=lambda iv: iv.start
+        )
+
+    def finish_of(self, label):
+        for iv in self.intervals:
+            if iv.label == label:
+                return iv.stop
+        raise KeyError(label)
+
+    # ------------------------------------------------------------------
+    # invariants
+    # ------------------------------------------------------------------
+    def check_no_overlap(self, tol=1e-12):
+        """No two intervals on the same thread may overlap."""
+        for t in range(self.n_threads):
+            ivs = self.thread_intervals(t)
+            for a, b in zip(ivs, ivs[1:]):
+                if b.start < a.stop - tol:
+                    raise AssertionError(
+                        f"thread {t}: interval {b.label} starts at {b.start} "
+                        f"before {a.label} ends at {a.stop}"
+                    )
+        return True
+
+    def check_causality(self, deps, sync=None, tol=1e-12):
+        """Check ``start(task) >= finish(dep) [+ sync latency]`` for all deps.
+
+        ``deps`` maps a label to an iterable of labels it depends on;
+        ``sync(waiter_interval, producer_interval)`` returns the minimum
+        gap required (default 0).
+        """
+        by_label = {iv.label: iv for iv in self.intervals}
+        for label, dlist in deps.items():
+            if label not in by_label:
+                continue
+            iv = by_label[label]
+            for d in dlist:
+                if d not in by_label:
+                    continue
+                dv = by_label[d]
+                gap = sync(iv, dv) if sync is not None else 0.0
+                if iv.start < dv.stop + gap - tol:
+                    raise AssertionError(
+                        f"causality violation: {label} starts at {iv.start} but "
+                        f"dependency {d} finishes at {dv.stop} (+{gap} sync)"
+                    )
+        return True
+
+    def summary(self):
+        return {
+            "makespan": self.makespan(),
+            "busy": self.busy_time(),
+            "utilization": self.utilization(),
+            "n_intervals": len(self.intervals),
+        }
+
+    def ascii_gantt(self, width=72, max_threads=16):
+        """Render the timeline as an ASCII Gantt chart.
+
+        One row per thread; '#' marks busy columns, '.' idle, with the
+        thread's utilization at the right.  Useful in examples and when
+        eyeballing why a schedule underperforms (idle tails, stragglers).
+        """
+        span = self.makespan()
+        if span == 0.0 or not self.intervals:
+            return "(empty trace)"
+        lines = [f"0{'s':<{width - 10}}{span:.3e}s"]
+        for t in range(min(self.n_threads, max_threads)):
+            cells = [False] * width
+            for iv in self.intervals:
+                if iv.thread != t:
+                    continue
+                a = int(iv.start / span * width)
+                b = max(a + 1, int(math.ceil(iv.stop / span * width)))
+                for c in range(a, min(b, width)):
+                    cells[c] = True
+            busy = self.busy_time(t) / span
+            bar = "".join("#" if c else "." for c in cells)
+            lines.append(f"t{t:<3d}|{bar}| {busy:4.0%}")
+        if self.n_threads > max_threads:
+            lines.append(f"... ({self.n_threads - max_threads} more threads)")
+        return "\n".join(lines)

@@ -1,0 +1,60 @@
+"""Synthetic replica of the paper's SuiteSparse test suite.
+
+The evaluation (Table I) uses 18 SuiteSparse matrices.  Offline, we
+synthesize a structural stand-in for each: a generator from the same
+problem family (2D/3D PDE stencils, FEM shells/filters, circuit
+networks, power-flow blocks), calibrated to the published row density,
+pattern symmetry and level-structure class, at a configurable scale
+(default ≈ thousands of rows so the pure-Python kernels finish in
+seconds; ``scale=1.0`` reproduces the published dimensions).
+
+If real SuiteSparse ``.mtx`` files are available, drop them in a
+directory and use :func:`repro.matrices.suite.load_real` instead — the
+whole harness runs unchanged.
+"""
+
+from .generators import (
+    grid2d,
+    grid3d,
+    anisotropic2d,
+    helmholtz2d,
+    fem_shell,
+    fem_filter_like,
+    circuit_network,
+    power_flow_blocks,
+    tetra_mesh_like,
+    make_nonsymmetric_pattern,
+    make_spd_values,
+)
+from .suite import (
+    MatrixSpec,
+    SUITE,
+    GROUP_A,
+    GROUP_B,
+    build_matrix,
+    paper_stats,
+    load_real,
+    preorder_for_javelin,
+)
+
+__all__ = [
+    "grid2d",
+    "grid3d",
+    "anisotropic2d",
+    "helmholtz2d",
+    "fem_shell",
+    "fem_filter_like",
+    "circuit_network",
+    "power_flow_blocks",
+    "tetra_mesh_like",
+    "make_nonsymmetric_pattern",
+    "make_spd_values",
+    "MatrixSpec",
+    "SUITE",
+    "GROUP_A",
+    "GROUP_B",
+    "build_matrix",
+    "paper_stats",
+    "load_real",
+    "preorder_for_javelin",
+]

@@ -1,0 +1,236 @@
+"""The 18-matrix test suite of Table I, synthesized.
+
+Each :class:`MatrixSpec` records the paper's published statistics (N,
+nnz, row density RD, pattern symmetry SP, level count Lvl, group A/B)
+and a calibrated generator producing a same-family synthetic matrix.
+``scale`` multiplies the problem size: the default ``scale=1.0`` yields
+matrices of a few thousand rows (so the pure-Python kernels run in
+seconds); the published dimensions correspond to roughly
+``scale≈15-40`` depending on the matrix.
+
+Group A (SPD, used for the convergence/ordering study of Table II and
+Fig. 13): offshore, af_shell3, parabolic_fem, apache2, ecology2,
+thermal2.  Group B: everything else (the wide structural variety).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..ordering.dulmage_mendelsohn import (
+    dulmage_mendelsohn_row_perm,
+    StructurallySingularError,
+)
+from ..ordering.nd import nested_dissection_order
+from ..sparse.csr import CSRMatrix
+from ..sparse.pattern import has_full_diagonal
+from . import generators as G
+
+__all__ = [
+    "MatrixSpec",
+    "SUITE",
+    "GROUP_A",
+    "GROUP_B",
+    "build_matrix",
+    "paper_stats",
+    "load_real",
+    "preorder_for_javelin",
+]
+
+
+@dataclass(frozen=True)
+class MatrixSpec:
+    """One row of Table I plus its synthetic generator."""
+
+    name: str
+    paper_n: int
+    paper_nnz: int
+    paper_rd: float
+    paper_sp: bool  # symmetric symbolic pattern in natural order
+    paper_lvl: int  # levels found by the paper's level scheduling
+    group: str  # "A" or "B"
+    factory: object  # callable(scale) -> CSRMatrix
+
+    def build(self, scale=1.0) -> CSRMatrix:
+        return self.factory(scale)
+
+
+def _dim(base, scale):
+    return max(3, int(round(base * scale ** (1 / 2))))
+
+
+def _dim3(base, scale):
+    return max(3, int(round(base * scale ** (1 / 3))))
+
+
+SUITE = {
+    s.name: s
+    for s in [
+        MatrixSpec(
+            "wang3", 26064, 177168, 6.8, True, 10, "B",
+            lambda sc: G.grid3d(_dim3(12, sc), stencil="7pt"),
+        ),
+        MatrixSpec(
+            "TSOPF_RS_b300_c2", 28338, 2943887, 103.88, False, 180, "B",
+            lambda sc: G.power_flow_blocks(
+                max(6, int(round(30 * sc))), block_size=48, seed=7
+            ),
+        ),
+        MatrixSpec(
+            "3D_28984_Tetra", 28984, 285092, 9.84, False, 34, "B",
+            lambda sc: G.tetra_mesh_like(int(1800 * sc), seed=3),
+        ),
+        MatrixSpec(
+            "ibm_matrix_2", 51448, 537038, 10.44, False, 29, "B",
+            lambda sc: G.tetra_mesh_like(int(2200 * sc), nonsym_frac=0.3, seed=11),
+        ),
+        MatrixSpec(
+            "fem_filter", 74062, 1731206, 23.38, True, 554, "B",
+            lambda sc: G.fem_filter_like(int(2400 * sc), bandwidth=10),
+        ),
+        MatrixSpec(
+            "trans4", 116835, 749800, 6.42, False, 20, "B",
+            lambda sc: G.circuit_network(
+                int(3000 * sc), avg_degree=5.0, n_hubs=3, hub_degree=400,
+                directed=True, seed=13,
+            ),
+        ),
+        MatrixSpec(
+            "scircuit", 170998, 958936, 5.61, True, 34, "B",
+            lambda sc: G.circuit_network(
+                int(3500 * sc), avg_degree=4.6, n_hubs=4, hub_degree=300, seed=17
+            ),
+        ),
+        MatrixSpec(
+            "transient", 178866, 961368, 5.37, True, 16, "B",
+            lambda sc: G.circuit_network(
+                int(3600 * sc), avg_degree=4.3, n_hubs=6, hub_degree=500, seed=19
+            ),
+        ),
+        MatrixSpec(
+            "offshore", 259789, 4242673, 16.33, True, 74, "A",
+            lambda sc: G.grid3d(_dim3(10, sc), stencil="27pt"),
+        ),
+        MatrixSpec(
+            "ASIC_320ks", 321671, 1316085, 4.09, True, 16, "B",
+            lambda sc: G.circuit_network(
+                int(4000 * sc), avg_degree=3.1, n_hubs=2, hub_degree=350, seed=23
+            ),
+        ),
+        MatrixSpec(
+            "af_shell3", 504855, 17562051, 34.79, True, 630, "A",
+            lambda sc: G.fem_shell(_dim(24, sc), dofs_per_node=3),
+        ),
+        MatrixSpec(
+            "parabolic_fem", 525825, 3674625, 6.99, True, 28, "A",
+            lambda sc: G.grid3d(_dim3(13, sc), stencil="7pt"),
+        ),
+        MatrixSpec(
+            "ASIC_680ks", 682712, 1693767, 2.48, True, 21, "B",
+            lambda sc: G.circuit_network(
+                int(4500 * sc), avg_degree=1.6, n_hubs=2, hub_degree=250, seed=29
+            ),
+        ),
+        MatrixSpec(
+            "apache2", 715176, 4817870, 6.74, True, 13, "A",
+            lambda sc: G.grid3d(_dim3(13, sc), stencil="7pt", seed=1),
+        ),
+        MatrixSpec(
+            "tmt_sym", 726713, 5080961, 6.99, True, 28, "B",
+            lambda sc: G.grid3d(_dim3(12, sc), stencil="7pt", seed=2),
+        ),
+        MatrixSpec(
+            "ecology2", 999999, 4995991, 5.0, True, 13, "A",
+            lambda sc: G.grid2d(_dim(48, sc), stencil="5pt"),
+        ),
+        MatrixSpec(
+            "thermal2", 1228045, 8580313, 6.99, True, 27, "A",
+            lambda sc: G.grid3d(_dim3(14, sc), stencil="7pt", seed=4),
+        ),
+        MatrixSpec(
+            "G3_circuit", 1585478, 7660826, 4.83, True, 13, "B",
+            lambda sc: G.grid2d(_dim(50, sc), stencil="5pt", seed=5),
+        ),
+    ]
+}
+
+GROUP_A = [s.name for s in SUITE.values() if s.group == "A"]
+GROUP_B = [s.name for s in SUITE.values() if s.group == "B"]
+
+
+def build_matrix(name, scale=1.0) -> CSRMatrix:
+    """Build the synthetic stand-in for a Table I matrix."""
+    try:
+        spec = SUITE[name]
+    except KeyError:
+        raise KeyError(f"unknown suite matrix {name!r}; known: {sorted(SUITE)}") from None
+    return spec.build(scale)
+
+
+def paper_stats(name) -> dict:
+    """Published Table I statistics for a matrix."""
+    s = SUITE[name]
+    return {
+        "N": s.paper_n,
+        "Nnz": s.paper_nnz,
+        "RD": s.paper_rd,
+        "SP": s.paper_sp,
+        "Lvl": s.paper_lvl,
+        "group": s.group,
+    }
+
+
+def load_real(name, directory=".", *, fallback_scale=None):
+    """Load the real SuiteSparse matrix from a local MatrixMarket file.
+
+    Looks for ``<directory>/<name>.mtx`` (or ``.mtx.gz``).  When the
+    file is absent and ``fallback_scale`` is given, the synthetic
+    stand-in is built instead — so a harness written against real data
+    degrades gracefully to the offline setup.
+    """
+    import os
+
+    from ..sparse.io import read_matrix_market
+
+    for ext in (".mtx", ".mtx.gz"):
+        path = os.path.join(directory, name + ext)
+        if os.path.exists(path):
+            return read_matrix_market(path)
+    if fallback_scale is not None:
+        return build_matrix(name, scale=fallback_scale)
+    raise FileNotFoundError(
+        f"no {name}.mtx[.gz] under {directory!r}; download it from the "
+        f"SuiteSparse collection or pass fallback_scale to use the synthetic"
+    )
+
+
+def preorder_for_javelin(A: CSRMatrix, *, method="nd", leaf_size=32):
+    """The paper's preprocessing pipeline (§IV Preordering).
+
+    Dulmage–Mendelsohn row permutation when the diagonal is not already
+    structurally full, followed by nested dissection ("nd", default) or
+    RCM ("rcm") or nothing ("nat").  Returns the permuted matrix.
+    """
+    B = A
+    if not has_full_diagonal(B):
+        rp = dulmage_mendelsohn_row_perm(B)
+        B = B.permute(row_perm=rp)
+    if method == "nd":
+        p = nested_dissection_order(B, leaf_size=leaf_size)
+    elif method == "rcm":
+        from ..ordering.rcm import rcm_order
+
+        p = rcm_order(B)
+    elif method == "nat":
+        return B
+    else:
+        raise ValueError(f"unknown preorder {method!r}")
+    B = B.permute(row_perm=p, col_perm=p)
+    if not has_full_diagonal(B):
+        # a symmetric permutation of a full diagonal stays full; reaching
+        # here means the DM step was skipped on a deficient matrix
+        rp = dulmage_mendelsohn_row_perm(B)
+        B = B.permute(row_perm=rp)
+    return B

@@ -1,0 +1,114 @@
+"""Dulmage–Mendelsohn row permutation via maximum bipartite matching.
+
+Javelin does not pivot, so preprocessing must place nonzeros on every
+diagonal position; the paper's pipeline starts with "a Dulmage-Mendelsohn
+ordering is used to move nonzeros to the diagonal of the matrix" (§IV).
+The piece of DM that accomplishes that is a maximum matching between
+rows and columns of the bipartite pattern graph: permuting rows so that
+row ``match[c]`` lands at position ``c`` gives a zero-free diagonal
+whenever the matrix is structurally nonsingular.
+
+Matching algorithm: Hopcroft–Karp style repeated BFS/DFS augmentation
+(phased augmenting paths), O(√n · nnz).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparse.csr import CSRMatrix
+
+__all__ = ["maximum_matching", "dulmage_mendelsohn_row_perm", "StructurallySingularError"]
+
+_INF = np.iinfo(np.int64).max
+
+
+class StructurallySingularError(ValueError):
+    """Raised when no perfect row-column matching exists."""
+
+
+def maximum_matching(A: CSRMatrix):
+    """Maximum bipartite matching of the pattern.
+
+    Returns ``(row_match, col_match)`` where ``row_match[r]`` is the
+    column matched to row ``r`` (or -1) and ``col_match[c]`` the row
+    matched to column ``c`` (or -1).
+    """
+    n_rows, n_cols = A.shape
+    row_match = np.full(n_rows, -1, dtype=np.int64)
+    col_match = np.full(n_cols, -1, dtype=np.int64)
+    indptr, indices = A.indptr, A.indices
+
+    # greedy warm start
+    for r in range(n_rows):
+        for c in indices[indptr[r] : indptr[r + 1]]:
+            if col_match[c] < 0:
+                row_match[r] = c
+                col_match[c] = r
+                break
+
+    dist = np.empty(n_rows, dtype=np.int64)
+
+    def bfs():
+        queue = []
+        for r in range(n_rows):
+            if row_match[r] < 0:
+                dist[r] = 0
+                queue.append(r)
+            else:
+                dist[r] = _INF
+        found = False
+        head = 0
+        while head < len(queue):
+            r = queue[head]
+            head += 1
+            for c in indices[indptr[r] : indptr[r + 1]]:
+                nr = col_match[c]
+                if nr < 0:
+                    found = True
+                elif dist[nr] == _INF:
+                    dist[nr] = dist[r] + 1
+                    queue.append(int(nr))
+        return found
+
+    def dfs(r):
+        for c in indices[indptr[r] : indptr[r + 1]]:
+            nr = col_match[c]
+            if nr < 0 or (dist[nr] == dist[r] + 1 and dfs(int(nr))):
+                row_match[r] = c
+                col_match[c] = r
+                return True
+        dist[r] = _INF
+        return False
+
+    import sys
+
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, n_rows * 2 + 100))
+    try:
+        while bfs():
+            for r in range(n_rows):
+                if row_match[r] < 0:
+                    dfs(r)
+    finally:
+        sys.setrecursionlimit(old_limit)
+    return row_match, col_match
+
+
+def dulmage_mendelsohn_row_perm(A: CSRMatrix):
+    """Row permutation giving a structurally zero-free diagonal.
+
+    Returns ``perm`` (gather convention: new row ``i`` is old row
+    ``perm[i]``) such that ``A.permute(row_perm=perm)`` has a nonzero in
+    every diagonal position.  Raises :class:`StructurallySingularError`
+    when the matrix has no perfect matching.
+    """
+    if A.n_rows != A.n_cols:
+        raise ValueError("DM row permutation requires a square matrix")
+    _, col_match = maximum_matching(A)
+    if np.any(col_match < 0):
+        missing = int(np.count_nonzero(col_match < 0))
+        raise StructurallySingularError(
+            f"structurally singular: {missing} unmatched columns"
+        )
+    return col_match.copy()

@@ -1,0 +1,113 @@
+"""Graph view of a sparse pattern.
+
+Orderings operate on the undirected adjacency graph of ``A + Aᵀ`` with
+self-loops removed.  The graph is stored CSR-style (``xadj``/``adjncy``
+in METIS terminology) so traversals are array scans, not dict hops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparse.csr import CSRMatrix
+from ..sparse.pattern import symmetrize_pattern
+
+__all__ = [
+    "adjacency_from_pattern",
+    "vertex_degrees",
+    "bfs_levels",
+    "connected_components",
+    "pseudo_peripheral_node",
+]
+
+
+def adjacency_from_pattern(A: CSRMatrix, symmetrize: bool = True):
+    """Build (xadj, adjncy) for the undirected graph of the pattern.
+
+    Self-loops (diagonal entries) are dropped.  When ``symmetrize`` is
+    true the pattern of ``A + Aᵀ`` is used so the graph is undirected
+    even for structurally nonsymmetric matrices.
+    """
+    if A.n_rows != A.n_cols:
+        raise ValueError("adjacency requires a square matrix")
+    S = symmetrize_pattern(A) if symmetrize else A
+    n = S.n_rows
+    xadj = np.zeros(n + 1, dtype=np.int64)
+    chunks = []
+    for r in range(n):
+        cols = S.indices[S.indptr[r] : S.indptr[r + 1]]
+        cols = cols[cols != r]
+        chunks.append(cols)
+        xadj[r + 1] = xadj[r] + cols.shape[0]
+    adjncy = np.concatenate(chunks) if chunks else np.empty(0, dtype=np.int64)
+    return xadj, adjncy
+
+
+def vertex_degrees(xadj):
+    return np.diff(np.asarray(xadj, dtype=np.int64))
+
+
+def bfs_levels(xadj, adjncy, root, mask=None):
+    """Breadth-first level structure from ``root``.
+
+    Returns ``(levels, order)`` where ``levels[v]`` is the BFS distance
+    (-1 for unreached / masked-out vertices) and ``order`` lists the
+    reached vertices in visit order.  ``mask`` restricts the traversal to
+    vertices where it is true (used by nested dissection on subgraphs).
+    """
+    n = xadj.shape[0] - 1
+    levels = np.full(n, -1, dtype=np.int64)
+    if mask is not None and not mask[root]:
+        raise ValueError("root not in mask")
+    levels[root] = 0
+    order = np.empty(n, dtype=np.int64)
+    order[0] = root
+    head, tail = 0, 1
+    while head < tail:
+        v = order[head]
+        head += 1
+        for u in adjncy[xadj[v] : xadj[v + 1]]:
+            if levels[u] < 0 and (mask is None or mask[u]):
+                levels[u] = levels[v] + 1
+                order[tail] = u
+                tail += 1
+    return levels, order[:tail]
+
+
+def connected_components(xadj, adjncy, mask=None):
+    """Label connected components; returns (labels, n_components).
+
+    Masked-out vertices get label -1.
+    """
+    n = xadj.shape[0] - 1
+    labels = np.full(n, -1, dtype=np.int64)
+    comp = 0
+    for s in range(n):
+        if labels[s] >= 0 or (mask is not None and not mask[s]):
+            continue
+        levels, order = bfs_levels(xadj, adjncy, s, mask=mask)
+        labels[order] = comp
+        comp += 1
+    return labels, comp
+
+
+def pseudo_peripheral_node(xadj, adjncy, start, mask=None, max_iter=8):
+    """George–Liu pseudo-peripheral vertex search.
+
+    Repeatedly BFS from the current candidate and move to a minimum-
+    degree vertex of the last level until the eccentricity stops growing.
+    Produces the long-axis endpoints RCM and dissection want.
+    """
+    v = start
+    levels, order = bfs_levels(xadj, adjncy, v, mask=mask)
+    ecc = int(levels[order].max()) if order.size else 0
+    for _ in range(max_iter):
+        last = order[levels[order] == ecc]
+        deg = vertex_degrees(xadj)[last]
+        cand = int(last[np.argmin(deg)])
+        lv2, ord2 = bfs_levels(xadj, adjncy, cand, mask=mask)
+        ecc2 = int(lv2[ord2].max()) if ord2.size else 0
+        if ecc2 <= ecc:
+            return cand, lv2, ord2
+        v, levels, order, ecc = cand, lv2, ord2, ecc2
+    return v, levels, order

@@ -1,0 +1,12 @@
+"""Natural (identity) ordering — the NAT column of Table II."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["natural_order"]
+
+
+def natural_order(A):
+    """Return the identity permutation for the matrix's row set."""
+    return np.arange(A.n_rows, dtype=np.int64)

@@ -1,0 +1,53 @@
+"""Reverse Cuthill–McKee ordering.
+
+RCM is the paper's locality-preserving comparison ordering: Table II
+shows it (and LS-RCM, the level-set ordering imposed on top of it)
+needing the fewest GMRES iterations, and Fig. 13 measures Javelin's
+speedup when the input is RCM-preordered.
+
+Classical algorithm: BFS from a pseudo-peripheral vertex visiting
+neighbors in increasing-degree order, then reverse the visit order.
+Disconnected graphs are handled component by component.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .graph import adjacency_from_pattern, vertex_degrees, pseudo_peripheral_node
+
+__all__ = ["reverse_cuthill_mckee", "rcm_order"]
+
+
+def reverse_cuthill_mckee(xadj, adjncy):
+    """RCM permutation of the graph (gather convention)."""
+    n = xadj.shape[0] - 1
+    deg = vertex_degrees(xadj)
+    visited = np.zeros(n, dtype=bool)
+    order = np.empty(n, dtype=np.int64)
+    pos = 0
+    # process components in order of their lowest-numbered vertex
+    for seed in range(n):
+        if visited[seed]:
+            continue
+        root, _, _ = pseudo_peripheral_node(xadj, adjncy, seed, mask=~visited)
+        queue = [root]
+        visited[root] = True
+        while queue:
+            v = queue.pop(0)
+            order[pos] = v
+            pos += 1
+            nbrs = adjncy[xadj[v] : xadj[v + 1]]
+            nbrs = nbrs[~visited[nbrs]]
+            if nbrs.size:
+                nbrs = nbrs[np.argsort(deg[nbrs], kind="stable")]
+                visited[nbrs] = True
+                queue.extend(int(u) for u in nbrs)
+    assert pos == n
+    return order[::-1].copy()
+
+
+def rcm_order(A):
+    """RCM permutation of a CSR matrix's symmetrized pattern."""
+    xadj, adjncy = adjacency_from_pattern(A)
+    return reverse_cuthill_mckee(xadj, adjncy)

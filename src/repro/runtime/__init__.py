@@ -1,0 +1,27 @@
+"""Real-thread execution of the p2p-scheduled algorithms.
+
+Python's GIL means these executors cannot show wall-clock speedup (the
+repro limitation the machine simulator exists to work around), but they
+*do* run the actual concurrent algorithm: multiple OS threads, each
+owning a slice of rows, synchronizing through the same per-thread
+progress counters the paper's spin-lock scheme uses.  Tests use them to
+verify the claims the simulator takes for granted:
+
+* the pruned (per-producer-thread, latest-row) wait rule is sufficient —
+  no data race ever produces a wrong value;
+* the factorization is deterministic: any thread count and any
+  interleaving yields the bit-identical factor the sequential reference
+  produces (the robustness property §II contrasts with fine-grained
+  asynchronous ILU).
+"""
+
+from .pointtopoint import ProgressBoard
+from .threadpool import threaded_factor, threaded_trisolve_lower
+from .threaded_lower import threaded_factor_two_stage
+
+__all__ = [
+    "ProgressBoard",
+    "threaded_factor",
+    "threaded_trisolve_lower",
+    "threaded_factor_two_stage",
+]

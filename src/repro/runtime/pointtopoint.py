@@ -1,0 +1,55 @@
+"""Per-thread progress counters — the point-to-point sync primitive.
+
+The paper's upper stage replaces barriers with "inexpensive spinlocks":
+each thread publishes the highest (level-ordered) row it has completed;
+a consumer spins until the producing thread's counter passes the row it
+needs.  The implied ordering of rows within a thread makes one counter
+per thread sufficient — the sparsified synchronization of Park et al.
+
+CPython notes: plain list stores of Python ints are atomic under the
+GIL, so the board needs no locks; ``time.sleep(0)`` in the spin loop
+yields the GIL so producers can run.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["ProgressBoard"]
+
+
+class ProgressBoard:
+    """Monotonic per-thread progress counters with spin-waiting."""
+
+    def __init__(self, n_threads):
+        self.n_threads = int(n_threads)
+        self._progress = [-1] * self.n_threads
+
+    def publish(self, thread, row):
+        """Thread ``thread`` announces it has completed ``row``.
+
+        Rows must be published in increasing order per thread (the
+        implied ordering) — enforced because consumers rely on it.
+        """
+        if row <= self._progress[thread]:
+            raise ValueError(
+                f"thread {thread} published row {row} after {self._progress[thread]}"
+            )
+        self._progress[thread] = row
+
+    def load(self, thread):
+        return self._progress[thread]
+
+    def wait_for(self, producer_thread, row, *, timeout=30.0):
+        """Spin until ``producer_thread`` has completed ``row``."""
+        deadline = time.monotonic() + timeout
+        while self._progress[producer_thread] < row:
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"waited {timeout}s for thread {producer_thread} to reach "
+                    f"row {row} (at {self._progress[producer_thread]})"
+                )
+            time.sleep(0)  # yield the GIL
+
+    def snapshot(self):
+        return list(self._progress)

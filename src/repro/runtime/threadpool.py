@@ -1,0 +1,115 @@
+"""Threaded executors for the p2p-scheduled kernels.
+
+``threaded_factor`` runs the upper-stage algorithm with real
+``threading.Thread`` workers: rows dealt round-robin in level order,
+each worker factoring its rows in sequence and spin-waiting on the
+:class:`~repro.runtime.pointtopoint.ProgressBoard` for cross-thread
+dependencies.  ``threaded_trisolve_lower`` does the same for the
+forward solve.  Both must produce results bit-identical to their
+sequential counterparts — that determinism is the point.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from ..core.iluk import factor_row, _diag_positions, _scatter_values
+from ..core.upper import assign_round_robin
+from ..sparse.csr import CSRMatrix
+from .pointtopoint import ProgressBoard
+
+__all__ = ["threaded_factor", "threaded_trisolve_lower"]
+
+
+def _deps_by_producer(S, r, thread_of, own_thread):
+    """Latest dependency row per distinct producer thread (pruned waits)."""
+    cols = S.indices[S.indptr[r] : S.indptr[r + 1]]
+    deps = cols[cols < r]
+    out = {}
+    for d in deps:
+        u = int(thread_of[d])
+        if u == own_thread:
+            continue
+        if d > out.get(u, -1):
+            out[u] = int(d)
+    return out
+
+
+def threaded_factor(A: CSRMatrix, S: CSRMatrix, level_ptr, n_threads, *, pivot_tol=0.0):
+    """Factor A on pattern S with real threads + p2p synchronization.
+
+    ``A`` and ``S`` must already be in level order and ``level_ptr``
+    must cover all rows (the LS-only configuration).  Returns the
+    combined L\\U factor.
+    """
+    F = _scatter_values(S, A)
+    diag_pos = _diag_positions(F)
+    n = F.n_rows
+    if int(level_ptr[-1]) != n:
+        raise ValueError("level_ptr must cover every row")
+    thread_of = assign_round_robin(level_ptr, n_threads)
+    board = ProgressBoard(n_threads)
+    errors = []
+
+    def worker(t):
+        try:
+            my_rows = np.nonzero(thread_of == t)[0]
+            for r in my_rows:
+                r = int(r)
+                for u, need in _deps_by_producer(S, r, thread_of, t).items():
+                    board.wait_for(u, need)
+                factor_row(F, r, diag_pos, pivot_tol=pivot_tol)
+                board.publish(t, r)
+        except BaseException as e:  # surface worker failures to the caller
+            errors.append(e)
+
+    threads = [threading.Thread(target=worker, args=(t,)) for t in range(n_threads)]
+    for th in threads:
+        th.start()
+    for th in threads:
+        th.join()
+    if errors:
+        raise errors[0]
+    return F
+
+
+def threaded_trisolve_lower(F: CSRMatrix, b, level_ptr, n_threads):
+    """Forward solve ``L y = b`` with real threads + p2p sync."""
+    n = F.n_rows
+    if int(level_ptr[-1]) != n:
+        raise ValueError("level_ptr must cover every row")
+    b = np.asarray(b, dtype=np.float64)
+    y = np.zeros(n)
+    thread_of = assign_round_robin(level_ptr, n_threads)
+    board = ProgressBoard(n_threads)
+    indptr, indices, data = F.indptr, F.indices, F.data
+    errors = []
+
+    def worker(t):
+        try:
+            my_rows = np.nonzero(thread_of == t)[0]
+            for r in my_rows:
+                r = int(r)
+                for u, need in _deps_by_producer(F, r, thread_of, t).items():
+                    board.wait_for(u, need)
+                lo, hi = int(indptr[r]), int(indptr[r + 1])
+                cols = indices[lo:hi]
+                cut = int(np.searchsorted(cols, r))
+                acc = b[r]
+                if cut:
+                    acc -= float(np.dot(data[lo : lo + cut], y[cols[:cut]]))
+                y[r] = acc
+                board.publish(t, r)
+        except BaseException as e:
+            errors.append(e)
+
+    threads = [threading.Thread(target=worker, args=(t,)) for t in range(n_threads)]
+    for th in threads:
+        th.start()
+    for th in threads:
+        th.join()
+    if errors:
+        raise errors[0]
+    return y

@@ -1,0 +1,33 @@
+"""Iterative Krylov solvers.
+
+The paper's context: ILU is a preconditioner for CG/GMRES, whose inner
+loop is spmv + stri (§II).  This subpackage provides the solvers used
+by the convergence study (Table II counts ILU(0)-preconditioned GMRES
+iterations under different orderings) and by the examples:
+
+* :func:`cg` — conjugate gradients (SPD systems, group A);
+* :func:`gmres` — restarted GMRES(m) for general systems;
+* :func:`bicgstab` — BiCGSTAB as a low-memory nonsymmetric alternative.
+
+Each accepts ``M``: a callable applying the preconditioner solve
+``z = M⁻¹ r`` (e.g. ``JavelinILU.solve``), and returns a
+:class:`SolveResult` with the iteration count and residual history.
+"""
+
+from .common import SolveResult, as_operator
+from .cg import cg
+from .gmres import gmres
+from .bicgstab import bicgstab
+from .sor import sor_solve, ssor_preconditioner
+from .fgmres import fgmres
+
+__all__ = [
+    "SolveResult",
+    "as_operator",
+    "cg",
+    "gmres",
+    "bicgstab",
+    "sor_solve",
+    "ssor_preconditioner",
+    "fgmres",
+]

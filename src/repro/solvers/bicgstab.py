@@ -1,0 +1,69 @@
+"""BiCGSTAB with right preconditioning (van der Vorst).
+
+Low-memory nonsymmetric alternative to GMRES; used by the circuit
+example (the paper's §I motivation includes circuit-simulation systems
+that are far from symmetric).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .common import SolveResult, as_operator
+
+__all__ = ["bicgstab"]
+
+
+def bicgstab(A, b, *, M=None, x0=None, tol=1e-6, maxiter=5000):
+    """Solve ``A x = b`` with preconditioned BiCGSTAB.
+
+    ``iterations`` counts full BiCGSTAB steps (two matvecs each).
+    """
+    matvec = as_operator(A)
+    b = np.asarray(b, dtype=np.float64)
+    n = b.shape[0]
+    x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
+    r = b - matvec(x)
+    r_hat = r.copy()
+    bnorm = float(np.linalg.norm(b)) or 1.0
+    history = [float(np.linalg.norm(r)) / bnorm]
+    if history[-1] <= tol:
+        return SolveResult(x=x, iterations=0, converged=True, residual=history[-1], history=history)
+    rho = alpha = omega = 1.0
+    v = np.zeros(n)
+    p = np.zeros(n)
+    for it in range(1, maxiter + 1):
+        rho_new = float(r_hat @ r)
+        if abs(rho_new) < 1e-300:
+            break
+        beta = (rho_new / rho) * (alpha / omega) if it > 1 else 0.0
+        rho = rho_new
+        p = r + beta * (p - omega * v) if it > 1 else r.copy()
+        ph = M(p) if M is not None else p
+        v = matvec(ph)
+        denom = float(r_hat @ v)
+        if abs(denom) < 1e-300:
+            break
+        alpha = rho / denom
+        s = r - alpha * v
+        rel = float(np.linalg.norm(s)) / bnorm
+        if rel <= tol:
+            x += alpha * ph
+            history.append(rel)
+            return SolveResult(x=x, iterations=it, converged=True, residual=rel, history=history)
+        sh = M(s) if M is not None else s
+        t = matvec(sh)
+        tt = float(t @ t)
+        if tt == 0.0:
+            break
+        omega = float(t @ s) / tt
+        x += alpha * ph + omega * sh
+        r = s - omega * t
+        rel = float(np.linalg.norm(r)) / bnorm
+        history.append(rel)
+        if rel <= tol:
+            return SolveResult(x=x, iterations=it, converged=True, residual=rel, history=history)
+        if omega == 0.0:
+            break
+    rel = float(np.linalg.norm(b - matvec(x))) / bnorm
+    return SolveResult(x=x, iterations=maxiter, converged=rel <= tol, residual=rel, history=history)

@@ -1,0 +1,59 @@
+"""Preconditioned conjugate gradients.
+
+Standard PCG (Hestenes–Stiefel with the M-inner product).  Used for the
+SPD group-A matrices; the paper's motivating workload — "preconditioned
+CG using incomplete Cholesky spends up to 70% of its execution time in
+forward and backward stri" (§II) — is exactly this loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .common import SolveResult, as_operator
+
+__all__ = ["cg"]
+
+
+def cg(A, b, *, M=None, x0=None, tol=1e-6, maxiter=5000):
+    """Solve ``A x = b`` with (preconditioned) conjugate gradients.
+
+    Parameters
+    ----------
+    A:
+        SPD matrix-like (CSRMatrix, dense array, or matvec callable).
+    M:
+        Optional preconditioner application ``z = M⁻¹ r``.
+    tol:
+        Relative-residual convergence threshold ``‖r‖/‖b‖ ≤ tol``.
+    """
+    matvec = as_operator(A)
+    b = np.asarray(b, dtype=np.float64)
+    n = b.shape[0]
+    x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
+    r = b - matvec(x)
+    bnorm = float(np.linalg.norm(b)) or 1.0
+    history = [float(np.linalg.norm(r)) / bnorm]
+    if history[-1] <= tol:
+        return SolveResult(x=x, iterations=0, converged=True, residual=history[-1], history=history)
+    z = M(r) if M is not None else r.copy()
+    p = z.copy()
+    rz = float(r @ z)
+    for it in range(1, maxiter + 1):
+        Ap = matvec(p)
+        pAp = float(p @ Ap)
+        if pAp <= 0 and not np.isfinite(pAp):
+            break
+        alpha = rz / pAp
+        x += alpha * p
+        r -= alpha * Ap
+        rel = float(np.linalg.norm(r)) / bnorm
+        history.append(rel)
+        if rel <= tol:
+            return SolveResult(x=x, iterations=it, converged=True, residual=rel, history=history)
+        z = M(r) if M is not None else r
+        rz_new = float(r @ z)
+        beta = rz_new / rz
+        rz = rz_new
+        p = z + beta * p
+    return SolveResult(x=x, iterations=maxiter, converged=False, residual=history[-1], history=history)

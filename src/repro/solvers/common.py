@@ -1,0 +1,39 @@
+"""Shared solver plumbing: results, operators, convergence checks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["SolveResult", "as_operator"]
+
+
+@dataclass
+class SolveResult:
+    """Outcome of an iterative solve.
+
+    ``iterations`` counts matrix-vector products with A (the paper's
+    Table II metric); ``converged`` reflects the relative-residual test
+    ``‖b - Ax‖ / ‖b‖ ≤ tol``.
+    """
+
+    x: np.ndarray
+    iterations: int
+    converged: bool
+    residual: float
+    history: list = field(default_factory=list)
+
+    def __repr__(self):
+        tag = "converged" if self.converged else "NOT converged"
+        return f"SolveResult({tag} in {self.iterations} its, resid={self.residual:.3e})"
+
+
+def as_operator(A):
+    """Normalize a matrix-like into a ``matvec(x) -> y`` callable."""
+    if callable(A) and not hasattr(A, "matvec"):
+        return A
+    if hasattr(A, "matvec"):
+        return A.matvec
+    arr = np.asarray(A, dtype=np.float64)
+    return lambda x: arr @ x

@@ -1,0 +1,84 @@
+"""Flexible GMRES (Saad's FGMRES).
+
+Right-preconditioned GMRES requires a *fixed* M⁻¹; FGMRES stores the
+preconditioned direction per Arnoldi step, so M may change between
+iterations.  That is exactly what a nonstationary preconditioner needs —
+e.g. a few Chow–Patel sweeps whose state improves as the solve goes, or
+an adaptively shifted IC — and it completes the solver family around
+the framework's preconditioners.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .common import SolveResult, as_operator
+
+__all__ = ["fgmres"]
+
+
+def fgmres(A, b, *, M=None, x0=None, tol=1e-6, restart=50, maxiter=5000):
+    """Solve ``A x = b`` with flexible restarted GMRES.
+
+    ``M`` is a callable ``z = M(r)`` and may differ from call to call
+    (flexible preconditioning).  With a fixed M this reproduces
+    right-preconditioned GMRES.
+    """
+    matvec = as_operator(A)
+    b = np.asarray(b, dtype=np.float64)
+    n = b.shape[0]
+    x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
+    bnorm = float(np.linalg.norm(b)) or 1.0
+    total = 0
+    history = []
+
+    while total < maxiter:
+        r = b - matvec(x)
+        beta = float(np.linalg.norm(r))
+        rel = beta / bnorm
+        history.append(rel)
+        if rel <= tol:
+            return SolveResult(x=x, iterations=total, converged=True, residual=rel, history=history)
+        m = min(restart, maxiter - total)
+        V = np.zeros((m + 1, n))
+        Z = np.zeros((m, n))  # the flexible directions
+        H = np.zeros((m + 1, m))
+        cs = np.zeros(m)
+        sn = np.zeros(m)
+        g = np.zeros(m + 1)
+        g[0] = beta
+        V[0] = r / beta
+        k_used = 0
+        for k in range(m):
+            Z[k] = M(V[k]) if M is not None else V[k]
+            w = matvec(Z[k])
+            for i in range(k + 1):
+                H[i, k] = float(w @ V[i])
+                w = w - H[i, k] * V[i]
+            H[k + 1, k] = float(np.linalg.norm(w))
+            if H[k + 1, k] > 1e-14:
+                V[k + 1] = w / H[k + 1, k]
+            for i in range(k):
+                t = cs[i] * H[i, k] + sn[i] * H[i + 1, k]
+                H[i + 1, k] = -sn[i] * H[i, k] + cs[i] * H[i + 1, k]
+                H[i, k] = t
+            denom = float(np.hypot(H[k, k], H[k + 1, k]))
+            cs[k], sn[k] = (1.0, 0.0) if denom == 0 else (H[k, k] / denom, H[k + 1, k] / denom)
+            H[k, k] = cs[k] * H[k, k] + sn[k] * H[k + 1, k]
+            H[k + 1, k] = 0.0
+            g[k + 1] = -sn[k] * g[k]
+            g[k] = cs[k] * g[k]
+            total += 1
+            k_used = k + 1
+            history.append(abs(g[k + 1]) / bnorm)
+            if abs(g[k + 1]) / bnorm <= tol:
+                break
+        y = np.zeros(k_used)
+        for i in range(k_used - 1, -1, -1):
+            y[i] = (g[i] - H[i, i + 1 : k_used] @ y[i + 1 : k_used]) / H[i, i]
+        x = x + Z[:k_used].T @ y
+        rel = float(np.linalg.norm(b - matvec(x))) / bnorm
+        if rel <= tol:
+            return SolveResult(x=x, iterations=total, converged=True, residual=rel, history=history)
+    rel = float(np.linalg.norm(b - matvec(x))) / bnorm
+    return SolveResult(x=x, iterations=total, converged=rel <= tol, residual=rel, history=history)

@@ -1,0 +1,79 @@
+"""Conversions between the sparse formats.
+
+All converters are O(nnz); ``coo_to_csr`` sums duplicate triplets so it
+doubles as the assembly step for the synthetic generators.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .coo import COOMatrix
+from .csr import CSRMatrix
+from .csc import CSCMatrix
+
+__all__ = [
+    "coo_to_csr",
+    "csr_to_coo",
+    "csr_to_csc",
+    "csc_to_csr",
+    "from_dense",
+    "to_dense",
+]
+
+
+def coo_to_csr(coo: COOMatrix) -> CSRMatrix:
+    """Convert COO → CSR, summing duplicate (row, col) triplets."""
+    n, m = coo.shape
+    if coo.nnz == 0:
+        return CSRMatrix(n, m, np.zeros(n + 1, dtype=np.int64), np.empty(0, dtype=np.int64),
+                         np.empty(0), sort=False, check=False)
+    # lexicographic sort by (row, col) then collapse duplicates
+    order = np.lexsort((coo.cols, coo.rows))
+    rows = coo.rows[order]
+    cols = coo.cols[order]
+    data = coo.data[order]
+    # mark the first element of each unique (row, col) run
+    first = np.empty(rows.shape[0], dtype=bool)
+    first[0] = True
+    first[1:] = (rows[1:] != rows[:-1]) | (cols[1:] != cols[:-1])
+    group = np.cumsum(first) - 1
+    summed = np.zeros(int(group[-1]) + 1)
+    np.add.at(summed, group, data)
+    u_rows = rows[first]
+    u_cols = cols[first]
+    counts = np.bincount(u_rows, minlength=n)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return CSRMatrix(n, m, indptr, u_cols, summed, sort=False, check=False)
+
+
+def csr_to_coo(csr: CSRMatrix) -> COOMatrix:
+    rows = np.repeat(np.arange(csr.n_rows, dtype=np.int64), np.diff(csr.indptr))
+    return COOMatrix(csr.n_rows, csr.n_cols, rows, csr.indices.copy(), csr.data.copy())
+
+
+def csr_to_csc(csr: CSRMatrix) -> CSCMatrix:
+    """CSR → CSC; equivalent to building the CSR of Aᵀ."""
+    t = csr.transpose()  # CSR of A^T, rows sorted
+    return CSCMatrix(csr.n_rows, csr.n_cols, t.indptr, t.indices, t.data, sort=False, check=False)
+
+
+def csc_to_csr(csc: CSCMatrix) -> CSRMatrix:
+    """CSC → CSR via the transpose duality."""
+    # The CSC storage of A is the CSR storage of A^T; transposing that
+    # CSR matrix yields the CSR storage of A.
+    as_csr_of_t = CSRMatrix(
+        csc.n_cols, csc.n_rows, csc.indptr, csc.indices, csc.data, sort=False, check=False
+    )
+    return as_csr_of_t.transpose()
+
+
+def from_dense(dense, tol=0.0) -> CSRMatrix:
+    """Dense array → CSR keeping entries with ``|a_ij| > tol``."""
+    return coo_to_csr(COOMatrix.from_dense(dense, tol=tol))
+
+
+def to_dense(mat):
+    """Any of the three formats → dense NumPy array."""
+    return mat.to_dense()

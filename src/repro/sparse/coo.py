@@ -1,0 +1,88 @@
+"""Coordinate (COO) sparse matrix format.
+
+COO is the assembly format: generators and the MatrixMarket reader emit
+triplets, which are then converted once into CSR for all computational
+work.  Duplicate entries are summed on conversion, matching the usual
+finite-element assembly semantics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["COOMatrix"]
+
+
+class COOMatrix:
+    """A sparse matrix stored as (row, col, value) triplets.
+
+    Parameters
+    ----------
+    n_rows, n_cols:
+        Matrix dimensions.
+    rows, cols:
+        Integer index arrays of equal length.
+    data:
+        Values, same length as the index arrays.  If ``None`` an
+        all-ones pattern matrix is created.
+    """
+
+    def __init__(self, n_rows, n_cols, rows, cols, data=None):
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        if data is None:
+            data = np.ones(rows.shape[0], dtype=np.float64)
+        data = np.asarray(data, dtype=np.float64)
+        if not (rows.shape == cols.shape == data.shape):
+            raise ValueError(
+                f"triplet arrays disagree: rows {rows.shape}, "
+                f"cols {cols.shape}, data {data.shape}"
+            )
+        if rows.size and (rows.min() < 0 or rows.max() >= n_rows):
+            raise ValueError("row index out of range")
+        if cols.size and (cols.min() < 0 or cols.max() >= n_cols):
+            raise ValueError("col index out of range")
+        self.n_rows = int(n_rows)
+        self.n_cols = int(n_cols)
+        self.rows = rows
+        self.cols = cols
+        self.data = data
+
+    @property
+    def shape(self):
+        return (self.n_rows, self.n_cols)
+
+    @property
+    def nnz(self):
+        """Number of stored triplets (duplicates counted separately)."""
+        return int(self.rows.shape[0])
+
+    def copy(self):
+        return COOMatrix(
+            self.n_rows, self.n_cols, self.rows.copy(), self.cols.copy(), self.data.copy()
+        )
+
+    def transpose(self):
+        """Return the transpose as a new COO matrix (O(nnz))."""
+        return COOMatrix(self.n_cols, self.n_rows, self.cols.copy(), self.rows.copy(), self.data.copy())
+
+    def to_dense(self):
+        """Materialize as a dense array, summing duplicate triplets."""
+        out = np.zeros((self.n_rows, self.n_cols))
+        np.add.at(out, (self.rows, self.cols), self.data)
+        return out
+
+    def tocsr(self):
+        from .convert import coo_to_csr
+
+        return coo_to_csr(self)
+
+    @classmethod
+    def from_dense(cls, dense, tol=0.0):
+        """Build from a dense array keeping entries with ``|a_ij| > tol``."""
+        dense = np.asarray(dense, dtype=np.float64)
+        rows, cols = np.nonzero(np.abs(dense) > tol)
+        return cls(dense.shape[0], dense.shape[1], rows, cols, dense[rows, cols])
+
+    def __repr__(self):
+        return f"COOMatrix(shape={self.shape}, nnz={self.nnz})"

@@ -1,0 +1,50 @@
+"""SciPy interoperability adapters.
+
+The library never depends on SciPy internally, but downstream users
+live in the SciPy ecosystem; these converters make the boundary
+one-liners.  SciPy is imported lazily so the core library stays
+importable without it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .csr import CSRMatrix
+
+__all__ = ["from_scipy", "to_scipy"]
+
+
+def from_scipy(mat) -> CSRMatrix:
+    """Convert any SciPy sparse matrix (or array) to a CSRMatrix.
+
+    Data is copied; duplicate entries are summed; indices get sorted.
+    """
+    try:
+        import scipy.sparse as sp
+    except ImportError as e:  # pragma: no cover
+        raise ImportError("from_scipy requires scipy") from e
+    if not sp.issparse(mat):
+        raise TypeError(f"expected a scipy sparse matrix, got {type(mat).__name__}")
+    csr = mat.tocsr()
+    csr.sum_duplicates()
+    return CSRMatrix(
+        csr.shape[0],
+        csr.shape[1],
+        np.asarray(csr.indptr, dtype=np.int64),
+        np.asarray(csr.indices, dtype=np.int64),
+        np.asarray(csr.data, dtype=np.float64),
+        sort=True,
+        check=True,
+    )
+
+
+def to_scipy(A: CSRMatrix):
+    """Convert a CSRMatrix to ``scipy.sparse.csr_matrix`` (copies data)."""
+    try:
+        import scipy.sparse as sp
+    except ImportError as e:  # pragma: no cover
+        raise ImportError("to_scipy requires scipy") from e
+    return sp.csr_matrix(
+        (A.data.copy(), A.indices.copy(), A.indptr.copy()), shape=A.shape
+    )

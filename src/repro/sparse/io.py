@@ -1,0 +1,111 @@
+"""MatrixMarket I/O.
+
+The paper's test suite comes from the SuiteSparse collection, which is
+distributed in MatrixMarket format.  This session has no network access,
+so the suite itself is synthesized (see :mod:`repro.matrices`), but the
+reader/writer make the harness drop-in usable with the real files: place
+the ``.mtx`` downloads anywhere and point the suite loader at them.
+
+Supports the ``matrix coordinate`` variants used by SuiteSparse:
+``real``/``integer``/``pattern`` fields with ``general``/``symmetric``/
+``skew-symmetric`` symmetries.  Complex matrices are out of scope (none
+of Table I is complex).
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+import os
+
+import numpy as np
+
+from .coo import COOMatrix
+from .convert import coo_to_csr
+from .csr import CSRMatrix
+
+__all__ = ["read_matrix_market", "write_matrix_market"]
+
+_SYMMETRIES = ("general", "symmetric", "skew-symmetric")
+_FIELDS = ("real", "integer", "pattern")
+
+
+def _open_text(path):
+    if str(path).endswith(".gz"):
+        return io.TextIOWrapper(gzip.open(path, "rb"), encoding="ascii")
+    return open(path, "r", encoding="ascii")
+
+
+def read_matrix_market(path) -> CSRMatrix:
+    """Read a MatrixMarket coordinate file into CSR.
+
+    Symmetric and skew-symmetric storage is expanded to the full pattern
+    (SuiteSparse stores only the lower triangle for those).
+    """
+    with _open_text(path) as fh:
+        header = fh.readline()
+        if not header.startswith("%%MatrixMarket"):
+            raise ValueError(f"{path}: not a MatrixMarket file")
+        parts = header.strip().split()
+        if len(parts) < 5:
+            raise ValueError(f"{path}: malformed header {header!r}")
+        _, obj, fmt, field, symmetry = parts[:5]
+        obj, fmt, field, symmetry = (s.lower() for s in (obj, fmt, field, symmetry))
+        if obj != "matrix" or fmt != "coordinate":
+            raise ValueError(f"{path}: only 'matrix coordinate' files are supported")
+        if field not in _FIELDS:
+            raise ValueError(f"{path}: unsupported field {field!r}")
+        if symmetry not in _SYMMETRIES:
+            raise ValueError(f"{path}: unsupported symmetry {symmetry!r}")
+
+        # skip comments / blank lines
+        line = fh.readline()
+        while line and (line.startswith("%") or not line.strip()):
+            line = fh.readline()
+        if not line:
+            raise ValueError(f"{path}: missing size line")
+        n_rows, n_cols, nnz = (int(t) for t in line.split())
+
+        rows = np.empty(nnz, dtype=np.int64)
+        cols = np.empty(nnz, dtype=np.int64)
+        vals = np.empty(nnz, dtype=np.float64)
+        k = 0
+        for line in fh:
+            line = line.strip()
+            if not line or line.startswith("%"):
+                continue
+            toks = line.split()
+            rows[k] = int(toks[0]) - 1
+            cols[k] = int(toks[1]) - 1
+            vals[k] = float(toks[2]) if field != "pattern" and len(toks) > 2 else 1.0
+            k += 1
+        if k != nnz:
+            raise ValueError(f"{path}: expected {nnz} entries, found {k}")
+
+    if symmetry in ("symmetric", "skew-symmetric"):
+        off = rows != cols
+        sign = -1.0 if symmetry == "skew-symmetric" else 1.0
+        mirror_rows = cols[off]
+        mirror_cols = rows[off]
+        mirror_vals = sign * vals[off]
+        rows = np.concatenate([rows, mirror_rows])
+        cols = np.concatenate([cols, mirror_cols])
+        vals = np.concatenate([vals, mirror_vals])
+
+    coo = COOMatrix(n_rows, n_cols, rows, cols, vals)
+    return coo_to_csr(coo)
+
+
+def write_matrix_market(path, A: CSRMatrix, comment=""):
+    """Write a CSR matrix as a general real coordinate MatrixMarket file."""
+    tmp = str(path) + ".tmp"
+    with open(tmp, "w", encoding="ascii") as fh:
+        fh.write("%%MatrixMarket matrix coordinate real general\n")
+        for line in comment.splitlines():
+            fh.write(f"% {line}\n")
+        fh.write(f"{A.n_rows} {A.n_cols} {A.nnz}\n")
+        for r in range(A.n_rows):
+            cols, valrow = A.row(r)
+            for c, v in zip(cols, valrow):
+                fh.write(f"{r + 1} {c + 1} {float(v)!r}\n")
+    os.replace(tmp, path)

@@ -1,0 +1,71 @@
+"""Sparse matrix-vector products.
+
+Three kernels:
+
+* ``spmv_csr`` — the conventional row-wise CSR kernel, fully vectorized
+  (one gather, one multiply, one segmented reduce over the whole matrix).
+* ``spmv_csr5`` — the CSR5 tile-by-tile segmented-scan kernel with carry
+  propagation between tiles that split a row.  Numerically identical to
+  ``spmv_csr``; it exists to exercise and validate the tile machinery the
+  Segmented-Rows lower stage reuses.
+* ``spmv_rows`` — partial product over a subset of rows, used by the
+  triangular-solve update sweeps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .csr import CSRMatrix
+from .csr5 import CSR5Matrix
+from .segscan import segment_ids_from_ptr, segmented_reduce
+
+__all__ = ["spmv_csr", "spmv_csr5", "spmv_rows"]
+
+
+def spmv_csr(A: CSRMatrix, x):
+    """y = A @ x with the conventional CSR kernel."""
+    x = np.asarray(x, dtype=np.float64)
+    if x.shape[0] != A.n_cols:
+        raise ValueError(f"x has length {x.shape[0]}, expected {A.n_cols}")
+    if A.nnz == 0:
+        return np.zeros(A.n_rows)
+    prod = A.data * x[A.indices]
+    row_of = segment_ids_from_ptr(A.indptr, total=A.nnz)
+    return segmented_reduce(prod, row_of, n_segments=A.n_rows)
+
+
+def spmv_csr5(A5: CSR5Matrix, x):
+    """y = A @ x via per-tile segmented scans with inter-tile carries.
+
+    Each tile reduces its elements by row independently; when a row spans
+    a tile boundary the trailing partial sum is carried into the next
+    tile's head — the vector-lane "dirty head" fix-up of CSR5.
+    """
+    csr = A5.csr
+    x = np.asarray(x, dtype=np.float64)
+    if x.shape[0] != csr.n_cols:
+        raise ValueError(f"x has length {x.shape[0]}, expected {csr.n_cols}")
+    y = np.zeros(csr.n_rows)
+    for t in A5.tiles:
+        vals = csr.data[t.start : t.stop] * x[csr.indices[t.start : t.stop]]
+        # reduce within the tile by local row id
+        local = t.seg_ids - t.first_row
+        partial = np.zeros(t.n_rows)
+        np.add.at(partial, local, vals)
+        y[t.first_row : t.last_row + 1] += partial
+    return y
+
+
+def spmv_rows(A: CSRMatrix, x, rows):
+    """Partial product: ``y[r] = A[r, :] @ x`` for each row in ``rows``.
+
+    Rows not listed get 0 in the output (output has full length
+    ``A.n_rows`` so it can be combined with other partial sweeps).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.zeros(A.n_rows)
+    for r in rows:
+        lo, hi = A.indptr[r], A.indptr[r + 1]
+        y[r] = np.dot(A.data[lo:hi], x[A.indices[lo:hi]])
+    return y

@@ -1,0 +1,93 @@
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    format_table,
+    geometric_mean,
+    level_table_row,
+    level_tables,
+    max_speedup,
+    slowdown,
+    speedup,
+)
+from repro.analysis.levels import table1_row
+from repro.matrices.generators import grid2d
+
+from helpers import random_csr
+
+
+class TestMetrics:
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == 5.0
+
+    def test_speedup_zero_parallel_rejected(self):
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)
+
+    def test_slowdown(self):
+        assert slowdown(100.0, 4.0) == 25.0
+
+    def test_max_speedup_picks_best(self):
+        assert max_speedup(12.0, [6.0, 3.0, 4.0]) == 4.0
+
+    def test_max_speedup_empty_rejected(self):
+        with pytest.raises(ValueError):
+            max_speedup(1.0, [])
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geometric_mean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -1.0])
+
+    def test_geomean_below_max(self):
+        vals = [2.0, 8.0, 32.0]
+        assert geometric_mean(vals) < max(vals)
+
+
+class TestLevelTables:
+    def test_row_fields(self):
+        row = level_table_row(grid2d(6))
+        assert set(row) >= {"Lvl", "M", "Max", "Med", "R-16", "R-24", "R-32"}
+        assert row["M"] <= row["Med"] <= row["Max"]
+
+    def test_r_alpha_monotone(self):
+        row = level_table_row(random_csr(60, 0.08, seed=1), alphas=(4, 8, 16))
+        assert row["R-4"] <= row["R-8"] <= row["R-16"]
+
+    def test_both_patterns(self):
+        A = random_csr(40, 0.1, seed=2)  # nonsymmetric
+        t = level_tables(A)
+        assert t["ata"]["Lvl"] >= t["a"]["Lvl"]
+
+    def test_table1_row(self):
+        A = grid2d(5)
+        row = table1_row(A)
+        assert row["N"] == 25
+        assert row["SP"] is True
+        assert row["Lvl"] == 9
+
+
+class TestFormatting:
+    def test_empty(self):
+        assert "(empty)" in format_table([])
+
+    def test_alignment_and_header(self):
+        out = format_table([{"a": 1, "b": 2.5}, {"a": 100, "b": True}])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "100" in out and "yes" in out
+
+    def test_title(self):
+        out = format_table([{"x": 1}], title="Table I")
+        assert out.splitlines()[0] == "Table I"
+
+    def test_column_order_respected(self):
+        out = format_table([{"a": 1, "b": 2}], columns=["b", "a"])
+        assert out.splitlines()[0].startswith("b")
+
+    def test_float_formatting(self):
+        out = format_table([{"v": 0.001234}, {"v": 1234.5}])
+        assert "0.00123" in out
+        assert "1.23e+03" in out or "1230" in out

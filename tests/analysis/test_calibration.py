@@ -1,0 +1,58 @@
+import pytest
+
+from repro.analysis.calibration import calibrate, speedup_targets_score
+from repro.core import JavelinILU
+from repro.machine import haswell, uniform_machine
+
+from helpers import random_csr
+
+
+@pytest.fixture(scope="module")
+def ilu():
+    return JavelinILU().setup(random_csr(80, 0.08, seed=1))
+
+
+class TestScore:
+    def test_zero_when_targets_match(self, ilu):
+        spec = haswell().scaled_overheads(1 / 30)
+        from repro.machine import SimMachine
+
+        ser = ilu.simulate_factor(SimMachine(spec, 1), lower=False).total
+        got = ser / ilu.simulate_factor(SimMachine(spec, 8), lower=False).total
+        assert speedup_targets_score(spec, [(ilu, 8, got)]) == pytest.approx(0.0, abs=1e-9)
+
+    def test_symmetric_in_log(self, ilu):
+        spec = haswell().scaled_overheads(1 / 30)
+        from repro.machine import SimMachine
+
+        ser = ilu.simulate_factor(SimMachine(spec, 1), lower=False).total
+        got = ser / ilu.simulate_factor(SimMachine(spec, 8), lower=False).total
+        over = speedup_targets_score(spec, [(ilu, 8, got * 2)])
+        under = speedup_targets_score(spec, [(ilu, 8, got / 2)])
+        assert over == pytest.approx(under)
+
+    def test_empty_targets_rejected(self):
+        with pytest.raises(ValueError, match="targets"):
+            speedup_targets_score(haswell(), [])
+
+
+class TestCalibrate:
+    def test_improves_a_detuned_spec(self, ilu):
+        good = haswell().scaled_overheads(1 / 30)
+        from repro.machine import SimMachine
+
+        ser = ilu.simulate_factor(SimMachine(good, 1), lower=False).total
+        target = ser / ilu.simulate_factor(SimMachine(good, 14), lower=False).total
+        # detune: halve the socket bandwidth, then let calibrate recover
+        bad = good.with_(socket_bw=good.socket_bw * 0.4)
+        score_bad = speedup_targets_score(bad, [(ilu, 14, target)])
+        tuned, score_tuned = calibrate(
+            bad, [(ilu, 14, target)], fields=("socket_bw",), rounds=3
+        )
+        assert score_tuned < score_bad
+
+    def test_returns_spec_and_score(self, ilu):
+        spec = uniform_machine(n_cores=8)
+        tuned, score = calibrate(spec, [(ilu, 8, 4.0)], fields=("socket_bw",), rounds=1)
+        assert hasattr(tuned, "socket_bw")
+        assert score >= 0.0

@@ -1,0 +1,60 @@
+import pytest
+
+from repro.analysis import bar_chart, grouped_bar_chart
+
+
+class TestBarChart:
+    def test_basic_render(self):
+        out = bar_chart([("a", 1.0), ("bb", 2.0)], width=10)
+        lines = out.splitlines()
+        assert lines[0].startswith("a ")
+        assert lines[1].startswith("bb")
+        assert lines[1].count("#") == 10  # max value fills the width
+
+    def test_proportional_lengths(self):
+        out = bar_chart([("x", 1.0), ("y", 4.0)], width=20)
+        lx, ly = (line.count("#") for line in out.splitlines())
+        assert ly == 20 and lx == 5
+
+    def test_zero_value_empty_bar(self):
+        out = bar_chart([("x", 0.0), ("y", 1.0)])
+        assert out.splitlines()[0].count("#") == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            bar_chart([("x", -1.0)])
+
+    def test_empty(self):
+        assert "(empty)" in bar_chart([], title="t")
+
+    def test_title(self):
+        assert bar_chart([("a", 1)], title="My chart").splitlines()[0] == "My chart"
+
+
+class TestGroupedBarChart:
+    def test_legend_and_markers(self):
+        out = grouped_bar_chart(
+            {"m1": {"LS": 2.0, "Lower": 4.0}},
+            ["LS", "Lower"],
+        )
+        assert "legend" in out
+        assert "L=LS" in out and "M=Lower" in out  # collision bumps to next char
+
+    def test_all_groups_rendered(self):
+        out = grouped_bar_chart(
+            {"m1": {"A": 1.0}, "m2": {"A": 2.0}},
+            ["A"],
+        )
+        assert "m1" in out and "m2" in out
+
+    def test_missing_series_is_zero(self):
+        out = grouped_bar_chart({"g": {"A": 1.0}}, ["A", "B"])
+        lines = [l for l in out.splitlines() if l.startswith("g")]
+        assert len(lines) == 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            grouped_bar_chart({"g": {"A": -0.5}}, ["A"])
+
+    def test_empty(self):
+        assert "(empty)" in grouped_bar_chart({}, ["A"], title="t")

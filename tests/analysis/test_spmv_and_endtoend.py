@@ -1,0 +1,78 @@
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    EndToEndModel,
+    simulate_spmv_csr,
+    simulate_spmv_csr5,
+    solve_time,
+)
+from repro.core import JavelinILU
+from repro.machine import SimMachine, haswell, uniform_machine
+from repro.matrices.generators import circuit_network, grid2d
+
+from helpers import random_csr
+
+
+class TestSpmvModels:
+    def test_csr5_balances_hub_rows(self):
+        A = circuit_network(1500, n_hubs=3, hub_degree=300, seed=1)
+        m = SimMachine(haswell(), 14)
+        assert simulate_spmv_csr5(A, m) < simulate_spmv_csr(A, m)
+
+    def test_regular_matrix_csr_competitive(self):
+        """On a uniform-row-length grid, CSR has nothing to lose."""
+        A = grid2d(40)
+        m = SimMachine(haswell(), 14)
+        t_csr = simulate_spmv_csr(A, m)
+        t_csr5 = simulate_spmv_csr5(A, m)
+        assert t_csr < 2.0 * t_csr5
+
+    def test_both_scale_with_threads(self):
+        A = grid2d(30)
+        spec = uniform_machine(n_cores=8, socket_bw=1e15, single_thread_bw=1e15)
+        t1 = simulate_spmv_csr(A, SimMachine(spec, 1))
+        t8 = simulate_spmv_csr(A, SimMachine(spec, 8))
+        assert t1 / t8 > 4.0
+
+    def test_empty_matrix(self):
+        from repro.sparse import from_dense
+
+        A = from_dense(np.zeros((3, 3)))
+        m = SimMachine(haswell(), 2)
+        assert simulate_spmv_csr(A, m) >= 0.0
+        assert simulate_spmv_csr5(A, m) == 0.0
+
+
+class TestEndToEnd:
+    def test_total_linear_in_iterations(self):
+        mdl = EndToEndModel(setup=1.0, factor=2.0, spmv=0.1, stri=0.3)
+        assert mdl.total(0) == 3.0
+        assert mdl.total(10) == pytest.approx(3.0 + 4.0)
+
+    def test_crossover_math(self):
+        cheap_factor = EndToEndModel(setup=0, factor=1.0, spmv=0.1, stri=0.5)
+        slow_factor = EndToEndModel(setup=0, factor=10.0, spmv=0.1, stri=0.1)
+        # slow_factor pays 9 extra up front, saves 0.4/iter -> crossover 22.5
+        k = slow_factor.crossover_vs(cheap_factor)
+        assert k == pytest.approx(22.5)
+        assert cheap_factor.crossover_vs(slow_factor) is None or cheap_factor.crossover_vs(
+            slow_factor
+        ) == 0
+
+    def test_solve_time_pipeline(self):
+        A = random_csr(60, 0.1, seed=2)
+        ilu = JavelinILU().setup(A)
+        m = SimMachine(haswell(), 8)
+        mdl = solve_time(ilu, m)
+        assert mdl.setup > 0 and mdl.factor > 0 and mdl.spmv > 0 and mdl.stri > 0
+        assert mdl.total(100) > mdl.total(10)
+
+    def test_stri_dominates_at_high_iterations(self):
+        """§VI's premise: at realistic iteration counts the solve phase,
+        not the factorization, is where the time goes."""
+        A = random_csr(80, 0.08, seed=3)
+        ilu = JavelinILU().setup(A)
+        m = SimMachine(haswell(), 8)
+        mdl = solve_time(ilu, m)
+        assert 1000 * (mdl.spmv + mdl.stri) > mdl.factor

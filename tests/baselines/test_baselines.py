@@ -1,0 +1,108 @@
+import numpy as np
+import pytest
+
+from repro.baselines import CSRLevelSetSolver, WSMPFailure, WSMPLikeILU
+from repro.core import JavelinILU
+from repro.core.iluk import ilu0_factor
+from repro.machine import SimMachine, haswell
+from repro.sparse import from_dense, split_lu
+
+from helpers import random_csr, random_sparse_dense
+
+
+class TestCSRLS:
+    def test_solve_correct(self, rng):
+        D = random_sparse_dense(20, 0.2, seed=1)
+        F = ilu0_factor(from_dense(D))
+        solver = CSRLevelSetSolver(F)
+        b = rng.standard_normal(20)
+        L, U = split_lu(F)
+        x = solver.solve(b)
+        assert np.allclose(L.to_dense() @ (U.to_dense() @ x), b, atol=1e-9)
+
+    def test_simulated_time_flat_with_threads_on_chain(self):
+        """A chain factor has n levels: barriers swamp any parallelism."""
+        n = 40
+        D = np.eye(n)
+        for i in range(1, n):
+            D[i, i - 1] = 0.5
+        F = from_dense(D)
+        s = CSRLevelSetSolver(F)
+        t1 = s.simulate(SimMachine(haswell(), 1))
+        t14 = s.simulate(SimMachine(haswell(), 14))
+        assert t14 > t1 * 0.5  # nowhere near 14x
+
+    def test_n_levels(self):
+        F = ilu0_factor(random_csr(25, 0.15, seed=2))
+        s = CSRLevelSetSolver(F)
+        assert s.n_levels() >= 1
+
+
+class TestWSMPLike:
+    def test_factor_is_valid_preconditioner(self, rng):
+        D = random_sparse_dense(20, 0.25, seed=3, dominance=3.0)
+        A = from_dense(D)
+        w = WSMPLikeILU(tau=1e-4)
+        F = w.factor(A)
+        L, U = split_lu(F)
+        # LU should approximate A well for strong dominance + tiny tau
+        assert np.linalg.norm(L.to_dense() @ U.to_dense() - D) < 0.3 * np.linalg.norm(D)
+
+    def test_tau_matching_targets_ilu0_nnz(self):
+        A = random_csr(30, 0.15, seed=4, dominance=1.0)
+        w = WSMPLikeILU()
+        tau = w.tau_for_ilu0_nnz(A)
+        from repro.core.ilut import ilut_factor
+
+        F = ilut_factor(A, tau=tau)
+        assert abs(F.nnz - A.nnz) / A.nnz < 0.5
+
+    def test_supernodes_partition_rows(self):
+        A = random_csr(25, 0.2, seed=5)
+        w = WSMPLikeILU()
+        nodes = w.detect_supernodes(A)
+        covered = []
+        for sn in nodes:
+            covered.extend(range(sn.start, sn.stop))
+        assert covered == list(range(25))
+
+    def test_sparse_ilu_gives_tiny_supernodes(self):
+        """The paper's point: ILU patterns have few structural repeats."""
+        A = random_csr(40, 0.1, seed=6)
+        w = WSMPLikeILU()
+        nodes = w.detect_supernodes(A)
+        assert np.mean([sn.n_rows for sn in nodes]) < 3.0
+
+    def test_failure_on_tiny_pivot(self):
+        D = random_sparse_dense(10, 0.3, seed=7)
+        D[5, :] = 0.0  # isolate row 5 so nothing feeds its pivot
+        D[5, 5] = 1e-14
+        with pytest.raises(WSMPFailure, match="stability threshold"):
+            WSMPLikeILU(tau=1e-6).factor(from_dense(D))
+
+    def test_simulated_slowdown_vs_javelin(self):
+        """Fig. 9: multiple magnitudes slower at every core count."""
+        A = random_csr(60, 0.1, seed=8)
+        w = WSMPLikeILU(tau=1e-4)
+        w.factor(A)
+        ilu = JavelinILU().setup(A)
+        for p in [1, 2, 4, 8]:
+            tw = w.simulate_factor(A, SimMachine(haswell(), p))
+            tj = ilu.simulate_factor(SimMachine(haswell(), p), lower=False).total
+            assert tw / tj > 10.0
+
+    def test_no_scaling_past_eight_cores(self):
+        A = random_csr(60, 0.1, seed=9)
+        w = WSMPLikeILU(tau=1e-4)
+        t8 = w.simulate_factor(A, SimMachine(haswell(), 8))
+        t14 = w.simulate_factor(A, SimMachine(haswell(), 14))
+        assert t14 == pytest.approx(t8, rel=0.25)
+
+    def test_setup_slower_than_javelin_setup(self):
+        A = random_csr(60, 0.1, seed=10)
+        w = WSMPLikeILU()
+        m = SimMachine(haswell(), 1)
+        t_wsmp = w.simulate_setup(A, m)
+        # Javelin's setup ≈ one pass over the matrix (copy + level order)
+        t_javelin = m.work_time(A.nnz, 2 * A.nnz)
+        assert t_wsmp / t_javelin > 3.0

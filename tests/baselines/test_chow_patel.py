@@ -1,0 +1,89 @@
+import numpy as np
+import pytest
+
+from repro.baselines import chow_patel_ilu, fixed_point_residual, simulate_sweep
+from repro.core.iluk import ilu0_factor
+from repro.machine import SimMachine, haswell, knl
+from repro.sparse import from_dense
+
+from helpers import random_csr, random_sparse_dense
+
+
+class TestConvergence:
+    def test_converges_to_exact_ilu(self):
+        D = random_sparse_dense(25, 0.15, seed=1, dominance=3.0)
+        A = from_dense(D)
+        Fref = ilu0_factor(A)
+        F = chow_patel_ilu(A, sweeps=12)
+        assert np.allclose(F.data, Fref.data, atol=1e-10)
+
+    def test_error_monotone_in_sweeps(self):
+        D = random_sparse_dense(25, 0.15, seed=2, dominance=3.0)
+        A = from_dense(D)
+        Fref = ilu0_factor(A)
+        errs = [
+            np.abs(chow_patel_ilu(A, sweeps=s).data - Fref.data).max()
+            for s in [1, 3, 6]
+        ]
+        assert errs[0] >= errs[1] >= errs[2]
+
+    def test_fixed_point_residual_zero_at_exact_ilu(self):
+        A = random_csr(20, 0.2, seed=3, dominance=3.0)
+        Fref = ilu0_factor(A)
+        assert fixed_point_residual(A, Fref) < 1e-12
+
+    def test_fixed_point_residual_positive_early(self):
+        A = random_csr(20, 0.2, seed=4, dominance=3.0)
+        F1 = chow_patel_ilu(A, sweeps=1)
+        assert fixed_point_residual(A, F1) > 1e-8
+
+    def test_custom_pattern(self):
+        from repro.core.symbolic import iluk_pattern
+        from repro.core.iluk import iluk_factor
+
+        A = random_csr(15, 0.2, seed=5, dominance=3.0)
+        S = iluk_pattern(A, 1).pattern_copy()
+        F = chow_patel_ilu(A, S, sweeps=15)
+        Fref = iluk_factor(A, 1)
+        assert np.allclose(F.data, Fref.data, atol=1e-8)
+
+
+class TestNondeterminism:
+    def test_synchronous_is_deterministic(self):
+        A = random_csr(20, 0.2, seed=6, dominance=3.0)
+        F1 = chow_patel_ilu(A, sweeps=3)
+        F2 = chow_patel_ilu(A, sweeps=3)
+        assert np.array_equal(F1.data, F2.data)
+
+    def test_asynchronous_depends_on_order(self):
+        """The §II critique: racy interleavings change the factor."""
+        A = random_csr(25, 0.2, seed=7, dominance=3.0)
+        F1 = chow_patel_ilu(A, sweeps=2, asynchronous=True, seed=1)
+        F2 = chow_patel_ilu(A, sweeps=2, asynchronous=True, seed=2)
+        assert not np.array_equal(F1.data, F2.data)
+
+    def test_asynchronous_still_converges(self):
+        """Nondeterministic along the way, but the fixed point is shared."""
+        A = random_csr(20, 0.2, seed=8, dominance=3.0)
+        Fref = ilu0_factor(A)
+        F = chow_patel_ilu(A, sweeps=20, asynchronous=True, seed=3)
+        assert np.allclose(F.data, Fref.data, atol=1e-8)
+
+
+class TestSimulatedCost:
+    def test_sweep_cost_scales_with_sweeps(self):
+        A = random_csr(30, 0.15, seed=9)
+        m = SimMachine(haswell(), 8)
+        assert simulate_sweep(A, m, sweeps=4) > simulate_sweep(A, m, sweeps=1)
+
+    def test_embarrassingly_parallel_scaling(self):
+        """No level constraints: near-linear thread scaling on KNL.
+
+        Uses scaled overheads (as the benches do) so the per-sweep
+        barrier does not swamp a test-sized matrix.
+        """
+        A = random_csr(400, 0.05, seed=10)
+        spec = knl().scaled_overheads(1 / 30)
+        t1 = simulate_sweep(A, SimMachine(spec, 1))
+        t68 = simulate_sweep(A, SimMachine(spec, 68))
+        assert t1 / t68 > 20.0  # far beyond what level scheduling reaches

@@ -1,0 +1,39 @@
+"""Shared fixtures; helpers live in helpers.py (put on sys.path here)."""
+
+import os
+import sys
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from repro.sparse import from_dense
+
+from helpers import random_csr, random_sparse_dense  # noqa: E402,F401
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_csr():
+    """A fixed 6x6 CSR matrix used across format tests."""
+    D = np.array(
+        [
+            [4.0, 0.0, 1.0, 0.0, 0.0, 0.0],
+            [0.0, 5.0, 0.0, 2.0, 0.0, 0.0],
+            [1.0, 0.0, 6.0, 0.0, 3.0, 0.0],
+            [0.0, 2.0, 0.0, 7.0, 0.0, 1.0],
+            [0.0, 0.0, 3.0, 0.0, 8.0, 0.0],
+            [0.0, 0.0, 0.0, 1.0, 0.0, 9.0],
+        ]
+    )
+    return from_dense(D), D
+
+
+@pytest.fixture
+def medium_csr():
+    return random_csr(40, density=0.12, seed=7), None

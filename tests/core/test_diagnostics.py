@@ -1,0 +1,104 @@
+import numpy as np
+import pytest
+
+from repro.core import JavelinILU, JavelinOptions
+from repro.core.diagnostics import (
+    condest_preconditioned,
+    pivot_growth,
+    row_residual_norms,
+    scan_for_corruption,
+    verify_row,
+)
+from repro.core.iluk import ilu0_factor, iluk_factor
+from repro.sparse import from_dense
+
+from helpers import random_csr, random_sparse_dense
+
+
+class TestRowResiduals:
+    def test_zero_on_pattern_for_exact_ilu(self):
+        A = random_csr(20, 0.2, seed=1)
+        F = ilu0_factor(A)
+        r = row_residual_norms(A, F, on_pattern_only=True)
+        assert np.all(r < 1e-10)
+
+    def test_full_residual_nonzero_when_fill_discarded(self):
+        A = random_csr(25, 0.2, seed=2, dominance=1.0)
+        F = ilu0_factor(A)
+        r_full = row_residual_norms(A, F, on_pattern_only=False)
+        assert r_full.max() > 1e-8
+
+    def test_more_fill_smaller_full_residual(self):
+        A = random_csr(25, 0.2, seed=3, dominance=1.0)
+        r0 = row_residual_norms(A, iluk_factor(A, 0), on_pattern_only=False).sum()
+        r2 = row_residual_norms(A, iluk_factor(A, 2), on_pattern_only=False).sum()
+        assert r2 <= r0 + 1e-12
+
+
+class TestPivotGrowth:
+    def test_fields_and_sanity(self):
+        A = random_csr(20, 0.2, seed=4)
+        g = pivot_growth(A, ilu0_factor(A))
+        assert g["min_pivot"] > 0
+        assert g["growth"] >= 0.9  # dominant matrices barely grow
+        assert g["pivot_spread"] >= 1.0
+
+    def test_flags_near_breakdown(self):
+        D = random_sparse_dense(10, 0.3, seed=5)
+        D[4, :] = 0.0
+        D[4, 4] = 1e-10
+        g = pivot_growth(from_dense(D), ilu0_factor(from_dense(D)))
+        assert g["min_pivot"] < 1e-9
+        assert g["pivot_spread"] > 1e6
+
+
+class TestCondest:
+    def test_good_preconditioner_near_zero(self):
+        A = random_csr(25, 0.15, seed=6, dominance=4.0)
+        ilu = JavelinILU().setup(A)
+        ilu.factor()
+        est = condest_preconditioned(A, ilu.solve)
+        assert est < 0.2  # dominant + exact-on-pattern ILU
+
+    def test_identity_preconditioner_larger(self):
+        A = random_csr(25, 0.15, seed=6, dominance=4.0)
+        ilu = JavelinILU().setup(A)
+        ilu.factor()
+        est_ilu = condest_preconditioned(A, ilu.solve)
+        est_id = condest_preconditioned(A, lambda r: r)
+        assert est_id > est_ilu
+
+    def test_deterministic_given_seed(self):
+        A = random_csr(20, 0.2, seed=7)
+        ilu = JavelinILU().setup(A)
+        ilu.factor()
+        assert condest_preconditioned(A, ilu.solve, seed=3) == condest_preconditioned(
+            A, ilu.solve, seed=3
+        )
+
+
+class TestSoftErrorDetection:
+    def test_clean_factor_verifies_everywhere(self):
+        A = random_csr(25, 0.15, seed=8)
+        F = ilu0_factor(A)
+        assert scan_for_corruption(F, A) == []
+
+    def test_injected_flip_detected(self):
+        A = random_csr(25, 0.15, seed=9)
+        F = ilu0_factor(A)
+        # flip a bit in some mid-matrix entry
+        victim = F.nnz // 2
+        F.data[victim] *= 1.0 + 1e-6
+        bad = scan_for_corruption(F, A)
+        assert bad, "corruption must be detected"
+        # the first failing row localizes the flip
+        row_of_victim = int(np.searchsorted(F.indptr, victim, side="right")) - 1
+        assert bad[0] == row_of_victim
+
+    def test_verify_row_single(self):
+        A = random_csr(15, 0.25, seed=10)
+        F = ilu0_factor(A)
+        assert verify_row(F, A, 7)
+        lo = int(F.indptr[7])
+        F.data[lo] += 1e-3
+        assert not verify_row(F, A, 7)

@@ -1,0 +1,123 @@
+import numpy as np
+import pytest
+
+from repro.core.ichol import (
+    ICholBreakdownError,
+    ic_row_costs,
+    ichol_factor,
+    ichol_shifted,
+    ichol_solve,
+)
+from repro.matrices.generators import grid2d, grid3d
+from repro.solvers import cg
+from repro.sparse import from_dense
+
+from helpers import random_sparse_dense
+
+
+def spd_dense(n=15, seed=0):
+    rng = np.random.default_rng(seed)
+    B = (rng.random((n, n)) < 0.2) * rng.standard_normal((n, n))
+    D = B @ B.T + n * np.eye(n)
+    # sparsify: keep a symmetric pattern
+    mask = (np.abs(D) > np.percentile(np.abs(D), 60)) | np.eye(n, dtype=bool)
+    mask = mask | mask.T
+    return np.where(mask, D, 0.0)
+
+
+class TestFactor:
+    def test_ic0_residual_zero_on_pattern(self):
+        A = grid2d(10)
+        L = ichol_factor(A)
+        Ld = L.to_dense()
+        R = Ld @ Ld.T - A.to_dense()
+        mask = np.tril(A.to_dense()) != 0
+        assert np.abs(R[mask]).max() < 1e-10
+
+    def test_full_fill_is_exact_cholesky(self):
+        D = spd_dense(12, seed=1)
+        A = from_dense(D)
+        L = ichol_factor(A, k=12)
+        assert np.abs(L.to_dense() @ L.to_dense().T - D).max() < 1e-8
+
+    def test_matches_numpy_cholesky_dense_pattern(self):
+        D = spd_dense(10, seed=2)
+        # fully dense SPD: IC(full) must equal np.linalg.cholesky
+        D = D + 10 * np.ones((10, 10)) * 0  # keep as is
+        A = from_dense(np.where(D == 0, 1e-9, D))  # make pattern dense
+        L = ichol_factor(A, k=10)
+        ref = np.linalg.cholesky(A.to_dense())
+        assert np.allclose(L.to_dense(), ref, atol=1e-8)
+
+    def test_diagonal_positive(self):
+        A = grid3d(5)
+        L = ichol_factor(A)
+        assert np.all(L.diagonal() > 0)
+
+    def test_more_fill_smaller_residual(self):
+        A = grid2d(12, shift=0.05)
+        r = []
+        for k in [0, 1, 2]:
+            L = ichol_factor(A, k=k)
+            Ld = L.to_dense()
+            r.append(np.linalg.norm(Ld @ Ld.T - A.to_dense()))
+        assert r[0] >= r[1] >= r[2] - 1e-12
+
+    def test_breakdown_on_indefinite(self):
+        D = spd_dense(10, seed=3)
+        D[4, 4] = -1.0
+        with pytest.raises(ICholBreakdownError) as ei:
+            ichol_factor(from_dense(D))
+        assert ei.value.row <= 4
+
+    def test_rejects_rectangular(self):
+        from repro.sparse import COOMatrix, coo_to_csr
+
+        A = coo_to_csr(COOMatrix(2, 3, [0, 1], [0, 1], [1.0, 1.0]))
+        with pytest.raises(ValueError, match="square"):
+            ichol_factor(A)
+
+
+class TestShifted:
+    def test_no_shift_when_spd(self):
+        A = grid2d(8)
+        L, alpha = ichol_shifted(A)
+        assert alpha == 0.0
+
+    def test_shift_rescues_marginal_matrix(self):
+        D = spd_dense(12, seed=4)
+        D[5, 5] = 0.05  # nearly singular diagonal entry
+        A = from_dense(D)
+        try:
+            ichol_factor(A)
+            pytest.skip("matrix did not actually break down")
+        except ICholBreakdownError:
+            pass
+        L, alpha = ichol_shifted(A)
+        assert alpha > 0
+        assert np.all(L.diagonal() > 0)
+
+
+class TestSolveAndCosts:
+    def test_solve_inverts_llt(self, rng):
+        A = grid2d(9)
+        L = ichol_factor(A)
+        b = rng.standard_normal(81)
+        x = ichol_solve(L, b)
+        Ld = L.to_dense()
+        assert np.allclose(Ld @ (Ld.T @ x), b, atol=1e-9)
+
+    def test_iccg_accelerates(self, rng):
+        A = grid2d(14, shift=0.03)
+        b = rng.standard_normal(A.n_rows)
+        plain = cg(A, b, tol=1e-8, maxiter=4000)
+        L = ichol_factor(A)
+        pre = cg(A, b, M=lambda v: ichol_solve(L, v), tol=1e-8, maxiter=4000)
+        assert pre.converged
+        assert pre.iterations < plain.iterations
+
+    def test_costs_shape_and_positivity(self):
+        L = ichol_factor(grid2d(8))
+        f, t = ic_row_costs(L)
+        assert f.shape == (64,)
+        assert np.all(f > 0) and np.all(t > 0)

@@ -1,0 +1,104 @@
+import numpy as np
+import pytest
+
+from repro.core.iluk import (
+    PivotBreakdownError,
+    ilu0_factor,
+    ilu_factor_sequential,
+    iluk_factor,
+)
+from repro.core.symbolic import iluk_pattern
+from repro.sparse import from_dense, split_lu
+
+from helpers import dense_ilu0, random_csr, random_sparse_dense
+
+
+class TestILU0:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_matches_dense_reference(self, seed):
+        D = random_sparse_dense(20, 0.2, seed=seed)
+        A = from_dense(D)
+        F = ilu0_factor(A)
+        Fd = dense_ilu0(D)
+        mask = D != 0
+        assert np.allclose(F.to_dense()[mask], Fd[mask], atol=1e-14)
+
+    def test_pattern_preserved(self):
+        A = random_csr(15, 0.25, seed=4)
+        F = ilu0_factor(A)
+        assert np.array_equal(F.indices, A.indices)
+        assert np.array_equal(F.indptr, A.indptr)
+
+    def test_triangular_solve_roundtrip(self, rng):
+        """ILU(0) of a diagonally dominant matrix approximates A well."""
+        D = random_sparse_dense(25, 0.15, seed=5, dominance=5.0)
+        A = from_dense(D)
+        F = ilu0_factor(A)
+        L, U = split_lu(F)
+        # residual on the pattern positions is exactly zero for ILU
+        R = L.to_dense() @ U.to_dense() - D
+        mask = D != 0
+        assert np.abs(R[mask]).max() < 1e-12
+
+    def test_diagonal_matrix_unchanged(self):
+        D = np.diag(np.arange(1.0, 6.0))
+        F = ilu0_factor(from_dense(D))
+        assert np.allclose(F.to_dense(), D)
+
+    def test_zero_pivot_raises(self):
+        D = np.array([[0.0, 1.0], [1.0, 1.0]])
+        D[0, 0] = 0.0
+        A = from_dense(np.array([[1e-300, 1.0], [1.0, 1.0]]))
+        with pytest.raises(PivotBreakdownError):
+            ilu0_factor(A, pivot_tol=1e-10)
+
+    def test_breakdown_reports_row(self):
+        A = from_dense(np.array([[1e-300, 1.0], [1.0, 1.0]]))
+        with pytest.raises(PivotBreakdownError) as ei:
+            ilu0_factor(A, pivot_tol=1e-10)
+        assert ei.value.row == 0
+
+
+class TestILUk:
+    def test_full_fill_is_exact_lu(self):
+        D = random_sparse_dense(15, 0.25, seed=6)
+        A = from_dense(D)
+        F = iluk_factor(A, 15)
+        L, U = split_lu(F)
+        assert np.abs(L.to_dense() @ U.to_dense() - D).max() < 1e-10
+
+    def test_more_fill_smaller_residual(self):
+        D = random_sparse_dense(25, 0.15, seed=7, dominance=1.0)
+        A = from_dense(D)
+        resids = []
+        for k in [0, 1, 3]:
+            F = iluk_factor(A, k)
+            L, U = split_lu(F)
+            resids.append(np.linalg.norm(L.to_dense() @ U.to_dense() - D))
+        assert resids[0] >= resids[1] >= resids[2] - 1e-12
+
+    def test_pattern_must_contain_a(self):
+        A = random_csr(10, 0.3, seed=8)
+        S = from_dense(np.eye(10))  # too small a pattern
+        with pytest.raises(ValueError, match="does not contain"):
+            ilu_factor_sequential(A, S)
+
+    def test_missing_diagonal_in_pattern_rejected(self):
+        D = np.array([[1.0, 1.0], [1.0, 0.0]])
+        A = from_dense(np.array([[1.0, 1.0], [1.0, 0.0]]))
+        S = A.pattern_copy()
+        with pytest.raises(ValueError, match="diagonal"):
+            ilu_factor_sequential(A, S)
+
+    def test_explicit_pattern_reused(self):
+        A = random_csr(12, 0.25, seed=9)
+        S = iluk_pattern(A, 1)
+        F1 = ilu_factor_sequential(A, S)
+        F2 = iluk_factor(A, 1)
+        assert np.array_equal(F1.data, F2.data)
+
+    def test_input_matrix_not_mutated(self):
+        A = random_csr(10, 0.3, seed=10)
+        before = A.data.copy()
+        ilu0_factor(A)
+        assert np.array_equal(A.data, before)

@@ -1,0 +1,112 @@
+import numpy as np
+import pytest
+
+from repro.core.iluk import PivotBreakdownError
+from repro.core.ilut import ilut_factor, iluk_tau_factor
+from repro.sparse import from_dense, split_lu
+
+from helpers import random_csr, random_sparse_dense
+
+
+class TestILUT:
+    def test_tau_zero_is_full_lu(self):
+        D = random_sparse_dense(18, 0.2, seed=1)
+        A = from_dense(D)
+        F = ilut_factor(A, tau=0.0)
+        L, U = split_lu(F)
+        assert np.abs(L.to_dense() @ U.to_dense() - D).max() < 1e-10
+
+    def test_larger_tau_fewer_nonzeros(self):
+        A = random_csr(25, 0.2, seed=2, dominance=1.0)
+        sizes = [ilut_factor(A, tau=t).nnz for t in [0.0, 1e-3, 1e-1]]
+        assert sizes[0] >= sizes[1] >= sizes[2]
+
+    def test_diagonal_never_dropped(self):
+        A = random_csr(20, 0.2, seed=3)
+        F = ilut_factor(A, tau=0.5)
+        d = F.diagonal()
+        assert np.all(d != 0)
+
+    def test_p_cap_limits_row_fill(self):
+        A = random_csr(25, 0.3, seed=4)
+        p = 3
+        F = ilut_factor(A, tau=0.0, p=p)
+        for r in range(25):
+            cols, _ = F.row(r)
+            assert int(np.count_nonzero(cols < r)) <= p
+            assert int(np.count_nonzero(cols > r)) <= p
+
+    def test_residual_decreases_with_smaller_tau(self):
+        D = random_sparse_dense(30, 0.15, seed=5, dominance=1.0)
+        A = from_dense(D)
+        resid = []
+        for t in [0.2, 0.01, 0.0]:
+            F = ilut_factor(A, tau=t)
+            L, U = split_lu(F)
+            resid.append(np.linalg.norm(L.to_dense() @ U.to_dense() - D))
+        assert resid[0] >= resid[1] >= resid[2] - 1e-12
+
+    def test_pivot_breakdown(self):
+        A = from_dense(np.array([[1e-300, 1.0], [1.0, 1.0]]))
+        with pytest.raises(PivotBreakdownError):
+            ilut_factor(A, tau=0.0, pivot_tol=1e-10)
+
+    def test_rejects_rectangular(self):
+        from repro.sparse import COOMatrix, coo_to_csr
+
+        A = coo_to_csr(COOMatrix(2, 3, [0, 1], [0, 1], [1.0, 1.0]))
+        with pytest.raises(ValueError, match="square"):
+            ilut_factor(A)
+
+
+class TestMILU:
+    def test_modified_preserves_row_sums(self):
+        """MILU: (LU)e = Ae — the compensation property."""
+        D = random_sparse_dense(20, 0.2, seed=6, dominance=1.0)
+        A = from_dense(D)
+        F = ilut_factor(A, tau=0.05, modified=True)
+        L, U = split_lu(F)
+        e = np.ones(20)
+        lhs = L.to_dense() @ (U.to_dense() @ e)
+        rhs = D @ e
+        assert np.allclose(lhs, rhs, atol=1e-8)
+
+    def test_unmodified_does_not_preserve_row_sums(self):
+        D = random_sparse_dense(20, 0.2, seed=6, dominance=1.0)
+        A = from_dense(D)
+        F = ilut_factor(A, tau=0.05, modified=False)
+        L, U = split_lu(F)
+        e = np.ones(20)
+        lhs = L.to_dense() @ (U.to_dense() @ e)
+        # with aggressive dropping the row sums should differ measurably
+        assert not np.allclose(lhs, D @ e, atol=1e-10)
+
+
+class TestILUkTau:
+    def test_restricted_to_pattern(self):
+        A = random_csr(20, 0.2, seed=7)
+        from repro.core.symbolic import iluk_pattern
+
+        S1 = iluk_pattern(A, 1)
+        F = iluk_tau_factor(A, k=1, tau=0.0)
+        # every stored entry of F must be inside the ILU(1) pattern
+        for r in range(20):
+            fc, _ = F.row(r)
+            sc, _ = S1.row(r)
+            assert set(fc.tolist()) <= set(sc.tolist())
+
+    def test_tau_zero_matches_iluk_values(self):
+        """ILU(k, τ=0) = ILU(k): same pattern, same values."""
+        from repro.core.iluk import iluk_factor
+
+        A = random_csr(15, 0.2, seed=8, dominance=4.0)
+        F1 = iluk_tau_factor(A, k=1, tau=0.0)
+        F2 = iluk_factor(A, 1)
+        assert np.array_equal(F1.indices, F2.indices)
+        assert np.allclose(F1.data, F2.data, atol=1e-13)
+
+    def test_combined_dropping(self):
+        A = random_csr(25, 0.25, seed=9, dominance=1.0)
+        full = iluk_tau_factor(A, k=2, tau=0.0)
+        dropped = iluk_tau_factor(A, k=2, tau=0.05)
+        assert dropped.nnz <= full.nnz

@@ -1,0 +1,145 @@
+import numpy as np
+import pytest
+
+from repro.core.schedule import (
+    ScheduleOptions,
+    build_schedule,
+    rows_moved_for_alpha,
+)
+from repro.matrices.generators import circuit_network, grid2d
+from repro.ordering.levelsets import level_schedule
+
+from helpers import random_csr
+
+
+class TestPartition:
+    def test_lower_none_keeps_everything_upper(self):
+        A = random_csr(30, 0.15, seed=1)
+        s = build_schedule(A, ScheduleOptions(lower_method="none"))
+        assert s.n_lower_rows == 0
+        assert s.n_upper_rows == 30
+
+    def test_permutation_is_bijection(self):
+        A = random_csr(40, 0.12, seed=2)
+        s = build_schedule(A, ScheduleOptions(min_rows_per_level=8))
+        p = s.permutation()
+        assert np.array_equal(np.sort(p), np.arange(40))
+
+    def test_lower_rows_form_level_suffix(self):
+        """No upper row may share a level with (or follow) a lower row."""
+        A = random_csr(50, 0.1, seed=3)
+        s = build_schedule(A, ScheduleOptions(min_rows_per_level=6))
+        if s.n_lower_rows:
+            min_lower = int(s.levels.level_of[s.lower_rows].min())
+            for rows in s.upper_levels:
+                assert int(s.levels.level_of[np.asarray(rows)].max()) < min_lower
+
+    def test_upper_level_ptr_consistent(self):
+        A = random_csr(40, 0.12, seed=4)
+        s = build_schedule(A, ScheduleOptions(min_rows_per_level=4))
+        ptr = s.upper_level_ptr()
+        assert ptr[-1] == s.n_upper_rows
+        assert np.all(np.diff(ptr) >= 1)
+
+    def test_min_rows_moves_small_tail_levels(self):
+        # a chain matrix has all levels of size 1 -> everything after the
+        # eligibility point moves
+        n = 20
+        D = np.eye(n)
+        for i in range(1, n):
+            D[i, i - 1] = 1.0
+        from repro.sparse import from_dense
+
+        A = from_dense(D)
+        s = build_schedule(A, ScheduleOptions(min_rows_per_level=2, tail_fraction=0.5))
+        assert s.n_lower_rows == n // 2
+
+    def test_tail_fraction_limits_movement(self):
+        n = 20
+        D = np.eye(n)
+        for i in range(1, n):
+            D[i, i - 1] = 1.0
+        from repro.sparse import from_dense
+
+        A = from_dense(D)
+        s_all = build_schedule(A, ScheduleOptions(min_rows_per_level=2, tail_fraction=1.0))
+        s_none = build_schedule(A, ScheduleOptions(min_rows_per_level=2, tail_fraction=0.0))
+        assert s_all.n_lower_rows == n
+        assert s_none.n_lower_rows == 0
+
+    def test_middle_small_level_not_moved(self):
+        """Fig. 3's case: a small level sandwiched between large ones stays."""
+        A = grid2d(8)  # antidiagonal levels: 1,2,...,8,...,2,1
+        s = build_schedule(A, ScheduleOptions(min_rows_per_level=3, tail_fraction=1.0))
+        # only the *suffix* of small levels moves (sizes 2,1 at the end);
+        # the small level at the start (size 1, 2) stays upper
+        assert s.n_lower_rows == 3  # levels of size 2 and 1 at the tail
+        assert s.upper_levels[0].shape[0] == 1  # level 0 kept
+
+    def test_density_rule_moves_dense_tail(self):
+        A = circuit_network(300, avg_degree=3, n_hubs=2, hub_degree=150, seed=5)
+        s_loose = build_schedule(A, ScheduleOptions(min_rows_per_level=1, density_factor=2.0))
+        s_strict = build_schedule(A, ScheduleOptions(min_rows_per_level=1, density_factor=1e9))
+        assert s_loose.n_lower_rows >= s_strict.n_lower_rows
+
+
+class TestMethodChoice:
+    def test_none_when_nothing_moved(self):
+        A = grid2d(6)
+        s = build_schedule(A, ScheduleOptions(min_rows_per_level=0), n_threads=4)
+        assert s.chosen_lower_method == "none"
+
+    def test_er_when_rows_exceed_threads(self):
+        n = 30
+        D = np.eye(n)
+        for i in range(1, n):
+            D[i, i - 1] = 1.0
+        from repro.sparse import from_dense
+
+        s = build_schedule(
+            from_dense(D), ScheduleOptions(min_rows_per_level=2, tail_fraction=1.0), n_threads=4
+        )
+        assert s.chosen_lower_method == "er"
+
+    def test_sr_when_rows_below_threads(self):
+        n = 30
+        D = np.eye(n)
+        for i in range(1, n):
+            D[i, i - 1] = 1.0
+        from repro.sparse import from_dense
+
+        s = build_schedule(
+            from_dense(D), ScheduleOptions(min_rows_per_level=2, tail_fraction=1.0), n_threads=64
+        )
+        assert s.chosen_lower_method == "sr"
+
+    def test_sr_requires_ata(self):
+        A = random_csr(20, 0.15, seed=6)
+        with pytest.raises(ValueError, match="lower\\(A \\+ A\\^T\\)"):
+            build_schedule(
+                A, ScheduleOptions(lower_method="sr", use_ata=False), n_threads=2
+            )
+
+    def test_auto_unresolved_without_threads(self):
+        n = 30
+        D = np.eye(n)
+        for i in range(1, n):
+            D[i, i - 1] = 1.0
+        from repro.sparse import from_dense
+
+        s = build_schedule(from_dense(D), ScheduleOptions(min_rows_per_level=2, tail_fraction=1.0))
+        assert s.chosen_lower_method == "auto"
+
+
+class TestRowsMovedAlpha:
+    def test_monotone_in_alpha(self):
+        A = random_csr(60, 0.08, seed=7)
+        moved = rows_moved_for_alpha(A, alphas=(4, 8, 16))
+        assert moved[4] <= moved[8] <= moved[16]
+
+    def test_reuses_precomputed_levels(self):
+        A = random_csr(40, 0.1, seed=8)
+        ls = level_schedule(A)
+        m1 = rows_moved_for_alpha(A, alphas=(8,), levels=ls)
+        m2 = rows_moved_for_alpha(A, alphas=(8,))
+        assert m1 == m2

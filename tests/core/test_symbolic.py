@@ -1,0 +1,152 @@
+import numpy as np
+import pytest
+
+from repro.core.symbolic import (
+    ilu0_pattern,
+    iluk_pattern,
+    row_factor_costs,
+    row_factor_costs_split,
+    row_solve_costs,
+)
+from repro.sparse import from_dense, has_full_diagonal
+
+from helpers import random_csr, random_sparse_dense
+
+
+class TestILU0Pattern:
+    def test_equals_pattern_of_a(self):
+        A = random_csr(15, 0.3, seed=1)
+        S = ilu0_pattern(A)
+        assert np.array_equal(S.indices, A.indices)
+        assert np.all(S.data == 1.0)
+
+    def test_inserts_missing_diagonal(self):
+        D = random_sparse_dense(8, 0.3, seed=2)
+        D[4, 4] = 0.0
+        S = ilu0_pattern(from_dense(D))
+        assert has_full_diagonal(S)
+
+    def test_rejects_rectangular(self):
+        from repro.sparse import COOMatrix, coo_to_csr
+
+        A = coo_to_csr(COOMatrix(2, 3, [0], [1], [1.0]))
+        with pytest.raises(ValueError, match="square"):
+            ilu0_pattern(A)
+
+
+class TestILUkPattern:
+    def test_k0_equals_ilu0(self):
+        A = random_csr(20, 0.2, seed=3)
+        S0 = iluk_pattern(A, 0)
+        Sref = ilu0_pattern(A)
+        assert np.array_equal(S0.indptr, Sref.indptr)
+        assert np.array_equal(S0.indices, Sref.indices)
+
+    def test_monotone_in_k(self):
+        A = random_csr(25, 0.15, seed=4)
+        prev = None
+        for k in range(4):
+            S = iluk_pattern(A, k)
+            if prev is not None:
+                assert S.nnz >= prev
+            prev = S.nnz
+
+    def test_large_k_is_full_lu_pattern(self):
+        """With k = n the pattern must contain all LU fill (dense ref)."""
+        D = random_sparse_dense(12, 0.25, seed=5)
+        A = from_dense(D)
+        S = iluk_pattern(A, 12)
+        # dense symbolic LU: run elimination and see which entries become nz
+        F = D.copy()
+        n = 12
+        for c in range(n):
+            for i in range(c + 1, n):
+                if F[i, c] != 0:
+                    for j in range(c + 1, n):
+                        if F[c, j] != 0 and F[i, j] == 0:
+                            F[i, j] = 1e-30  # structural fill marker
+        fill_mask = F != 0
+        Sd = S.to_dense() if False else None
+        pat = np.zeros((n, n), dtype=bool)
+        for r in range(n):
+            cols, _ = S.row(r)
+            pat[r, cols] = True
+        assert np.all(fill_mask <= pat)
+
+    def test_levels_stored_in_values(self):
+        A = random_csr(15, 0.2, seed=6)
+        S = iluk_pattern(A, 2)
+        for r in range(15):
+            cols, levs = S.row(r)
+            a_cols, _ = A.row(r)
+            # original entries have level 0
+            original = np.isin(cols, a_cols)
+            assert np.all(levs[original] == 0)
+            assert np.all(levs <= 2)
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError, match="k must be"):
+            iluk_pattern(random_csr(5, 0.4), -1)
+
+    def test_fill_example_exact(self):
+        # chain: a(2,0) and a(0,1) nonzero -> fill at (2,1) with level 1
+        D = np.eye(3) * 2
+        D[2, 0] = 1.0
+        D[0, 1] = 1.0
+        S1 = iluk_pattern(from_dense(D), 1)
+        cols, levs = S1.row(2)
+        assert 1 in cols
+        assert levs[list(cols).index(1)] == 1
+        S0 = iluk_pattern(from_dense(D), 0)
+        cols0, _ = S0.row(2)
+        assert 1 not in cols0
+
+
+class TestCostModel:
+    def test_costs_nonnegative_and_shape(self):
+        S = ilu0_pattern(random_csr(20, 0.2, seed=7))
+        f, t = row_factor_costs(S)
+        assert f.shape == (20,) and t.shape == (20,)
+        assert np.all(f >= 0) and np.all(t >= 1)  # every row streams itself
+
+    def test_diagonal_matrix_no_flops(self):
+        S = ilu0_pattern(from_dense(np.eye(6) * 3))
+        f, _ = row_factor_costs(S)
+        assert np.all(f == 0)
+
+    def test_flops_count_exact_small(self):
+        # rows: 1 depends on 0 with one matching update position
+        D = np.array([[2.0, 1.0, 0.0], [1.0, 2.0, 0.0], [0.0, 0.0, 2.0]])
+        S = ilu0_pattern(from_dense(D))
+        f, _ = row_factor_costs(S)
+        # row 1: 1 division + update to (1,1) via (0,1) = 2 flops -> 3
+        assert f[1] == pytest.approx(3.0)
+        assert f[0] == 0.0 and f[2] == 0.0
+
+    def test_split_costs_sum_to_total(self):
+        S = ilu0_pattern(random_csr(25, 0.2, seed=8))
+        f, t = row_factor_costs(S)
+        for m in [0, 5, 12, 25]:
+            (fl, tl), (fc, tc) = row_factor_costs_split(S, m)
+            assert np.allclose(fl + fc, f)
+            assert np.allclose(tl + tc, t)
+
+    def test_split_at_zero_all_corner_flops(self):
+        S = ilu0_pattern(random_csr(15, 0.25, seed=9))
+        (fl, _), (fc, _) = row_factor_costs_split(S, 0)
+        assert np.all(fl == 0)
+
+    def test_solve_costs_lower_upper(self):
+        D = random_sparse_dense(10, 0.3, seed=10)
+        S = ilu0_pattern(from_dense(D))
+        fl, tl = row_solve_costs(S, part="lower")
+        fu, tu = row_solve_costs(S, part="upper")
+        for r in range(10):
+            cols, _ = S.row(r)
+            assert fl[r] == 2 * int(np.count_nonzero(cols < r))
+            assert fu[r] == 2 * int(np.count_nonzero(cols > r)) + 1
+
+    def test_solve_costs_bad_part(self):
+        S = ilu0_pattern(random_csr(5, 0.4))
+        with pytest.raises(ValueError, match="part"):
+            row_solve_costs(S, part="sideways")

@@ -1,0 +1,91 @@
+import numpy as np
+import pytest
+
+from repro.core.symbolic import iluk_pattern
+from repro.core.symbolic_parallel import (
+    bounded_fill_search,
+    iluk_pattern_rowwise,
+    simulate_symbolic_parallel,
+)
+from repro.machine import SimMachine, haswell, knl
+from repro.sparse import from_dense
+
+from helpers import random_csr, random_sparse_dense
+
+
+class TestBoundedSearch:
+    def test_direct_neighbors_level_zero(self):
+        D = np.eye(4)
+        D[2, 0] = D[2, 3] = 1.0
+        reach = bounded_fill_search(from_dense(D), 2, k=0)
+        assert reach == {0: 0, 3: 0}
+
+    def test_one_intermediate(self):
+        # 2 -> 0 -> 3: target 3 via intermediate 0 (< 2)
+        D = np.eye(4)
+        D[2, 0] = 1.0
+        D[0, 3] = 1.0
+        reach = bounded_fill_search(from_dense(D), 2, k=1)
+        assert reach[3] == 1
+
+    def test_depth_bound_respected(self):
+        # chain 3 -> 0 -> 1 -> 4 needs 2 intermediates
+        D = np.eye(5)
+        D[3, 0] = D[0, 1] = D[1, 4] = 1.0
+        assert 4 not in bounded_fill_search(from_dense(D), 3, k=1)
+        assert bounded_fill_search(from_dense(D), 3, k=2)[4] == 2
+
+    def test_only_smaller_vertices_expand(self):
+        # 1 -> 3 -> 0: vertex 3 > root 1 must not be used as intermediate
+        D = np.eye(4)
+        D[1, 3] = 1.0
+        D[3, 0] = 1.0
+        reach = bounded_fill_search(from_dense(D), 1, k=3)
+        assert 0 not in reach
+        assert reach[3] == 0
+
+
+class TestPatternEquivalence:
+    """The fill-path theorem in action: independent per-row searches
+    reproduce the sequential row-merge exactly."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    @pytest.mark.parametrize("k", [0, 1, 2, 4])
+    def test_matches_row_merge(self, seed, k):
+        A = random_csr(20, 0.15, seed=seed)
+        S1 = iluk_pattern(A, k)
+        S2 = iluk_pattern_rowwise(A, k)
+        assert np.array_equal(S1.indptr, S2.indptr)
+        assert np.array_equal(S1.indices, S2.indices)
+        assert np.array_equal(S1.data, S2.data)  # levels too
+
+    def test_nonsymmetric_directed_paths(self):
+        A = random_csr(25, 0.1, seed=5)  # asymmetric pattern
+        S1 = iluk_pattern(A, 2)
+        S2 = iluk_pattern_rowwise(A, 2)
+        assert np.array_equal(S1.indices, S2.indices)
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError, match="k must be"):
+            iluk_pattern_rowwise(random_csr(5, 0.4), -1)
+
+    def test_rejects_rectangular(self):
+        from repro.sparse import COOMatrix, coo_to_csr
+
+        A = coo_to_csr(COOMatrix(2, 3, [0], [1], [1.0]))
+        with pytest.raises(ValueError, match="square"):
+            iluk_pattern_rowwise(A, 1)
+
+
+class TestSimulatedSymbolic:
+    def test_scales_with_threads(self):
+        A = random_csr(80, 0.08, seed=6)
+        spec = haswell().scaled_overheads(1 / 30)
+        t1 = simulate_symbolic_parallel(A, 1, SimMachine(spec, 1))
+        t14 = simulate_symbolic_parallel(A, 1, SimMachine(spec, 14))
+        assert t1 / t14 > 3.0  # embarrassingly parallel phase
+
+    def test_cost_grows_with_k(self):
+        A = random_csr(60, 0.1, seed=7)
+        m = SimMachine(haswell(), 4)
+        assert simulate_symbolic_parallel(A, 3, m) >= simulate_symbolic_parallel(A, 0, m)

@@ -1,0 +1,137 @@
+import numpy as np
+import pytest
+
+from repro.core.iluk import ilu0_factor
+from repro.core.trisolve import (
+    simulate_trisolve_barrier,
+    simulate_trisolve_p2p,
+    simulate_trisolve_two_stage,
+    trisolve_factor,
+    trisolve_lower_serial,
+    trisolve_upper_serial,
+    upper_solve_levels,
+)
+from repro.machine import SimMachine, uniform_machine
+from repro.ordering.levelsets import level_sets_lower
+from repro.sparse import from_dense, split_lu
+from repro.sparse.pattern import lower_pattern, symmetrize_pattern
+
+from helpers import random_csr, random_sparse_dense
+
+
+class TestNumericSweeps:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_forward_solve(self, seed, rng):
+        D = random_sparse_dense(20, 0.2, seed=seed)
+        F = ilu0_factor(from_dense(D))
+        L, _ = split_lu(F)
+        b = rng.standard_normal(20)
+        y = trisolve_lower_serial(F, b)
+        assert np.allclose(L.to_dense() @ y, b, atol=1e-12)
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_backward_solve(self, seed, rng):
+        D = random_sparse_dense(20, 0.2, seed=seed)
+        F = ilu0_factor(from_dense(D))
+        _, U = split_lu(F)
+        y = rng.standard_normal(20)
+        x = trisolve_upper_serial(F, y)
+        assert np.allclose(U.to_dense() @ x, y, atol=1e-10)
+
+    def test_full_preconditioner_apply(self, rng):
+        D = random_sparse_dense(15, 0.3, seed=3)
+        F = ilu0_factor(from_dense(D))
+        L, U = split_lu(F)
+        b = rng.standard_normal(15)
+        x = trisolve_factor(F, b)
+        assert np.allclose(L.to_dense() @ (U.to_dense() @ x), b, atol=1e-9)
+
+    def test_missing_diagonal_raises(self):
+        from repro.sparse import CSRMatrix
+
+        F = CSRMatrix(2, 2, [0, 1, 2], [1, 0], [1.0, 1.0])  # no diagonals
+        with pytest.raises(ValueError, match="diagonal"):
+            trisolve_upper_serial(F, np.ones(2))
+
+
+class TestBackwardLevels:
+    def test_diagonal_single_level(self):
+        F = from_dense(np.diag([1.0, 2.0, 3.0]))
+        bl = upper_solve_levels(F)
+        assert bl.n_levels == 1
+
+    def test_chain_reverse_order(self):
+        n = 5
+        D = np.eye(n)
+        for i in range(n - 1):
+            D[i, i + 1] = 1.0
+        bl = upper_solve_levels(from_dense(D))
+        assert list(bl.level_of) == [4, 3, 2, 1, 0]
+
+    def test_levels_valid_topologically(self):
+        A = random_csr(30, 0.15, seed=4)
+        bl = upper_solve_levels(A)
+        for r in range(30):
+            cols = A.indices[A.indptr[r] : A.indptr[r + 1]]
+            deps = cols[cols > r]
+            if deps.size:
+                assert bl.level_of[r] > bl.level_of[deps].max()
+
+
+class TestSimulatedSolves:
+    def _setup(self, seed=5, n=40):
+        F = ilu0_factor(random_csr(n, 0.12, seed=seed))
+        ls = level_sets_lower(lower_pattern(symmetrize_pattern(F)))
+        return F, ls
+
+    def _machine(self, p):
+        return SimMachine(uniform_machine(n_cores=max(p, 2)), p)
+
+    def test_p2p_beats_barrier(self):
+        F, ls = self._setup()
+        for p in [2, 4, 8]:
+            tb = simulate_trisolve_barrier(F, ls, self._machine(p))
+            tp = simulate_trisolve_p2p(F, ls, self._machine(p))
+            assert tp <= tb + 1e-12
+
+    def test_forward_only_cheaper_than_both(self):
+        F, ls = self._setup()
+        m = self._machine(4)
+        assert simulate_trisolve_p2p(F, ls, m, both=False) < simulate_trisolve_p2p(
+            F, ls, m, both=True
+        )
+
+    def test_serial_p2p_equals_work_sum(self):
+        F, ls = self._setup()
+        m = self._machine(1)
+        from repro.core.symbolic import row_solve_costs
+
+        fl, tl = row_solve_costs(F, part="lower")
+        t = simulate_trisolve_p2p(F, ls, m, both=False)
+        total = sum(m.work_time(fl[r], tl[r]) for r in range(F.n_rows))
+        assert t == pytest.approx(total)
+
+    def test_two_stage_runs(self):
+        """Two-stage solve with an actual lower block yields a finite time."""
+        from repro.core import JavelinILU, JavelinOptions, ScheduleOptions
+
+        ilu = JavelinILU(JavelinOptions(schedule=ScheduleOptions(min_rows_per_level=8)))
+        ilu.setup(random_csr(50, 0.1, seed=6))
+        m = self._machine(4)
+        t = simulate_trisolve_two_stage(ilu.S_perm, ilu.level_ptr, ilu.m, m)
+        assert np.isfinite(t) and t > 0
+
+    def test_barrier_time_grows_with_levels(self):
+        """A chain (many levels) pays many barriers; a diagonal pays none."""
+        n = 30
+        Dchain = np.eye(n)
+        for i in range(1, n):
+            Dchain[i, i - 1] = 0.5
+        Fchain = from_dense(Dchain)
+        Fdiag = from_dense(np.eye(n))
+        m = self._machine(4)
+        ls_c = level_sets_lower(lower_pattern(symmetrize_pattern(Fchain)))
+        ls_d = level_sets_lower(lower_pattern(symmetrize_pattern(Fdiag)))
+        assert simulate_trisolve_barrier(Fchain, ls_c, m) > simulate_trisolve_barrier(
+            Fdiag, ls_d, m
+        )

@@ -1,0 +1,35 @@
+"""Smoke-run every shipped example (the deliverables must not rot)."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+
+def run_example(name, timeout=600):
+    return subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES, name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+@pytest.mark.parametrize(
+    "script,marker",
+    [
+        ("quickstart.py", "simulated ILU speedup"),
+        ("circuit_simulation.py", "Javelin ILU(0)"),
+        ("pde_preconditioning.py", "MILU row-sum preservation"),
+        ("machine_simulation.py", "triangular-solve strategies"),
+        ("threaded_runtime.py", "bit-identical to reference: True"),
+        ("iccg_study.py", "the paper's ~70% claim"),
+    ],
+)
+def test_example_runs(script, marker):
+    r = run_example(script)
+    assert r.returncode == 0, r.stderr[-2000:]
+    assert marker in r.stdout

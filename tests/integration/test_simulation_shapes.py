@@ -1,0 +1,113 @@
+"""The paper's qualitative performance claims, checked on the simulator.
+
+These are the shape assertions the benchmark harness relies on: who wins,
+roughly by how much, and where the crossovers are (§V, §VI).
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    JavelinILU,
+    SimMachine,
+    build_matrix,
+    haswell,
+    knl,
+    preorder_for_javelin,
+)
+from repro.baselines import WSMPLikeILU
+
+SCALE = 1 / 30  # suite matrices are ~1/30 the published rows
+
+
+@pytest.fixture(scope="module")
+def hw():
+    return haswell().scaled_overheads(SCALE)
+
+
+@pytest.fixture(scope="module")
+def kn():
+    return knl().scaled_overheads(SCALE)
+
+
+@pytest.fixture(scope="module")
+def thermal2():
+    A = preorder_for_javelin(build_matrix("thermal2"))
+    return JavelinILU().setup(A)
+
+
+@pytest.fixture(scope="module")
+def transient():
+    A = preorder_for_javelin(build_matrix("transient"))
+    return JavelinILU().setup(A)
+
+
+class TestFactorizationScaling:
+    def test_haswell_14core_speedup_near_eight(self, thermal2, hw):
+        ser = thermal2.simulate_factor(SimMachine(hw, 1), lower=False).total
+        par = thermal2.simulate_factor(SimMachine(hw, 14), lower=False).total
+        s = ser / par
+        assert 5.0 <= s <= 11.0  # paper: "around an 8x speedup"
+
+    def test_knl_68core_speedup_around_thirty(self, thermal2, kn):
+        ser = thermal2.simulate_factor(SimMachine(kn, 1), lower=False).total
+        par = thermal2.simulate_factor(SimMachine(kn, 68), lower=False).total
+        s = ser / par
+        assert 18.0 <= s <= 45.0  # paper: "around 30x", up to 42x
+
+    def test_knl_oversubscription_no_big_win(self, thermal2, kn):
+        """Fig. 11b: 2 threads/core gives at most minor gains."""
+        t68 = thermal2.simulate_factor(SimMachine(kn, 68), lower=False).total
+        t136 = thermal2.simulate_factor(SimMachine(kn, 136), lower=False).total
+        assert t136 > 0.7 * t68  # no miracle from SMT
+
+    def test_cross_socket_no_collapse(self, thermal2, hw):
+        """Fig. 10b: 28 cores is never catastrophically worse than 14."""
+        t14 = thermal2.simulate_factor(SimMachine(hw, 14), lower=False).total
+        t28 = thermal2.simulate_factor(SimMachine(hw, 28), lower=False).total
+        assert t28 < 2.0 * t14
+
+    def test_lower_stage_boosts_small_median_matrix(self, transient, hw):
+        """transient: the paper reports ~2.3x from the lower stage on socket."""
+        ls = transient.simulate_factor(SimMachine(hw, 14), lower=False).total
+        two = transient.simulate_factor(SimMachine(hw, 14), lower=True).total
+        assert two < ls  # lower stage must help this matrix
+
+    def test_p2p_beats_barrier_at_scale(self, thermal2, hw):
+        m = SimMachine(hw, 14)
+        tp = thermal2.simulate_factor(m, sync="p2p", lower=False).total
+        tb = thermal2.simulate_factor(m, sync="barrier", lower=False).total
+        assert tp < tb
+
+
+class TestWSMPComparison:
+    def test_orders_of_magnitude_slower(self, hw):
+        A = preorder_for_javelin(build_matrix("wang3"))
+        w = WSMPLikeILU(tau=1e-4)
+        w.factor(A)
+        ilu = JavelinILU().setup(A)
+        for p in [1, 2, 4, 8]:
+            slowdown = w.simulate_factor(A, SimMachine(hw, p)) / ilu.simulate_factor(
+                SimMachine(hw, p), lower=False
+            ).total
+            assert slowdown > 20.0  # "multiple magnitudes faster"
+
+
+class TestTriangularSolveShapes:
+    def test_fig12_ordering_on_haswell(self, thermal2, hw):
+        """LS+Lower >= LS > CSR-LS in max-speedup terms."""
+        base_serial = thermal2.simulate_trisolve(SimMachine(hw, 1), method="barrier")
+        best = {}
+        for meth in ["barrier", "p2p", "two_stage"]:
+            times = [
+                thermal2.simulate_trisolve(SimMachine(hw, p), method=meth)
+                for p in [1, 2, 4, 8, 14]
+            ]
+            best[meth] = base_serial / min(times)
+        assert best["p2p"] > best["barrier"]
+        assert best["two_stage"] >= 0.9 * best["p2p"]
+
+    def test_barrier_solve_scales_poorly(self, thermal2, hw):
+        t1 = thermal2.simulate_trisolve(SimMachine(hw, 1), method="barrier")
+        t14 = thermal2.simulate_trisolve(SimMachine(hw, 14), method="barrier")
+        assert t1 / t14 < 6.0  # the known plateau of barrier level sets

@@ -1,0 +1,39 @@
+from repro.machine import ExecutionTrace
+
+
+class TestAsciiGantt:
+    def _trace(self):
+        tr = ExecutionTrace(2)
+        tr.record(0, 0.0, 1.0, "a")
+        tr.record(1, 0.5, 2.0, "b")
+        return tr
+
+    def test_renders_all_threads(self):
+        out = self._trace().ascii_gantt(width=20)
+        lines = out.splitlines()
+        assert lines[1].startswith("t0")
+        assert lines[2].startswith("t1")
+
+    def test_busy_fraction_shown(self):
+        out = self._trace().ascii_gantt(width=20)
+        assert "50%" in out  # thread 0 busy half the makespan
+        assert "75%" in out  # thread 1 busy 1.5 / 2.0
+
+    def test_empty_trace(self):
+        assert ExecutionTrace(3).ascii_gantt() == "(empty trace)"
+
+    def test_max_threads_truncation(self):
+        tr = ExecutionTrace(30)
+        for t in range(30):
+            tr.record(t, 0, 1)
+        out = tr.ascii_gantt(max_threads=4)
+        assert "more threads" in out
+        assert out.count("\n") <= 7
+
+    def test_idle_and_busy_cells(self):
+        tr = ExecutionTrace(1)
+        tr.record(0, 0.0, 0.3, "x")
+        tr.record(0, 0.7, 1.0, "y")  # idle gap in the middle
+        out = tr.ascii_gantt(width=10)
+        bar = out.splitlines()[1].split("|")[1]
+        assert "#" in bar and "." in bar

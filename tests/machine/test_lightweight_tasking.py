@@ -1,0 +1,77 @@
+"""The 'future work' tasking runtime and NUMA-aware ER options."""
+
+import numpy as np
+import pytest
+
+from repro.core import JavelinILU, JavelinOptions, ScheduleOptions
+from repro.machine import SimMachine, TaskGraph, haswell, knl, simulate_task_graph
+
+from helpers import random_csr
+
+
+def chain_graph(n=30, cost=1e-7):
+    g = TaskGraph()
+    prev = None
+    for i in range(n):
+        prev = g.add(cost, deps=(prev,) if prev is not None else ())
+    return g
+
+
+class TestLightweightRuntime:
+    def test_cheaper_than_openmp_on_chains(self):
+        """Dependency chains of tiny tasks are pure overhead: the
+        lightweight deques must beat the contended shared queue."""
+        g = chain_graph()
+        m = SimMachine(knl(), 68)
+        mk_omp, _ = simulate_task_graph(g, m, runtime="openmp")
+        mk_lw, _ = simulate_task_graph(g, m, runtime="lightweight")
+        assert mk_lw < mk_omp
+
+    def test_identical_without_overheads(self):
+        g = chain_graph()
+        m = SimMachine(haswell(), 4)
+        mk1, _ = simulate_task_graph(g, m, charge_overheads=False, runtime="openmp")
+        mk2, _ = simulate_task_graph(g, m, charge_overheads=False, runtime="lightweight")
+        assert mk1 == pytest.approx(mk2)
+
+    def test_unknown_runtime_rejected(self):
+        with pytest.raises(ValueError, match="runtime"):
+            simulate_task_graph(chain_graph(3), SimMachine(haswell(), 2), runtime="tbb")
+
+    def test_sr_stage_benefits_on_knl(self):
+        """§V: a specialized lightweight tasking library is the fix for
+        SR's overhead at 68 threads — the model must show the gain."""
+        A = random_csr(80, 0.08, seed=1)
+        ilu = JavelinILU(
+            JavelinOptions(schedule=ScheduleOptions(min_rows_per_level=16, lower_method="sr"))
+        ).setup(A)
+        if ilu.schedule.n_lower_rows == 0:
+            pytest.skip("no lower stage on this instance")
+        m = SimMachine(knl(), 68)
+        t_omp = ilu.simulate_factor(m, lower=True, tasking_runtime="openmp").total
+        t_lw = ilu.simulate_factor(m, lower=True, tasking_runtime="lightweight").total
+        assert t_lw < t_omp
+
+
+class TestNumaAwareER:
+    def test_helps_across_sockets(self):
+        A = random_csr(90, 0.08, seed=2)
+        ilu = JavelinILU(
+            JavelinOptions(schedule=ScheduleOptions(min_rows_per_level=16, lower_method="er"))
+        ).setup(A)
+        if ilu.schedule.n_lower_rows == 0:
+            pytest.skip("no lower stage on this instance")
+        m = SimMachine(haswell(), 28)
+        t_default = ilu.simulate_factor(m, lower=True).total
+        t_numa = ilu.simulate_factor(m, lower=True, numa_aware_er=True).total
+        assert t_numa <= t_default
+
+    def test_no_effect_on_single_socket(self):
+        A = random_csr(90, 0.08, seed=3)
+        ilu = JavelinILU(
+            JavelinOptions(schedule=ScheduleOptions(min_rows_per_level=16, lower_method="er"))
+        ).setup(A)
+        m = SimMachine(haswell(), 14)  # one socket: nothing is remote anyway
+        t_default = ilu.simulate_factor(m, lower=True).total
+        t_numa = ilu.simulate_factor(m, lower=True, numa_aware_er=True).total
+        assert t_numa == pytest.approx(t_default)

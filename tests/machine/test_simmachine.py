@@ -1,0 +1,107 @@
+import numpy as np
+import pytest
+
+from repro.machine import SimMachine, haswell, knl, uniform_machine
+
+
+class TestPlacement:
+    def test_thread_count_bounds(self):
+        with pytest.raises(ValueError):
+            SimMachine(haswell(), 0)
+        with pytest.raises(ValueError):
+            SimMachine(haswell(), 29)  # 1 HW thread/core on Haswell
+        SimMachine(knl(), 136)  # max OK
+
+    def test_compact_socket_fill(self):
+        m = SimMachine(haswell(), 14)
+        assert m.n_sockets_used == 1
+        m2 = SimMachine(haswell(), 15)
+        assert m2.n_sockets_used == 2
+
+    def test_knl_smt_wrap(self):
+        m = SimMachine(knl(), 136)
+        assert int(m.hwthread_of[:68].max()) == 0
+        assert int(m.hwthread_of[68:].min()) == 1
+        # both HW threads of core 0 are thread ids 0 and 68
+        assert m.core_of[0] == m.core_of[68]
+
+
+class TestWorkTime:
+    def test_roofline_max_of_flop_and_mem(self):
+        m = SimMachine(
+            uniform_machine(n_cores=1, flops_per_core=1e9, single_thread_bw=1e9, socket_bw=1e9), 1
+        )
+        # flop-bound task: many flops, no bytes
+        t1 = m.work_time(1e6, 0)
+        assert t1 == pytest.approx(1e6 / 1e9)
+        # mem-bound: 12 bytes per nnz
+        t2 = m.work_time(0, 1e6)
+        assert t2 == pytest.approx(12e6 / 1e9)
+
+    def test_bandwidth_share_shrinks_with_threads(self):
+        spec = uniform_machine(n_cores=8, single_thread_bw=10e9, socket_bw=40e9)
+        t1 = SimMachine(spec, 1).work_time(0, 1000)
+        t8 = SimMachine(spec, 8).work_time(0, 1000, thread=3)
+        assert t8 > t1  # 40/8 = 5 GB/s < 10 GB/s
+
+    def test_single_thread_bw_cap(self):
+        spec = uniform_machine(n_cores=8, single_thread_bw=5e9, socket_bw=400e9)
+        t1 = SimMachine(spec, 1).work_time(0, 1000)
+        t8 = SimMachine(spec, 8).work_time(0, 1000)
+        assert t1 == pytest.approx(t8)  # cap binds in both cases
+
+    def test_vectorized_speedup(self):
+        m = SimMachine(haswell(), 1)
+        t_scalar = m.work_time(1e6, 0, vectorized=False)
+        t_vec = m.work_time(1e6, 0, vectorized=True)
+        assert t_vec < t_scalar
+
+    def test_numa_penalty_only_when_two_sockets(self):
+        hw = haswell()
+        t14 = SimMachine(hw, 14).work_time(0, 1000, thread=0)
+        t28 = SimMachine(hw, 28).work_time(0, 1000, thread=0)
+        assert t28 > t14  # remote fraction charged
+
+    def test_remote_override(self):
+        m = SimMachine(haswell(), 28)
+        t_local = m.work_time(0, 1000, remote=0.0)
+        t_remote = m.work_time(0, 1000, remote=1.0)
+        assert t_remote > t_local
+
+    def test_smt_reduces_per_thread_flops(self):
+        kn = knl()
+        m1 = SimMachine(kn, 68)
+        m2 = SimMachine(kn, 136)
+        t1 = m1.work_time(1000, 0, thread=0)
+        t2 = m2.work_time(1000, 0, thread=0)
+        assert t2 > t1  # core shared by two threads
+
+
+class TestSyncCosts:
+    def test_same_thread_free(self):
+        m = SimMachine(haswell(), 4)
+        assert m.sync_latency(2, 2) == 0.0
+
+    def test_on_socket_latency(self):
+        m = SimMachine(haswell(), 14)
+        assert m.sync_latency(0, 1) == pytest.approx(haswell().spin_poll)
+
+    def test_cross_socket_multiplier(self):
+        m = SimMachine(haswell(), 28)
+        on = m.sync_latency(0, 1)
+        cross = m.sync_latency(0, 14)
+        assert cross == pytest.approx(on * haswell().cross_socket_sync_factor)
+
+    def test_barrier_grows_with_threads(self):
+        hw = haswell()
+        assert SimMachine(hw, 28).barrier_cost() > SimMachine(hw, 2).barrier_cost()
+
+    def test_dispatch_contention(self):
+        kn = knl()
+        d68 = SimMachine(kn, 68).task_dispatch_cost()
+        d2 = SimMachine(kn, 2).task_dispatch_cost()
+        assert d68 > d2
+
+    def test_serial_machine(self):
+        m = SimMachine(haswell(), 14).serial_machine()
+        assert m.n_threads == 1

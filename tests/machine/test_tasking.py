@@ -1,0 +1,109 @@
+import numpy as np
+import pytest
+
+from repro.machine import SimMachine, TaskGraph, simulate_task_graph, uniform_machine
+
+
+def machine(p=4, **kw):
+    return SimMachine(uniform_machine(n_cores=max(p, 1), **kw), p)
+
+
+class TestTaskGraph:
+    def test_add_returns_sequential_ids(self):
+        g = TaskGraph()
+        assert g.add(1.0) == 0
+        assert g.add(1.0, deps=(0,)) == 1
+        assert len(g) == 2
+
+    def test_forward_dep_rejected(self):
+        g = TaskGraph()
+        g.tasks.append(type(g.tasks)() if False else None)
+        g2 = TaskGraph()
+        g2.add(1.0)
+        from repro.machine.tasking import Task
+
+        g2.tasks.append(Task(tid=1, cost=1.0, deps=(5,)))
+        with pytest.raises(ValueError, match="later task"):
+            g2.validate_acyclic()
+
+    def test_critical_path_chain(self):
+        g = TaskGraph()
+        a = g.add(1.0)
+        b = g.add(2.0, deps=(a,))
+        g.add(3.0, deps=(b,))
+        assert g.critical_path() == pytest.approx(6.0)
+
+    def test_critical_path_diamond(self):
+        g = TaskGraph()
+        a = g.add(1.0)
+        b = g.add(5.0, deps=(a,))
+        c = g.add(2.0, deps=(a,))
+        g.add(1.0, deps=(b, c))
+        assert g.critical_path() == pytest.approx(7.0)
+
+    def test_total_work(self):
+        g = TaskGraph()
+        g.add(1.0)
+        g.add(2.5)
+        assert g.total_work() == pytest.approx(3.5)
+
+
+class TestSimulation:
+    def test_empty_graph(self):
+        mk, trace = simulate_task_graph(TaskGraph(), machine())
+        assert mk == 0.0
+        assert len(trace.intervals) == 0
+
+    def test_independent_tasks_parallelize(self):
+        g = TaskGraph()
+        for _ in range(4):
+            g.add(1.0)
+        mk4, _ = simulate_task_graph(g, machine(4), charge_overheads=False)
+        mk1, _ = simulate_task_graph(g, machine(1), charge_overheads=False)
+        assert mk4 == pytest.approx(1.0)
+        assert mk1 == pytest.approx(4.0)
+
+    def test_makespan_bounds(self):
+        """critical path <= makespan <= total work + overheads."""
+        rng = np.random.default_rng(0)
+        g = TaskGraph()
+        for i in range(30):
+            deps = tuple(int(d) for d in rng.choice(i, size=min(i, 2), replace=False)) if i else ()
+            g.add(float(rng.random() + 0.1), deps=deps)
+        m = machine(4)
+        mk, trace = simulate_task_graph(g, m)
+        assert mk >= g.critical_path() - 1e-12
+        overhead = len(g) * (m.task_spawn_cost() + m.task_dispatch_cost())
+        assert mk <= g.total_work() + overhead + 1e-9
+
+    def test_dependencies_respected_in_trace(self):
+        g = TaskGraph()
+        a = g.add(1.0, label="a")
+        b = g.add(1.0, deps=(a,), label="b")
+        mk, trace = simulate_task_graph(g, machine(2))
+        assert trace.finish_of("a") <= [iv for iv in trace.intervals if iv.label == "b"][0].start + 1e-12
+
+    def test_overheads_charged(self):
+        g = TaskGraph()
+        g.add(1.0)
+        m = machine(2)
+        mk_with, _ = simulate_task_graph(g, m, charge_overheads=True)
+        mk_without, _ = simulate_task_graph(g, m, charge_overheads=False)
+        assert mk_with > mk_without
+
+    def test_thread_dependent_cost(self):
+        g = TaskGraph()
+        g.add(lambda th: 1.0 if th == 0 else 2.0)
+        mk, trace = simulate_task_graph(g, machine(2), charge_overheads=False)
+        assert mk == pytest.approx(1.0)  # earliest free thread is 0
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(1)
+        g = TaskGraph()
+        for i in range(25):
+            deps = (i - 1,) if i and rng.random() < 0.5 else ()
+            g.add(float(rng.random()), deps=deps)
+        m = machine(3)
+        mk1, _ = simulate_task_graph(g, m)
+        mk2, _ = simulate_task_graph(g, m)
+        assert mk1 == mk2

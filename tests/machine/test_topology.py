@@ -1,0 +1,61 @@
+import pytest
+
+from repro.machine import MachineSpec, haswell, knl, uniform_machine
+
+
+class TestPresets:
+    def test_haswell_core_counts(self):
+        hw = haswell()
+        assert hw.n_cores == 28
+        assert hw.max_threads == 28
+        assert hw.n_sockets == 2
+
+    def test_knl_core_counts(self):
+        kn = knl()
+        assert kn.n_cores == 68
+        assert kn.max_threads == 136  # 2 HW threads tested in the paper
+
+    def test_knl_weaker_cores_wider_vectors(self):
+        hw, kn = haswell(), knl()
+        assert kn.flops_per_core < hw.flops_per_core
+        assert kn.vector_lanes > hw.vector_lanes
+
+    def test_knl_single_socket_no_numa(self):
+        kn = knl()
+        assert kn.n_sockets == 1
+        assert kn.numa_remote_factor == 1.0
+
+    def test_haswell_cross_socket_penalties(self):
+        hw = haswell()
+        assert hw.cross_socket_sync_factor > 1.0
+        assert hw.numa_remote_factor > 1.0
+
+    def test_knl_task_overheads_higher(self):
+        """§V: the OpenMP queue is the reason SR fades at 68 threads."""
+        assert knl().task_dispatch_overhead > haswell().task_dispatch_overhead
+
+
+class TestSpecOps:
+    def test_with_override(self):
+        hw = haswell().with_(flops_per_core=1.0)
+        assert hw.flops_per_core == 1.0
+        assert hw.n_sockets == 2
+
+    def test_scaled_overheads(self):
+        hw = haswell()
+        s = hw.scaled_overheads(0.1)
+        assert s.spin_poll == pytest.approx(hw.spin_poll * 0.1)
+        assert s.barrier_base == pytest.approx(hw.barrier_base * 0.1)
+        assert s.task_dispatch_overhead == pytest.approx(hw.task_dispatch_overhead * 0.1)
+        # rates untouched
+        assert s.flops_per_core == hw.flops_per_core
+        assert s.socket_bw == hw.socket_bw
+
+    def test_uniform_machine_defaults(self):
+        u = uniform_machine(n_cores=6)
+        assert u.n_cores == 6
+        assert u.n_sockets == 1
+
+    def test_uniform_machine_kwargs(self):
+        u = uniform_machine(n_cores=4, spin_poll=1e-9)
+        assert u.spin_poll == 1e-9

@@ -1,0 +1,91 @@
+import pytest
+
+from repro.machine import ExecutionTrace, Interval
+
+
+class TestIntervals:
+    def test_duration(self):
+        iv = Interval(thread=0, start=1.0, stop=3.5)
+        assert iv.duration == pytest.approx(2.5)
+
+    def test_negative_interval_rejected(self):
+        tr = ExecutionTrace(1)
+        with pytest.raises(ValueError, match="negative"):
+            tr.record(0, 2.0, 1.0)
+
+
+class TestTraceMetrics:
+    def _trace(self):
+        tr = ExecutionTrace(2)
+        tr.record(0, 0.0, 2.0, label="a")
+        tr.record(0, 2.0, 3.0, label="b")
+        tr.record(1, 0.5, 2.5, label="c")
+        return tr
+
+    def test_makespan(self):
+        assert self._trace().makespan() == 3.0
+
+    def test_busy_time_total_and_per_thread(self):
+        tr = self._trace()
+        assert tr.busy_time() == pytest.approx(5.0)
+        assert tr.busy_time(0) == pytest.approx(3.0)
+        assert tr.busy_time(1) == pytest.approx(2.0)
+
+    def test_utilization(self):
+        tr = self._trace()
+        assert tr.utilization() == pytest.approx(5.0 / 6.0)
+
+    def test_empty_trace(self):
+        tr = ExecutionTrace(3)
+        assert tr.makespan() == 0.0
+        assert tr.utilization() == 1.0
+
+    def test_finish_of(self):
+        assert self._trace().finish_of("c") == 2.5
+        with pytest.raises(KeyError):
+            self._trace().finish_of("zzz")
+
+    def test_summary_keys(self):
+        s = self._trace().summary()
+        assert set(s) == {"makespan", "busy", "utilization", "n_intervals"}
+
+
+class TestInvariants:
+    def test_no_overlap_ok(self):
+        tr = ExecutionTrace(1)
+        tr.record(0, 0, 1, "a")
+        tr.record(0, 1, 2, "b")
+        assert tr.check_no_overlap()
+
+    def test_no_overlap_violation(self):
+        tr = ExecutionTrace(1)
+        tr.record(0, 0.0, 2.0, "a")
+        tr.record(0, 1.0, 3.0, "b")
+        with pytest.raises(AssertionError, match="overlap|starts at"):
+            tr.check_no_overlap()
+
+    def test_causality_ok(self):
+        tr = ExecutionTrace(2)
+        tr.record(0, 0, 1, "a")
+        tr.record(1, 1.5, 2, "b")
+        assert tr.check_causality({"b": ["a"]})
+
+    def test_causality_violation(self):
+        tr = ExecutionTrace(2)
+        tr.record(0, 0, 1, "a")
+        tr.record(1, 0.5, 2, "b")
+        with pytest.raises(AssertionError, match="causality"):
+            tr.check_causality({"b": ["a"]})
+
+    def test_causality_with_sync_gap(self):
+        tr = ExecutionTrace(2)
+        tr.record(0, 0, 1, "a")
+        tr.record(1, 1.05, 2, "b")
+        assert tr.check_causality({"b": ["a"]}, sync=lambda w, p: 0.05)
+        with pytest.raises(AssertionError):
+            tr.check_causality({"b": ["a"]}, sync=lambda w, p: 0.2)
+
+    def test_causality_ignores_unknown_labels(self):
+        tr = ExecutionTrace(1)
+        tr.record(0, 0, 1, "a")
+        assert tr.check_causality({"a": ["not-recorded"], "ghost": ["a"]})

@@ -1,0 +1,152 @@
+import numpy as np
+import pytest
+
+from repro.matrices.generators import (
+    circuit_network,
+    fem_filter_like,
+    fem_shell,
+    grid2d,
+    grid3d,
+    make_nonsymmetric_pattern,
+    make_spd_values,
+    power_flow_blocks,
+    tetra_mesh_like,
+)
+from repro.sparse import has_full_diagonal, is_pattern_symmetric
+
+
+def diagonally_dominant(A):
+    for r in range(A.n_rows):
+        cols, vals = A.row(r)
+        p = np.searchsorted(cols, r)
+        d = abs(vals[p])
+        if d < np.abs(vals).sum() - d - 1e-9:
+            return False
+    return True
+
+
+class TestGrids:
+    def test_grid2d_5pt_structure(self):
+        A = grid2d(4)
+        assert A.n_rows == 16
+        assert is_pattern_symmetric(A)
+        assert has_full_diagonal(A)
+        # interior node has 4 neighbors + diagonal
+        assert A.row_nnz().max() == 5
+
+    def test_grid2d_9pt_denser(self):
+        assert grid2d(5, stencil="9pt").nnz > grid2d(5, stencil="5pt").nnz
+
+    def test_grid2d_rectangular(self):
+        A = grid2d(3, 7)
+        assert A.n_rows == 21
+
+    def test_grid2d_convection_breaks_value_symmetry(self):
+        A = grid2d(4, convection=0.3)
+        D = A.to_dense()
+        assert is_pattern_symmetric(A)
+        assert not np.allclose(D, D.T)
+
+    def test_grid2d_unknown_stencil(self):
+        with pytest.raises(ValueError, match="stencil"):
+            grid2d(3, stencil="13pt")
+
+    def test_grid3d_7pt(self):
+        A = grid3d(3)
+        assert A.n_rows == 27
+        assert A.row_nnz().max() == 7
+        assert is_pattern_symmetric(A)
+
+    def test_grid3d_27pt(self):
+        A = grid3d(3, stencil="27pt")
+        assert A.row_nnz().max() == 27
+
+    def test_grids_diagonally_dominant(self):
+        assert diagonally_dominant(grid2d(5))
+        assert diagonally_dominant(grid3d(3))
+
+    def test_shift_controls_dominance_margin(self):
+        a = grid2d(4, shift=0.01).diagonal().sum()
+        b = grid2d(4, shift=1.0).diagonal().sum()
+        assert b > a
+
+
+class TestFEM:
+    def test_fem_shell_density(self):
+        A = fem_shell(6, dofs_per_node=3)
+        assert A.n_rows == 108
+        assert 20 <= A.row_density() <= 35
+        assert is_pattern_symmetric(A)
+        assert diagonally_dominant(A)
+
+    def test_fem_filter_band_plus_random(self):
+        A = fem_filter_like(300, bandwidth=8)
+        assert A.n_rows == 300
+        assert has_full_diagonal(A)
+        assert is_pattern_symmetric(A)
+        assert diagonally_dominant(A)
+
+    def test_fem_filter_reproducible(self):
+        A = fem_filter_like(200, seed=5)
+        B = fem_filter_like(200, seed=5)
+        assert np.array_equal(A.data, B.data)
+        C = fem_filter_like(200, seed=6)
+        assert not np.array_equal(A.indices, C.indices)
+
+
+class TestCircuits:
+    def test_circuit_symmetric_by_default(self):
+        A = circuit_network(400, seed=1)
+        assert is_pattern_symmetric(A)
+        assert has_full_diagonal(A)
+        assert diagonally_dominant(A)
+
+    def test_circuit_directed_asymmetric(self):
+        A = circuit_network(400, directed=True, seed=2)
+        assert not is_pattern_symmetric(A)
+        assert has_full_diagonal(A)
+
+    def test_hubs_create_dense_rows(self):
+        A = circuit_network(500, n_hubs=3, hub_degree=120, seed=3)
+        assert A.row_nnz().max() > 100
+
+    def test_no_hubs_no_dense_rows(self):
+        A = circuit_network(500, n_hubs=0, seed=4)
+        assert A.row_nnz().max() < 50
+
+
+class TestPowerAndTetra:
+    def test_power_blocks_high_density(self):
+        A = power_flow_blocks(5, block_size=30, seed=1)
+        assert A.n_rows == 150
+        assert A.row_density() > 20
+        assert not is_pattern_symmetric(A)
+        assert diagonally_dominant(A)
+
+    def test_tetra_mesh_nonsymmetric(self):
+        A = tetra_mesh_like(400, seed=2)
+        assert not is_pattern_symmetric(A)
+        assert has_full_diagonal(A)
+        assert 6 <= A.row_density() <= 14
+
+
+class TestValueHelpers:
+    def test_make_nonsymmetric_drops_upper_only(self):
+        A = grid2d(5)
+        B = make_nonsymmetric_pattern(A, drop_frac=0.5, seed=1)
+        assert B.nnz < A.nnz
+        assert has_full_diagonal(B)
+
+    def test_make_spd_values_symmetric(self):
+        A = grid2d(4)
+        B = make_spd_values(A, symmetric=True)
+        D = B.to_dense()
+        assert np.allclose(D, D.T)
+        assert diagonally_dominant(B)
+
+    def test_make_spd_values_requires_diagonal(self):
+        from repro.sparse import from_dense
+
+        D = np.array([[0.0, 1.0], [1.0, 0.0]])
+        with pytest.raises(ValueError, match="diagonal"):
+            make_spd_values(from_dense(D))

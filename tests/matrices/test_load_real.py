@@ -1,0 +1,34 @@
+import numpy as np
+import pytest
+
+from repro.matrices import build_matrix, load_real
+from repro.sparse import write_matrix_market
+
+
+class TestLoadReal:
+    def test_loads_mtx_file(self, tmp_path):
+        A = build_matrix("wang3", scale=0.3)
+        write_matrix_market(tmp_path / "wang3.mtx", A)
+        B = load_real("wang3", directory=str(tmp_path))
+        assert B.n_rows == A.n_rows
+        assert np.array_equal(B.indices, A.indices)
+
+    def test_gz_extension(self, tmp_path):
+        import gzip
+
+        A = build_matrix("wang3", scale=0.3)
+        write_matrix_market(tmp_path / "tmp.mtx", A)
+        raw = (tmp_path / "tmp.mtx").read_bytes()
+        with gzip.open(tmp_path / "wang3.mtx.gz", "wb") as fh:
+            fh.write(raw)
+        B = load_real("wang3", directory=str(tmp_path))
+        assert B.nnz == A.nnz
+
+    def test_missing_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="SuiteSparse"):
+            load_real("wang3", directory=str(tmp_path))
+
+    def test_fallback_to_synthetic(self, tmp_path):
+        B = load_real("wang3", directory=str(tmp_path), fallback_scale=0.3)
+        A = build_matrix("wang3", scale=0.3)
+        assert B.n_rows == A.n_rows

@@ -1,0 +1,64 @@
+"""Anisotropic and Helmholtz stress generators."""
+
+import numpy as np
+import pytest
+
+from repro.core import JavelinILU
+from repro.core.ichol import ICholBreakdownError, ichol_factor, ichol_shifted
+from repro.matrices.generators import anisotropic2d, grid2d, helmholtz2d
+from repro.solvers import cg
+from repro.sparse import is_pattern_symmetric
+
+
+class TestAnisotropic:
+    def test_structure(self):
+        A = anisotropic2d(8, epsilon=0.01)
+        assert A.n_rows == 64
+        assert is_pattern_symmetric(A)
+
+    def test_harder_than_isotropic(self, rng):
+        iso = grid2d(20, shift=0.01)
+        aniso = anisotropic2d(20, epsilon=0.01, shift=0.01)
+        b = rng.standard_normal(400)
+        r_iso = cg(iso, b, tol=1e-6, maxiter=5000)
+        r_aniso = cg(aniso, b, tol=1e-6, maxiter=5000)
+        assert r_aniso.iterations > r_iso.iterations
+
+    def test_ilu_still_helps(self, rng):
+        A = anisotropic2d(16, epsilon=0.05)
+        b = rng.standard_normal(A.n_rows)
+        plain = cg(A, b, tol=1e-8, maxiter=5000)
+        ilu = JavelinILU().setup(A)
+        ilu.factor()
+        pre = cg(A, b, M=ilu.solve, tol=1e-8, maxiter=5000)
+        assert pre.converged and pre.iterations < plain.iterations
+
+    def test_epsilon_one_is_isotropic(self):
+        A = anisotropic2d(6, epsilon=1.0, shift=1.0)
+        B = grid2d(6, shift=1.0)
+        assert np.allclose(A.to_dense(), B.to_dense())
+
+
+class TestHelmholtz:
+    def test_small_shift_still_factors(self):
+        A = helmholtz2d(10, k2=0.1)
+        L = ichol_factor(A)  # remains SPD enough
+        assert np.all(L.diagonal() > 0)
+
+    def test_large_shift_breaks_ic(self):
+        A = helmholtz2d(10, k2=4.5)  # beyond the smallest eigenvalue
+        with pytest.raises(ICholBreakdownError):
+            ichol_factor(A)
+
+    def test_shifted_retry_recovers(self):
+        A = helmholtz2d(10, k2=4.5)
+        L, alpha = ichol_shifted(A)
+        assert alpha > 0
+        assert np.all(L.diagonal() > 0)
+
+    def test_eigenvalue_shift_is_exact(self):
+        A0 = grid2d(6, shift=0.0)
+        A = helmholtz2d(6, k2=0.3)
+        e0 = np.sort(np.linalg.eigvalsh(A0.to_dense()))
+        e1 = np.sort(np.linalg.eigvalsh(A.to_dense()))
+        assert np.allclose(e1, e0 - 0.3, atol=1e-10)

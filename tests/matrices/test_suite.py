@@ -1,0 +1,100 @@
+import numpy as np
+import pytest
+
+from repro.matrices import (
+    GROUP_A,
+    GROUP_B,
+    SUITE,
+    build_matrix,
+    paper_stats,
+    preorder_for_javelin,
+)
+from repro.sparse import has_full_diagonal, is_pattern_symmetric
+
+
+class TestSuiteCatalog:
+    def test_eighteen_matrices(self):
+        assert len(SUITE) == 18
+
+    def test_groups_partition_suite(self):
+        assert set(GROUP_A) | set(GROUP_B) == set(SUITE)
+        assert not (set(GROUP_A) & set(GROUP_B))
+        assert len(GROUP_A) == 6  # Table II's convergence-study matrices
+
+    def test_group_a_members(self):
+        assert set(GROUP_A) == {
+            "offshore",
+            "af_shell3",
+            "parabolic_fem",
+            "apache2",
+            "ecology2",
+            "thermal2",
+        }
+
+    def test_paper_stats_fields(self):
+        st = paper_stats("wang3")
+        assert st["N"] == 26064
+        assert st["RD"] == 6.8
+        assert st["Lvl"] == 10
+
+    def test_unknown_matrix_rejected(self):
+        with pytest.raises(KeyError, match="unknown suite matrix"):
+            build_matrix("not_a_matrix")
+
+
+@pytest.mark.parametrize("name", sorted(SUITE))
+class TestPerMatrix:
+    def test_builds_with_full_diagonal(self, name):
+        A = build_matrix(name, scale=0.5)
+        assert A.n_rows > 50
+        assert has_full_diagonal(A)
+
+    def test_symmetry_flag_matches_paper(self, name):
+        A = build_matrix(name, scale=0.5)
+        assert is_pattern_symmetric(A) == SUITE[name].paper_sp
+
+    def test_deterministic(self, name):
+        A = build_matrix(name, scale=0.3)
+        B = build_matrix(name, scale=0.3)
+        assert np.array_equal(A.indices, B.indices)
+        assert np.array_equal(A.data, B.data)
+
+
+class TestScaling:
+    @pytest.mark.parametrize("name", ["wang3", "scircuit", "ecology2"])
+    def test_scale_grows_problem(self, name):
+        small = build_matrix(name, scale=0.3)
+        big = build_matrix(name, scale=1.0)
+        assert big.n_rows > small.n_rows
+
+    def test_row_density_roughly_scale_invariant(self):
+        a = build_matrix("thermal2", scale=0.5).row_density()
+        b = build_matrix("thermal2", scale=1.0).row_density()
+        assert abs(a - b) / b < 0.35
+
+
+class TestPreorder:
+    def test_nd_preorder_keeps_diagonal(self):
+        A = preorder_for_javelin(build_matrix("wang3", scale=0.5))
+        assert has_full_diagonal(A)
+
+    def test_rcm_preorder(self):
+        A = preorder_for_javelin(build_matrix("wang3", scale=0.5), method="rcm")
+        assert has_full_diagonal(A)
+
+    def test_nat_returns_same_pattern(self):
+        A0 = build_matrix("wang3", scale=0.5)
+        A = preorder_for_javelin(A0, method="nat")
+        assert A.nnz == A0.nnz
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError, match="preorder"):
+            preorder_for_javelin(build_matrix("wang3", scale=0.3), method="zzz")
+
+    def test_preorder_preserves_spectrum_ish(self):
+        """Symmetric permutation: eigenvalues (hence conditioning) unchanged."""
+        A0 = build_matrix("ecology2", scale=0.3)
+        A = preorder_for_javelin(A0)
+        e0 = np.sort(np.linalg.eigvalsh(A0.to_dense()))
+        e1 = np.sort(np.linalg.eigvalsh(0.5 * (A.to_dense() + A.to_dense().T)))
+        assert np.allclose(e0, e1, atol=1e-8)

@@ -1,0 +1,57 @@
+import numpy as np
+import pytest
+
+from repro.matrices.generators import grid2d
+from repro.ordering import adjacency_from_pattern, coloring_order, greedy_coloring
+from repro.sparse import from_dense
+
+from helpers import random_csr
+
+
+class TestGreedyColoring:
+    def test_proper_coloring_random(self):
+        A = random_csr(30, 0.15, seed=1, sym_pattern=True)
+        xadj, adjncy = adjacency_from_pattern(A)
+        color = greedy_coloring(xadj, adjncy)
+        for v in range(30):
+            for u in adjncy[xadj[v] : xadj[v + 1]]:
+                assert color[v] != color[u]
+
+    def test_grid_is_two_colorable(self):
+        A = grid2d(6)
+        xadj, adjncy = adjacency_from_pattern(A)
+        color = greedy_coloring(xadj, adjncy)
+        assert color.max() == 1  # bipartite: greedy finds 2 colors in natural order
+
+    def test_custom_order(self):
+        A = grid2d(4)
+        xadj, adjncy = adjacency_from_pattern(A)
+        color = greedy_coloring(xadj, adjncy, order=range(15, -1, -1))
+        for v in range(16):
+            for u in adjncy[xadj[v] : xadj[v + 1]]:
+                assert color[v] != color[u]
+
+
+class TestColoringOrder:
+    def test_is_permutation_with_ptr(self):
+        A = random_csr(25, 0.2, seed=2, sym_pattern=True)
+        perm, ptr = coloring_order(A)
+        assert np.array_equal(np.sort(perm), np.arange(25))
+        assert ptr[0] == 0 and ptr[-1] == 25
+        assert np.all(np.diff(ptr) >= 0)
+
+    def test_classes_are_independent_sets(self):
+        A = random_csr(25, 0.2, seed=3, sym_pattern=True)
+        perm, ptr = coloring_order(A)
+        xadj, adjncy = adjacency_from_pattern(A)
+        for c in range(len(ptr) - 1):
+            cls = set(perm[ptr[c] : ptr[c + 1]].tolist())
+            for v in cls:
+                nbrs = set(adjncy[xadj[v] : xadj[v + 1]].tolist())
+                assert not (nbrs & cls)
+
+    def test_degree_order_toggle(self):
+        A = random_csr(25, 0.2, seed=4, sym_pattern=True)
+        p1, _ = coloring_order(A, largest_degree_first=True)
+        p2, _ = coloring_order(A, largest_degree_first=False)
+        assert np.array_equal(np.sort(p1), np.sort(p2))

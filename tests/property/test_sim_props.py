@@ -1,0 +1,107 @@
+"""Property-based tests on the machine simulator's conservation laws."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core import JavelinILU, JavelinOptions, ScheduleOptions
+from repro.core.symbolic import row_factor_costs
+from repro.core.upper import simulate_upper_barrier, simulate_upper_p2p
+from repro.machine import SimMachine, TaskGraph, simulate_task_graph, uniform_machine
+from repro.ordering.levelsets import level_schedule
+from repro.sparse import from_dense
+
+
+@st.composite
+def dominant_dense(draw, max_n=16):
+    n = draw(st.integers(4, max_n))
+    density = draw(st.floats(0.05, 0.4))
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    D = (rng.random((n, n)) < density) * rng.standard_normal((n, n))
+    np.fill_diagonal(D, 0.0)
+    np.fill_diagonal(D, np.abs(D).sum(axis=1) + 1.0)
+    return D
+
+
+def _staged(D):
+    ilu = JavelinILU(JavelinOptions(schedule=ScheduleOptions(lower_method="none")))
+    ilu.setup(from_dense(D))
+    return ilu
+
+
+@settings(max_examples=25, deadline=None)
+@given(dominant_dense(), st.integers(1, 8))
+def test_makespan_bounded_by_serial_and_critical_path(D, p):
+    ilu = _staged(D)
+    S = ilu.S_perm
+    flops, touched = row_factor_costs(S)
+    mach = SimMachine(uniform_machine(n_cores=max(p, 2)), p)
+    ls = level_schedule(S)
+    mk, finish, trace = simulate_upper_p2p(S, ls.level_ptr, mach, flops, touched)
+    # lower bound: critical path of per-row work
+    n = S.n_rows
+    cp = np.zeros(n)
+    for r in range(n):
+        cols = S.indices[S.indptr[r] : S.indptr[r + 1]]
+        deps = cols[cols < r]
+        cp[r] = (cp[deps].max() if deps.size else 0.0) + mach.work_time(
+            flops[r], touched[r], thread=0
+        )
+    assert mk >= cp.max() - 1e-15
+    # upper bound: every row serial on the slowest thread + all sync waits
+    worst = sum(
+        mach.work_time(flops[r], touched[r], thread=0) for r in range(n)
+    ) + n * mach.spec.spin_poll * mach.spec.cross_socket_sync_factor
+    assert mk <= worst + 1e-12
+
+
+@settings(max_examples=25, deadline=None)
+@given(dominant_dense(), st.integers(1, 8))
+def test_busy_time_conserved(D, p):
+    """Total busy time in the trace equals the sum of row costs."""
+    ilu = _staged(D)
+    S = ilu.S_perm
+    flops, touched = row_factor_costs(S)
+    mach = SimMachine(uniform_machine(n_cores=max(p, 2)), p)
+    ls = level_schedule(S)
+    _, _, trace = simulate_upper_p2p(S, ls.level_ptr, mach, flops, touched)
+    expect = sum(
+        mach.work_time(flops[r], touched[r], thread=0) for r in range(S.n_rows)
+    )
+    assert np.isclose(trace.busy_time(), expect, rtol=1e-9)
+    trace.check_no_overlap()
+
+
+@settings(max_examples=25, deadline=None)
+@given(dominant_dense(), st.integers(2, 8))
+def test_p2p_never_slower_than_barrier(D, p):
+    ilu = _staged(D)
+    S = ilu.S_perm
+    flops, touched = row_factor_costs(S)
+    mach = SimMachine(uniform_machine(n_cores=p), p)
+    ls = level_schedule(S)
+    mk_p, _, _ = simulate_upper_p2p(S, ls.level_ptr, mach, flops, touched)
+    mk_b, _, _ = simulate_upper_barrier(S, ls.level_ptr, mach, flops, touched)
+    assert mk_p <= mk_b + 1e-12
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(st.floats(0.01, 1.0), min_size=1, max_size=25),
+    st.integers(1, 6),
+    st.integers(0, 1000),
+)
+def test_task_graph_bounds(costs, p, dseed):
+    rng = np.random.default_rng(dseed)
+    g = TaskGraph()
+    for i, c in enumerate(costs):
+        deps = ()
+        if i and rng.random() < 0.5:
+            deps = (int(rng.integers(0, i)),)
+        g.add(float(c), deps=deps)
+    mach = SimMachine(uniform_machine(n_cores=p), p)
+    mk, trace = simulate_task_graph(g, mach)
+    assert mk >= g.critical_path() - 1e-12
+    overhead = len(g) * (mach.task_spawn_cost() + mach.task_dispatch_cost())
+    assert mk <= g.total_work() + overhead + 1e-9
+    trace.check_no_overlap()

@@ -1,0 +1,138 @@
+import numpy as np
+import pytest
+
+from repro.core import JavelinILU
+from repro.matrices.generators import grid2d
+from repro.solvers import SolveResult, as_operator, bicgstab, cg, gmres
+
+from helpers import random_csr, random_sparse_dense
+from repro.sparse import from_dense
+
+
+def spd_system(n=16, shift=0.1, seed=0):
+    A = grid2d(n, shift=shift)
+    rng = np.random.default_rng(seed)
+    return A, rng.standard_normal(A.n_rows)
+
+
+def nonsym_system(n=40, seed=1):
+    A = random_csr(n, 0.15, seed=seed, dominance=1.5)
+    rng = np.random.default_rng(seed)
+    return A, rng.standard_normal(n)
+
+
+class TestOperators:
+    def test_csr_matrix(self):
+        A, b = spd_system()
+        op = as_operator(A)
+        assert np.allclose(op(b), A.matvec(b))
+
+    def test_dense_array(self):
+        D = np.eye(3) * 2
+        assert np.allclose(as_operator(D)(np.ones(3)), 2 * np.ones(3))
+
+    def test_callable_passthrough(self):
+        f = lambda x: 3 * x
+        assert as_operator(f) is f
+
+
+class TestCG:
+    def test_converges_spd(self):
+        A, b = spd_system()
+        r = cg(A, b, tol=1e-8)
+        assert r.converged
+        assert np.linalg.norm(A @ r.x - b) / np.linalg.norm(b) < 1e-7
+
+    def test_zero_rhs_immediate(self):
+        A, _ = spd_system()
+        r = cg(A, np.zeros(A.n_rows))
+        assert r.converged and r.iterations == 0
+
+    def test_preconditioner_reduces_iterations(self):
+        A, b = spd_system(shift=0.02)
+        plain = cg(A, b, tol=1e-8)
+        ilu = JavelinILU().setup(A)
+        ilu.factor()
+        pre = cg(A, b, M=ilu.solve, tol=1e-8)
+        assert pre.converged
+        assert pre.iterations < plain.iterations
+
+    def test_maxiter_respected(self):
+        A, b = spd_system(shift=0.002)
+        r = cg(A, b, tol=1e-14, maxiter=3)
+        assert not r.converged
+        assert r.iterations == 3
+
+    def test_history_monotone_overall(self):
+        A, b = spd_system()
+        r = cg(A, b, tol=1e-10)
+        assert r.history[0] > r.history[-1]
+
+    def test_x0_used(self):
+        A, b = spd_system()
+        exact = cg(A, b, tol=1e-12).x
+        r = cg(A, b, x0=exact, tol=1e-8)
+        assert r.iterations == 0
+
+
+class TestGMRES:
+    def test_converges_nonsymmetric(self):
+        A, b = nonsym_system()
+        r = gmres(A, b, tol=1e-8)
+        assert r.converged
+        assert np.linalg.norm(A @ r.x - b) / np.linalg.norm(b) < 1e-7
+
+    def test_restart_still_converges(self):
+        A, b = nonsym_system(seed=2)
+        r = gmres(A, b, tol=1e-8, restart=5)
+        assert r.converged
+
+    def test_preconditioned_fewer_iterations(self):
+        A, b = spd_system(shift=0.02)
+        plain = gmres(A, b, tol=1e-8)
+        ilu = JavelinILU().setup(A)
+        ilu.factor()
+        pre = gmres(A, b, M=ilu.solve, tol=1e-8)
+        assert pre.converged and pre.iterations < plain.iterations
+
+    def test_true_residual_reported(self):
+        A, b = nonsym_system(seed=3)
+        r = gmres(A, b, tol=1e-8)
+        true = np.linalg.norm(A @ r.x - b) / np.linalg.norm(b)
+        assert r.residual == pytest.approx(true, rel=1e-3, abs=1e-12)
+
+    def test_maxiter_cap(self):
+        A, b = spd_system(shift=0.002)
+        r = gmres(A, b, tol=1e-15, maxiter=4, restart=2)
+        assert r.iterations <= 4
+
+    def test_identity_converges_one_step(self):
+        A = from_dense(np.eye(10))
+        b = np.arange(10.0)
+        r = gmres(A, b, tol=1e-12)
+        assert r.converged and r.iterations <= 1
+
+
+class TestBiCGSTAB:
+    def test_converges_nonsymmetric(self):
+        A, b = nonsym_system(seed=4)
+        r = bicgstab(A, b, tol=1e-8)
+        assert r.converged
+        assert np.linalg.norm(A @ r.x - b) / np.linalg.norm(b) < 1e-7
+
+    def test_preconditioned(self):
+        A, b = nonsym_system(seed=5)
+        ilu = JavelinILU().setup(A)
+        ilu.factor()
+        r = bicgstab(A, b, M=ilu.solve, tol=1e-8)
+        assert r.converged
+
+    def test_zero_rhs(self):
+        A, _ = nonsym_system(seed=6)
+        r = bicgstab(A, np.zeros(A.n_rows))
+        assert r.converged and r.iterations == 0
+
+    def test_repr_mentions_state(self):
+        A, b = nonsym_system(seed=7)
+        r = bicgstab(A, b, tol=1e-8)
+        assert "converged" in repr(r)

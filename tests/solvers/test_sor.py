@@ -1,0 +1,86 @@
+import numpy as np
+import pytest
+
+from repro.matrices.generators import grid2d
+from repro.solvers import cg, sor_solve, ssor_preconditioner
+from repro.sparse import from_dense
+
+from helpers import random_csr
+
+
+class TestSORSolve:
+    def test_converges_spd(self, rng):
+        A = grid2d(14, shift=0.1)
+        b = rng.standard_normal(A.n_rows)
+        r = sor_solve(A, b, tol=1e-8)
+        assert r.converged
+        assert np.linalg.norm(A @ r.x - b) / np.linalg.norm(b) < 1e-7
+
+    def test_forward_only_gauss_seidel(self, rng):
+        A = grid2d(10, shift=0.2)
+        b = rng.standard_normal(A.n_rows)
+        r = sor_solve(A, b, omega=1.0, symmetric=False, tol=1e-8, maxiter=5000)
+        assert r.converged
+
+    def test_omega_out_of_range(self):
+        A = grid2d(4)
+        with pytest.raises(ValueError, match="omega"):
+            sor_solve(A, np.ones(16), omega=2.5)
+
+    def test_zero_diagonal_rejected(self):
+        D = np.array([[0.0, 1.0], [1.0, 1.0]])
+        D[0, 0] = 0.0
+        A = from_dense(np.array([[0.0, 1.0], [1.0, 1.0]]) + np.diag([0.0, 0.0]))
+        # build a matrix with an explicit zero diagonal entry
+        from repro.sparse import CSRMatrix
+
+        A = CSRMatrix(2, 2, [0, 2, 4], [0, 1, 0, 1], [0.0, 1.0, 1.0, 1.0])
+        with pytest.raises(ValueError, match="diagonal"):
+            sor_solve(A, np.ones(2))
+
+    def test_maxiter_respected(self):
+        A = grid2d(12, shift=0.01)
+        r = sor_solve(A, np.ones(A.n_rows), tol=1e-14, maxiter=3)
+        assert not r.converged and r.iterations == 3
+
+    def test_residual_history_decreasing_overall(self, rng):
+        A = grid2d(10, shift=0.2)
+        r = sor_solve(A, rng.standard_normal(100), tol=1e-10)
+        assert r.history[-1] < r.history[0]
+
+
+class TestSSORPreconditioner:
+    def test_accelerates_cg(self, rng):
+        A = grid2d(16, shift=0.03)
+        b = rng.standard_normal(A.n_rows)
+        plain = cg(A, b, tol=1e-8, maxiter=4000)
+        pre = cg(A, b, M=ssor_preconditioner(A), tol=1e-8, maxiter=4000)
+        assert pre.converged
+        assert pre.iterations < plain.iterations
+
+    def test_apply_is_linear(self, rng):
+        A = grid2d(8, shift=0.5)
+        M = ssor_preconditioner(A, omega=1.2)
+        r1 = rng.standard_normal(64)
+        r2 = rng.standard_normal(64)
+        assert np.allclose(M(r1 + 3 * r2), M(r1) + 3 * M(r2), atol=1e-10)
+
+    def test_apply_is_symmetric_for_symmetric_a(self, rng):
+        """SSOR of a symmetric A is a symmetric operator (needed by CG)."""
+        A = grid2d(6, shift=0.5)
+        M = ssor_preconditioner(A)
+        u = rng.standard_normal(36)
+        v = rng.standard_normal(36)
+        assert float(u @ M(v)) == pytest.approx(float(v @ M(u)), rel=1e-10)
+
+    def test_exact_on_diagonal_matrix(self):
+        D = np.diag(np.arange(1.0, 6.0))
+        A = from_dense(D)
+        M = ssor_preconditioner(A, omega=1.0)
+        r = np.ones(5)
+        assert np.allclose(M(r), r / np.diag(D))
+
+    def test_omega_validation(self):
+        A = grid2d(4)
+        with pytest.raises(ValueError, match="omega"):
+            ssor_preconditioner(A, omega=0.0)

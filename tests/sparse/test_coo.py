@@ -1,0 +1,68 @@
+import numpy as np
+import pytest
+
+from repro.sparse import COOMatrix, coo_to_csr
+
+
+class TestConstruction:
+    def test_basic_triplets(self):
+        m = COOMatrix(3, 4, [0, 1, 2], [1, 2, 3], [1.0, 2.0, 3.0])
+        assert m.shape == (3, 4)
+        assert m.nnz == 3
+
+    def test_default_data_is_ones(self):
+        m = COOMatrix(2, 2, [0, 1], [1, 0])
+        assert np.array_equal(m.data, [1.0, 1.0])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError, match="disagree"):
+            COOMatrix(2, 2, [0, 1], [1], [1.0, 2.0])
+
+    def test_row_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="row index"):
+            COOMatrix(2, 2, [0, 2], [0, 1])
+
+    def test_col_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="col index"):
+            COOMatrix(2, 2, [0, 1], [0, -1])
+
+    def test_empty_matrix(self):
+        m = COOMatrix(3, 3, [], [], [])
+        assert m.nnz == 0
+        assert np.array_equal(m.to_dense(), np.zeros((3, 3)))
+
+
+class TestOperations:
+    def test_to_dense_sums_duplicates(self):
+        m = COOMatrix(2, 2, [0, 0], [1, 1], [2.0, 3.0])
+        assert m.to_dense()[0, 1] == 5.0
+
+    def test_transpose(self):
+        m = COOMatrix(2, 3, [0, 1], [2, 0], [7.0, 8.0])
+        t = m.transpose()
+        assert t.shape == (3, 2)
+        assert np.array_equal(t.to_dense(), m.to_dense().T)
+
+    def test_copy_is_independent(self):
+        m = COOMatrix(2, 2, [0], [1], [1.0])
+        c = m.copy()
+        c.data[0] = 99.0
+        assert m.data[0] == 1.0
+
+    def test_from_dense_roundtrip(self, rng):
+        D = (rng.random((7, 5)) < 0.4) * rng.standard_normal((7, 5))
+        m = COOMatrix.from_dense(D)
+        assert np.array_equal(m.to_dense(), D)
+
+    def test_from_dense_tolerance_drops_small(self):
+        D = np.array([[1.0, 1e-12], [0.0, 2.0]])
+        m = COOMatrix.from_dense(D, tol=1e-6)
+        assert m.nnz == 2
+
+    def test_tocsr_matches_dense(self, rng):
+        D = (rng.random((6, 6)) < 0.5) * rng.standard_normal((6, 6))
+        m = COOMatrix.from_dense(D)
+        assert np.allclose(m.tocsr().to_dense(), D)
+
+    def test_repr_mentions_shape(self):
+        assert "shape=(2, 2)" in repr(COOMatrix(2, 2, [0], [0]))

@@ -1,0 +1,55 @@
+import numpy as np
+import pytest
+
+from repro.sparse import CSCMatrix, csr_to_csc, from_dense
+
+from helpers import random_sparse_dense
+
+
+class TestCSC:
+    def test_validation_indptr_length(self):
+        with pytest.raises(ValueError, match="n_cols"):
+            CSCMatrix(2, 3, [0, 1], [0], [1.0])
+
+    def test_validation_row_range(self):
+        with pytest.raises(ValueError, match="row index"):
+            CSCMatrix(2, 1, [0, 1], [4], [1.0])
+
+    def test_col_access(self):
+        D = random_sparse_dense(8, 0.3, seed=1)
+        C = csr_to_csc(from_dense(D))
+        rows, vals = C.col(3)
+        dense_rows = np.nonzero(D[:, 3])[0]
+        assert np.array_equal(rows, dense_rows)
+        assert np.array_equal(vals, D[dense_rows, 3])
+
+    def test_col_nnz(self):
+        D = random_sparse_dense(8, 0.3, seed=2)
+        C = csr_to_csc(from_dense(D))
+        assert np.array_equal(C.col_nnz(), (D != 0).sum(axis=0))
+
+    def test_to_dense(self):
+        D = random_sparse_dense(7, 0.4, seed=3)
+        C = csr_to_csc(from_dense(D))
+        assert np.allclose(C.to_dense(), D)
+
+    def test_transpose_is_csr_of_t(self):
+        D = random_sparse_dense(7, 0.4, seed=4)
+        C = csr_to_csc(from_dense(D))
+        T = C.transpose()
+        assert np.allclose(T.to_dense(), D.T)
+
+    def test_tocsr_roundtrip(self):
+        D = random_sparse_dense(9, 0.3, seed=5)
+        C = csr_to_csc(from_dense(D))
+        assert np.allclose(C.tocsr().to_dense(), D)
+
+    def test_sorts_indices(self):
+        C = CSCMatrix(4, 1, [0, 3], [2, 0, 1], [1.0, 2.0, 3.0])
+        assert np.array_equal(C.indices, [0, 1, 2])
+
+    def test_copy_independent(self):
+        C = CSCMatrix(2, 2, [0, 1, 2], [0, 1], [1.0, 2.0])
+        B = C.copy()
+        B.data[:] = 0
+        assert C.data.sum() == 3.0

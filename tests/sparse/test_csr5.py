@@ -1,0 +1,67 @@
+import numpy as np
+import pytest
+
+from repro.sparse import CSR5Matrix, from_dense
+
+from helpers import random_csr, random_sparse_dense
+
+
+class TestTiling:
+    def test_tiles_cover_all_nnz(self):
+        A = random_csr(20, 0.3, seed=1)
+        A5 = CSR5Matrix(A, tile_size=7)
+        assert A5.validate()
+        assert sum(t.nnz for t in A5.tiles) == A.nnz
+
+    def test_tile_count(self):
+        A = random_csr(20, 0.3, seed=2)
+        A5 = CSR5Matrix(A, tile_size=16)
+        assert A5.n_tiles == -(-A.nnz // 16)
+
+    def test_last_tile_short(self):
+        A = random_csr(10, 0.4, seed=3)
+        ts = 13
+        A5 = CSR5Matrix(A, tile_size=ts)
+        if A.nnz % ts:
+            assert A5.tiles[-1].nnz == A.nnz % ts
+
+    def test_dirty_head_flags(self):
+        # one long row spanning several tiles: every tile after the first
+        # that starts mid-row must be flagged dirty
+        D = np.zeros((2, 30))
+        D[0, :25] = 1.0
+        D[1, 1] = 1.0
+        A = from_dense(D)
+        A5 = CSR5Matrix(A, tile_size=8)
+        assert not A5.tiles[0].dirty_head
+        assert A5.tiles[1].dirty_head and A5.tiles[2].dirty_head
+
+    def test_invalid_tile_size(self):
+        A = random_csr(5, 0.5, seed=4)
+        with pytest.raises(ValueError, match="tile_size"):
+            CSR5Matrix(A, tile_size=0)
+
+    def test_empty_matrix(self):
+        A = from_dense(np.zeros((3, 3)))
+        A5 = CSR5Matrix(A, tile_size=4)
+        assert A5.n_tiles == 0
+        assert A5.validate()
+
+    def test_seg_ids_match_rows(self):
+        A = random_csr(15, 0.3, seed=5)
+        A5 = CSR5Matrix(A, tile_size=5)
+        row_of = np.repeat(np.arange(A.n_rows), np.diff(A.indptr))
+        for t in A5.tiles:
+            assert np.array_equal(t.seg_ids, row_of[t.start : t.stop])
+
+    def test_storage_overhead_small(self):
+        A = random_csr(30, 0.2, seed=6)
+        A5 = CSR5Matrix(A, tile_size=32)
+        assert A5.storage_overhead() < A.nnz  # "a little extra storage"
+
+    def test_tiles_structural_only_values_mutable(self):
+        """Tiling stays valid when values change in place (factorization)."""
+        A = random_csr(12, 0.3, seed=7)
+        A5 = CSR5Matrix(A, tile_size=6)
+        A.data *= 2.0
+        assert A5.validate()

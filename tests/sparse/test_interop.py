@@ -1,0 +1,66 @@
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.sparse import from_dense
+from repro.sparse.interop import from_scipy, to_scipy
+
+from helpers import random_sparse_dense
+
+
+class TestFromScipy:
+    def test_csr_roundtrip(self):
+        D = random_sparse_dense(12, 0.3, seed=1)
+        S = sp.csr_matrix(D)
+        A = from_scipy(S)
+        assert np.allclose(A.to_dense(), D)
+
+    def test_coo_input_converted(self):
+        D = random_sparse_dense(8, 0.3, seed=2)
+        A = from_scipy(sp.coo_matrix(D))
+        assert np.allclose(A.to_dense(), D)
+
+    def test_csc_input_converted(self):
+        D = random_sparse_dense(8, 0.3, seed=3)
+        A = from_scipy(sp.csc_matrix(D))
+        assert np.allclose(A.to_dense(), D)
+
+    def test_duplicates_summed(self):
+        S = sp.coo_matrix(([1.0, 2.0], ([0, 0], [1, 1])), shape=(2, 2))
+        A = from_scipy(S)
+        assert A.get(0, 1) == 3.0
+
+    def test_dense_input_rejected(self):
+        with pytest.raises(TypeError, match="scipy sparse"):
+            from_scipy(np.eye(3))
+
+
+class TestToScipy:
+    def test_roundtrip(self):
+        D = random_sparse_dense(10, 0.3, seed=4)
+        A = from_dense(D)
+        S = to_scipy(A)
+        assert sp.issparse(S)
+        assert np.allclose(S.toarray(), D)
+
+    def test_copies_not_views(self):
+        A = from_dense(np.eye(3))
+        S = to_scipy(A)
+        S.data[0] = 99.0
+        assert A.get(0, 0) == 1.0
+
+    def test_full_pipeline_via_scipy(self):
+        """A scipy user's workflow: scipy matrix in, preconditioner out."""
+        from repro.core import JavelinILU
+        from repro.solvers import cg
+
+        D = random_sparse_dense(30, 0.15, seed=5, sym_pattern=True)
+        D = (D + D.T) / 2
+        np.fill_diagonal(D, np.abs(D).sum(axis=1) + 1)
+        S = sp.csr_matrix(D)
+        A = from_scipy(S)
+        ilu = JavelinILU().setup(A)
+        ilu.factor()
+        b = np.ones(30)
+        r = cg(A, b, M=ilu.solve, tol=1e-8)
+        assert r.converged

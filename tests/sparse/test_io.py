@@ -1,0 +1,113 @@
+import gzip
+
+import numpy as np
+import pytest
+
+from repro.sparse import from_dense, read_matrix_market, write_matrix_market
+
+from helpers import random_sparse_dense
+
+
+class TestRoundtrip:
+    def test_write_read(self, tmp_path, rng):
+        D = random_sparse_dense(10, 0.3, seed=1)
+        path = tmp_path / "m.mtx"
+        write_matrix_market(path, from_dense(D), comment="test matrix")
+        B = read_matrix_market(path)
+        assert np.allclose(B.to_dense(), D)
+
+    def test_comment_written(self, tmp_path):
+        path = tmp_path / "m.mtx"
+        write_matrix_market(path, from_dense(np.eye(2)), comment="hello\nworld")
+        text = path.read_text()
+        assert "% hello" in text and "% world" in text
+
+
+class TestReader:
+    def _write(self, path, text):
+        path.write_text(text)
+        return path
+
+    def test_symmetric_expansion(self, tmp_path):
+        p = self._write(
+            tmp_path / "s.mtx",
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "3 3 4\n1 1 2.0\n2 1 -1.0\n2 2 2.0\n3 3 2.0\n",
+        )
+        A = read_matrix_market(p)
+        assert A.get(0, 1) == -1.0 and A.get(1, 0) == -1.0
+        assert A.nnz == 5
+
+    def test_skew_symmetric_expansion(self, tmp_path):
+        p = self._write(
+            tmp_path / "k.mtx",
+            "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+            "2 2 1\n2 1 3.0\n",
+        )
+        A = read_matrix_market(p)
+        assert A.get(1, 0) == 3.0 and A.get(0, 1) == -3.0
+
+    def test_pattern_field(self, tmp_path):
+        p = self._write(
+            tmp_path / "p.mtx",
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "2 2 2\n1 1\n2 2\n",
+        )
+        A = read_matrix_market(p)
+        assert np.allclose(A.to_dense(), np.eye(2))
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        p = self._write(
+            tmp_path / "c.mtx",
+            "%%MatrixMarket matrix coordinate real general\n"
+            "% a comment\n\n2 2 1\n1 2 5.0\n",
+        )
+        A = read_matrix_market(p)
+        assert A.get(0, 1) == 5.0
+
+    def test_gzip_supported(self, tmp_path):
+        body = (
+            "%%MatrixMarket matrix coordinate real general\n"
+            "2 2 1\n1 1 4.0\n"
+        )
+        p = tmp_path / "g.mtx.gz"
+        with gzip.open(p, "wt") as fh:
+            fh.write(body)
+        A = read_matrix_market(p)
+        assert A.get(0, 0) == 4.0
+
+    def test_rejects_non_mm(self, tmp_path):
+        p = self._write(tmp_path / "x.mtx", "not a matrix\n")
+        with pytest.raises(ValueError, match="not a MatrixMarket"):
+            read_matrix_market(p)
+
+    def test_rejects_array_format(self, tmp_path):
+        p = self._write(
+            tmp_path / "a.mtx", "%%MatrixMarket matrix array real general\n2 2\n"
+        )
+        with pytest.raises(ValueError, match="coordinate"):
+            read_matrix_market(p)
+
+    def test_rejects_complex(self, tmp_path):
+        p = self._write(
+            tmp_path / "z.mtx",
+            "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n",
+        )
+        with pytest.raises(ValueError, match="field"):
+            read_matrix_market(p)
+
+    def test_entry_count_mismatch(self, tmp_path):
+        p = self._write(
+            tmp_path / "m.mtx",
+            "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n",
+        )
+        with pytest.raises(ValueError, match="expected 2"):
+            read_matrix_market(p)
+
+    def test_integer_field(self, tmp_path):
+        p = self._write(
+            tmp_path / "i.mtx",
+            "%%MatrixMarket matrix coordinate integer general\n2 2 1\n2 2 7\n",
+        )
+        A = read_matrix_market(p)
+        assert A.get(1, 1) == 7.0

@@ -1,0 +1,122 @@
+import numpy as np
+import pytest
+
+from repro.sparse import (
+    from_dense,
+    has_full_diagonal,
+    is_pattern_symmetric,
+    lower_pattern,
+    pattern_union,
+    split_lu,
+    strict_lower_pattern,
+    strict_upper_pattern,
+    symmetrize_pattern,
+    upper_pattern,
+)
+from repro.sparse.pattern import add_diagonal_pattern
+
+from helpers import random_sparse_dense
+
+
+class TestTriangularExtraction:
+    def test_lower_includes_diagonal(self):
+        D = random_sparse_dense(9, 0.4, seed=1)
+        L = lower_pattern(from_dense(D))
+        assert np.allclose(L.to_dense(), np.tril(D))
+
+    def test_upper_includes_diagonal(self):
+        D = random_sparse_dense(9, 0.4, seed=2)
+        U = upper_pattern(from_dense(D))
+        assert np.allclose(U.to_dense(), np.triu(D))
+
+    def test_strict_variants(self):
+        D = random_sparse_dense(9, 0.4, seed=3)
+        A = from_dense(D)
+        assert np.allclose(strict_lower_pattern(A).to_dense(), np.tril(D, -1))
+        assert np.allclose(strict_upper_pattern(A).to_dense(), np.triu(D, 1))
+
+    def test_lower_plus_strict_upper_is_all(self):
+        A = from_dense(random_sparse_dense(8, 0.3, seed=4))
+        assert lower_pattern(A).nnz + strict_upper_pattern(A).nnz == A.nnz
+
+
+class TestUnionAndSymmetry:
+    def test_union_pattern(self):
+        D1 = random_sparse_dense(7, 0.3, seed=5)
+        D2 = random_sparse_dense(7, 0.3, seed=6)
+        U = pattern_union(from_dense(D1), from_dense(D2))
+        expect = ((D1 != 0) | (D2 != 0)).astype(float)
+        assert np.allclose(U.to_dense(), expect)
+
+    def test_union_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            pattern_union(from_dense(np.eye(2)), from_dense(np.eye(3)))
+
+    def test_symmetrize_is_symmetric(self):
+        A = from_dense(random_sparse_dense(10, 0.2, seed=7))
+        S = symmetrize_pattern(A)
+        assert is_pattern_symmetric(S)
+
+    def test_symmetrize_contains_original(self):
+        D = random_sparse_dense(10, 0.2, seed=8)
+        S = symmetrize_pattern(from_dense(D))
+        assert np.all((D != 0) <= (S.to_dense() != 0))
+
+    def test_is_pattern_symmetric_detects_asymmetry(self):
+        D = np.eye(3)
+        D[0, 2] = 1.0
+        assert not is_pattern_symmetric(from_dense(D))
+
+    def test_symmetric_values_not_required(self):
+        D = np.array([[1.0, 2.0], [3.0, 4.0]])
+        assert is_pattern_symmetric(from_dense(D))
+
+    def test_rectangular_never_symmetric(self):
+        from repro.sparse import COOMatrix, coo_to_csr
+
+        A = coo_to_csr(COOMatrix(2, 3, [0], [1], [1.0]))
+        assert not is_pattern_symmetric(A)
+
+    def test_symmetrize_rejects_rectangular(self):
+        from repro.sparse import COOMatrix, coo_to_csr
+
+        A = coo_to_csr(COOMatrix(2, 3, [0], [1], [1.0]))
+        with pytest.raises(ValueError, match="square"):
+            symmetrize_pattern(A)
+
+
+class TestDiagonal:
+    def test_full_diagonal_true(self):
+        assert has_full_diagonal(from_dense(random_sparse_dense(6, 0.3, seed=9)))
+
+    def test_full_diagonal_false(self):
+        D = random_sparse_dense(6, 0.3, seed=10)
+        D[3, 3] = 0.0
+        assert not has_full_diagonal(from_dense(D))
+
+    def test_add_diagonal_pattern_inserts_zero(self):
+        D = np.array([[0.0, 1.0], [1.0, 2.0]])
+        A = add_diagonal_pattern(from_dense(D))
+        assert has_full_diagonal(A)
+        assert A.get(0, 0) == 0.0
+        assert A.get(1, 1) == 2.0
+
+    def test_add_diagonal_preserves_existing(self):
+        D = random_sparse_dense(6, 0.3, seed=11)
+        A = from_dense(D)
+        B = add_diagonal_pattern(A)
+        assert B.nnz == A.nnz  # diag already full
+        assert np.allclose(B.to_dense(), D)
+
+
+class TestSplitLU:
+    def test_split_reconstructs_triangles(self):
+        D = random_sparse_dense(8, 0.4, seed=12)
+        L, U = split_lu(from_dense(D))
+        assert np.allclose(L.to_dense(), np.tril(D, -1) + np.eye(8))
+        assert np.allclose(U.to_dense(), np.triu(D))
+
+    def test_split_unit_diagonal(self):
+        D = random_sparse_dense(5, 0.5, seed=13)
+        L, _ = split_lu(from_dense(D))
+        assert np.allclose(L.diagonal(), 1.0)

@@ -1,0 +1,88 @@
+"""CLI surface tests (argparse wiring + each command end to end)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_suite_defaults(self):
+        args = build_parser().parse_args(["suite"])
+        assert args.scale == 1.0
+
+    def test_factor_options(self):
+        args = build_parser().parse_args(
+            ["factor", "wang3", "--fill-level", "1", "--tau", "0.01", "--modified"]
+        )
+        assert args.fill_level == 1
+        assert args.tau == 0.01
+        assert args.modified
+
+    def test_unknown_solver_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve", "wang3", "--solver", "magic"])
+
+
+class TestCommands:
+    def test_factor_runs(self, capsys):
+        assert main(["factor", "wang3", "--scale", "0.4"]) == 0
+        out = capsys.readouterr().out
+        assert "schedule:" in out and "diagnostics:" in out
+
+    def test_factor_with_tau(self, capsys):
+        assert main(["factor", "wang3", "--scale", "0.4", "--tau", "0.05"]) == 0
+
+    def test_simulate_runs(self, capsys):
+        assert main(["simulate", "wang3", "--scale", "0.4", "--threads", "1,4"]) == 0
+        out = capsys.readouterr().out
+        assert "LS_speedup" in out
+
+    def test_simulate_generic_machine(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "wang3",
+                    "--scale",
+                    "0.4",
+                    "--machine",
+                    "8",
+                    "--threads",
+                    "1,8",
+                ]
+            )
+            == 0
+        )
+
+    def test_solve_cg(self, capsys):
+        assert main(["solve", "ecology2", "--scale", "0.4", "--solver", "cg"]) == 0
+        assert "converged" in capsys.readouterr().out
+
+    def test_solve_ssor(self, capsys):
+        assert (
+            main(["solve", "wang3", "--scale", "0.4", "--precond", "ssor", "--solver", "cg"])
+            == 0
+        )
+
+    def test_solve_none_precond(self, capsys):
+        assert (
+            main(["solve", "ecology2", "--scale", "0.4", "--precond", "none", "--solver", "cg"])
+            == 0
+        )
+
+    def test_unknown_matrix_errors(self):
+        with pytest.raises(SystemExit, match="unknown matrix"):
+            main(["factor", "no_such_matrix"])
+
+    def test_mtx_file_path(self, tmp_path, capsys):
+        from repro.matrices.generators import grid2d
+        from repro.sparse import write_matrix_market
+
+        path = tmp_path / "g.mtx"
+        write_matrix_market(path, grid2d(10))
+        assert main(["factor", str(path)]) == 0
