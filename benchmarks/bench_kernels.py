@@ -5,9 +5,27 @@ these time the actual implementation with pytest-benchmark: spmv in CSR
 vs CSR5 tiles, the numeric ILU(0) factorization, the staged
 factorization, and the triangular solves.  They guard against
 performance regressions in the library itself.
+
+Run as a script for the scalar-vs-batched kernel comparison::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py           # full run,
+        # records benchmarks/results/BENCH_kernels.json
+    PYTHONPATH=src python benchmarks/bench_kernels.py --check   # fast gate:
+        # exits non-zero if the batched backend diverges from the scalar
+        # reference or regresses >2x against the recorded baseline
+
+Both modes assert *exact* equality between backends — the bit-identical
+contract of ``repro.kernels`` — before reporting any timing.
 """
 
+import argparse
+import json
+import os
+import sys
+import time
+
 import numpy as np
+
 import pytest
 
 from repro.core import JavelinILU
@@ -15,7 +33,7 @@ from repro.core.iluk import ilu0_factor
 from repro.core.trisolve import trisolve_factor
 from repro.sparse import CSR5Matrix, spmv_csr, spmv_csr5
 
-from bench_util import suite_ilu, suite_matrix
+from bench_util import RESULTS_DIR, suite_ilu, suite_matrix
 
 
 @pytest.fixture(scope="module")
@@ -83,3 +101,216 @@ def test_level_schedule_phase(benchmark, wang3):
 
     ls = benchmark(level_schedule, wang3)
     assert ls.n_rows == wang3.n_rows
+
+
+def test_trisolve_batched_kernel(benchmark, wang3):
+    """The registry-dispatched batched sweep, plan from the symbolic cache."""
+    from repro.core.trisolve import trisolve_factor_levels
+    from repro.kernels import cached_analysis
+
+    F = ilu0_factor(wang3)
+    analysis = cached_analysis(F)  # warm the cache; applies reuse it
+    b = np.random.default_rng(1).standard_normal(wang3.n_rows)
+    x = benchmark(trisolve_factor_levels, F, b, analysis=analysis)
+    assert np.array_equal(x, trisolve_factor(F, b))
+
+
+def test_upper_p2p_sim_batched(benchmark):
+    """The batched DES vs its own scalar reference on a suite matrix."""
+    from repro.core.symbolic import row_factor_costs
+    from repro.core.upper import simulate_upper_p2p
+    from repro.machine import SimMachine, haswell
+
+    ilu = suite_ilu("wang3")
+    S = ilu.S_perm
+    flops, touched = row_factor_costs(S)
+    ls = ilu._full_level_ptr()
+    mach = SimMachine(haswell(), 8)
+    mk, _, _ = benchmark(
+        simulate_upper_p2p, S, ls.level_ptr, mach, flops, touched
+    )
+    mk_ref, _, _ = simulate_upper_p2p(
+        S, ls.level_ptr, mach, flops, touched, backend="scalar"
+    )
+    assert mk == mk_ref
+
+
+# ----------------------------------------------------------------------
+# CLI: scalar-vs-batched comparison with a recorded JSON baseline
+# ----------------------------------------------------------------------
+BASELINE_PATH = os.path.join(RESULTS_DIR, "BENCH_kernels.json")
+
+# grid2d(224) has n = 50176 (the acceptance case); grid2d(48) is the
+# fast gate the tier-1 smoke test runs on every change
+FULL_CASES = [224, 48]
+CHECK_CASE = 48
+
+
+def _timeit(fn, *args, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out = fn(*args)
+        best = min(best, time.perf_counter() - t0)
+    return best, out
+
+
+def _trisolve_case(nx, repeats=3):
+    """Time scalar vs batched L/U sweeps on a grid2d(nx) ILU(0)-style factor.
+
+    The matrix's own values stand in for a factor (same pattern, full
+    diagonal) — the sweeps only care about structure, and skipping the
+    numeric factorization keeps the big case fast to regenerate.
+    """
+    from repro.core.trisolve import trisolve_factor, trisolve_factor_levels
+    from repro.kernels import cached_analysis
+    from repro.matrices.generators import grid2d
+
+    F = grid2d(nx)
+    b = np.random.default_rng(0).standard_normal(F.n_rows)
+    analysis = cached_analysis(F)
+    analysis.plan("lower"), analysis.plan("upper")  # symbolic setup up front
+    t_scalar, x_scalar = _timeit(trisolve_factor, F, b, repeats=repeats)
+    t_batched, x_batched = _timeit(
+        lambda: trisolve_factor_levels(F, b, analysis=analysis), repeats=repeats
+    )
+    return {
+        "case": f"grid2d-{nx}",
+        "kernel": "trisolve",
+        "n": int(F.n_rows),
+        "nnz": int(F.nnz),
+        "n_levels": int(analysis.plan("lower").n_levels),
+        "scalar_s": t_scalar,
+        "batched_s": t_batched,
+        "speedup": t_scalar / t_batched,
+        "max_abs_diff": float(np.max(np.abs(x_scalar - x_batched))) if F.n_rows else 0.0,
+        "exact_equal": bool(np.array_equal(x_scalar, x_batched)),
+    }
+
+
+def _des_case(nx=64, p=8, repeats=3):
+    """Time scalar vs batched upper-stage DES on grid2d(nx)."""
+    from repro.core.symbolic import ilu0_pattern, row_factor_costs
+    from repro.core.upper import simulate_upper_p2p
+    from repro.machine import SimMachine, haswell
+    from repro.matrices.generators import grid2d
+    from repro.ordering.levelsets import level_schedule
+
+    A = grid2d(nx)
+    S = ilu0_pattern(A)
+    ls = level_schedule(S)
+    perm = ls.permutation()
+    Sp = S.permute(row_perm=perm, col_perm=perm)
+    lsp = level_schedule(Sp)
+    flops, touched = row_factor_costs(Sp)
+    mach = SimMachine(haswell(), p)
+    t_scalar, res_s = _timeit(
+        lambda: simulate_upper_p2p(
+            Sp, lsp.level_ptr, mach, flops, touched, backend="scalar"
+        ),
+        repeats=repeats,
+    )
+    t_batched, res_b = _timeit(
+        lambda: simulate_upper_p2p(
+            Sp, lsp.level_ptr, mach, flops, touched, backend="batched"
+        ),
+        repeats=repeats,
+    )
+    return {
+        "case": f"grid2d-{nx}",
+        "kernel": "upper_p2p_sim",
+        "n": int(Sp.n_rows),
+        "p": int(p),
+        "scalar_s": t_scalar,
+        "batched_s": t_batched,
+        "speedup": t_scalar / t_batched,
+        "exact_equal": bool(
+            res_s[0] == res_b[0] and np.array_equal(res_s[1], res_b[1])
+        ),
+    }
+
+
+def _run_full():
+    entries = [_trisolve_case(nx) for nx in FULL_CASES]
+    entries.append(_des_case())
+    record = {
+        "meta": {
+            "numpy": np.__version__,
+            "python": sys.version.split()[0],
+            "repeats": 3,
+            "note": "best-of-3 wall-clock; exact_equal asserts the "
+            "bit-identical scalar/batched contract",
+        },
+        "entries": entries,
+    }
+    failures = [e for e in entries if not e["exact_equal"]]
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(BASELINE_PATH, "w") as fh:
+        json.dump(record, fh, indent=2)
+        fh.write("\n")
+    for e in entries:
+        print(
+            f"{e['kernel']:>14} {e['case']:>11} n={e['n']:>6}: "
+            f"scalar {e['scalar_s'] * 1e3:8.2f} ms, "
+            f"batched {e['batched_s'] * 1e3:8.2f} ms, "
+            f"speedup {e['speedup']:6.1f}x, exact={e['exact_equal']}"
+        )
+    print(f"wrote {BASELINE_PATH}")
+    if failures:
+        print("FAIL: backends diverged", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _run_check():
+    """Fast gate: divergence or a >2x regression vs baseline fails."""
+    entry = _trisolve_case(CHECK_CASE, repeats=3)
+    des = _des_case(nx=24, p=4, repeats=1)
+    ok = True
+    if not entry["exact_equal"] or entry["max_abs_diff"] != 0.0:
+        print("FAIL: batched trisolve diverges from scalar", file=sys.stderr)
+        ok = False
+    if not des["exact_equal"]:
+        print("FAIL: batched DES diverges from scalar", file=sys.stderr)
+        ok = False
+    if os.path.exists(BASELINE_PATH):
+        with open(BASELINE_PATH) as fh:
+            baseline = json.load(fh)
+        base = next(
+            (
+                e
+                for e in baseline["entries"]
+                if e["kernel"] == "trisolve" and e["case"] == entry["case"]
+            ),
+            None,
+        )
+        if base is not None and entry["speedup"] < base["speedup"] / 2.0:
+            print(
+                f"FAIL: trisolve speedup {entry['speedup']:.1f}x regressed "
+                f">2x vs recorded baseline {base['speedup']:.1f}x",
+                file=sys.stderr,
+            )
+            ok = False
+    else:
+        print(f"note: no baseline at {BASELINE_PATH}; divergence check only")
+    print(
+        f"check {entry['case']}: speedup {entry['speedup']:.1f}x, "
+        f"exact={entry['exact_equal']}; DES exact={des['exact_equal']}"
+    )
+    return 0 if ok else 1
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument(
+        "--check",
+        action="store_true",
+        help="fast mode: small case only, fail on divergence or >2x "
+        "regression vs the recorded baseline",
+    )
+    args = ap.parse_args(argv)
+    return _run_check() if args.check else _run_full()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

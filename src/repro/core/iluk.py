@@ -39,17 +39,32 @@ class PivotBreakdownError(ZeroDivisionError):
 
 
 def _scatter_values(S: CSRMatrix, A: CSRMatrix):
-    """Copy A's values into the (superset) pattern S; missing → 0."""
+    """Copy A's values into the (superset) pattern S; missing → 0.
+
+    One whole-matrix ``searchsorted`` over global ``(row, col)`` keys —
+    rows ascend and columns ascend within a row, so the keys are sorted
+    and every entry of A locates its slot in S in a single pass.
+    """
     F = S.pattern_copy()
     F.data[:] = 0.0
-    for r in range(A.n_rows):
-        a_cols, a_vals = A.row(r)
-        f_lo = F.indptr[r]
-        f_cols = F.indices[f_lo : F.indptr[r + 1]]
-        pos = np.searchsorted(f_cols, a_cols)
-        if np.any(pos >= f_cols.shape[0]) or np.any(f_cols[pos] != a_cols):
+    if A.nnz:
+        ncol = np.int64(F.n_cols)
+        f_keys = (
+            np.repeat(np.arange(F.n_rows, dtype=np.int64), np.diff(F.indptr)) * ncol
+            + F.indices
+        )
+        a_keys = (
+            np.repeat(np.arange(A.n_rows, dtype=np.int64), np.diff(A.indptr)) * ncol
+            + A.indices
+        )
+        pos = np.searchsorted(f_keys, a_keys)
+        nnz_f = f_keys.shape[0]
+        bad = (pos >= nnz_f) | (f_keys[np.minimum(pos, nnz_f - 1)] != a_keys)
+        if np.any(bad):
+            k = int(np.flatnonzero(bad)[0])
+            r = int(np.searchsorted(A.indptr, k, side="right")) - 1
             raise ValueError(f"pattern S does not contain all of A's row {r}")
-        F.data[f_lo + pos] = a_vals
+        F.data[pos] = A.data
     return F
 
 
@@ -116,15 +131,10 @@ def drop_row_fixed_pattern(F: CSRMatrix, r, diag_pos, threshold, *, modified=Fal
 
 
 def _diag_positions(S: CSRMatrix):
-    n = S.n_rows
-    diag_pos = np.empty(n, dtype=np.int64)
-    for r in range(n):
-        cols = S.indices[S.indptr[r] : S.indptr[r + 1]]
-        p = np.searchsorted(cols, r)
-        if p >= cols.shape[0] or cols[p] != r:
-            raise ValueError(f"pattern has no diagonal entry in row {r}")
-        diag_pos[r] = S.indptr[r] + p
-    return diag_pos
+    """Storage index of each diagonal entry, one whole-matrix searchsorted."""
+    from ..kernels import diag_positions
+
+    return diag_positions(S, message="pattern has no diagonal entry in row {row}")
 
 
 def ilu_factor_sequential(A: CSRMatrix, S: CSRMatrix | None = None, *, pivot_tol=0.0):

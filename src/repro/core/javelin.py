@@ -37,9 +37,9 @@ from .symbolic import (
     row_factor_costs,
     row_factor_costs_split,
 )
+from ..kernels import cached_analysis
 from .iluk import (
     _scatter_values,
-    _diag_positions,
     drop_row_fixed_pattern,
     factor_row,
     ilu_factor_sequential,
@@ -49,8 +49,7 @@ from .upper import simulate_upper_p2p, simulate_upper_barrier
 from .lower_er import factor_lower_er, simulate_lower_er
 from .lower_sr import SegmentedRows, factor_lower_sr, simulate_lower_sr
 from .trisolve import (
-    trisolve_lower_serial,
-    trisolve_upper_serial,
+    LevelizedTriangularSolver,
     simulate_trisolve_barrier,
     simulate_trisolve_p2p,
     simulate_trisolve_two_stage,
@@ -119,6 +118,7 @@ class JavelinILU:
         self.options = options or JavelinOptions()
         self._ready = False
         self._factored = False
+        self._solver = None
 
     # ------------------------------------------------------------------
     # symbolic phase
@@ -163,6 +163,7 @@ class JavelinILU:
         self._split_costs = None
         self._ready = True
         self._factored = False
+        self._solver = None
         return self
 
     # ------------------------------------------------------------------
@@ -190,7 +191,11 @@ class JavelinILU:
         opts = self.options
         method = method or self._resolve_method()
         F = _scatter_values(self.S_perm, self.A_perm)
-        diag_pos = _diag_positions(F)
+        # the cache keys on F's pattern, so the solve plans built later
+        # (build_solver / the lazy solve path) reuse this same analysis
+        diag_pos = cached_analysis(F).diag_pos(
+            message="pattern has no diagonal entry in row {row}"
+        )
         n = F.n_rows
         m = self.m if method != "none" else n
         if self.drop_threshold is not None:
@@ -222,6 +227,7 @@ class JavelinILU:
             raise ValueError(f"unknown lower method {method!r}")
         self.F = F
         self._factored = True
+        self._solver = None  # values changed; sweeps rebind on next solve
         self.result = FactorResult(
             F=F, perm=self.perm, inv_perm=self.inv_perm, method=method
         )
@@ -241,7 +247,9 @@ class JavelinILU:
                 self.A_perm, self.S_perm, pivot_tol=self.options.pivot_tol
             )
         F = _scatter_values(self.S_perm, self.A_perm)
-        diag_pos = _diag_positions(F)
+        diag_pos = cached_analysis(F).diag_pos(
+            message="pattern has no diagonal entry in row {row}"
+        )
         for r in range(F.n_rows):
             factor_row(F, r, diag_pos, pivot_tol=self.options.pivot_tol)
             drop_row_fixed_pattern(
@@ -253,12 +261,20 @@ class JavelinILU:
     # preconditioner application
     # ------------------------------------------------------------------
     def solve(self, b):
-        """Apply the preconditioner: ``x ≈ A⁻¹ b`` via L/U sweeps."""
+        """Apply the preconditioner: ``x ≈ A⁻¹ b`` via L/U sweeps.
+
+        Backed by a lazily built
+        :class:`~repro.core.trisolve.LevelizedTriangularSolver` (rebuilt
+        after each :meth:`factor`), whose level-batched sweeps are
+        bit-identical to the scalar reference sweeps — so this is both
+        the convenient and the fast path.
+        """
         if not self._factored:
             raise RuntimeError("call factor() before solve()")
+        if self._solver is None:
+            self._solver = LevelizedTriangularSolver(self.F)
         bp = np.asarray(b, dtype=np.float64)[self.perm]
-        y = trisolve_lower_serial(self.F, bp)
-        xp = trisolve_upper_serial(self.F, y)
+        xp = self._solver.solve(bp)
         x = np.empty_like(xp)
         x[self.perm] = xp
         return x
@@ -268,15 +284,13 @@ class JavelinILU:
 
         Returns a callable ``apply(b) -> x`` backed by
         :class:`~repro.core.trisolve.LevelizedTriangularSolver`: the
-        per-level structures are built once (here) and each apply is a
-        handful of vector operations per level — the right choice when
-        the Krylov loop will call the preconditioner thousands of times
-        (§VI).  Results match :meth:`solve` to rounding.
+        per-level structures come from the pattern-keyed symbolic cache,
+        built once and reused across the thousands of preconditioner
+        applications a Krylov loop performs (§VI).  Results match
+        :meth:`solve` bit-for-bit.
         """
         if not self._factored:
             raise RuntimeError("call factor() before build_solver()")
-        from .trisolve import LevelizedTriangularSolver
-
         lv = LevelizedTriangularSolver(self.F)
         perm, inv = self.perm, self.inv_perm
 

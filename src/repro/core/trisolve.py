@@ -30,15 +30,18 @@ import numpy as np
 from ..machine.core import SimMachine
 from ..machine.trace import ExecutionTrace
 from ..sparse.csr import CSRMatrix
-from ..ordering.levelsets import LevelSets, level_sets_lower
-from ..sparse.pattern import lower_pattern
+from ..ordering.levelsets import LevelSets
+from ..kernels import backward_level_sets, cached_analysis, get_kernel
 from .symbolic import row_solve_costs
 from .upper import assign_round_robin
 
 __all__ = [
     "trisolve_lower_serial",
     "trisolve_upper_serial",
+    "trisolve_lower_levels",
+    "trisolve_upper_levels",
     "trisolve_factor",
+    "trisolve_factor_levels",
     "upper_solve_levels",
     "LevelizedTriangularSolver",
     "simulate_trisolve_barrier",
@@ -51,44 +54,48 @@ __all__ = [
 # numeric sweeps
 # ----------------------------------------------------------------------
 def trisolve_lower_serial(F: CSRMatrix, b):
-    """Forward solve ``L y = b`` on the combined factor (unit diagonal)."""
-    b = np.asarray(b, dtype=np.float64)
-    n = F.n_rows
-    y = np.empty(n)
-    indptr, indices, data = F.indptr, F.indices, F.data
-    for i in range(n):
-        lo, hi = int(indptr[i]), int(indptr[i + 1])
-        cols = indices[lo:hi]
-        cut = int(np.searchsorted(cols, i))
-        acc = b[i]
-        if cut:
-            acc -= np.dot(data[lo : lo + cut], y[cols[:cut]])
-        y[i] = acc
-    return y
+    """Forward solve ``L y = b`` on the combined factor (unit diagonal).
+
+    The scalar reference backend of the ``trisolve_lower`` kernel: its
+    per-row, ascending-column accumulation order is the contract the
+    level-batched backend reproduces bit-for-bit.
+    """
+    return get_kernel("trisolve_lower", "scalar")(F, b)
 
 
 def trisolve_upper_serial(F: CSRMatrix, y):
-    """Backward solve ``U x = y`` on the combined factor."""
-    y = np.asarray(y, dtype=np.float64)
-    n = F.n_rows
-    x = np.empty(n)
-    indptr, indices, data = F.indptr, F.indices, F.data
-    for i in range(n - 1, -1, -1):
-        lo, hi = int(indptr[i]), int(indptr[i + 1])
-        cols = indices[lo:hi]
-        cut = int(np.searchsorted(cols, i))
-        if cut >= hi - lo or cols[cut] != i:
-            raise ValueError(f"missing diagonal in factored row {i}")
-        acc = y[i]
-        if cut + 1 < hi - lo:
-            acc -= np.dot(data[lo + cut + 1 : hi], x[cols[cut + 1 :]])
-        x[i] = acc / data[lo + cut]
-    return x
+    """Backward solve ``U x = y`` on the combined factor (scalar reference)."""
+    return get_kernel("trisolve_upper", "scalar")(F, y)
+
+
+def trisolve_lower_levels(F: CSRMatrix, b, *, plan=None, backend="batched"):
+    """Forward solve driven by precomputed level sets.
+
+    All rows of a level solve in one gather/multiply/segment-reduce
+    pass; results are bit-identical to :func:`trisolve_lower_serial`.
+    ``plan`` (a :class:`~repro.kernels.TriSolvePlan`) defaults to the
+    pattern-keyed symbolic cache, so repeated solves on one factor pay
+    the level analysis once.
+    """
+    return get_kernel("trisolve_lower", backend)(F, b, plan=plan)
+
+
+def trisolve_upper_levels(F: CSRMatrix, y, *, plan=None, backend="batched"):
+    """Backward solve driven by precomputed level sets (see above)."""
+    return get_kernel("trisolve_upper", backend)(F, y, plan=plan)
 
 
 def trisolve_factor(F: CSRMatrix, b):
-    """Apply the full preconditioner solve ``x = U⁻¹ L⁻¹ b``."""
+    """Apply the full preconditioner solve ``x = U⁻¹ L⁻¹ b`` (scalar)."""
     return trisolve_upper_serial(F, trisolve_lower_serial(F, b))
+
+
+def trisolve_factor_levels(F: CSRMatrix, b, *, analysis=None):
+    """Level-batched ``x = U⁻¹ L⁻¹ b`` — bit-identical to :func:`trisolve_factor`."""
+    if analysis is None:
+        analysis = cached_analysis(F)
+    y = trisolve_lower_levels(F, b, plan=analysis.plan("lower"))
+    return trisolve_upper_levels(F, y, plan=analysis.plan("upper"))
 
 
 # ----------------------------------------------------------------------
@@ -101,19 +108,7 @@ def upper_solve_levels(S: CSRMatrix):
     to top.  Returns a :class:`LevelSets` whose permutation orders rows
     by backward level (rows solved first come first).
     """
-    n = S.n_rows
-    level_of = np.zeros(n, dtype=np.int64)
-    for i in range(n - 1, -1, -1):
-        cols = S.indices[S.indptr[i] : S.indptr[i + 1]]
-        deps = cols[cols > i]
-        if deps.size:
-            level_of[i] = int(level_of[deps].max()) + 1
-    n_levels = int(level_of.max()) + 1 if n else 0
-    counts = np.bincount(level_of, minlength=n_levels)
-    level_ptr = np.zeros(n_levels + 1, dtype=np.int64)
-    np.cumsum(counts, out=level_ptr[1:])
-    rows = np.argsort(level_of, kind="stable").astype(np.int64)
-    return LevelSets(level_of=level_of, level_ptr=level_ptr, rows=rows)
+    return backward_level_sets(S)
 
 
 # ----------------------------------------------------------------------
@@ -126,76 +121,34 @@ class LevelizedTriangularSolver:
     independent, so each level solves as *one* batched gather-multiply-
     segmented-reduce instead of a Python-level loop per row — the
     closest a pure-NumPy implementation gets to the vector-lane
-    execution the paper targets.  The per-level structures are built
-    once and reused across the thousands of solves an ILU-preconditioned
-    Krylov run performs (§VI's amortization argument).
+    execution the paper targets.  The per-level plans come from the
+    pattern-keyed symbolic cache, built once (vectorized, no per-row
+    Python loop) and reused across the thousands of solves an
+    ILU-preconditioned Krylov run performs (§VI's amortization
+    argument).
 
-    Produces results identical to the serial sweeps up to the order of
-    the per-row accumulation (np.add.at accumulates in entry order =
-    ascending column order, matching the serial dot products).
+    Results are bit-identical to the scalar reference sweeps
+    (:func:`trisolve_lower_serial` / :func:`trisolve_upper_serial`): the
+    batched segment reduction adds entries in exactly the scalar
+    ascending-column order.
     """
 
     def __init__(self, F: CSRMatrix):
         self.F = F
-        n = F.n_rows
-        fwd_levels = level_sets_lower(lower_pattern(F.pattern_copy()))
-        bwd_levels = upper_solve_levels(F)
-        self._diag_idx = np.empty(n, dtype=np.int64)
-        for r in range(n):
-            cols = F.indices[F.indptr[r] : F.indptr[r + 1]]
-            p = int(np.searchsorted(cols, r))
-            if p >= cols.shape[0] or cols[p] != r:
-                raise ValueError(f"missing diagonal in factored row {r}")
-            self._diag_idx[r] = F.indptr[r] + p
-        self._fwd = self._build(fwd_levels, part="lower")
-        self._bwd = self._build(bwd_levels, part="upper")
-
-    def _build(self, levels, part):
-        F = self.F
-        plan = []
-        for l in range(levels.n_levels):
-            rows = np.asarray(levels.level_rows(l), dtype=np.int64)
-            ent_idx = []
-            ent_row_local = []
-            for k, r in enumerate(rows):
-                lo, hi = int(F.indptr[r]), int(F.indptr[r + 1])
-                cols = F.indices[lo:hi]
-                mask = cols < r if part == "lower" else cols > r
-                idx = np.nonzero(mask)[0] + lo
-                ent_idx.append(idx)
-                ent_row_local.append(np.full(idx.shape[0], k, dtype=np.int64))
-            ent_idx = np.concatenate(ent_idx) if ent_idx else np.empty(0, dtype=np.int64)
-            ent_row_local = (
-                np.concatenate(ent_row_local) if ent_row_local else np.empty(0, dtype=np.int64)
-            )
-            plan.append((rows, ent_idx, ent_row_local))
-        return plan
+        analysis = cached_analysis(F)
+        # plan construction validates the diagonal and raises the same
+        # "missing diagonal in factored row" error the sweeps would
+        self._fwd_plan = analysis.plan("lower")
+        self._bwd_plan = analysis.plan("upper")
+        self.analysis = analysis
 
     def forward(self, b):
         """Solve ``L y = b`` (unit diagonal), one vector op per level."""
-        F = self.F
-        b = np.asarray(b, dtype=np.float64)
-        y = np.zeros(F.n_rows)
-        for rows, ent_idx, local in self._fwd:
-            acc = b[rows].copy()
-            if ent_idx.size:
-                prod = F.data[ent_idx] * y[F.indices[ent_idx]]
-                np.subtract.at(acc, local, prod)
-            y[rows] = acc
-        return y
+        return trisolve_lower_levels(self.F, b, plan=self._fwd_plan)
 
     def backward(self, y):
-        """Solve ``U x = y``, one vector op per level (reverse order)."""
-        F = self.F
-        y = np.asarray(y, dtype=np.float64)
-        x = np.zeros(F.n_rows)
-        for rows, ent_idx, local in self._bwd:
-            acc = y[rows].copy()
-            if ent_idx.size:
-                prod = F.data[ent_idx] * x[F.indices[ent_idx]]
-                np.subtract.at(acc, local, prod)
-            x[rows] = acc / F.data[self._diag_idx[rows]]
-        return x
+        """Solve ``U x = y``, one vector op per level."""
+        return trisolve_upper_levels(self.F, y, plan=self._bwd_plan)
 
     def solve(self, b):
         """Apply the preconditioner: ``x = U⁻¹ L⁻¹ b``."""

@@ -24,6 +24,7 @@ import numpy as np
 from ..machine.core import SimMachine
 from ..machine.trace import ExecutionTrace
 from ..sparse.csr import CSRMatrix
+from ..kernels import get_kernel
 from .iluk import factor_row
 
 __all__ = [
@@ -58,13 +59,6 @@ def factor_rows_upper(F: CSRMatrix, m, diag_pos, *, pivot_tol=0.0):
     return F
 
 
-def _row_deps(S: CSRMatrix, r, limit):
-    """Strict-lower dependencies of row ``r`` below ``limit``."""
-    cols = S.indices[S.indptr[r] : S.indptr[r + 1]]
-    deps = cols[cols < min(r, limit)]
-    return deps
-
-
 def assign_dynamic(level_ptr, n_threads, machine, flops, touched, chunk=1):
     """OpenMP DYNAMIC(chunk) self-scheduling assignment.
 
@@ -82,13 +76,28 @@ def assign_dynamic(level_ptr, n_threads, machine, flops, touched, chunk=1):
     load = np.zeros(n_threads)
     grab = machine.spec.task_dispatch_overhead * 0.25  # a chunk grab is a
     # fetch-and-add on the loop counter, far cheaper than a task dispatch
-    for lo in range(0, m, chunk):
-        hi = min(lo + chunk, m)
-        t = int(np.argmin(load))
-        thread_of[lo:hi] = t
-        load[t] += grab + sum(
-            machine.work_time(flops[r], touched[r], thread=t) for r in range(lo, hi)
-        )
+    if m:
+        # per-chunk work estimates, vectorized: one work_time_batch pass
+        # per distinct thread rate class (SMT sharing / NUMA placement
+        # can differentiate threads), then a segment sum per chunk —
+        # replacing the O(rows) of Python work_time calls the generator
+        # expression paid inside the chunk loop
+        starts = np.arange(0, m, chunk)
+        flops = np.asarray(flops[:m], dtype=np.float64)
+        touched = np.asarray(touched[:m], dtype=np.float64)
+        chunk_cost_by_class = {}
+        chunk_cost_of = []
+        for t in range(n_threads):
+            key = (float(machine._flops_per_thread[t]), float(machine._bw_per_thread[t]))
+            if key not in chunk_cost_by_class:
+                cost = machine.work_time_batch(flops, touched, thread=t)
+                chunk_cost_by_class[key] = np.add.reduceat(cost, starts)
+            chunk_cost_of.append(chunk_cost_by_class[key])
+        for ci, lo in enumerate(starts):
+            hi = min(int(lo) + chunk, m)
+            t = int(np.argmin(load))
+            thread_of[lo:hi] = t
+            load[t] += grab + chunk_cost_of[t][ci]
     return thread_of, grab / max(chunk, 1)
 
 
@@ -103,6 +112,7 @@ def simulate_upper_p2p(
     trace: ExecutionTrace | None = None,
     policy="static",
     chunk=1,
+    backend="batched",
 ):
     """Simulate the point-to-point upper stage.
 
@@ -123,6 +133,11 @@ def simulate_upper_p2p(
         the default) or "dynamic" (OpenMP DYNAMIC(chunk) self-
         scheduling, the paper's §IV configuration — better balanced on
         skewed rows, pays a per-grab overhead).
+    backend:
+        DES kernel backend: "batched" (default — one-shot producer-CSR
+        dependency table plus vectorized ``work_time_batch`` row costs)
+        or "scalar" (the per-row reference loop).  Both produce
+        identical results; see ``repro.kernels``.
 
     Returns ``(makespan, finish, trace)`` where ``finish[r]`` is each
     row's completion time and makespan is the last thread's finish.
@@ -138,30 +153,17 @@ def simulate_upper_p2p(
         )
     else:
         raise ValueError(f"unknown scheduling policy {policy!r}")
-    thread_time = np.full(p, float(start_time))
-    finish = np.zeros(m)
-    if trace is None:
-        trace = ExecutionTrace(p)
-
-    for r in range(m):
-        t = int(thread_of[r])
-        start = thread_time[t] + per_row_overhead
-        deps = _row_deps(S, r, m)
-        if deps.size:
-            # sparsified sync: one wait per distinct producer thread,
-            # bounded by that thread's *latest* dependency row
-            producer = thread_of[deps]
-            for u in np.unique(producer):
-                if u == t:
-                    continue  # program order covers same-thread deps
-                latest = deps[producer == u].max()
-                start = max(start, finish[latest] + machine.sync_latency(t, int(u)))
-        stop = start + machine.work_time(flops[r], touched[r], thread=t)
-        finish[r] = stop
-        thread_time[t] = stop
-        trace.record(t, start, stop, label=("row", r))
-    makespan = float(thread_time.max()) if m else float(start_time)
-    return makespan, finish, trace
+    return get_kernel("upper_p2p_sim", backend)(
+        S,
+        machine,
+        thread_of,
+        flops,
+        touched,
+        m=m,
+        per_row_overhead=per_row_overhead,
+        start_time=start_time,
+        trace=trace,
+    )
 
 
 def simulate_upper_barrier(

@@ -1,0 +1,184 @@
+"""Pattern-keyed symbolic cache.
+
+An ILU-preconditioned Krylov run re-analyzes the same sparsity pattern
+over and over: every factor/solve cycle needs diagonal positions, level
+sets, level-ordered permutations, batched sweep plans, and row-cost
+arrays — all functions of ``(indptr, indices)`` alone, never of the
+values.  This module fingerprints the pattern and memoizes one
+:class:`SymbolicAnalysis` per fingerprint, so repeated cycles (GMRES
+restarts, CG re-preconditioning, parameter sweeps over ``τ``) pay the
+symbolic cost once.
+
+The fingerprint hashes the structure bytes, so any pattern mutation —
+a different fill level, a pruned entry, a permutation — produces a new
+key and therefore a fresh analysis; stale reuse is structurally
+impossible.  Cached analyses copy the pattern arrays, so later in-place
+edits of the source matrix cannot corrupt an existing entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+
+import numpy as np
+
+from ..sparse.csr import CSRMatrix
+from .plans import (
+    backward_level_sets,
+    build_trisolve_plan,
+    diag_positions,
+    forward_level_sets,
+)
+
+__all__ = [
+    "pattern_fingerprint",
+    "SymbolicAnalysis",
+    "SymbolicCache",
+    "default_cache",
+    "cached_analysis",
+    "clear_default_cache",
+]
+
+
+def pattern_fingerprint(M) -> str:
+    """Hex digest of ``(shape, indptr, indices)`` — the symbolic identity."""
+    h = hashlib.blake2b(digest_size=16)
+    h.update(np.asarray([M.n_rows, M.n_cols], dtype=np.int64).tobytes())
+    h.update(np.ascontiguousarray(M.indptr, dtype=np.int64).tobytes())
+    h.update(np.ascontiguousarray(M.indices, dtype=np.int64).tobytes())
+    return h.hexdigest()
+
+
+class SymbolicAnalysis:
+    """Memoized symbolic products of one sparsity pattern.
+
+    Every accessor computes on first use and returns the cached array
+    afterwards; ``compute_counts`` records how many times each product
+    was actually built (the cache tests assert a hit never rebuilds).
+    """
+
+    def __init__(self, M, fingerprint=None):
+        self.fingerprint = fingerprint or pattern_fingerprint(M)
+        self.n_rows = M.n_rows
+        self.n_cols = M.n_cols
+        # own copies: in-place edits of the source matrix must not
+        # corrupt an entry already keyed by the old fingerprint
+        self._pattern = CSRMatrix(
+            M.n_rows,
+            M.n_cols,
+            np.array(M.indptr, dtype=np.int64, copy=True),
+            np.array(M.indices, dtype=np.int64, copy=True),
+            np.ones(int(M.indptr[-1])),
+            sort=False,
+            check=False,
+        )
+        self._memo = {}
+        self.compute_counts = {}
+
+    @property
+    def nnz(self):
+        return self._pattern.nnz
+
+    def _get(self, key, builder):
+        if key not in self._memo:
+            self._memo[key] = builder()
+            self.compute_counts[key] = self.compute_counts.get(key, 0) + 1
+        return self._memo[key]
+
+    def diag_pos(self, *, message="missing diagonal in factored row {row}"):
+        """Storage index of every diagonal entry (whole-matrix searchsorted)."""
+        return self._get("diag_pos", lambda: diag_positions(self._pattern, message=message))
+
+    def levels(self, part):
+        """Level sets of the forward ('lower') or backward ('upper') sweep."""
+        if part == "lower":
+            return self._get("levels_lower", lambda: forward_level_sets(self._pattern))
+        if part == "upper":
+            return self._get("levels_upper", lambda: backward_level_sets(self._pattern))
+        raise ValueError("part must be 'lower' or 'upper'")
+
+    def level_order(self, part):
+        """The level-ordered permutation (rows grouped by level)."""
+        return self.levels(part).rows
+
+    def plan(self, part):
+        """The batched sweep plan for ``part`` (reuses levels + diag_pos)."""
+        key = f"plan_{part}"
+        return self._get(
+            key,
+            lambda: build_trisolve_plan(
+                self._pattern,
+                part,
+                levels=self.levels(part),
+                diag_idx=self.diag_pos() if part == "upper" else None,
+            ),
+        )
+
+    def solve_costs(self, part):
+        """Per-row (flops, touched) of one triangular sweep (cost model)."""
+        from ..core.symbolic import row_solve_costs
+
+        return self._get(f"solve_costs_{part}", lambda: row_solve_costs(self._pattern, part=part))
+
+    def factor_costs(self):
+        """Per-row (flops, touched) of the up-looking factorization."""
+        from ..core.symbolic import row_factor_costs
+
+        return self._get("factor_costs", lambda: row_factor_costs(self._pattern))
+
+
+class SymbolicCache:
+    """LRU cache of :class:`SymbolicAnalysis`, keyed by pattern fingerprint."""
+
+    def __init__(self, max_entries=32):
+        self.max_entries = int(max_entries)
+        self._entries: OrderedDict[str, SymbolicAnalysis] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def analysis(self, M) -> SymbolicAnalysis:
+        """The (possibly cached) symbolic analysis of ``M``'s pattern."""
+        key = pattern_fingerprint(M)
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return entry
+        self.misses += 1
+        entry = SymbolicAnalysis(M, fingerprint=key)
+        self._entries[key] = entry
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+        return entry
+
+    def __contains__(self, M):
+        return pattern_fingerprint(M) in self._entries
+
+    def __len__(self):
+        return len(self._entries)
+
+    def stats(self):
+        return {"hits": self.hits, "misses": self.misses, "entries": len(self._entries)}
+
+    def clear(self):
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+_DEFAULT_CACHE = SymbolicCache()
+
+
+def default_cache() -> SymbolicCache:
+    """The process-wide cache the high-level APIs route through."""
+    return _DEFAULT_CACHE
+
+
+def cached_analysis(M) -> SymbolicAnalysis:
+    """Shorthand: analysis of ``M`` from the default cache."""
+    return _DEFAULT_CACHE.analysis(M)
+
+
+def clear_default_cache():
+    _DEFAULT_CACHE.clear()

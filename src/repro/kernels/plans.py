@@ -1,0 +1,216 @@
+"""Precomputed structures driving the level-batched kernels.
+
+A :class:`TriSolvePlan` holds everything a batched triangular sweep
+needs: the rows in level order, per-level boundaries, and — aligned
+arrays — the storage index of every strict-part entry grouped by its
+row's position in the level ordering.  With that in hand each level
+solves as one gather / multiply / segment-reduce, and the plan is built
+*without per-row Python loops* (one ``argsort`` over the strict-part
+entries does the grouping), so symbolic setup scales with nnz.
+
+The accumulation contract: within a row, entries appear in ascending
+column order (CSR order, preserved by the stable sort), and the batched
+segment reduction (:func:`numpy.bincount`) adds them strictly
+sequentially in that order — exactly the scalar reference's
+``s += data[k] * y[col[k]]`` loop, so the two backends agree
+bit-for-bit.
+
+Also here: the array-level level-set computations shared by the plans
+and the symbolic cache, and the whole-matrix diagonal locator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..ordering.levelsets import LevelSets
+
+__all__ = [
+    "TriSolvePlan",
+    "build_trisolve_plan",
+    "forward_level_sets",
+    "backward_level_sets",
+    "diag_positions",
+    "build_producer_csr",
+]
+
+
+def _pack_levels(level_of, n):
+    n_levels = int(level_of.max()) + 1 if n else 0
+    counts = np.bincount(level_of, minlength=n_levels)
+    level_ptr = np.zeros(n_levels + 1, dtype=np.int64)
+    np.cumsum(counts, out=level_ptr[1:])
+    rows = np.argsort(level_of, kind="stable").astype(np.int64)
+    return LevelSets(level_of=level_of, level_ptr=level_ptr, rows=rows)
+
+
+def forward_level_sets(pattern) -> LevelSets:
+    """Level sets of the forward sweep: deps are strict-lower entries.
+
+    Equivalent to ``level_sets_lower(lower_pattern(S))`` without the
+    pattern copy.
+    """
+    n = pattern.n_rows
+    indptr, indices = pattern.indptr, pattern.indices
+    level_of = np.zeros(n, dtype=np.int64)
+    for r in range(n):
+        cols = indices[indptr[r] : indptr[r + 1]]
+        deps = cols[cols < r]
+        if deps.size:
+            level_of[r] = int(level_of[deps].max()) + 1
+    return _pack_levels(level_of, n)
+
+
+def backward_level_sets(pattern) -> LevelSets:
+    """Level sets of the backward sweep: deps are strict-upper entries.
+
+    ``level[i] = 1 + max(level[j] : j > i, s_ij ≠ 0)`` computed bottom to
+    top; rows solved first (no upper deps) land in level 0.
+    """
+    n = pattern.n_rows
+    indptr, indices = pattern.indptr, pattern.indices
+    level_of = np.zeros(n, dtype=np.int64)
+    for i in range(n - 1, -1, -1):
+        cols = indices[indptr[i] : indptr[i + 1]]
+        deps = cols[cols > i]
+        if deps.size:
+            level_of[i] = int(level_of[deps].max()) + 1
+    return _pack_levels(level_of, n)
+
+
+def diag_positions(pattern, *, message="missing diagonal in factored row {row}"):
+    """Storage index of every ``(r, r)`` entry, whole-matrix vectorized.
+
+    One ``searchsorted`` over global ``(row, col)`` keys replaces the
+    per-row loop; ``message`` keeps the caller's historical
+    ``ValueError`` diagnostics (``{row}`` is substituted).
+    """
+    n = pattern.n_rows
+    indptr, indices = pattern.indptr, pattern.indices
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    ncol = np.int64(pattern.n_cols)
+    keys = (
+        np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr)) * ncol + indices
+    )
+    want = np.arange(n, dtype=np.int64) * (ncol + 1)
+    pos = np.searchsorted(keys, want)
+    nnz = keys.shape[0]
+    bad = (pos >= nnz) | (keys[np.minimum(pos, nnz - 1)] != want)
+    if np.any(bad):
+        row = int(np.flatnonzero(bad)[0])
+        raise ValueError(message.format(row=row))
+    return pos.astype(np.int64)
+
+
+@dataclass
+class TriSolvePlan:
+    """Gather/scatter structure for one level-batched triangular sweep.
+
+    ``ent_idx[lev_ent_ptr[l]:lev_ent_ptr[l+1]]`` are the storage indices
+    of the strict-``part`` entries of level ``l``'s rows, grouped by row
+    (ascending row id within the level, ascending column within a row);
+    ``ent_local`` maps each entry to its row's local index inside the
+    level.  ``diag_idx`` is present for upper sweeps only.
+    """
+
+    part: str
+    n: int
+    rows: np.ndarray
+    level_ptr: np.ndarray
+    ent_idx: np.ndarray
+    ent_local: np.ndarray
+    lev_ent_ptr: np.ndarray
+    diag_idx: np.ndarray | None = None
+
+    @property
+    def n_levels(self):
+        return self.level_ptr.shape[0] - 1
+
+
+def build_trisolve_plan(pattern, part, *, levels=None, diag_idx=None) -> TriSolvePlan:
+    """Build the batched sweep structure for ``part`` ('lower'|'upper').
+
+    ``levels`` (a :class:`LevelSets`) and ``diag_idx`` can be supplied
+    by the symbolic cache to avoid recomputation.
+    """
+    if part not in ("lower", "upper"):
+        raise ValueError("part must be 'lower' or 'upper'")
+    n = pattern.n_rows
+    indptr, indices = pattern.indptr, pattern.indices
+    if levels is None:
+        levels = forward_level_sets(pattern) if part == "lower" else backward_level_sets(pattern)
+    if part == "upper" and diag_idx is None:
+        diag_idx = diag_positions(pattern)
+    rows = np.asarray(levels.rows, dtype=np.int64)
+    level_ptr = np.asarray(levels.level_ptr, dtype=np.int64)
+
+    row_of = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+    mask = indices < row_of if part == "lower" else indices > row_of
+    ent_all = np.flatnonzero(mask)  # CSR order: row-major, ascending column
+    # position of each entry's row in the level ordering
+    pos_of_row = np.empty(n, dtype=np.int64)
+    pos_of_row[rows] = np.arange(n, dtype=np.int64)
+    key = pos_of_row[row_of[ent_all]]
+    order = np.argsort(key, kind="stable")  # stable: column order survives
+    ent_idx = ent_all[order]
+    ent_pos = key[order]
+    # per-level entry boundaries: cumulative strict-part counts in level order
+    cnt = np.bincount(row_of[ent_all], minlength=n) if ent_all.size else np.zeros(n, dtype=np.int64)
+    row_ent_ptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(cnt[rows], out=row_ent_ptr[1:])
+    lev_ent_ptr = row_ent_ptr[level_ptr]
+    # local row index within the level
+    lev_of_ent = np.searchsorted(level_ptr, ent_pos, side="right") - 1
+    ent_local = ent_pos - level_ptr[lev_of_ent]
+    return TriSolvePlan(
+        part=part,
+        n=n,
+        rows=rows,
+        level_ptr=level_ptr,
+        ent_idx=ent_idx,
+        ent_local=ent_local,
+        lev_ent_ptr=lev_ent_ptr,
+        diag_idx=diag_idx,
+    )
+
+
+def build_producer_csr(S, m, thread_of):
+    """Per-row producer table for the p2p DES, built in one shot.
+
+    For every row ``r < m`` and every *other* thread ``u`` owning at
+    least one of ``r``'s strict-lower dependencies, record the latest
+    such dependency row (its finish bounds every earlier one under the
+    implied ordering).  Returns ``(ptr, producer_thread, latest_dep)``
+    as a CSR-like triple over rows — the per-row ``np.unique`` +
+    boolean-mask work the scalar DES loop repeats is done once here.
+    """
+    thread_of = np.asarray(thread_of, dtype=np.int64)
+    p = int(thread_of.max()) + 1 if thread_of.size else 1
+    ptr = np.zeros(m + 1, dtype=np.int64)
+    if m == 0:
+        return ptr, np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    end = int(S.indptr[m])
+    cols = S.indices[:end]
+    row_of = np.repeat(np.arange(m, dtype=np.int64), np.diff(S.indptr[: m + 1]))
+    dep_mask = cols < row_of  # deps of r<m are all < r, hence below m too
+    d = cols[dep_mask]
+    r_of = row_of[dep_mask]
+    if d.size == 0:
+        return ptr, np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    u = thread_of[d]
+    key = r_of * p + u
+    order = np.argsort(key, kind="stable")  # within a group, dep rows ascend
+    ks = key[order]
+    ds = d[order]
+    last = np.flatnonzero(np.r_[ks[1:] != ks[:-1], np.ones(1, dtype=bool)])
+    gkey = ks[last]
+    latest = ds[last]
+    g_row = gkey // p
+    g_u = gkey % p
+    keep = g_u != thread_of[g_row]  # program order covers same-thread deps
+    g_row, g_u, latest = g_row[keep], g_u[keep], latest[keep]
+    np.cumsum(np.bincount(g_row, minlength=m), out=ptr[1:])
+    return ptr, g_u, latest

@@ -1,0 +1,93 @@
+"""Kernel dispatch registry: one name, several interchangeable backends.
+
+The hot numeric paths (triangular sweeps, the upper-stage DES) each
+exist in two implementations that must agree bit-for-bit:
+
+* ``"scalar"`` — the per-row reference, written for auditability; the
+  accumulation order is the contract every other backend must honor.
+* ``"batched"`` — the level-batched NumPy backend: all rows of a level
+  set processed in one gather / multiply / segment-reduce pass.
+
+``get_kernel(name, backend=...)`` resolves an implementation;
+``register_kernel`` is the decorator backends use to sign up.  The
+default backend per kernel can be switched globally (e.g. to force the
+scalar path while bisecting a numerical discrepancy) with
+``set_default_backend``.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "register_kernel",
+    "get_kernel",
+    "available_backends",
+    "available_kernels",
+    "set_default_backend",
+    "get_default_backend",
+]
+
+_REGISTRY: dict[str, dict[str, object]] = {}
+_DEFAULT: dict[str, str] = {}
+
+
+def register_kernel(name, backend, *, default=False):
+    """Decorator registering ``fn`` as ``name``'s ``backend`` implementation.
+
+    The first backend registered for a name becomes its default unless a
+    later registration passes ``default=True``.
+    """
+
+    def deco(fn):
+        impls = _REGISTRY.setdefault(name, {})
+        if backend in impls:
+            raise ValueError(f"kernel {name!r} already has a {backend!r} backend")
+        impls[backend] = fn
+        if default or name not in _DEFAULT:
+            _DEFAULT[name] = backend
+        return fn
+
+    return deco
+
+
+def get_kernel(name, backend=None):
+    """Resolve a kernel implementation (default backend when unspecified)."""
+    impls = _REGISTRY.get(name)
+    if impls is None:
+        raise KeyError(
+            f"unknown kernel {name!r}; known: {sorted(_REGISTRY)}"
+        )
+    backend = backend or _DEFAULT[name]
+    try:
+        return impls[backend]
+    except KeyError:
+        raise KeyError(
+            f"kernel {name!r} has no {backend!r} backend; "
+            f"available: {sorted(impls)}"
+        ) from None
+
+
+def available_backends(name):
+    """Backends registered for ``name`` (sorted)."""
+    if name not in _REGISTRY:
+        raise KeyError(f"unknown kernel {name!r}")
+    return sorted(_REGISTRY[name])
+
+
+def available_kernels():
+    """All registered kernel names (sorted)."""
+    return sorted(_REGISTRY)
+
+
+def set_default_backend(name, backend):
+    """Globally switch which backend ``get_kernel(name)`` resolves to."""
+    if name not in _REGISTRY:
+        raise KeyError(f"unknown kernel {name!r}")
+    if backend not in _REGISTRY[name]:
+        raise KeyError(f"kernel {name!r} has no {backend!r} backend")
+    _DEFAULT[name] = backend
+
+
+def get_default_backend(name):
+    if name not in _DEFAULT:
+        raise KeyError(f"unknown kernel {name!r}")
+    return _DEFAULT[name]

@@ -1,0 +1,125 @@
+"""Triangular-sweep kernels: scalar reference and level-batched backend.
+
+Both backends implement the same contract on the combined L\\U factor:
+
+* ``trisolve_lower``: solve ``L y = b`` with unit diagonal, reading the
+  strict-lower entries of each row in ascending column order;
+* ``trisolve_upper``: solve ``U x = y`` reading the strict-upper entries
+  in ascending column order, then dividing by the diagonal.
+
+The per-row accumulation is ``s = 0; s += data[k] * sol[col[k]]`` in
+entry order followed by a single ``rhs - s`` (and ``/ diag`` for the
+upper sweep).  The batched backend reproduces this *bit-for-bit*: rows
+of a level are independent, so each level is one gather/multiply pass,
+and ``np.bincount`` performs the per-row segment sums strictly
+sequentially in the same entry order.  Tests assert exact equality, not
+closeness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .cache import cached_analysis
+from .registry import register_kernel
+
+__all__ = []  # access via repro.kernels.get_kernel
+
+
+# ----------------------------------------------------------------------
+# scalar reference
+# ----------------------------------------------------------------------
+@register_kernel("trisolve_lower", "scalar")
+def trisolve_lower_scalar(F, b, plan=None):
+    """Forward solve ``L y = b`` (unit diagonal), one row at a time."""
+    b = np.asarray(b, dtype=np.float64)
+    n = F.n_rows
+    y = np.empty(n)
+    indptr, indices, data = F.indptr, F.indices, F.data
+    for i in range(n):
+        lo, hi = int(indptr[i]), int(indptr[i + 1])
+        cols = indices[lo:hi]
+        cut = int(np.searchsorted(cols, i))
+        s = 0.0
+        for kk in range(lo, lo + cut):
+            s += data[kk] * y[indices[kk]]
+        y[i] = b[i] - s
+    return y
+
+
+@register_kernel("trisolve_upper", "scalar")
+def trisolve_upper_scalar(F, y, plan=None):
+    """Backward solve ``U x = y``, one row at a time."""
+    y = np.asarray(y, dtype=np.float64)
+    n = F.n_rows
+    x = np.empty(n)
+    indptr, indices, data = F.indptr, F.indices, F.data
+    for i in range(n - 1, -1, -1):
+        lo, hi = int(indptr[i]), int(indptr[i + 1])
+        cols = indices[lo:hi]
+        cut = int(np.searchsorted(cols, i))
+        if cut >= hi - lo or cols[cut] != i:
+            raise ValueError(f"missing diagonal in factored row {i}")
+        s = 0.0
+        for kk in range(lo + cut + 1, hi):
+            s += data[kk] * x[indices[kk]]
+        x[i] = (y[i] - s) / data[lo + cut]
+    return x
+
+
+# ----------------------------------------------------------------------
+# level-batched backend
+# ----------------------------------------------------------------------
+def _resolve_plan(F, part, plan):
+    if plan is None:
+        plan = cached_analysis(F).plan(part)
+    elif plan.part != part:
+        raise ValueError(f"plan is for part {plan.part!r}, kernel needs {part!r}")
+    return plan
+
+
+@register_kernel("trisolve_lower", "batched", default=True)
+def trisolve_lower_batched(F, b, plan=None):
+    """Forward solve, one gather/multiply/segment-reduce per level."""
+    plan = _resolve_plan(F, "lower", plan)
+    b = np.asarray(b, dtype=np.float64)
+    data, indices = F.data, F.indices
+    y = np.empty(plan.n)
+    rows, level_ptr = plan.rows, plan.level_ptr
+    ent_idx, ent_local, eptr = plan.ent_idx, plan.ent_local, plan.lev_ent_ptr
+    for l in range(plan.n_levels):
+        rlo, rhi = level_ptr[l], level_ptr[l + 1]
+        rows_l = rows[rlo:rhi]
+        elo, ehi = eptr[l], eptr[l + 1]
+        if ehi > elo:
+            ents = ent_idx[elo:ehi]
+            prod = data[ents] * y[indices[ents]]
+            s = np.bincount(ent_local[elo:ehi], weights=prod, minlength=rhi - rlo)
+        else:
+            s = 0.0
+        y[rows_l] = b[rows_l] - s
+    return y
+
+
+@register_kernel("trisolve_upper", "batched", default=True)
+def trisolve_upper_batched(F, y, plan=None):
+    """Backward solve, one gather/multiply/segment-reduce per level."""
+    plan = _resolve_plan(F, "upper", plan)
+    y = np.asarray(y, dtype=np.float64)
+    data, indices = F.data, F.indices
+    x = np.empty(plan.n)
+    rows, level_ptr = plan.rows, plan.level_ptr
+    ent_idx, ent_local, eptr = plan.ent_idx, plan.ent_local, plan.lev_ent_ptr
+    diag_idx = plan.diag_idx
+    for l in range(plan.n_levels):
+        rlo, rhi = level_ptr[l], level_ptr[l + 1]
+        rows_l = rows[rlo:rhi]
+        elo, ehi = eptr[l], eptr[l + 1]
+        if ehi > elo:
+            ents = ent_idx[elo:ehi]
+            prod = data[ents] * x[indices[ents]]
+            s = np.bincount(ent_local[elo:ehi], weights=prod, minlength=rhi - rlo)
+        else:
+            s = 0.0
+        x[rows_l] = (y[rows_l] - s) / data[diag_idx[rows_l]]
+    return x

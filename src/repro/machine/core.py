@@ -129,6 +129,30 @@ class SimMachine:
         t_mem = (bytes_ * (1.0 - remote)) / bw + (bytes_ * remote * spec.numa_remote_factor) / bw
         return max(t_flop, t_mem)
 
+    def work_time_batch(self, flops, nnz_touched, thread=0, vectorized=False, remote=None):
+        """Vectorized :meth:`work_time` over arrays of tasks.
+
+        ``flops``, ``nnz_touched`` and ``thread`` broadcast together;
+        the arithmetic mirrors the scalar query expression-for-expression
+        so each element is bit-identical to the corresponding
+        ``work_time`` call — the batched DES and schedulers rely on
+        exact agreement with the scalar reference.
+        """
+        spec = self.spec
+        flops = np.asarray(flops, dtype=np.float64)
+        nnz_touched = np.asarray(nnz_touched, dtype=np.float64)
+        thread = np.asarray(thread)
+        frate = self._flops_per_thread[thread]
+        if vectorized:
+            frate = frate * (1.0 + (spec.vector_lanes - 1) * spec.vector_efficiency)
+        t_flop = flops / frate
+        bytes_ = nnz_touched * _BYTES_PER_NNZ
+        if remote is None:
+            remote = spec.remote_traffic_fraction if self.n_sockets_used > 1 else 0.0
+        bw = self._bw_per_thread[thread]
+        t_mem = (bytes_ * (1.0 - remote)) / bw + (bytes_ * remote * spec.numa_remote_factor) / bw
+        return np.maximum(t_flop, t_mem)
+
     def sync_latency(self, waiter_thread, producer_thread):
         """Point-to-point spin-wait observe latency between two threads."""
         spec = self.spec
@@ -138,6 +162,20 @@ class SimMachine:
         if self.socket_of[waiter_thread] != self.socket_of[producer_thread]:
             lat *= spec.cross_socket_sync_factor
         return lat
+
+    def sync_latency_matrix(self):
+        """All pairwise spin latencies as a ``p × p`` table.
+
+        ``M[w, u] == sync_latency(w, u)`` exactly; the batched DES looks
+        latencies up here instead of calling the scalar query per row.
+        """
+        spec = self.spec
+        p = self.n_threads
+        M = np.full((p, p), spec.spin_poll)
+        cross = self.socket_of[:, None] != self.socket_of[None, :]
+        M[cross] = spec.spin_poll * spec.cross_socket_sync_factor
+        np.fill_diagonal(M, 0.0)
+        return M
 
     def barrier_cost(self):
         """Cost of a full barrier across all active threads."""

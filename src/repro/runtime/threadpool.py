@@ -97,10 +97,12 @@ def threaded_trisolve_lower(F: CSRMatrix, b, level_ptr, n_threads):
                 lo, hi = int(indptr[r]), int(indptr[r + 1])
                 cols = indices[lo:hi]
                 cut = int(np.searchsorted(cols, r))
-                acc = b[r]
-                if cut:
-                    acc -= float(np.dot(data[lo : lo + cut], y[cols[:cut]]))
-                y[r] = acc
+                # sequential entry-order accumulation: the kernel layer's
+                # bit-identical contract (np.dot may pair products)
+                s = 0.0
+                for kk in range(lo, lo + cut):
+                    s += data[kk] * y[indices[kk]]
+                y[r] = b[r] - s
                 board.publish(t, r)
         except BaseException as e:
             errors.append(e)

@@ -14,7 +14,7 @@ Each accepts ``M``: a callable applying the preconditioner solve
 :class:`SolveResult` with the iteration count and residual history.
 """
 
-from .common import SolveResult, as_operator
+from .common import SolveResult, as_operator, as_preconditioner
 from .cg import cg
 from .gmres import gmres
 from .bicgstab import bicgstab
@@ -24,6 +24,7 @@ from .fgmres import fgmres
 __all__ = [
     "SolveResult",
     "as_operator",
+    "as_preconditioner",
     "cg",
     "gmres",
     "bicgstab",

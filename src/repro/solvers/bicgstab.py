@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .common import SolveResult, as_operator
+from .common import SolveResult, as_operator, as_preconditioner
 
 __all__ = ["bicgstab"]
 
@@ -20,6 +20,7 @@ def bicgstab(A, b, *, M=None, x0=None, tol=1e-6, maxiter=5000):
     ``iterations`` counts full BiCGSTAB steps (two matvecs each).
     """
     matvec = as_operator(A)
+    M = as_preconditioner(M)
     b = np.asarray(b, dtype=np.float64)
     n = b.shape[0]
     x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .common import SolveResult, as_operator
+from .common import SolveResult, as_operator, as_preconditioner
 
 __all__ = ["cg"]
 
@@ -23,11 +23,14 @@ def cg(A, b, *, M=None, x0=None, tol=1e-6, maxiter=5000):
     A:
         SPD matrix-like (CSRMatrix, dense array, or matvec callable).
     M:
-        Optional preconditioner application ``z = M⁻¹ r``.
+        Optional preconditioner: a callable ``z = M⁻¹ r``, a factored
+        :class:`JavelinILU`, or a combined L\\U factor in CSR form (see
+        :func:`as_preconditioner`).
     tol:
         Relative-residual convergence threshold ``‖r‖/‖b‖ ≤ tol``.
     """
     matvec = as_operator(A)
+    M = as_preconditioner(M)
     b = np.asarray(b, dtype=np.float64)
     n = b.shape[0]
     x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()

@@ -6,7 +6,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["SolveResult", "as_operator"]
+__all__ = ["SolveResult", "as_operator", "as_preconditioner"]
 
 
 @dataclass
@@ -37,3 +37,34 @@ def as_operator(A):
         return A.matvec
     arr = np.asarray(A, dtype=np.float64)
     return lambda x: arr @ x
+
+
+def as_preconditioner(M):
+    """Normalize ``M`` into an ``apply(r) -> z`` callable (or None).
+
+    Accepted forms:
+
+    * ``None`` — unpreconditioned;
+    * a callable — used as-is (e.g. ``ilu.solve`` or a custom apply);
+    * an object with ``build_solver()`` (a factored
+      :class:`~repro.core.JavelinILU`) — its fast reusable apply;
+    * a combined L\\U factor in CSR form — wrapped in a
+      :class:`~repro.core.trisolve.LevelizedTriangularSolver`, whose
+      level-batched sweeps come from the pattern-keyed symbolic cache.
+      The factor must be in the *same row/column order as A* (e.g. from
+      :func:`~repro.core.iluk.ilu0_factor`); for a permuted
+      ``JavelinILU`` factor pass the ``JavelinILU`` object itself,
+      which applies its permutation around the sweeps.
+    """
+    if M is None or callable(M):
+        return M
+    if hasattr(M, "build_solver"):
+        return M.build_solver()
+    if hasattr(M, "indptr") and hasattr(M, "indices") and hasattr(M, "data"):
+        from ..core.trisolve import LevelizedTriangularSolver
+
+        return LevelizedTriangularSolver(M).solve
+    raise TypeError(
+        f"cannot interpret {type(M).__name__} as a preconditioner; pass a "
+        "callable, a JavelinILU, or a factored CSR matrix"
+    )

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .common import SolveResult, as_operator
+from .common import SolveResult, as_operator, as_preconditioner
 
 __all__ = ["gmres"]
 
@@ -18,10 +18,13 @@ __all__ = ["gmres"]
 def gmres(A, b, *, M=None, x0=None, tol=1e-6, restart=50, maxiter=5000):
     """Solve ``A x = b`` with restarted, right-preconditioned GMRES.
 
+    ``M`` may be a callable, a factored :class:`JavelinILU`, or a
+    combined L\\U factor in CSR form (see :func:`as_preconditioner`).
     ``iterations`` in the result counts inner Arnoldi steps (one matvec
     each), accumulated across restarts — the quantity Table II reports.
     """
     matvec = as_operator(A)
+    M = as_preconditioner(M)
     b = np.asarray(b, dtype=np.float64)
     n = b.shape[0]
     x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()

@@ -50,7 +50,7 @@ class TestLevelizedSolver:
     def test_diagonal_matrix_one_level_each_way(self):
         F = from_dense(np.diag([2.0, 4.0]))
         lv = LevelizedTriangularSolver(F)
-        assert len(lv._fwd) == 1 and len(lv._bwd) == 1
+        assert lv._fwd_plan.n_levels == 1 and lv._bwd_plan.n_levels == 1
         assert np.allclose(lv.solve(np.array([2.0, 8.0])), [1.0, 2.0])
 
     def test_facade_build_solver(self, rng):

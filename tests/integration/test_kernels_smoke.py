@@ -1,0 +1,52 @@
+"""Tier-1 gate on the kernel layer: ``bench_kernels.py --check``.
+
+Runs the benchmark script's fast mode as a subprocess — the same
+command a developer uses locally — which fails on either a scalar/
+batched divergence (the bit-identical contract) or a >2x speedup
+regression against the recorded ``BENCH_kernels.json`` baseline.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+SCRIPT = os.path.join(REPO, "benchmarks", "bench_kernels.py")
+BASELINE = os.path.join(REPO, "benchmarks", "results", "BENCH_kernels.json")
+
+
+def test_bench_kernels_check_passes():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src")
+    proc = subprocess.run(
+        [sys.executable, SCRIPT, "--check"],
+        cwd=REPO,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, (
+        f"bench_kernels --check failed\nstdout:\n{proc.stdout}\nstderr:\n{proc.stderr}"
+    )
+    assert "exact=True" in proc.stdout
+
+
+def test_recorded_baseline_meets_acceptance():
+    """The committed baseline shows >=5x batched speedup at n >= 50k."""
+    if not os.path.exists(BASELINE):
+        pytest.fail(f"baseline {BASELINE} missing — run bench_kernels.py")
+    with open(BASELINE) as fh:
+        record = json.load(fh)
+    big = [
+        e
+        for e in record["entries"]
+        if e["kernel"] == "trisolve" and e["n"] >= 50_000
+    ]
+    assert big, "no trisolve entry with n >= 50k in the baseline"
+    for e in big:
+        assert e["exact_equal"], f"{e['case']}: backends diverged"
+        assert e["speedup"] >= 5.0, f"{e['case']}: speedup {e['speedup']:.1f}x < 5x"

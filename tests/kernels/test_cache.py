@@ -1,0 +1,144 @@
+"""Pattern-keyed symbolic cache: hits, invalidation, memoization."""
+
+import numpy as np
+import pytest
+
+from repro.core.iluk import ilu0_factor
+from repro.kernels import (
+    SymbolicCache,
+    cached_analysis,
+    clear_default_cache,
+    default_cache,
+    pattern_fingerprint,
+)
+from repro.sparse import CSRMatrix, from_dense
+
+from helpers import random_csr
+
+
+def _factor(n=30, seed=0):
+    return ilu0_factor(random_csr(n, 0.15, seed=seed))
+
+
+class TestFingerprint:
+    def test_same_pattern_same_fingerprint(self):
+        F = _factor()
+        G = CSRMatrix(
+            F.n_rows, F.n_cols, F.indptr.copy(), F.indices.copy(), F.data * 3.0
+        )
+        # values differ, structure identical -> same symbolic identity
+        assert pattern_fingerprint(F) == pattern_fingerprint(G)
+
+    def test_pattern_mutation_changes_fingerprint(self):
+        F = _factor()
+        fp0 = pattern_fingerprint(F)
+        G = CSRMatrix(
+            F.n_rows,
+            F.n_cols,
+            F.indptr.copy(),
+            F.indices.copy(),
+            F.data.copy(),
+        )
+        # drop the last entry of the last row
+        G.indptr[-1] -= 1
+        G.indices = G.indices[:-1]
+        G.data = G.data[:-1]
+        assert pattern_fingerprint(G) != fp0
+
+    def test_shape_in_fingerprint(self):
+        E1 = CSRMatrix(2, 2, [0, 0, 0], [], [])
+        E2 = CSRMatrix(3, 3, [0, 0, 0, 0], [], [])
+        assert pattern_fingerprint(E1) != pattern_fingerprint(E2)
+
+
+class TestCacheBehavior:
+    def test_hit_returns_same_analysis_object(self):
+        cache = SymbolicCache()
+        F = _factor()
+        a1 = cache.analysis(F)
+        a2 = cache.analysis(F)
+        assert a1 is a2
+        assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
+
+    def test_hit_skips_recomputation(self):
+        cache = SymbolicCache()
+        F = _factor()
+        a = cache.analysis(F)
+        a.plan("lower"), a.plan("upper"), a.diag_pos()
+        counts = dict(a.compute_counts)
+        # every product built exactly once
+        assert set(counts.values()) == {1}
+        b = cache.analysis(F)
+        b.plan("lower"), b.plan("upper"), b.diag_pos()
+        assert b.compute_counts == counts  # nothing recomputed on the hit
+
+    def test_value_change_still_hits(self):
+        cache = SymbolicCache()
+        F = _factor()
+        cache.analysis(F)
+        F.data *= 2.0  # numeric refactorization, same pattern
+        assert F in cache
+        assert cache.analysis(F).fingerprint == pattern_fingerprint(F)
+        assert cache.hits == 1
+
+    def test_pattern_mutation_misses(self):
+        cache = SymbolicCache()
+        F = _factor()
+        cache.analysis(F)
+        G = CSRMatrix(
+            F.n_rows,
+            F.n_cols,
+            F.indptr.copy(),
+            F.indices.copy(),
+            F.data.copy(),
+        )
+        G.indptr[-1] -= 1
+        G.indices = G.indices[:-1]
+        G.data = G.data[:-1]
+        assert G not in cache
+        cache.analysis(G)
+        assert cache.stats() == {"hits": 0, "misses": 2, "entries": 2}
+
+    def test_source_mutation_cannot_corrupt_entry(self):
+        """The analysis copies the pattern, so in-place edits of the
+        source matrix don't change what an existing entry describes."""
+        cache = SymbolicCache()
+        F = _factor()
+        a = cache.analysis(F)
+        dp = a.diag_pos().copy()
+        F.indices[0] = (F.indices[0] + 1) % F.n_cols  # vandalize the source
+        assert np.array_equal(a.diag_pos(), dp)
+
+    def test_lru_eviction(self):
+        cache = SymbolicCache(max_entries=2)
+        Fs = [_factor(seed=s) for s in (1, 2, 3)]
+        for F in Fs:
+            cache.analysis(F)
+        assert len(cache) == 2
+        assert Fs[0] not in cache  # oldest evicted
+        assert Fs[2] in cache
+
+    def test_clear(self):
+        cache = SymbolicCache()
+        cache.analysis(_factor())
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats() == {"hits": 0, "misses": 0, "entries": 0}
+
+
+class TestDefaultCache:
+    def test_cached_analysis_routes_to_default(self):
+        clear_default_cache()
+        F = _factor(seed=9)
+        a = cached_analysis(F)
+        assert cached_analysis(F) is a
+        assert default_cache().hits >= 1
+        clear_default_cache()
+
+    def test_diag_pos_message_matches_trisolve_contract(self):
+        F = from_dense(np.array([[1.0, 2.0], [3.0, 4.0]]))
+        a = cached_analysis(F)
+        assert np.array_equal(a.diag_pos(), [0, 3])
+        missing = CSRMatrix(2, 2, [0, 1, 2], [1, 0], [1.0, 1.0])
+        with pytest.raises(ValueError, match="missing diagonal in factored row 0"):
+            cached_analysis(missing).plan("upper")
