@@ -35,6 +35,7 @@ from .core import (
     ilut_factor,
     iluk_tau_factor,
     PivotBreakdownError,
+    FactorizationBreakdown,
 )
 from .machine import SimMachine, haswell, knl, uniform_machine
 from .matrices import build_matrix, preorder_for_javelin, SUITE, GROUP_A, GROUP_B
@@ -46,7 +47,8 @@ from .ordering import (
     dulmage_mendelsohn_row_perm,
     level_schedule,
 )
-from .solvers import cg, gmres, bicgstab
+from .resilience import FaultPlan, FaultRunReport, ResilienceReport, ResilientFactor, RetryPolicy
+from .solvers import cg, gmres, bicgstab, fgmres
 from .sparse import CSRMatrix, COOMatrix, CSCMatrix, from_dense, read_matrix_market
 
 __version__ = "1.0.0"
@@ -80,6 +82,13 @@ __all__ = [
     "cg",
     "gmres",
     "bicgstab",
+    "fgmres",
+    "FactorizationBreakdown",
+    "ResilientFactor",
+    "RetryPolicy",
+    "ResilienceReport",
+    "FaultPlan",
+    "FaultRunReport",
     "CSRMatrix",
     "COOMatrix",
     "CSCMatrix",

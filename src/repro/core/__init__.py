@@ -22,6 +22,7 @@ Layout mirrors §III of the paper:
 """
 
 from .symbolic import ilu0_pattern, iluk_pattern, row_factor_costs, row_solve_costs
+from .breakdown import FactorizationBreakdown, classify_pivot
 from .iluk import ilu_factor_sequential, ilu0_factor, iluk_factor, PivotBreakdownError
 from .ilut import ilut_factor, iluk_tau_factor
 from .schedule import TwoStageSchedule, ScheduleOptions, build_schedule, rows_moved_for_alpha
@@ -55,6 +56,8 @@ __all__ = [
     "ilu0_factor",
     "iluk_factor",
     "PivotBreakdownError",
+    "FactorizationBreakdown",
+    "classify_pivot",
     "ilut_factor",
     "iluk_tau_factor",
     "TwoStageSchedule",

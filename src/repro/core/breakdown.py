@@ -1,0 +1,67 @@
+"""Failure taxonomy of the no-pivoting factorizations.
+
+Javelin factors without pivoting (§III), so a zero, tiny or non-finite
+pivot cannot be repaired locally — the factorization must abort.  This
+module defines the *structured* breakdown signal every factorization
+kernel raises, so callers (the retry driver in :mod:`repro.resilience`)
+can distinguish the failure modes and choose a recovery:
+
+* ``"zero"`` — the pivot evaluated to exactly 0.0 (structural
+  singularity or exact cancellation);
+* ``"tiny"`` — ``|pivot|`` at or below the configured ``pivot_floor``
+  (near-breakdown: the factor would be dominated by the division);
+* ``"nonfinite"`` — the pivot is NaN or ±Inf (an earlier overflow or an
+  invalid input has already poisoned the elimination).
+
+:func:`classify_pivot` is the single classification rule shared by the
+ILU, ILUT and IC kernels, so every path reports the same taxonomy.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["FactorizationBreakdown", "classify_pivot"]
+
+
+class FactorizationBreakdown(ArithmeticError):
+    """A factorization cannot proceed past a bad pivot.
+
+    Attributes
+    ----------
+    row:
+        Row (in the factoring order) whose pivot failed; ``-1`` when the
+        failure is not attributable to one row (e.g. a retry budget
+        exhausted).
+    value:
+        The offending pivot value.
+    kind:
+        One of ``"zero"``, ``"tiny"``, ``"nonfinite"`` — or a
+        subclass-specific refinement such as ``"negative"`` for
+        incomplete Cholesky.
+    """
+
+    def __init__(self, row, value, kind="zero", message=None):
+        super().__init__(
+            message or f"{kind} pivot at row {row} (value {value!r})"
+        )
+        self.row = int(row)
+        self.value = value
+        self.kind = kind
+
+
+def classify_pivot(value, pivot_floor=0.0):
+    """The breakdown kind of ``value`` as a pivot, or ``None`` if usable.
+
+    ``pivot_floor`` is the smallest acceptable ``|pivot|``; with the
+    default 0.0 only exact zeros and non-finite values are rejected
+    (the historical ``pivot_tol`` semantics).
+    """
+    v = float(value)
+    if not math.isfinite(v):
+        return "nonfinite"
+    if v == 0.0:
+        return "zero"
+    if abs(v) <= pivot_floor:
+        return "tiny"
+    return None

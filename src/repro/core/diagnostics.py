@@ -50,21 +50,50 @@ def row_residual_norms(A: CSRMatrix, F: CSRMatrix, *, on_pattern_only=True):
     return np.sqrt(np.sum(R * R, axis=1))
 
 
-def pivot_growth(A: CSRMatrix, F: CSRMatrix):
+def pivot_growth(A: CSRMatrix, F: CSRMatrix, *, tiny_tol=None):
     """Growth statistics of the factorization.
 
-    Returns a dict with the element growth factor
-    ``max|F| / max|A|``, the smallest |pivot|, and the pivot spread
-    ``max|pivot| / min|pivot|`` — large growth or tiny pivots flag the
-    no-pivoting factorization as unreliable before a solve is attempted.
+    Returns a dict with the element growth factor ``max|F| / max|A|``,
+    the smallest ``|pivot|``, the pivot spread
+    ``max|pivot| / min|pivot|``, and ``n_tiny_pivots`` — large growth,
+    tiny pivots or non-finite pivots flag the no-pivoting factorization
+    as unreliable before a solve is attempted.
+
+    Robustness contract: every statistic is well defined for empty,
+    zero, negative and non-finite diagonals.  ``min_pivot`` and
+    ``pivot_spread`` are computed over ``|pivot|`` (sign discarded) and
+    ignore non-finite entries, which are counted separately in
+    ``n_nonfinite_pivots``; a zero or absent smallest pivot makes the
+    spread ``inf``.  ``tiny_tol`` sets the threshold for
+    ``n_tiny_pivots`` (default: ``1e-12 · max|F|``).
     """
-    d = np.abs(F.diagonal())
+    d = np.abs(np.asarray(F.diagonal(), dtype=np.float64))
     max_a = float(np.abs(A.data).max()) if A.nnz else 0.0
-    max_f = float(np.abs(F.data).max()) if F.nnz else 0.0
+    with np.errstate(invalid="ignore"):
+        max_f = float(np.nanmax(np.abs(F.data))) if F.nnz else 0.0
+    if not np.isfinite(max_f):
+        max_f = np.inf
+    finite = d[np.isfinite(d)]
+    n_nonfinite = int(d.size - finite.size)
+    min_pivot = float(finite.min()) if finite.size else 0.0
+    max_pivot = float(finite.max()) if finite.size else 0.0
+    if tiny_tol is None:
+        tiny_tol = 1e-12 * max_f if np.isfinite(max_f) else 0.0
+    n_tiny = int(np.count_nonzero(finite <= tiny_tol)) + n_nonfinite
+    if finite.size and min_pivot > 0.0:
+        spread = max_pivot / min_pivot
+    else:
+        spread = np.inf
+    if max_a > 0.0:
+        growth = max_f / max_a
+    else:
+        growth = 0.0 if max_f == 0.0 else np.inf
     return {
-        "growth": max_f / max_a if max_a else np.inf,
-        "min_pivot": float(d.min()) if d.size else 0.0,
-        "pivot_spread": float(d.max() / d.min()) if d.size and d.min() > 0 else np.inf,
+        "growth": growth,
+        "min_pivot": min_pivot,
+        "pivot_spread": float(spread),
+        "n_tiny_pivots": n_tiny,
+        "n_nonfinite_pivots": n_nonfinite,
     }
 
 

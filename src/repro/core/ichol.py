@@ -28,6 +28,7 @@ import numpy as np
 
 from ..sparse.csr import CSRMatrix
 from ..sparse.pattern import lower_pattern
+from .breakdown import FactorizationBreakdown
 from .symbolic import iluk_pattern
 
 __all__ = [
@@ -39,13 +40,24 @@ __all__ = [
 ]
 
 
-class ICholBreakdownError(ArithmeticError):
-    """Nonpositive value encountered under the square root."""
+class ICholBreakdownError(FactorizationBreakdown):
+    """Nonpositive (or non-finite) value encountered under the square root.
 
-    def __init__(self, row, value):
-        super().__init__(f"IC breakdown at row {row}: sqrt of {value!r}")
-        self.row = row
-        self.value = value
+    ``kind`` refines the shared taxonomy for the symmetric case:
+    ``"zero"`` / ``"negative"`` for an indefinite leading minor,
+    ``"nonfinite"`` for a poisoned elimination.
+    """
+
+    def __init__(self, row, value, kind=None):
+        if kind is None:
+            v = float(value)
+            if v != v or v in (float("inf"), float("-inf")):
+                kind = "nonfinite"
+            else:
+                kind = "zero" if v == 0.0 else "negative"
+        super().__init__(
+            row, value, kind=kind, message=f"IC breakdown at row {row}: sqrt of {value!r}"
+        )
 
 
 def _sparse_dot_until(L: CSRMatrix, i, j, limit):
@@ -118,7 +130,8 @@ def ichol_factor(A: CSRMatrix, k: int = 0, *, pattern: CSRMatrix | None = None):
                 L.data[kk] = (L.data[kk] - s) / djj
             else:
                 v = L.data[kk] - s
-                if v <= 0.0:
+                # NaN fails 0 < v, Inf fails v < inf: both raise too
+                if not (0.0 < v < math.inf):
                     raise ICholBreakdownError(i, v)
                 L.data[kk] = math.sqrt(v)
     return L
@@ -152,7 +165,7 @@ def ichol_shifted(A: CSRMatrix, k: int = 0, *, shift0=1e-3, max_tries=16):
             return ichol_factor(B, k), alpha
         except ICholBreakdownError:
             alpha *= 2.0
-    raise ICholBreakdownError(-1, alpha)
+    raise ICholBreakdownError(-1, alpha, kind="exhausted")
 
 
 def ichol_solve(L: CSRMatrix, b):

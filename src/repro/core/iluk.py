@@ -20,22 +20,23 @@ from __future__ import annotations
 import numpy as np
 
 from ..sparse.csr import CSRMatrix
+from .breakdown import FactorizationBreakdown, classify_pivot
 from .symbolic import ilu0_pattern, iluk_pattern
 
 __all__ = ["ilu_factor_sequential", "ilu0_factor", "PivotBreakdownError", "factor_row"]
 
 
-class PivotBreakdownError(ZeroDivisionError):
-    """A structurally present pivot evaluated to (near) zero.
+class PivotBreakdownError(FactorizationBreakdown, ZeroDivisionError):
+    """A structurally present pivot evaluated to (near) zero or non-finite.
 
     Javelin does not pivot (§III), so factorization must abort; the
-    paper's WSMP comparison marks such failures with an 'x'.
+    paper's WSMP comparison marks such failures with an 'x'.  The
+    structured fields (``row``, ``value``, ``kind``) feed the retry
+    driver in :mod:`repro.resilience`.
     """
 
-    def __init__(self, row, value):
-        super().__init__(f"zero pivot at row {row} (value {value!r})")
-        self.row = row
-        self.value = value
+    def __init__(self, row, value, kind="zero"):
+        super().__init__(row, value, kind=kind)
 
 
 def _scatter_values(S: CSRMatrix, A: CSRMatrix):
@@ -74,19 +75,25 @@ def factor_row(F: CSRMatrix, i, diag_pos, pivot_tol=0.0):
     ``diag_pos[r]`` is the storage index of ``F[r, r]``.  This is the
     unit of work every executor schedules; keeping it a standalone
     function lets the sequential reference, the simulated stages and the
-    threaded runtime share one numerical kernel.
+    threaded runtime share one numerical kernel.  ``pivot_tol`` is the
+    pivot floor: a pivot with ``|p| <= pivot_tol``, or a non-finite
+    pivot, raises :class:`PivotBreakdownError` instead of dividing
+    through and poisoning every dependent row.
     """
     indptr, indices, data = F.indptr, F.indices, F.data
     lo, hi = int(indptr[i]), int(indptr[i + 1])
     cols = indices[lo:hi]
     ncols = cols.shape[0]
+    inf = float("inf")
     for kk in range(lo, hi):
         c = int(indices[kk])
         if c >= i:
             break
         pivot = data[diag_pos[c]]
-        if abs(pivot) <= pivot_tol:
-            raise PivotBreakdownError(c, pivot)
+        # one comparison covers zero, tiny AND NaN/Inf: abs(NaN) > tol
+        # is False and abs(Inf) < inf is False, so both fall through
+        if not (pivot_tol < abs(pivot) < inf):
+            raise PivotBreakdownError(c, pivot, kind=classify_pivot(pivot, pivot_tol))
         lic = data[kk] / pivot
         data[kk] = lic
         # update row i positions matching the upper part of row c —

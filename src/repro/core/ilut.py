@@ -20,6 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..sparse.csr import CSRMatrix
+from .breakdown import classify_pivot
 from .iluk import PivotBreakdownError
 from .symbolic import iluk_pattern
 
@@ -104,8 +105,8 @@ def ilut_factor(A: CSRMatrix, tau=1e-3, p=None, *, modified=False, pivot_tol=0.0
                 continue
             processed.add(c)
             pivot = u_diag[c]
-            if abs(pivot) <= pivot_tol:
-                raise PivotBreakdownError(c, pivot)
+            if not (pivot_tol < abs(pivot) < np.inf):
+                raise PivotBreakdownError(c, pivot, kind=classify_pivot(pivot, pivot_tol))
             lic = w[c] / pivot
             if abs(lic) < thresh and c != i:
                 # drop the multiplier itself
@@ -146,11 +147,11 @@ def ilut_factor(A: CSRMatrix, tau=1e-3, p=None, *, modified=False, pivot_tol=0.0
         div = w[i] if in_row[i] else 0.0
         if modified:
             div += dropped_mass
-        if abs(div) <= pivot_tol:
+        if not (pivot_tol < abs(div) < np.inf):
             # clean up workspace before raising
             w[act] = 0.0
             in_row[act] = False
-            raise PivotBreakdownError(i, div)
+            raise PivotBreakdownError(i, div, kind=classify_pivot(div, pivot_tol))
         row_cols = np.concatenate([lc, [i], uc_]).astype(np.int64)
         row_vals = np.concatenate([lv, [div], uv_])
         out_cols_rows.append(row_cols)

@@ -334,6 +334,8 @@ class JavelinILU:
         numa_aware_er=False,
         sched_policy="static",
         sched_chunk=1,
+        fault_plan=None,
+        fault_report=None,
     ) -> SimReport:
         """Modelled factorization time on a simulated machine.
 
@@ -346,6 +348,10 @@ class JavelinILU:
         blocking to the ER stage; ``sched_policy``/``sched_chunk``
         select static dealing vs OpenMP DYNAMIC(chunk) self-scheduling
         (the paper's §IV configuration) for the level-scheduled rows.
+        ``fault_plan``/``fault_report`` inject machine faults into the
+        p2p DES and report what fired (see ``repro.resilience``); for
+        straggler slowdowns to apply, construct the machine itself with
+        the plan (``SimMachine(spec, p, fault_plan=plan)``).
         """
         flops, touched = self._factor_costs()
         use_lower = (
@@ -353,7 +359,14 @@ class JavelinILU:
         ) and self.schedule.n_lower_rows > 0
         sim_upper = simulate_upper_p2p if sync == "p2p" else simulate_upper_barrier
         upper_kw = (
-            {"policy": sched_policy, "chunk": sched_chunk} if sync == "p2p" else {}
+            {
+                "policy": sched_policy,
+                "chunk": sched_chunk,
+                "fault_plan": fault_plan,
+                "fault_report": fault_report,
+            }
+            if sync == "p2p"
+            else {}
         )
         if not use_lower:
             ls = self._full_level_ptr()

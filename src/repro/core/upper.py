@@ -113,6 +113,8 @@ def simulate_upper_p2p(
     policy="static",
     chunk=1,
     backend="batched",
+    fault_plan=None,
+    fault_report=None,
 ):
     """Simulate the point-to-point upper stage.
 
@@ -138,6 +140,12 @@ def simulate_upper_p2p(
         dependency table plus vectorized ``work_time_batch`` row costs)
         or "scalar" (the per-row reference loop).  Both produce
         identical results; see ``repro.kernels``.
+    fault_plan, fault_report:
+        Optional :class:`repro.resilience.FaultPlan` injecting spin
+        faults and dropped notifications into the DES (stragglers are
+        carried by the machine itself), and a
+        :class:`repro.resilience.FaultRunReport` filled with what
+        happened.  Both backends honor them identically.
 
     Returns ``(makespan, finish, trace)`` where ``finish[r]`` is each
     row's completion time and makespan is the last thread's finish.
@@ -163,6 +171,8 @@ def simulate_upper_p2p(
         per_row_overhead=per_row_overhead,
         start_time=start_time,
         trace=trace,
+        fault_plan=fault_plan,
+        fault_report=fault_report,
     )
 
 

@@ -19,6 +19,7 @@ edits of the source matrix cannot corrupt an existing entry.
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 
 import numpy as np
@@ -75,16 +76,25 @@ class SymbolicAnalysis:
         )
         self._memo = {}
         self.compute_counts = {}
+        self._lock = threading.Lock()
 
     @property
     def nnz(self):
         return self._pattern.nnz
 
     def _get(self, key, builder):
-        if key not in self._memo:
-            self._memo[key] = builder()
-            self.compute_counts[key] = self.compute_counts.get(key, 0) + 1
-        return self._memo[key]
+        # reentrant use (plan() builds via levels()+diag_pos()) means the
+        # lock cannot be held across builder(), only around the memo dict
+        with self._lock:
+            hit = self._memo.get(key)
+        if hit is not None:
+            return hit
+        built = builder()
+        with self._lock:
+            if key not in self._memo:
+                self._memo[key] = built
+                self.compute_counts[key] = self.compute_counts.get(key, 0) + 1
+            return self._memo[key]
 
     def diag_pos(self, *, message="missing diagonal in factored row {row}"):
         """Storage index of every diagonal entry (whole-matrix searchsorted)."""
@@ -129,42 +139,58 @@ class SymbolicAnalysis:
 
 
 class SymbolicCache:
-    """LRU cache of :class:`SymbolicAnalysis`, keyed by pattern fingerprint."""
+    """LRU cache of :class:`SymbolicAnalysis`, keyed by pattern fingerprint.
+
+    Thread-safe: the threaded runtime (`repro.runtime`) shares one
+    process-wide instance across worker threads, so lookup, insertion,
+    eviction and the hit/miss counters are serialized under a lock.  The
+    analysis itself is built *outside* the lock (it can be expensive)
+    and inserted with a re-check, so two racing threads may both build
+    but the cache stays consistent and one entry wins.
+    """
 
     def __init__(self, max_entries=32):
         self.max_entries = int(max_entries)
         self._entries: OrderedDict[str, SymbolicAnalysis] = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
     def analysis(self, M) -> SymbolicAnalysis:
         """The (possibly cached) symbolic analysis of ``M``'s pattern."""
         key = pattern_fingerprint(M)
-        entry = self._entries.get(key)
-        if entry is not None:
-            self.hits += 1
-            self._entries.move_to_end(key)
-            return entry
-        self.misses += 1
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self.hits += 1
+                self._entries.move_to_end(key)
+                return entry
+            self.misses += 1
         entry = SymbolicAnalysis(M, fingerprint=key)
-        self._entries[key] = entry
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
-        return entry
+        with self._lock:
+            winner = self._entries.setdefault(key, entry)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+        return winner
 
     def __contains__(self, M):
-        return pattern_fingerprint(M) in self._entries
+        with self._lock:
+            return pattern_fingerprint(M) in self._entries
 
     def __len__(self):
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def stats(self):
-        return {"hits": self.hits, "misses": self.misses, "entries": len(self._entries)}
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses, "entries": len(self._entries)}
 
     def clear(self):
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
 
 
 _DEFAULT_CACHE = SymbolicCache()

@@ -20,6 +20,23 @@ The batched backend hoists all of that out of the loop:
 The remaining sequential loop (inherent: each finish time feeds later
 rows) touches only Python floats, and both backends produce the same
 makespan, finish times and trace to the last bit.
+
+Fault injection (``fault_plan``, a :class:`repro.resilience.FaultPlan`)
+layers three deterministic perturbations on top — see
+``docs/resilience.md``:
+
+* straggler slowdowns live in the *machine* (its per-thread rates are
+  derated at construction), so they need no code here;
+* a row in ``spin_faults`` with at least one cross-thread dependency
+  wait pays ``spin_fault_penalty`` (a spin-lock timeout + retry);
+* a dropped publish ``(u, row)`` makes consumers observe ``u``'s next
+  surviving publish instead — or, when no earlier-than-the-consumer
+  cover exists, spin until the watchdog fires
+  (``finish[row] + sync + watchdog_timeout``) and read the value
+  directly (memory was written; only the notification was lost).
+
+All three shift *time* only; the simulated results and the
+scalar/batched bit-parity are unaffected.
 """
 
 from __future__ import annotations
@@ -32,9 +49,40 @@ from .registry import register_kernel
 __all__ = []  # access via repro.kernels.get_kernel
 
 
+def _dropped_covers(thread_of, m, plan):
+    """Map each dropped publish ``(u, row)`` to its covering row.
+
+    Progress counters are monotonic, so the next *surviving* publish of
+    the same thread covers a lost one.  Returns ``{(u, row): cover}``
+    with ``cover = -1`` when no later publish of ``u`` exists below
+    ``m`` (consumers then rely on the watchdog).
+    """
+    covers = {}
+    thread_of = np.asarray(thread_of)
+    for u, row in plan.dropped:
+        cover = -1
+        for n in range(row + 1, m):
+            if int(thread_of[n]) == u and not plan.is_dropped(u, n):
+                cover = n
+                break
+        covers[(u, row)] = cover
+    return covers
+
+
 @register_kernel("upper_p2p_sim", "scalar")
 def upper_p2p_sim_scalar(
-    S, machine, thread_of, flops, touched, *, m, per_row_overhead=0.0, start_time=0.0, trace=None
+    S,
+    machine,
+    thread_of,
+    flops,
+    touched,
+    *,
+    m,
+    per_row_overhead=0.0,
+    start_time=0.0,
+    trace=None,
+    fault_plan=None,
+    fault_report=None,
 ):
     """Reference DES loop: per-row dependency resolution and costing."""
     p = machine.n_threads
@@ -42,10 +90,12 @@ def upper_p2p_sim_scalar(
     finish = np.zeros(m)
     if trace is None:
         trace = ExecutionTrace(p)
+    covers = _dropped_covers(thread_of, m, fault_plan) if fault_plan is not None else {}
     indptr, indices = S.indptr, S.indices
     for r in range(m):
         t = int(thread_of[r])
         start = thread_time[t] + per_row_overhead
+        waited = False
         cols = indices[indptr[r] : indptr[r + 1]]
         deps = cols[cols < min(r, m)]
         if deps.size:
@@ -55,8 +105,26 @@ def upper_p2p_sim_scalar(
             for u in np.unique(producer):
                 if u == t:
                     continue  # program order covers same-thread deps
-                latest = deps[producer == u].max()
-                start = max(start, finish[latest] + machine.sync_latency(t, int(u)))
+                u = int(u)
+                latest = int(deps[producer == u].max())
+                lat = machine.sync_latency(t, u)
+                if fault_plan is not None and fault_plan.is_dropped(u, latest):
+                    cover = covers[(u, latest)]
+                    if 0 <= cover < r:
+                        cand = finish[cover] + lat
+                    else:
+                        cand = finish[latest] + lat + fault_plan.watchdog_timeout
+                        if fault_report is not None:
+                            fault_report.watchdog_engaged = True
+                            fault_report.stalls.append((t, u, latest))
+                    if fault_report is not None:
+                        fault_report.dropped_events += 1
+                else:
+                    cand = finish[latest] + lat
+                waited = True
+                start = max(start, cand)
+        if fault_plan is not None and waited and r in fault_plan.spin_faults:
+            start += fault_plan.spin_fault_penalty
         stop = start + machine.work_time(flops[r], touched[r], thread=t)
         finish[r] = stop
         thread_time[t] = stop
@@ -67,7 +135,18 @@ def upper_p2p_sim_scalar(
 
 @register_kernel("upper_p2p_sim", "batched", default=True)
 def upper_p2p_sim_batched(
-    S, machine, thread_of, flops, touched, *, m, per_row_overhead=0.0, start_time=0.0, trace=None
+    S,
+    machine,
+    thread_of,
+    flops,
+    touched,
+    *,
+    m,
+    per_row_overhead=0.0,
+    start_time=0.0,
+    trace=None,
+    fault_plan=None,
+    fault_report=None,
 ):
     """Batched DES: precomputed producer-CSR + vectorized row costs."""
     from .plans import build_producer_csr
@@ -84,6 +163,7 @@ def upper_p2p_sim_batched(
         thread=thread_of[:m],
     )
     sync = machine.sync_latency_matrix()
+    covers = _dropped_covers(thread_of, m, fault_plan) if fault_plan is not None else {}
     # plain-Python views: the sequential loop below runs ~10x faster on
     # lists of floats/ints than on NumPy scalars
     work_l = work.tolist()
@@ -101,9 +181,25 @@ def upper_p2p_sim_batched(
         start = thread_time[t] + ovh
         row_sync = sync_l[t]
         for j in range(pp[r], pp[r + 1]):
-            cand = finish[platest[j]] + row_sync[pu[j]]
+            latest = platest[j]
+            u = pu[j]
+            if fault_plan is not None and fault_plan.is_dropped(u, latest):
+                cover = covers[(u, latest)]
+                if 0 <= cover < r:
+                    cand = finish[cover] + row_sync[u]
+                else:
+                    cand = finish[latest] + row_sync[u] + fault_plan.watchdog_timeout
+                    if fault_report is not None:
+                        fault_report.watchdog_engaged = True
+                        fault_report.stalls.append((t, u, latest))
+                if fault_report is not None:
+                    fault_report.dropped_events += 1
+            else:
+                cand = finish[latest] + row_sync[u]
             if cand > start:
                 start = cand
+        if fault_plan is not None and pp[r + 1] > pp[r] and r in fault_plan.spin_faults:
+            start += fault_plan.spin_fault_penalty
         stop = start + work_l[r]
         finish[r] = stop
         thread_time[t] = stop

@@ -39,15 +39,22 @@ class SimMachine:
         The static machine description.
     n_threads:
         Number of OpenMP-style threads in use (≤ ``spec.max_threads``).
+    fault_plan:
+        Optional :class:`repro.resilience.FaultPlan`.  Straggler rate
+        multipliers are folded into the per-thread flop/bandwidth rates
+        here — the single place both :meth:`work_time` and
+        :meth:`work_time_batch` read them — so a faulty machine stays
+        bit-identical between the scalar and batched DES backends.
     """
 
-    def __init__(self, spec: MachineSpec, n_threads: int):
+    def __init__(self, spec: MachineSpec, n_threads: int, *, fault_plan=None):
         if n_threads < 1 or n_threads > spec.max_threads:
             raise ValueError(
                 f"n_threads={n_threads} outside [1, {spec.max_threads}] for {spec.name}"
             )
         self.spec = spec
         self.n_threads = int(n_threads)
+        self.fault_plan = fault_plan
         self._place_threads()
         self._derive_rates()
 
@@ -96,6 +103,11 @@ class SimMachine:
         for t in range(self.n_threads):
             share = spec.socket_bw / max(int(self.threads_per_socket[self.socket_of[t]]), 1)
             self._bw_per_thread[t] = min(spec.single_thread_bw, share)
+        if self.fault_plan is not None:
+            for t in range(self.n_threads):
+                rate = self.fault_plan.rate(t)
+                self._flops_per_thread[t] /= rate
+                self._bw_per_thread[t] /= rate
 
     # ------------------------------------------------------------------
     # cost queries
@@ -195,8 +207,13 @@ class SimMachine:
         """A 1-thread view of the same spec (for speedup baselines)."""
         return SimMachine(self.spec, 1)
 
+    def with_faults(self, fault_plan):
+        """The same machine with a fault plan applied (or removed)."""
+        return SimMachine(self.spec, self.n_threads, fault_plan=fault_plan)
+
     def __repr__(self):
+        faults = ", faulty" if self.fault_plan is not None else ""
         return (
             f"SimMachine({self.spec.name}, threads={self.n_threads}, "
-            f"sockets_used={self.n_sockets_used})"
+            f"sockets_used={self.n_sockets_used}{faults})"
         )

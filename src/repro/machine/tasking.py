@@ -81,7 +81,12 @@ _LIGHTWEIGHT_SPAWN_FACTOR = 4.0
 
 
 def simulate_task_graph(
-    graph: TaskGraph, machine: SimMachine, *, charge_overheads=True, runtime="openmp"
+    graph: TaskGraph,
+    machine: SimMachine,
+    *,
+    charge_overheads=True,
+    runtime="openmp",
+    fault_plan=None,
 ):
     """Simulate the DAG on the machine's task runtime.
 
@@ -89,6 +94,12 @@ def simulate_task_graph(
     dispatch overhead (with queue contention); each spawned task charges
     a spawn overhead, accounted as a serial prologue (the spawning loop
     of Fig. 6 runs on one thread).
+
+    ``fault_plan`` (a :class:`repro.resilience.FaultPlan`) slows each
+    task by its thread's straggler rate.  Use it for graphs with
+    placement-independent float costs; callable costs built on a
+    machine that already carries the plan see the slowdown through the
+    machine's rates and must not pass it again (double-counting).
 
     ``runtime`` selects the tasking model: "openmp" is the shared-queue
     runtime whose contention §V blames for SR fading at 68 KNL threads;
@@ -139,7 +150,10 @@ def simulate_task_graph(
         r_time, tid = heapq.heappop(ready)
         f_time, th = heapq.heappop(threads)
         start = max(r_time, f_time) + dispatch
-        stop = start + graph.tasks[tid].cost_on(th)
+        cost = graph.tasks[tid].cost_on(th)
+        if fault_plan is not None:
+            cost *= fault_plan.rate(th)
+        stop = start + cost
         trace.record(th, start, stop, label=graph.tasks[tid].label or tid)
         finish[tid] = stop
         heapq.heappush(threads, (stop, th))

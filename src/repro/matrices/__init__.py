@@ -25,6 +25,8 @@ from .generators import (
     tetra_mesh_like,
     make_nonsymmetric_pattern,
     make_spd_values,
+    zero_diag_rows,
+    singular_block,
 )
 from .suite import (
     MatrixSpec,
@@ -49,6 +51,8 @@ __all__ = [
     "tetra_mesh_like",
     "make_nonsymmetric_pattern",
     "make_spd_values",
+    "zero_diag_rows",
+    "singular_block",
     "MatrixSpec",
     "SUITE",
     "GROUP_A",

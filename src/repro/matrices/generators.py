@@ -27,6 +27,8 @@ __all__ = [
     "tetra_mesh_like",
     "make_nonsymmetric_pattern",
     "make_spd_values",
+    "zero_diag_rows",
+    "singular_block",
 ]
 
 
@@ -375,6 +377,66 @@ def tetra_mesh_like(n_target, *, nonsym_frac=0.25, seed=0):
     B = _assemble(n, rows, cols, vals)
     B = make_nonsymmetric_pattern(B, drop_frac=nonsym_frac, seed=seed + 1)
     return make_spd_values(B, dominance=1.0, symmetric=False)
+
+
+def zero_diag_rows(A: CSRMatrix, rows):
+    """Zero the diagonal *values* of ``rows`` (pattern kept intact).
+
+    The resulting matrix is structurally fine — every row still stores
+    a diagonal entry, so pattern analyses and ILU setup proceed — but
+    numerically singular at those rows: an unprotected no-pivoting
+    factorization divides by zero there and poisons every dependent
+    row with Inf/NaN.  This is the canonical breakdown input for the
+    resilience tests (``docs/resilience.md``).
+    """
+    B = A.copy()
+    for r in np.atleast_1d(np.asarray(rows, dtype=np.int64)):
+        r = int(r)
+        lo = int(B.indptr[r])
+        cols = B.indices[lo : int(B.indptr[r + 1])]
+        p = int(np.searchsorted(cols, r))
+        if p >= cols.shape[0] or cols[p] != r:
+            raise ValueError(f"row {r} lacks a diagonal entry")
+        B.data[lo + p] = 0.0
+    return B
+
+
+def singular_block(n, block_start=0, block_size=3, *, base=None, seed=0):
+    """Matrix with an embedded rank-deficient block.
+
+    Takes a healthy diagonally dominant base (``grid2d`` of matching
+    size by default) and overwrites rows ``[block_start,
+    block_start + block_size)`` so that, restricted to the block
+    columns, every row is the same all-ones vector — a rank-1 block of
+    size ``block_size``.  Those rows couple *only* within the block, so
+    elimination of the second block row by the first produces an exactly
+    zero pivot regardless of fill level: a deterministic mid-matrix
+    breakdown (rather than the row-0 breakdown of
+    :func:`zero_diag_rows`) that exercises the shift/fallback retry
+    chain.
+    """
+    if base is None:
+        nx = max(1, int(round(n ** 0.5)))
+        while n % nx:  # largest divisor ≤ √n, so grid2d(nx, n//nx) has exactly n rows
+            nx -= 1
+        base = grid2d(nx, n // nx)
+    if base.n_rows < block_start + block_size:
+        raise ValueError("block does not fit in the base matrix")
+    n = base.n_rows
+    rows, cols, vals = [], [], []
+    blk = range(block_start, block_start + block_size)
+    for r in range(n):
+        lo, hi = int(base.indptr[r]), int(base.indptr[r + 1])
+        if r in blk:
+            for c in blk:
+                rows.append(r)
+                cols.append(c)
+                vals.append(1.0)
+        else:
+            rows.extend([r] * (hi - lo))
+            cols.extend(base.indices[lo:hi].tolist())
+            vals.extend(base.data[lo:hi].tolist())
+    return _assemble(n, rows, cols, vals)
 
 
 def make_nonsymmetric_pattern(A: CSRMatrix, drop_frac=0.2, *, seed=0):

@@ -1,0 +1,32 @@
+"""Resilience layer: breakdown-safe factorization and fault injection.
+
+Two halves, one contract (``docs/resilience.md``):
+
+* **Numerical resilience** — :class:`ResilientFactor` wraps the
+  factorization in a shift/fallback retry chain so that *setup always
+  yields a usable preconditioner*, and the solvers' guarded applies can
+  demote it further mid-solve via ``resetup()``.  The failure taxonomy
+  itself (:class:`FactorizationBreakdown`) lives in ``repro.core`` —
+  the factorization kernels raise it — and is re-exported here.
+* **Machine resilience** — :class:`FaultPlan` injects seeded stragglers,
+  spin-lock timeouts and dropped notifications into both the simulated
+  machine and the real threaded runtime; the p2p runtime's watchdog
+  detects stalled dependency waits and falls back to the barrier
+  schedule.  Faults change *time*, never *results*.
+"""
+
+from ..core.breakdown import FactorizationBreakdown, classify_pivot
+from .faults import FaultPlan, FaultRunReport, drop_last_publish
+from .retry import AttemptRecord, ResilienceReport, ResilientFactor, RetryPolicy
+
+__all__ = [
+    "FactorizationBreakdown",
+    "classify_pivot",
+    "FaultPlan",
+    "FaultRunReport",
+    "drop_last_publish",
+    "RetryPolicy",
+    "AttemptRecord",
+    "ResilienceReport",
+    "ResilientFactor",
+]

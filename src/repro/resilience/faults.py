@@ -1,0 +1,150 @@
+"""Fault plans: seeded, machine-level failure injection.
+
+A :class:`FaultPlan` is a frozen description of *what goes wrong* on a
+run, consumed both by the simulated machine (``SimMachine``,
+``simulate_task_graph``, the p2p DES kernels) and by the real threaded
+runtime (``repro.runtime``).  Everything is derived from an explicit
+seed, so a faulty run is exactly reproducible — the property the
+bit-identity tests rely on: injecting faults may slow a run down
+(simulated time grows, the watchdog fires) but must never change the
+numerical result.
+
+Fault classes (``docs/resilience.md`` has the full schema):
+
+* **stragglers** — per-thread rate multipliers ≥ 1: thread t computes
+  ``rate(t)×`` slower (its flop and bandwidth rates are divided by the
+  multiplier).  Models a core sharing its tile with a noisy neighbor,
+  or a downclocked AVX-heavy core.
+* **spin faults** — rows whose cross-thread dependency wait hits a
+  spin-lock timeout and pays ``spin_fault_penalty`` before retrying.
+* **dropped notifications** — (thread, row) publishes that are lost.
+  Because progress counters are monotonic, a dropped publish is healed
+  by the *next* publish of the same thread; a dropped *last* publish
+  stalls every waiter until the watchdog fires.
+* **watchdog timeout** — how long a consumer waits on a stalled
+  dependency before giving up and falling back to the barrier
+  (CSR-LS) schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["FaultPlan", "FaultRunReport", "drop_last_publish"]
+
+
+def drop_last_publish(thread_of, thread, *, k=1):
+    """The last ``k`` publishes of ``thread``, as ``(thread, row)`` pairs.
+
+    Dropping a thread's *trailing* publishes is the structural way to
+    guarantee a stall: monotonic counters mean any earlier drop is
+    healed by the thread's next surviving publish, but a lost last
+    notification has no cover, so every consumer waiting on it spins
+    until the watchdog fires.  Feed the result to
+    ``FaultPlan(dropped=...)``.
+    """
+    rows = np.nonzero(np.asarray(thread_of) == int(thread))[0]
+    return frozenset((int(thread), int(r)) for r in rows[-int(k):]) if k else frozenset()
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded description of injected machine faults.
+
+    ``stragglers`` maps thread id → rate multiplier (≥ 1.0);
+    ``spin_faults`` is a set of row ids; ``dropped`` a set of
+    ``(thread, row)`` publish events to lose.  ``real_sleep_per_row``
+    only affects the real threaded runtime: a straggler thread sleeps
+    ``real_sleep_per_row · (rate − 1)`` wall-clock seconds per row.
+    """
+
+    seed: int = 0
+    stragglers: dict = field(default_factory=dict)
+    spin_faults: frozenset = frozenset()
+    dropped: frozenset = frozenset()
+    watchdog_timeout: float = 1e-3
+    spin_fault_penalty: float = 1e-6
+    real_sleep_per_row: float = 0.0
+
+    @classmethod
+    def seeded(
+        cls,
+        n_threads,
+        *,
+        seed=0,
+        n_stragglers=1,
+        slowdown=4.0,
+        n_rows=0,
+        spin_fault_frac=0.0,
+        dropped=(),
+        watchdog_timeout=1e-3,
+        real_sleep_per_row=0.0,
+    ):
+        """Draw a reproducible plan from ``seed``.
+
+        Picks ``n_stragglers`` distinct threads and slows each by
+        ``slowdown``; marks ``spin_fault_frac`` of ``n_rows`` rows as
+        spin-faulty.  ``dropped`` passes through explicit
+        ``(thread, row)`` pairs (dropping is too structural to sample
+        blindly — see :func:`drop_last_publish`).
+        """
+        rng = np.random.default_rng(seed)
+        n_stragglers = min(int(n_stragglers), int(n_threads))
+        picks = rng.choice(n_threads, size=n_stragglers, replace=False)
+        stragglers = {int(t): float(slowdown) for t in picks}
+        spin = frozenset()
+        if n_rows and spin_fault_frac > 0.0:
+            k = max(1, int(round(spin_fault_frac * n_rows)))
+            spin = frozenset(int(r) for r in rng.choice(n_rows, size=min(k, n_rows), replace=False))
+        return cls(
+            seed=int(seed),
+            stragglers=stragglers,
+            spin_faults=spin,
+            dropped=frozenset((int(t), int(r)) for t, r in dropped),
+            watchdog_timeout=float(watchdog_timeout),
+            real_sleep_per_row=float(real_sleep_per_row),
+        )
+
+    def rate(self, thread) -> float:
+        """Slowdown multiplier of ``thread`` (1.0 = healthy)."""
+        r = float(self.stragglers.get(int(thread), 1.0))
+        if r < 1.0:
+            raise ValueError(f"straggler rate for thread {thread} must be >= 1, got {r}")
+        return r
+
+    def is_dropped(self, thread, row) -> bool:
+        """True when ``thread``'s publish of ``row`` is lost."""
+        return (int(thread), int(row)) in self.dropped
+
+    def with_(self, **kw):
+        from dataclasses import replace
+
+        return replace(self, **kw)
+
+
+@dataclass
+class FaultRunReport:
+    """What actually happened on one fault-injected run.
+
+    Filled in by the runtime/simulator that consumed the plan:
+    ``watchdog_engaged`` — a stalled dependency wait timed out and the
+    run fell back to the barrier schedule; ``n_fallback_rows`` — rows
+    completed by the sequential fallback; ``stalls`` — (consumer
+    thread, producer thread, row) triples that timed out;
+    ``dropped_events`` — publishes actually suppressed.
+    """
+
+    watchdog_engaged: bool = False
+    n_fallback_rows: int = 0
+    stalls: list = field(default_factory=list)
+    dropped_events: int = 0
+
+    def to_dict(self):
+        return {
+            "watchdog_engaged": self.watchdog_engaged,
+            "n_fallback_rows": self.n_fallback_rows,
+            "stalls": [tuple(int(v) for v in s) for s in self.stalls],
+            "dropped_events": self.dropped_events,
+        }

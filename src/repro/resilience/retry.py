@@ -1,0 +1,360 @@
+"""Breakdown-safe factorization: the shift/fallback retry chain.
+
+Javelin does not pivot (§III), so a zero, tiny or non-finite pivot
+aborts the factorization with a structured
+:class:`~repro.core.breakdown.FactorizationBreakdown` instead of
+silently dividing through.  :class:`ResilientFactor` turns that abort
+into a *driver loop* that always terminates with a usable
+preconditioner:
+
+1. **Shift escalation** (Manteuffel).  Retry the same factorization on
+   ``A + α·diag(rowscale)`` with ``α ← max(2α, α₀)``, up to
+   ``max_shift_attempts`` times.  A small shift preserves most of the
+   preconditioner quality while lifting the offending pivots.
+2. **Variant degradation.**  When shifting is exhausted the chain
+   degrades: ILU(k, τ) → ILU(0) → MILU → block-Jacobi → Jacobi.  Each
+   step trades preconditioner quality for robustness; the final Jacobi
+   stage cannot fail (zero/non-finite diagonal entries are replaced by
+   1.0).
+3. **Validation.**  A candidate only wins if its factor values are
+   finite *and* a probe apply returns finite values — a factorization
+   can succeed arithmetically yet be poisoned (e.g. overflow without
+   Inf pivots on the diagonal).
+
+Every attempt — failed or not — is recorded in a
+:class:`ResilienceReport`, so a production run can log *why* the
+preconditioner it ended up with is the one it has.
+
+The resulting object plugs into every Krylov solver via
+``as_preconditioner`` and supports the mid-solve ``resetup()``
+protocol: when a guarded apply observes non-finite output, the solver
+asks the factor to advance its chain once and continue with the next,
+more robust variant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..baselines.block_jacobi import BlockJacobi
+from ..core.breakdown import FactorizationBreakdown
+from ..core.ilut import ilut_factor
+from ..core.javelin import JavelinILU, JavelinOptions
+from ..core.trisolve import LevelizedTriangularSolver
+from ..kernels.cache import default_cache
+from ..sparse.pattern import has_full_diagonal
+
+__all__ = ["RetryPolicy", "AttemptRecord", "ResilienceReport", "ResilientFactor"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Knobs of the retry chain.
+
+    ``pivot_floor`` is the tiny-pivot threshold handed to every
+    factorization attempt (pivots with ``|p| ≤ pivot_floor`` raise
+    rather than divide); ``shift0`` is the initial Manteuffel shift
+    α₀, escalated as ``α ← max(2α, α₀)`` for at most
+    ``max_shift_attempts`` attempts per factorization variant.
+    ``milu_tau`` parameterizes the MILU fallback and ``block_size`` the
+    block-Jacobi fallback.
+    """
+
+    pivot_floor: float = 1e-12
+    shift0: float = 1e-3
+    max_shift_attempts: int = 6
+    milu_tau: float = 1e-3
+    block_size: int = 32
+
+
+@dataclass
+class AttemptRecord:
+    """One entry of the attempt history."""
+
+    variant: str
+    shift: float
+    ok: bool
+    detail: str = ""
+    row: int | None = None
+    kind: str | None = None
+
+    def to_dict(self):
+        return {
+            "variant": self.variant,
+            "shift": self.shift,
+            "ok": self.ok,
+            "detail": self.detail,
+            "row": self.row,
+            "kind": self.kind,
+        }
+
+
+@dataclass
+class ResilienceReport:
+    """Full history of how the final preconditioner was obtained."""
+
+    attempts: list = field(default_factory=list)
+    final_variant: str | None = None
+    final_shift: float = 0.0
+    resetups: int = 0
+    cache: dict = field(default_factory=dict)
+
+    @property
+    def n_attempts(self):
+        return len(self.attempts)
+
+    @property
+    def n_breakdowns(self):
+        return sum(1 for a in self.attempts if not a.ok)
+
+    def to_dict(self):
+        return {
+            "attempts": [a.to_dict() for a in self.attempts],
+            "final_variant": self.final_variant,
+            "final_shift": self.final_shift,
+            "resetups": self.resetups,
+            "cache": dict(self.cache),
+        }
+
+    def __repr__(self):
+        return (
+            f"ResilienceReport(final={self.final_variant!r} shift={self.final_shift:g}, "
+            f"{self.n_attempts} attempts, {self.n_breakdowns} breakdowns, "
+            f"{self.resetups} resetups)"
+        )
+
+
+def _row_scales(A):
+    """Per-row magnitude, the shift scaling (cf. ``ichol_shifted``)."""
+    scale = np.empty(A.n_rows)
+    for r in range(A.n_rows):
+        _, vals = A.row(r)
+        scale[r] = float(np.abs(vals).max()) if vals.size else 1.0
+    scale[scale == 0.0] = 1.0
+    return scale
+
+
+def _shifted(A, alpha, base_diag, row_scale):
+    """``A`` with its diagonal replaced by ``base_diag + α·row_scale``."""
+    B = A.copy()
+    for r in range(A.n_rows):
+        lo = int(B.indptr[r])
+        cols = B.indices[lo : int(B.indptr[r + 1])]
+        p = int(np.searchsorted(cols, r))
+        B.data[lo + p] = base_diag[r] + alpha * row_scale[r]
+    return B
+
+
+class ResilientFactor:
+    """Breakdown-safe preconditioner driver.
+
+    Usage::
+
+        rf = ResilientFactor(JavelinOptions(fill_level=1)).setup(A)
+        res = gmres(A, b, M=rf)          # guarded apply + resetup protocol
+        print(rf.report)                 # full attempt history
+
+    ``setup`` always succeeds: the chain ends in plain Jacobi, which
+    cannot break down.  ``report.final_variant`` names what you got.
+    """
+
+    #: degradation order; "primary" is the user's requested ILU(k, τ)
+    CHAIN = ("primary", "ilu0", "milu", "block_jacobi", "jacobi")
+
+    def __init__(self, options: JavelinOptions | None = None, policy: RetryPolicy | None = None):
+        self.options = options or JavelinOptions()
+        self.policy = policy or RetryPolicy()
+        self.report = ResilienceReport()
+        self._ready = False
+        self._apply = None
+        self.ilu = None  # the JavelinILU behind an ILU-variant win, if any
+
+    # ------------------------------------------------------------------
+    def setup(self, A):
+        """Run the retry chain until a validated preconditioner wins."""
+        self.A = A
+        self._base_diag = A.diagonal()
+        self._row_scale = _row_scales(A)
+        self._structural_diag = has_full_diagonal(A)
+        self.report = ResilienceReport()
+        self._stage = 0
+        self._advance()
+        self.report.cache = default_cache().stats()
+        self._ready = True
+        return self
+
+    # ------------------------------------------------------------------
+    # chain stages
+    # ------------------------------------------------------------------
+    def _validate(self, apply, data=None):
+        """Failure detail, or None when the candidate is usable."""
+        if data is not None and not np.all(np.isfinite(data)):
+            return "non-finite factor entries"
+        probe = apply(np.ones(self.A.n_rows))
+        if not np.all(np.isfinite(probe)):
+            return "non-finite probe apply"
+        return None
+
+    def _try_factorization(self, variant, build):
+        """Shift-escalation loop around one factorization variant.
+
+        ``build(B)`` factors the (possibly shifted) matrix and returns
+        ``(apply, data, ilu_or_none)``; raises FactorizationBreakdown on
+        a bad pivot.  Returns True when a validated candidate won.
+        """
+        if not self._structural_diag:
+            self.report.attempts.append(
+                AttemptRecord(variant, 0.0, False, detail="missing structural diagonal")
+            )
+            return False
+        pol = self.policy
+        alpha = 0.0
+        for _ in range(pol.max_shift_attempts + 1):
+            B = (
+                self.A
+                if alpha == 0.0
+                else _shifted(self.A, alpha, self._base_diag, self._row_scale)
+            )
+            try:
+                apply, data, ilu = build(B)
+            except FactorizationBreakdown as e:
+                self.report.attempts.append(
+                    AttemptRecord(variant, alpha, False, detail=str(e), row=e.row, kind=e.kind)
+                )
+            else:
+                why = self._validate(apply, data)
+                if why is None:
+                    self.report.attempts.append(AttemptRecord(variant, alpha, True))
+                    self.report.final_variant = variant
+                    self.report.final_shift = alpha
+                    self._apply = apply
+                    self.ilu = ilu
+                    return True
+                self.report.attempts.append(AttemptRecord(variant, alpha, False, detail=why))
+            alpha = max(2.0 * alpha, pol.shift0)
+        return False
+
+    def _build_primary(self, B):
+        opts = self.options.with_(pivot_tol=max(self.options.pivot_tol, self.policy.pivot_floor))
+        ilu = JavelinILU(opts).setup(B)
+        res = ilu.factor()
+        return ilu.build_solver(), res.F.data, ilu
+
+    def _build_ilu0(self, B):
+        opts = self.options.with_(
+            fill_level=0,
+            tau=0.0,
+            modified=False,
+            pivot_tol=max(self.options.pivot_tol, self.policy.pivot_floor),
+        )
+        ilu = JavelinILU(opts).setup(B)
+        res = ilu.factor()
+        return ilu.build_solver(), res.F.data, ilu
+
+    def _build_milu(self, B):
+        F = ilut_factor(
+            B, tau=self.policy.milu_tau, modified=True, pivot_tol=self.policy.pivot_floor
+        )
+        return LevelizedTriangularSolver(F).solve, F.data, None
+
+    def _try_block_jacobi(self):
+        try:
+            bj = BlockJacobi(self.policy.block_size).setup(self.A)
+        except Exception as e:  # singular blocks already regularized; be safe
+            self.report.attempts.append(AttemptRecord("block_jacobi", 0.0, False, detail=str(e)))
+            return False
+        why = self._validate(bj.solve)
+        if why is not None:
+            self.report.attempts.append(AttemptRecord("block_jacobi", 0.0, False, detail=why))
+            return False
+        self.report.attempts.append(AttemptRecord("block_jacobi", 0.0, True))
+        self.report.final_variant = "block_jacobi"
+        self.report.final_shift = 0.0
+        self._apply = bj.solve
+        self.ilu = None
+        return True
+
+    def _build_jacobi(self):
+        d = np.array(self._base_diag, dtype=np.float64, copy=True)
+        bad = ~np.isfinite(d) | (d == 0.0)
+        d[bad] = 1.0
+        inv = 1.0 / d
+
+        def apply(r):
+            return np.asarray(r, dtype=np.float64) * inv
+
+        self.report.attempts.append(
+            AttemptRecord("jacobi", 0.0, True, detail=f"{int(bad.sum())} guarded diagonal entries")
+        )
+        self.report.final_variant = "jacobi"
+        self.report.final_shift = 0.0
+        self._apply = apply
+        self.ilu = None
+        return True
+
+    def _primary_is_ilu0(self):
+        return self.options.fill_level == 0 and self.options.tau == 0.0 and not self.options.modified
+
+    def _advance(self):
+        """Walk the chain from the current stage until a variant wins."""
+        while self._stage < len(self.CHAIN):
+            variant = self.CHAIN[self._stage]
+            self._stage += 1
+            if variant == "primary":
+                if self._try_factorization("primary", self._build_primary):
+                    return
+            elif variant == "ilu0":
+                if self._primary_is_ilu0():
+                    continue  # identical to primary; don't retry the same thing
+                if self._try_factorization("ilu0", self._build_ilu0):
+                    return
+            elif variant == "milu":
+                if self._try_factorization("milu", self._build_milu):
+                    return
+            elif variant == "block_jacobi":
+                if self._try_block_jacobi():
+                    return
+            else:
+                self._build_jacobi()
+                return
+        raise AssertionError("unreachable: the jacobi stage always succeeds")
+
+    # ------------------------------------------------------------------
+    # preconditioner protocol
+    # ------------------------------------------------------------------
+    def build_solver(self):
+        """The current apply (consumed by ``as_preconditioner``)."""
+        if not self._ready:
+            raise RuntimeError("call setup(A) first")
+        return self._apply
+
+    def solve(self, b):
+        """Apply the current preconditioner: ``z = M⁻¹ b``."""
+        if not self._ready:
+            raise RuntimeError("call setup(A) first")
+        return self._apply(b)
+
+    def resetup(self):
+        """Advance the chain mid-solve (the guarded-apply protocol).
+
+        Called by :func:`repro.solvers.as_preconditioner`'s guard when
+        an apply returns non-finite values at solve time — the variant
+        that validated at setup has gone bad on real data.  Marks the
+        current variant failed, moves to the next chain stage, and
+        returns the replacement apply.
+        """
+        if not self._ready:
+            raise RuntimeError("call setup(A) first")
+        self.report.attempts.append(
+            AttemptRecord(
+                self.report.final_variant or "?",
+                self.report.final_shift,
+                False,
+                detail="demoted: non-finite apply observed during solve",
+            )
+        )
+        self.report.resetups += 1
+        self._advance()
+        return self._apply

@@ -12,15 +12,20 @@ verify the claims the simulator takes for granted:
 * the factorization is deterministic: any thread count and any
   interleaving yields the bit-identical factor the sequential reference
   produces (the robustness property §II contrasts with fine-grained
-  asynchronous ILU).
+  asynchronous ILU);
+* fault tolerance: under an injected :class:`repro.resilience.FaultPlan`
+  (stragglers, lost notifications) the watchdog falls back to the
+  barrier schedule and the result is *still* bit-identical — faults
+  cost time, never correctness.
 """
 
-from .pointtopoint import ProgressBoard
+from .pointtopoint import ProgressBoard, FaultInjectedBoard
 from .threadpool import threaded_factor, threaded_trisolve_lower
 from .threaded_lower import threaded_factor_two_stage
 
 __all__ = [
     "ProgressBoard",
+    "FaultInjectedBoard",
     "threaded_factor",
     "threaded_trisolve_lower",
     "threaded_factor_two_stage",

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import time
 
-__all__ = ["ProgressBoard"]
+__all__ = ["ProgressBoard", "FaultInjectedBoard"]
 
 
 class ProgressBoard:
@@ -51,5 +51,48 @@ class ProgressBoard:
                 )
             time.sleep(0)  # yield the GIL
 
+    def try_wait(self, producer_thread, row, *, timeout=30.0, stop=None):
+        """Bounded spin: True when satisfied, False on timeout or ``stop``.
+
+        The watchdog variant of :meth:`wait_for` — a stalled dependency
+        (lost notification, dead producer) returns False instead of
+        raising, so the caller can trigger the barrier-schedule fallback
+        (``repro.runtime.threadpool``).  ``stop`` is an optional
+        ``threading.Event`` that aborts the spin early once some other
+        worker has already given up.
+        """
+        deadline = time.monotonic() + timeout
+        while self._progress[producer_thread] < row:
+            if stop is not None and stop.is_set():
+                return False
+            if time.monotonic() > deadline:
+                return False
+            time.sleep(0)  # yield the GIL
+        return True
+
     def snapshot(self):
         return list(self._progress)
+
+
+class FaultInjectedBoard(ProgressBoard):
+    """A ProgressBoard that loses publishes per a FaultPlan.
+
+    A dropped publish models a lost notification: the producer's memory
+    writes have happened (the factor row is computed) but its counter
+    never advances past the dropped row.  Because counters are
+    monotonic, the thread's *next* surviving publish covers the loss;
+    dropping a thread's last publish stalls every waiter until the
+    watchdog fires.
+    """
+
+    def __init__(self, n_threads, fault_plan, report=None):
+        super().__init__(n_threads)
+        self.fault_plan = fault_plan
+        self.report = report
+
+    def publish(self, thread, row):
+        if self.fault_plan.is_dropped(thread, row):
+            if self.report is not None:
+                self.report.dropped_events += 1
+            return
+        super().publish(thread, row)

@@ -14,7 +14,14 @@ Each accepts ``M``: a callable applying the preconditioner solve
 :class:`SolveResult` with the iteration count and residual history.
 """
 
-from .common import SolveResult, as_operator, as_preconditioner
+from .common import (
+    ConvergenceGuard,
+    PreconditionerBreakdown,
+    SolveResult,
+    as_operator,
+    as_preconditioner,
+    input_guard,
+)
 from .cg import cg
 from .gmres import gmres
 from .bicgstab import bicgstab
@@ -23,6 +30,9 @@ from .fgmres import fgmres
 
 __all__ = [
     "SolveResult",
+    "ConvergenceGuard",
+    "PreconditionerBreakdown",
+    "input_guard",
     "as_operator",
     "as_preconditioner",
     "cg",

@@ -9,7 +9,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from .common import SolveResult, as_operator, as_preconditioner
+from .common import (
+    ConvergenceGuard,
+    PreconditionerBreakdown,
+    SolveResult,
+    as_operator,
+    as_preconditioner,
+    input_guard,
+)
 
 __all__ = ["bicgstab"]
 
@@ -24,6 +31,10 @@ def bicgstab(A, b, *, M=None, x0=None, tol=1e-6, maxiter=5000):
     b = np.asarray(b, dtype=np.float64)
     n = b.shape[0]
     x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
+    why = input_guard(b, x)
+    if why is not None:
+        return SolveResult(x=x, iterations=0, converged=False, residual=np.inf, reason=why)
+    guard = ConvergenceGuard()
     r = b - matvec(x)
     r_hat = r.copy()
     bnorm = float(np.linalg.norm(b)) or 1.0
@@ -33,38 +44,49 @@ def bicgstab(A, b, *, M=None, x0=None, tol=1e-6, maxiter=5000):
     rho = alpha = omega = 1.0
     v = np.zeros(n)
     p = np.zeros(n)
-    for it in range(1, maxiter + 1):
-        rho_new = float(r_hat @ r)
-        if abs(rho_new) < 1e-300:
-            break
-        beta = (rho_new / rho) * (alpha / omega) if it > 1 else 0.0
-        rho = rho_new
-        p = r + beta * (p - omega * v) if it > 1 else r.copy()
-        ph = M(p) if M is not None else p
-        v = matvec(ph)
-        denom = float(r_hat @ v)
-        if abs(denom) < 1e-300:
-            break
-        alpha = rho / denom
-        s = r - alpha * v
-        rel = float(np.linalg.norm(s)) / bnorm
-        if rel <= tol:
-            x += alpha * ph
+    it = 0
+    try:
+        for it in range(1, maxiter + 1):
+            rho_new = float(r_hat @ r)
+            if abs(rho_new) < 1e-300:
+                break
+            beta = (rho_new / rho) * (alpha / omega) if it > 1 else 0.0
+            rho = rho_new
+            p = r + beta * (p - omega * v) if it > 1 else r.copy()
+            ph = M(p) if M is not None else p
+            v = matvec(ph)
+            denom = float(r_hat @ v)
+            if abs(denom) < 1e-300:
+                break
+            alpha = rho / denom
+            s = r - alpha * v
+            rel = float(np.linalg.norm(s)) / bnorm
+            if rel <= tol:
+                x += alpha * ph
+                history.append(rel)
+                return SolveResult(x=x, iterations=it, converged=True, residual=rel, history=history)
+            sh = M(s) if M is not None else s
+            t = matvec(sh)
+            tt = float(t @ t)
+            if tt == 0.0:
+                break
+            omega = float(t @ s) / tt
+            x += alpha * ph + omega * sh
+            r = s - omega * t
+            rel = float(np.linalg.norm(r)) / bnorm
             history.append(rel)
-            return SolveResult(x=x, iterations=it, converged=True, residual=rel, history=history)
-        sh = M(s) if M is not None else s
-        t = matvec(sh)
-        tt = float(t @ t)
-        if tt == 0.0:
-            break
-        omega = float(t @ s) / tt
-        x += alpha * ph + omega * sh
-        r = s - omega * t
-        rel = float(np.linalg.norm(r)) / bnorm
-        history.append(rel)
-        if rel <= tol:
-            return SolveResult(x=x, iterations=it, converged=True, residual=rel, history=history)
-        if omega == 0.0:
-            break
+            if rel <= tol:
+                return SolveResult(x=x, iterations=it, converged=True, residual=rel, history=history)
+            why = guard.check(rel)
+            if why is not None:
+                return SolveResult(
+                    x=x, iterations=it, converged=False, residual=rel, history=history, reason=why
+                )
+            if omega == 0.0:
+                break
+    except PreconditionerBreakdown as e:
+        return SolveResult(
+            x=x, iterations=it, converged=False, residual=history[-1], history=history, reason=str(e)
+        )
     rel = float(np.linalg.norm(b - matvec(x))) / bnorm
     return SolveResult(x=x, iterations=maxiter, converged=rel <= tol, residual=rel, history=history)

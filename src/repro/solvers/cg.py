@@ -10,7 +10,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from .common import SolveResult, as_operator, as_preconditioner
+from .common import (
+    ConvergenceGuard,
+    PreconditionerBreakdown,
+    SolveResult,
+    as_operator,
+    as_preconditioner,
+    input_guard,
+)
 
 __all__ = ["cg"]
 
@@ -34,29 +41,53 @@ def cg(A, b, *, M=None, x0=None, tol=1e-6, maxiter=5000):
     b = np.asarray(b, dtype=np.float64)
     n = b.shape[0]
     x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
+    why = input_guard(b, x)
+    if why is not None:
+        return SolveResult(
+            x=x, iterations=0, converged=False, residual=np.inf, reason=why
+        )
+    guard = ConvergenceGuard()
     r = b - matvec(x)
     bnorm = float(np.linalg.norm(b)) or 1.0
     history = [float(np.linalg.norm(r)) / bnorm]
     if history[-1] <= tol:
         return SolveResult(x=x, iterations=0, converged=True, residual=history[-1], history=history)
-    z = M(r) if M is not None else r.copy()
-    p = z.copy()
-    rz = float(r @ z)
-    for it in range(1, maxiter + 1):
-        Ap = matvec(p)
-        pAp = float(p @ Ap)
-        if pAp <= 0 and not np.isfinite(pAp):
-            break
-        alpha = rz / pAp
-        x += alpha * p
-        r -= alpha * Ap
-        rel = float(np.linalg.norm(r)) / bnorm
-        history.append(rel)
-        if rel <= tol:
-            return SolveResult(x=x, iterations=it, converged=True, residual=rel, history=history)
-        z = M(r) if M is not None else r
-        rz_new = float(r @ z)
-        beta = rz_new / rz
-        rz = rz_new
-        p = z + beta * p
+    it = 0
+    try:
+        z = M(r) if M is not None else r.copy()
+        p = z.copy()
+        rz = float(r @ z)
+        for it in range(1, maxiter + 1):
+            Ap = matvec(p)
+            pAp = float(p @ Ap)
+            if pAp == 0.0 or not np.isfinite(pAp):
+                return SolveResult(
+                    x=x,
+                    iterations=it,
+                    converged=False,
+                    residual=history[-1],
+                    history=history,
+                    reason=f"breakdown: p'Ap = {pAp!r} (operator not SPD?)",
+                )
+            alpha = rz / pAp
+            x += alpha * p
+            r -= alpha * Ap
+            rel = float(np.linalg.norm(r)) / bnorm
+            history.append(rel)
+            if rel <= tol:
+                return SolveResult(x=x, iterations=it, converged=True, residual=rel, history=history)
+            why = guard.check(rel)
+            if why is not None:
+                return SolveResult(
+                    x=x, iterations=it, converged=False, residual=rel, history=history, reason=why
+                )
+            z = M(r) if M is not None else r
+            rz_new = float(r @ z)
+            beta = rz_new / rz
+            rz = rz_new
+            p = z + beta * p
+    except PreconditionerBreakdown as e:
+        return SolveResult(
+            x=x, iterations=it, converged=False, residual=history[-1], history=history, reason=str(e)
+        )
     return SolveResult(x=x, iterations=maxiter, converged=False, residual=history[-1], history=history)

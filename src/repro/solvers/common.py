@@ -1,4 +1,19 @@
-"""Shared solver plumbing: results, operators, convergence checks."""
+"""Shared solver plumbing: results, operators, convergence checks.
+
+Resilience contract (see ``docs/resilience.md``): every Krylov solver
+
+* validates ``b`` and ``x0`` for NaN/Inf up front and returns a failed
+  :class:`SolveResult` (with ``reason``) instead of propagating
+  non-finite arithmetic through the whole iteration;
+* guards every preconditioner apply through
+  :func:`as_preconditioner` — a non-finite output triggers at most one
+  re-setup of the preconditioner (when it supports ``resetup()``, e.g.
+  :class:`repro.resilience.ResilientFactor`) before the solve aborts
+  with :class:`PreconditionerBreakdown`;
+* watches the residual history with :class:`ConvergenceGuard` and
+  aborts cleanly on divergence or sustained growth instead of looping
+  to ``maxiter``.
+"""
 
 from __future__ import annotations
 
@@ -6,7 +21,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["SolveResult", "as_operator", "as_preconditioner"]
+__all__ = [
+    "SolveResult",
+    "PreconditionerBreakdown",
+    "ConvergenceGuard",
+    "input_guard",
+    "as_operator",
+    "as_preconditioner",
+]
 
 
 @dataclass
@@ -15,7 +37,10 @@ class SolveResult:
 
     ``iterations`` counts matrix-vector products with A (the paper's
     Table II metric); ``converged`` reflects the relative-residual test
-    ``‖b - Ax‖ / ‖b‖ ≤ tol``.
+    ``‖b - Ax‖ / ‖b‖ ≤ tol``.  On a failed solve ``reason`` names the
+    failure (non-finite inputs, divergence, stagnation, preconditioner
+    breakdown) — ``None`` means the solver simply ran out of
+    iterations or converged.
     """
 
     x: np.ndarray
@@ -23,10 +48,68 @@ class SolveResult:
     converged: bool
     residual: float
     history: list = field(default_factory=list)
+    reason: str | None = None
 
     def __repr__(self):
         tag = "converged" if self.converged else "NOT converged"
-        return f"SolveResult({tag} in {self.iterations} its, resid={self.residual:.3e})"
+        why = f", reason={self.reason!r}" if self.reason else ""
+        return f"SolveResult({tag} in {self.iterations} its, resid={self.residual:.3e}{why})"
+
+
+class PreconditionerBreakdown(ArithmeticError):
+    """A preconditioner apply produced non-finite values (even after the
+    one permitted re-setup).  Solvers catch this and abort cleanly."""
+
+
+def input_guard(b, x):
+    """Failure reason if ``b`` or the initial guess contain NaN/Inf."""
+    if not np.all(np.isfinite(b)):
+        return "non-finite right-hand side b"
+    if not np.all(np.isfinite(x)):
+        return "non-finite initial guess x0"
+    return None
+
+
+class ConvergenceGuard:
+    """Divergence/stagnation watchdog over the relative-residual series.
+
+    ``check(rel)`` returns a failure reason when:
+
+    * ``rel`` is NaN/Inf (the iteration already produced garbage);
+    * the residual grew for ``max_growth_iters`` *consecutive*
+      iterations (divergence — e.g. an indefinite preconditioned
+      operator under CG);
+    * ``rel`` exceeds ``divergence_ratio`` times the best residual seen
+      (runaway growth, caught before the consecutive counter trips).
+
+    Otherwise returns ``None``.  Conservative defaults: a plateauing
+    but non-increasing solve is never flagged, so convergent runs are
+    untouched.
+    """
+
+    def __init__(self, *, max_growth_iters=25, divergence_ratio=1e8):
+        self.max_growth_iters = int(max_growth_iters)
+        self.divergence_ratio = float(divergence_ratio)
+        self._prev = None
+        self._best = np.inf
+        self._n_growth = 0
+
+    def check(self, rel):
+        rel = float(rel)
+        if not np.isfinite(rel):
+            return "non-finite residual"
+        if rel < self._best:
+            self._best = rel
+        if self._prev is not None and rel > self._prev:
+            self._n_growth += 1
+        else:
+            self._n_growth = 0
+        self._prev = rel
+        if self._n_growth >= self.max_growth_iters:
+            return f"residual grew for {self._n_growth} consecutive iterations"
+        if self._best > 0.0 and rel > self.divergence_ratio * self._best:
+            return f"residual diverged to {rel:.3e} ({self.divergence_ratio:.0e}x the best seen)"
+        return None
 
 
 def as_operator(A):
@@ -39,7 +122,37 @@ def as_operator(A):
     return lambda x: arr @ x
 
 
-def as_preconditioner(M):
+def _guarded_apply(apply, owner):
+    """NaN/Inf guard around a preconditioner apply.
+
+    A non-finite output triggers one re-setup when the owning object
+    supports it (``owner.resetup()`` returns a replacement apply — the
+    :class:`repro.resilience.ResilientFactor` protocol), then the apply
+    is retried once; a second failure raises
+    :class:`PreconditionerBreakdown`, which the solvers turn into a
+    failed :class:`SolveResult`.  Finite outputs pass through unchanged,
+    so preconditioned solves stay bit-identical to the unguarded path.
+    """
+    state = {"apply": apply, "resetup_left": 1 if hasattr(owner, "resetup") else 0}
+
+    def guarded(r):
+        z = state["apply"](r)
+        if np.all(np.isfinite(z)):
+            return z
+        if state["resetup_left"]:
+            state["resetup_left"] -= 1
+            state["apply"] = owner.resetup()
+            z = state["apply"](r)
+            if np.all(np.isfinite(z)):
+                return z
+        raise PreconditionerBreakdown(
+            "preconditioner apply produced non-finite values"
+        )
+
+    return guarded
+
+
+def as_preconditioner(M, *, guard=True):
     """Normalize ``M`` into an ``apply(r) -> z`` callable (or None).
 
     Accepted forms:
@@ -47,7 +160,9 @@ def as_preconditioner(M):
     * ``None`` — unpreconditioned;
     * a callable — used as-is (e.g. ``ilu.solve`` or a custom apply);
     * an object with ``build_solver()`` (a factored
-      :class:`~repro.core.JavelinILU`) — its fast reusable apply;
+      :class:`~repro.core.JavelinILU` or a
+      :class:`~repro.resilience.ResilientFactor`) — its fast reusable
+      apply;
     * a combined L\\U factor in CSR form — wrapped in a
       :class:`~repro.core.trisolve.LevelizedTriangularSolver`, whose
       level-batched sweeps come from the pattern-keyed symbolic cache.
@@ -55,16 +170,25 @@ def as_preconditioner(M):
       :func:`~repro.core.iluk.ilu0_factor`); for a permuted
       ``JavelinILU`` factor pass the ``JavelinILU`` object itself,
       which applies its permutation around the sweeps.
+
+    With ``guard=True`` (the default used by every solver) the returned
+    apply checks its output for NaN/Inf on every call; a non-finite
+    result triggers one ``M.resetup()`` (when available) and otherwise
+    raises :class:`PreconditionerBreakdown`.
     """
-    if M is None or callable(M):
-        return M
-    if hasattr(M, "build_solver"):
-        return M.build_solver()
-    if hasattr(M, "indptr") and hasattr(M, "indices") and hasattr(M, "data"):
+    if M is None:
+        return None
+    if callable(M) and not hasattr(M, "build_solver"):
+        apply = M
+    elif hasattr(M, "build_solver"):
+        apply = M.build_solver()
+    elif hasattr(M, "indptr") and hasattr(M, "indices") and hasattr(M, "data"):
         from ..core.trisolve import LevelizedTriangularSolver
 
-        return LevelizedTriangularSolver(M).solve
-    raise TypeError(
-        f"cannot interpret {type(M).__name__} as a preconditioner; pass a "
-        "callable, a JavelinILU, or a factored CSR matrix"
-    )
+        apply = LevelizedTriangularSolver(M).solve
+    else:
+        raise TypeError(
+            f"cannot interpret {type(M).__name__} as a preconditioner; pass a "
+            "callable, a JavelinILU, or a factored CSR matrix"
+        )
+    return _guarded_apply(apply, M) if guard else apply

@@ -12,7 +12,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from .common import SolveResult, as_operator
+from .common import (
+    ConvergenceGuard,
+    PreconditionerBreakdown,
+    SolveResult,
+    as_operator,
+    as_preconditioner,
+    input_guard,
+)
 
 __all__ = ["fgmres"]
 
@@ -20,17 +27,30 @@ __all__ = ["fgmres"]
 def fgmres(A, b, *, M=None, x0=None, tol=1e-6, restart=50, maxiter=5000):
     """Solve ``A x = b`` with flexible restarted GMRES.
 
-    ``M`` is a callable ``z = M(r)`` and may differ from call to call
-    (flexible preconditioning).  With a fixed M this reproduces
-    right-preconditioned GMRES.
+    ``M`` is anything :func:`as_preconditioner` accepts (callable,
+    factored :class:`JavelinILU`, :class:`ResilientFactor`, CSR factor)
+    and its action may differ from call to call (flexible
+    preconditioning) — e.g. a :class:`ResilientFactor` that re-sets-up
+    mid-solve.  With a fixed M this reproduces right-preconditioned
+    GMRES.
     """
     matvec = as_operator(A)
+    M = as_preconditioner(M)
     b = np.asarray(b, dtype=np.float64)
     n = b.shape[0]
     x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
+    why = input_guard(b, x)
+    if why is not None:
+        return SolveResult(x=x, iterations=0, converged=False, residual=np.inf, reason=why)
+    guard = ConvergenceGuard()
     bnorm = float(np.linalg.norm(b)) or 1.0
     total = 0
     history = []
+
+    def _failed(rel, why):
+        return SolveResult(
+            x=x, iterations=total, converged=False, residual=rel, history=history, reason=why
+        )
 
     while total < maxiter:
         r = b - matvec(x)
@@ -39,6 +59,9 @@ def fgmres(A, b, *, M=None, x0=None, tol=1e-6, restart=50, maxiter=5000):
         history.append(rel)
         if rel <= tol:
             return SolveResult(x=x, iterations=total, converged=True, residual=rel, history=history)
+        why = guard.check(rel)
+        if why is not None:
+            return _failed(rel, why)
         m = min(restart, maxiter - total)
         V = np.zeros((m + 1, n))
         Z = np.zeros((m, n))  # the flexible directions
@@ -49,30 +72,36 @@ def fgmres(A, b, *, M=None, x0=None, tol=1e-6, restart=50, maxiter=5000):
         g[0] = beta
         V[0] = r / beta
         k_used = 0
-        for k in range(m):
-            Z[k] = M(V[k]) if M is not None else V[k]
-            w = matvec(Z[k])
-            for i in range(k + 1):
-                H[i, k] = float(w @ V[i])
-                w = w - H[i, k] * V[i]
-            H[k + 1, k] = float(np.linalg.norm(w))
-            if H[k + 1, k] > 1e-14:
-                V[k + 1] = w / H[k + 1, k]
-            for i in range(k):
-                t = cs[i] * H[i, k] + sn[i] * H[i + 1, k]
-                H[i + 1, k] = -sn[i] * H[i, k] + cs[i] * H[i + 1, k]
-                H[i, k] = t
-            denom = float(np.hypot(H[k, k], H[k + 1, k]))
-            cs[k], sn[k] = (1.0, 0.0) if denom == 0 else (H[k, k] / denom, H[k + 1, k] / denom)
-            H[k, k] = cs[k] * H[k, k] + sn[k] * H[k + 1, k]
-            H[k + 1, k] = 0.0
-            g[k + 1] = -sn[k] * g[k]
-            g[k] = cs[k] * g[k]
-            total += 1
-            k_used = k + 1
-            history.append(abs(g[k + 1]) / bnorm)
-            if abs(g[k + 1]) / bnorm <= tol:
-                break
+        try:
+            for k in range(m):
+                Z[k] = M(V[k]) if M is not None else V[k]
+                w = matvec(Z[k])
+                for i in range(k + 1):
+                    H[i, k] = float(w @ V[i])
+                    w = w - H[i, k] * V[i]
+                H[k + 1, k] = float(np.linalg.norm(w))
+                if H[k + 1, k] > 1e-14:
+                    V[k + 1] = w / H[k + 1, k]
+                for i in range(k):
+                    t = cs[i] * H[i, k] + sn[i] * H[i + 1, k]
+                    H[i + 1, k] = -sn[i] * H[i, k] + cs[i] * H[i + 1, k]
+                    H[i, k] = t
+                denom = float(np.hypot(H[k, k], H[k + 1, k]))
+                cs[k], sn[k] = (1.0, 0.0) if denom == 0 else (H[k, k] / denom, H[k + 1, k] / denom)
+                H[k, k] = cs[k] * H[k, k] + sn[k] * H[k + 1, k]
+                H[k + 1, k] = 0.0
+                g[k + 1] = -sn[k] * g[k]
+                g[k] = cs[k] * g[k]
+                total += 1
+                k_used = k + 1
+                inner_rel = abs(g[k + 1]) / bnorm
+                history.append(inner_rel)
+                if not np.isfinite(inner_rel):
+                    return _failed(inner_rel, "non-finite residual")
+                if inner_rel <= tol:
+                    break
+        except PreconditionerBreakdown as e:
+            return _failed(history[-1], str(e))
         y = np.zeros(k_used)
         for i in range(k_used - 1, -1, -1):
             y[i] = (g[i] - H[i, i + 1 : k_used] @ y[i + 1 : k_used]) / H[i, i]

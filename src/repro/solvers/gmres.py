@@ -10,7 +10,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from .common import SolveResult, as_operator, as_preconditioner
+from .common import (
+    ConvergenceGuard,
+    PreconditionerBreakdown,
+    SolveResult,
+    as_operator,
+    as_preconditioner,
+    input_guard,
+)
 
 __all__ = ["gmres"]
 
@@ -28,9 +35,18 @@ def gmres(A, b, *, M=None, x0=None, tol=1e-6, restart=50, maxiter=5000):
     b = np.asarray(b, dtype=np.float64)
     n = b.shape[0]
     x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
+    why = input_guard(b, x)
+    if why is not None:
+        return SolveResult(x=x, iterations=0, converged=False, residual=np.inf, reason=why)
+    guard = ConvergenceGuard()
     bnorm = float(np.linalg.norm(b)) or 1.0
     total_iters = 0
     history = []
+
+    def _failed(rel, why):
+        return SolveResult(
+            x=x, iterations=total_iters, converged=False, residual=rel, history=history, reason=why
+        )
 
     while total_iters < maxiter:
         r = b - matvec(x)
@@ -39,6 +55,9 @@ def gmres(A, b, *, M=None, x0=None, tol=1e-6, restart=50, maxiter=5000):
         history.append(rel)
         if rel <= tol:
             return SolveResult(x=x, iterations=total_iters, converged=True, residual=rel, history=history)
+        why = guard.check(rel)
+        if why is not None:
+            return _failed(rel, why)
         m = min(restart, maxiter - total_iters)
         V = np.zeros((m + 1, n))
         H = np.zeros((m + 1, m))
@@ -48,46 +67,51 @@ def gmres(A, b, *, M=None, x0=None, tol=1e-6, restart=50, maxiter=5000):
         g[0] = beta
         V[0] = r / beta
         k_used = 0
-        for k in range(m):
-            w = V[k]
-            z = M(w) if M is not None else w
-            w = matvec(z)
-            # modified Gram–Schmidt
-            for i in range(k + 1):
-                H[i, k] = float(w @ V[i])
-                w = w - H[i, k] * V[i]
-            H[k + 1, k] = float(np.linalg.norm(w))
-            if H[k + 1, k] > 1e-14:
-                V[k + 1] = w / H[k + 1, k]
-            # apply accumulated Givens rotations
-            for i in range(k):
-                t = cs[i] * H[i, k] + sn[i] * H[i + 1, k]
-                H[i + 1, k] = -sn[i] * H[i, k] + cs[i] * H[i + 1, k]
-                H[i, k] = t
-            denom = float(np.hypot(H[k, k], H[k + 1, k]))
-            if denom == 0.0:
-                cs[k], sn[k] = 1.0, 0.0
-            else:
-                cs[k], sn[k] = H[k, k] / denom, H[k + 1, k] / denom
-            H[k, k] = cs[k] * H[k, k] + sn[k] * H[k + 1, k]
-            H[k + 1, k] = 0.0
-            g[k + 1] = -sn[k] * g[k]
-            g[k] = cs[k] * g[k]
-            total_iters += 1
-            k_used = k + 1
-            rel = abs(g[k + 1]) / bnorm
-            history.append(rel)
-            if rel <= tol or H[k + 1, k] == 0.0 and k_used == m:
-                break
-            if abs(g[k + 1]) <= 1e-300:
-                break
-        # solve the small triangular system and update x
-        y = np.zeros(k_used)
-        for i in range(k_used - 1, -1, -1):
-            y[i] = (g[i] - H[i, i + 1 : k_used] @ y[i + 1 : k_used]) / H[i, i]
-        update = V[:k_used].T @ y
-        if M is not None:
-            update = M(update)
+        try:
+            for k in range(m):
+                w = V[k]
+                z = M(w) if M is not None else w
+                w = matvec(z)
+                # modified Gram–Schmidt
+                for i in range(k + 1):
+                    H[i, k] = float(w @ V[i])
+                    w = w - H[i, k] * V[i]
+                H[k + 1, k] = float(np.linalg.norm(w))
+                if H[k + 1, k] > 1e-14:
+                    V[k + 1] = w / H[k + 1, k]
+                # apply accumulated Givens rotations
+                for i in range(k):
+                    t = cs[i] * H[i, k] + sn[i] * H[i + 1, k]
+                    H[i + 1, k] = -sn[i] * H[i, k] + cs[i] * H[i + 1, k]
+                    H[i, k] = t
+                denom = float(np.hypot(H[k, k], H[k + 1, k]))
+                if denom == 0.0:
+                    cs[k], sn[k] = 1.0, 0.0
+                else:
+                    cs[k], sn[k] = H[k, k] / denom, H[k + 1, k] / denom
+                H[k, k] = cs[k] * H[k, k] + sn[k] * H[k + 1, k]
+                H[k + 1, k] = 0.0
+                g[k + 1] = -sn[k] * g[k]
+                g[k] = cs[k] * g[k]
+                total_iters += 1
+                k_used = k + 1
+                rel = abs(g[k + 1]) / bnorm
+                history.append(rel)
+                if not np.isfinite(rel):
+                    return _failed(rel, "non-finite residual")
+                if rel <= tol or H[k + 1, k] == 0.0 and k_used == m:
+                    break
+                if abs(g[k + 1]) <= 1e-300:
+                    break
+            # solve the small triangular system and update x
+            y = np.zeros(k_used)
+            for i in range(k_used - 1, -1, -1):
+                y[i] = (g[i] - H[i, i + 1 : k_used] @ y[i + 1 : k_used]) / H[i, i]
+            update = V[:k_used].T @ y
+            if M is not None:
+                update = M(update)
+        except PreconditionerBreakdown as e:
+            return _failed(history[-1], str(e))
         x = x + update
         true_rel = float(np.linalg.norm(b - matvec(x))) / bnorm
         if true_rel <= tol:

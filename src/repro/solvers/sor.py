@@ -16,7 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..sparse.csr import CSRMatrix
-from .common import SolveResult
+from .common import ConvergenceGuard, SolveResult, input_guard
 
 __all__ = ["sor_solve", "ssor_preconditioner"]
 
@@ -55,6 +55,10 @@ def sor_solve(A: CSRMatrix, b, *, omega=1.2, symmetric=True, tol=1e-6, maxiter=2
     if np.any(diag == 0):
         raise ValueError("SOR requires a nonzero diagonal")
     x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
+    why = input_guard(b, x)
+    if why is not None:
+        return SolveResult(x=x, iterations=0, converged=False, residual=np.inf, reason=why)
+    guard = ConvergenceGuard()
     bnorm = float(np.linalg.norm(b)) or 1.0
     history = []
     for it in range(1, maxiter + 1):
@@ -65,6 +69,11 @@ def sor_solve(A: CSRMatrix, b, *, omega=1.2, symmetric=True, tol=1e-6, maxiter=2
         history.append(rel)
         if rel <= tol:
             return SolveResult(x=x, iterations=it, converged=True, residual=rel, history=history)
+        why = guard.check(rel)
+        if why is not None:
+            return SolveResult(
+                x=x, iterations=it, converged=False, residual=rel, history=history, reason=why
+            )
     return SolveResult(
         x=x, iterations=maxiter, converged=False, residual=history[-1], history=history
     )

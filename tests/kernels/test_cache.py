@@ -142,3 +142,82 @@ class TestDefaultCache:
         missing = CSRMatrix(2, 2, [0, 1, 2], [1, 0], [1.0, 1.0])
         with pytest.raises(ValueError, match="missing diagonal in factored row 0"):
             cached_analysis(missing).plan("upper")
+
+
+class TestThreadSafety:
+    """The runtime shares one process-wide cache across worker threads."""
+
+    def test_concurrent_lookups_one_entry_consistent_stats(self):
+        import threading
+
+        cache = SymbolicCache()
+        F = _factor(n=60, seed=11)
+        results = []
+        barrier = threading.Barrier(8)
+
+        def hammer():
+            barrier.wait()  # maximize the build race
+            for _ in range(20):
+                results.append(cache.analysis(F))
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # racing builds are allowed, but one entry wins and everyone
+        # holds it afterwards
+        assert len(cache) == 1
+        winner = cache.analysis(F)
+        assert all(r is winner for r in results[-8:])
+        s = cache.stats()
+        assert s["hits"] + s["misses"] == len(results) + 1
+        assert s["misses"] >= 1
+
+    def test_concurrent_distinct_patterns_and_clear(self):
+        import threading
+
+        cache = SymbolicCache(max_entries=64)
+        mats = [_factor(n=25, seed=s) for s in range(6)]
+        errors = []
+
+        def worker(F):
+            try:
+                for _ in range(10):
+                    a = cache.analysis(F)
+                    a.diag_pos()
+                    a.levels("lower")
+            except Exception as e:  # pragma: no cover - failure path
+                errors.append(e)
+
+        threads = [threading.Thread(target=worker, args=(F,)) for F in mats]
+        threads.append(threading.Thread(target=cache.clear))
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        # post-clear state is still coherent: re-lookups all land
+        for F in mats:
+            cache.analysis(F)
+        assert all(F in cache for F in mats)
+
+    def test_memoized_products_race_free(self):
+        import threading
+
+        a = cached_analysis(_factor(n=40, seed=12))
+        outs = []
+        barrier = threading.Barrier(6)
+
+        def build():
+            barrier.wait()
+            outs.append(a.plan("lower"))
+
+        threads = [threading.Thread(target=build) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # all callers observe the single memoized winner
+        assert all(o is outs[0] for o in outs)
+        clear_default_cache()

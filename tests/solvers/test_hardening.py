@@ -1,0 +1,172 @@
+"""Solver resilience: input validation, divergence guards, guarded applies."""
+
+import numpy as np
+import pytest
+
+from repro.matrices import grid2d
+from repro.solvers import bicgstab, cg, fgmres, gmres, sor_solve
+from repro.solvers.common import (
+    ConvergenceGuard,
+    PreconditionerBreakdown,
+    as_preconditioner,
+    input_guard,
+)
+from repro.sparse import from_dense
+
+ALL_SOLVERS = [cg, gmres, bicgstab, fgmres]
+
+
+def _spd(n=25):
+    return grid2d(int(round(n ** 0.5)))
+
+
+# ----------------------------------------------------------------------
+# input validation
+# ----------------------------------------------------------------------
+class TestInputGuard:
+    @pytest.mark.parametrize("solver", ALL_SOLVERS)
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_nonfinite_rhs_rejected(self, solver, bad):
+        A = _spd()
+        b = np.ones(A.n_rows)
+        b[3] = bad
+        res = solver(A, b, tol=1e-8, maxiter=10)
+        assert not res.converged
+        assert res.iterations == 0
+        assert res.reason == "non-finite right-hand side b"
+        assert np.all(np.isfinite(res.x))
+
+    @pytest.mark.parametrize("solver", ALL_SOLVERS)
+    def test_nonfinite_x0_rejected(self, solver):
+        A = _spd()
+        b = np.ones(A.n_rows)
+        x0 = np.zeros(A.n_rows)
+        x0[0] = np.nan
+        res = solver(A, b, x0=x0, tol=1e-8, maxiter=10)
+        assert not res.converged
+        assert res.reason == "non-finite initial guess x0"
+
+    def test_sor_guarded_too(self):
+        A = _spd()
+        b = np.full(A.n_rows, np.inf)
+        res = sor_solve(A, b, maxiter=5)
+        assert not res.converged and res.reason is not None
+
+    def test_input_guard_helper(self):
+        assert input_guard(np.ones(3), np.zeros(3)) is None
+        assert "b" in input_guard(np.array([np.nan]), np.zeros(1))
+        assert "x0" in input_guard(np.ones(1), np.array([np.inf]))
+
+    @pytest.mark.parametrize("solver", ALL_SOLVERS)
+    def test_clean_inputs_unaffected(self, solver):
+        A = _spd()
+        b = np.ones(A.n_rows)
+        res = solver(A, b, tol=1e-8)
+        assert res.converged and res.reason is None
+
+
+# ----------------------------------------------------------------------
+# divergence / stagnation guard
+# ----------------------------------------------------------------------
+class TestConvergenceGuard:
+    def test_nonfinite_residual_flagged(self):
+        assert ConvergenceGuard().check(np.nan) == "non-finite residual"
+        assert ConvergenceGuard().check(np.inf) == "non-finite residual"
+
+    def test_consecutive_growth_trips(self):
+        g = ConvergenceGuard(max_growth_iters=3)
+        assert g.check(1.0) is None
+        assert g.check(1.1) is None
+        assert g.check(1.2) is None
+        assert "consecutive" in g.check(1.3)
+
+    def test_growth_counter_resets_on_decrease(self):
+        g = ConvergenceGuard(max_growth_iters=3)
+        for rel in (1.0, 1.1, 1.2, 0.9, 1.0, 1.1):
+            assert g.check(rel) is None
+
+    def test_runaway_ratio_trips_before_counter(self):
+        g = ConvergenceGuard(max_growth_iters=100, divergence_ratio=1e3)
+        assert g.check(1e-6) is None
+        assert "diverged" in g.check(1.0)
+
+    def test_plateau_never_flagged(self):
+        g = ConvergenceGuard()
+        for _ in range(200):
+            assert g.check(0.5) is None
+
+    def test_cg_aborts_on_indefinite_operator(self):
+        # CG on a symmetric *indefinite* matrix: p'Ap crosses zero or the
+        # residual blows up — either way the solve must abort with a
+        # reason rather than iterating to maxiter on garbage
+        n = 30
+        rng = np.random.default_rng(3)
+        Q, _ = np.linalg.qr(rng.standard_normal((n, n)))
+        D = Q @ np.diag(np.concatenate([np.ones(15), -np.ones(15)])) @ Q.T
+        res = cg(from_dense(D), np.ones(n), tol=1e-12, maxiter=500)
+        if not res.converged:
+            assert res.reason is not None
+
+
+# ----------------------------------------------------------------------
+# guarded preconditioner applies
+# ----------------------------------------------------------------------
+class TestGuardedApply:
+    def test_breakdown_without_resetup(self):
+        bad = as_preconditioner(lambda r: np.full_like(r, np.nan))
+        with pytest.raises(PreconditionerBreakdown):
+            bad(np.ones(4))
+
+    def test_one_resetup_then_recovery(self):
+        calls = []
+
+        class Fixable:
+            def __call__(self, r):
+                return np.full_like(r, np.nan)
+
+            def resetup(self):
+                calls.append(1)
+                return lambda r: r.copy()
+
+        apply = as_preconditioner(Fixable())
+        out = apply(np.ones(4))
+        assert np.array_equal(out, np.ones(4))
+        assert len(calls) == 1
+
+    def test_second_failure_raises(self):
+        class Unfixable:
+            def __call__(self, r):
+                return np.full_like(r, np.inf)
+
+            def resetup(self):
+                return lambda r: np.full_like(r, np.nan)
+
+        apply = as_preconditioner(Unfixable())
+        with pytest.raises(PreconditionerBreakdown):
+            apply(np.ones(4))
+
+    def test_finite_path_untouched(self):
+        apply = as_preconditioner(lambda r: 2.0 * r)
+        assert np.array_equal(apply(np.ones(3)), 2.0 * np.ones(3))
+
+    @pytest.mark.parametrize("solver", ALL_SOLVERS)
+    def test_solvers_turn_breakdown_into_failed_result(self, solver):
+        A = _spd()
+        b = np.ones(A.n_rows)
+        res = solver(A, b, M=lambda r: np.full_like(r, np.nan), tol=1e-8, maxiter=50)
+        assert not res.converged
+        assert res.reason is not None and "non-finite" in res.reason
+        assert np.all(np.isfinite(res.x))
+
+    def test_guard_opt_out(self):
+        raw = as_preconditioner(lambda r: np.full_like(r, np.nan), guard=False)
+        assert np.all(np.isnan(raw(np.ones(3))))
+
+
+class TestCGBreakdownReason:
+    def test_zero_curvature_reported(self):
+        # A = 0 ⇒ p'Ap = 0 on the first iteration
+        Z = from_dense(np.zeros((4, 4)))
+        res = cg(Z, np.ones(4), tol=1e-10, maxiter=10)
+        assert not res.converged
+        assert res.reason is not None and "p'Ap" in res.reason
