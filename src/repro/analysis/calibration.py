@@ -13,9 +13,7 @@ from __future__ import annotations
 
 import math
 
-import numpy as np
 
-from ..core.javelin import JavelinILU
 from ..machine.core import SimMachine
 from ..machine.topology import MachineSpec
 

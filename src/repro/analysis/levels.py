@@ -8,7 +8,6 @@ schedule moves to the end for sensitivity parameter α.
 
 from __future__ import annotations
 
-import numpy as np
 
 from ..core.schedule import rows_moved_for_alpha
 from ..ordering.levelsets import level_schedule, level_set_stats

@@ -8,7 +8,6 @@ parallel times as the bar to beat.
 
 from __future__ import annotations
 
-import numpy as np
 
 from ..machine.core import SimMachine
 from ..ordering.levelsets import level_sets_lower

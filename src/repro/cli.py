@@ -13,6 +13,10 @@ simulate MATRIX
 solve MATRIX
     Solve ``A x = b`` (random b) with a chosen Krylov method and
     preconditioner; print the iteration count and residual.
+verify [ARGS...]
+    Static-analysis suite (``repro.verify``): lint rules, schedule
+    race replay, pruning proof, structural invariants.  All arguments
+    are forwarded to ``python -m repro.verify``.
 """
 
 from __future__ import annotations
@@ -151,6 +155,12 @@ def cmd_solve(args):
     return 0 if r.converged else 1
 
 
+def cmd_verify(args):
+    from .verify.cli import main as verify_main
+
+    return verify_main(args.rest)
+
+
 def build_parser():
     p = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = p.add_subparsers(dest="command", required=True)
@@ -201,10 +211,22 @@ def build_parser():
     sp.add_argument("--maxiter", type=int, default=5000)
     sp.add_argument("--seed", type=int, default=0)
     sp.set_defaults(func=cmd_solve)
+
+    # no add_help: -h/--help fall through to the repro.verify parser
+    sp = sub.add_parser("verify", help="run the static-analysis suite", add_help=False)
+    sp.add_argument("rest", nargs=argparse.REMAINDER, help="arguments for repro.verify")
+    sp.set_defaults(func=cmd_verify)
     return p
 
 
 def main(argv=None):
+    argv = sys.argv[1:] if argv is None else list(argv)
+    # argparse.REMAINDER mis-parses leading options ("verify --list-rules"),
+    # so the verify passthrough is routed before the parser runs
+    if argv[:1] == ["verify"]:
+        from .verify.cli import main as verify_main
+
+        return verify_main(argv[1:])
     args = build_parser().parse_args(argv)
     return args.func(args)
 

@@ -24,7 +24,7 @@ import numpy as np
 
 from ..sparse.csr import CSRMatrix
 from ..sparse.pattern import split_lu
-from .iluk import _diag_positions, _scatter_values, factor_row
+from .iluk import _diag_positions, factor_row
 
 __all__ = [
     "row_residual_norms",

@@ -169,10 +169,20 @@ def ichol_shifted(A: CSRMatrix, k: int = 0, *, shift0=1e-3, max_tries=16):
 
 
 def ichol_solve(L: CSRMatrix, b):
-    """Apply the IC preconditioner: solve ``L Lᵀ x = b``."""
+    """Apply the IC preconditioner: solve ``L Lᵀ x = b``.
+
+    A zero or non-finite diagonal (a factor produced outside
+    :func:`ichol_factor`'s guarded path) raises
+    :class:`ICholBreakdownError` rather than seeding Inf/NaN into the
+    Krylov iterate.
+    """
     b = np.asarray(b, dtype=np.float64)
     n = L.n_rows
     indptr, indices, data = L.indptr, L.indices, L.data
+    diag = data[np.asarray(indptr[1:], dtype=np.int64) - 1]
+    bad = np.nonzero(~(np.isfinite(diag) & (diag != 0.0)))[0]
+    if bad.size:
+        raise ICholBreakdownError(int(bad[0]), float(diag[bad[0]]), kind="solve-diagonal")
     # forward: L y = b
     y = np.empty(n)
     for i in range(n):

@@ -23,7 +23,7 @@ import numpy as np
 from ..machine.core import SimMachine
 from ..machine.trace import ExecutionTrace
 from ..sparse.csr import CSRMatrix
-from .iluk import factor_row, PivotBreakdownError
+from .iluk import PivotBreakdownError
 
 __all__ = ["EvenRows", "factor_lower_er", "simulate_lower_er"]
 

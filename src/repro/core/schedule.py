@@ -23,7 +23,7 @@ The partition is computed on the level sets of ``lower(A + Aᵀ)`` (or
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

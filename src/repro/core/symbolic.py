@@ -64,8 +64,8 @@ def iluk_pattern(A: CSRMatrix, k: int) -> CSRMatrix:
     n = A.n_rows
     base = add_diagonal_pattern(A, value=0.0)
     # per-row results: sorted column arrays and parallel level arrays
-    rows_cols: list[np.ndarray] = [None] * n  # type: ignore[list-item]
-    rows_levs: list[np.ndarray] = [None] * n  # type: ignore[list-item]
+    rows_cols: list[np.ndarray | None] = [None] * n
+    rows_levs: list[np.ndarray | None] = [None] * n
     INF = np.iinfo(np.int64).max
 
     for i in range(n):
@@ -87,6 +87,9 @@ def iluk_pattern(A: CSRMatrix, k: int) -> CSRMatrix:
                 continue
             cc = rows_cols[c]
             ll = rows_levs[c]
+            # rows are finished in ascending order and the heap only ever
+            # holds columns < i, so row c is already filled
+            assert cc is not None and ll is not None
             # merge the strict-upper part of row c
             upper_mask = cc > c
             for j, ljc in zip(cc[upper_mask], ll[upper_mask]):
@@ -101,11 +104,15 @@ def iluk_pattern(A: CSRMatrix, k: int) -> CSRMatrix:
         rows_cols[i] = cols.astype(np.int64)
         rows_levs[i] = lev[cols].copy()
 
+    # every slot was filled by the loop above; narrow away the Nones once
+    filled_cols = [c for c in rows_cols if c is not None]
+    filled_levs = [lv for lv in rows_levs if lv is not None]
+    assert len(filled_cols) == n and len(filled_levs) == n
     indptr = np.zeros(n + 1, dtype=np.int64)
     for i in range(n):
-        indptr[i + 1] = indptr[i] + rows_cols[i].shape[0]
-    indices = np.concatenate(rows_cols)
-    levels = np.concatenate(rows_levs).astype(np.float64)
+        indptr[i + 1] = indptr[i] + filled_cols[i].shape[0]
+    indices = np.concatenate(filled_cols)
+    levels = np.concatenate(filled_levs).astype(np.float64)
     return CSRMatrix(n, n, indptr, indices, levels, sort=False, check=False)
 
 

@@ -28,12 +28,10 @@ from __future__ import annotations
 import numpy as np
 
 from ..machine.core import SimMachine
-from ..machine.trace import ExecutionTrace
 from ..sparse.csr import CSRMatrix
 from ..ordering.levelsets import LevelSets
 from ..kernels import backward_level_sets, cached_analysis, get_kernel
 from .symbolic import row_solve_costs
-from .upper import assign_round_robin
 
 __all__ = [
     "trisolve_lower_serial",

@@ -40,14 +40,18 @@ from .cache import (
     cached_analysis,
     clear_default_cache,
     default_cache,
+    freeze_product,
     pattern_fingerprint,
+    set_validation_hook,
 )
 
-# importing the kernel modules registers their backends
-from . import trisolve as _trisolve_kernels  # noqa: F401
-from . import des as _des_kernels  # noqa: F401
+# importing the kernel modules registers their backends; both are part
+# of the public surface (re-exported via __all__, no suppression needed)
+from . import des, trisolve
 
 __all__ = [
+    "des",
+    "trisolve",
     "register_kernel",
     "get_kernel",
     "available_backends",
@@ -66,4 +70,6 @@ __all__ = [
     "cached_analysis",
     "default_cache",
     "clear_default_cache",
+    "freeze_product",
+    "set_validation_hook",
 ]

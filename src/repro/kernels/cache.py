@@ -39,7 +39,47 @@ __all__ = [
     "default_cache",
     "cached_analysis",
     "clear_default_cache",
+    "set_validation_hook",
+    "freeze_product",
 ]
+
+_VALIDATION_HOOK = None  # debug hook: fn(analysis) on every cache lookup
+
+
+def set_validation_hook(fn):
+    """Install (or clear, with ``None``) the lookup-time debug validator.
+
+    When set, every :meth:`SymbolicCache.analysis` result is passed to
+    ``fn(analysis)`` before being returned — the hook
+    :func:`repro.verify.enable_debug_validation` uses to re-validate
+    cached entries (structure + frozen arrays) on each lookup.
+    """
+    global _VALIDATION_HOOK
+    _VALIDATION_HOOK = fn
+
+
+def freeze_product(obj):
+    """Mark a symbolic product's arrays read-only, recursively.
+
+    Cached products are shared across factor/solve cycles and threads;
+    freezing (``ndarray.flags.writeable = False``) turns an accidental
+    in-place mutation into an immediate ``ValueError`` at the write
+    site instead of silent corruption of every other consumer.  Handles
+    bare arrays, tuples of products, and the dataclass products
+    (:class:`~repro.ordering.levelsets.LevelSets`,
+    :class:`~repro.kernels.plans.TriSolvePlan`).
+    """
+    if isinstance(obj, np.ndarray):
+        obj.flags.writeable = False
+        return obj
+    if isinstance(obj, tuple):
+        return tuple(freeze_product(x) for x in obj)
+    for field in ("level_of", "level_ptr", "rows", "ent_idx", "ent_local",
+                  "lev_ent_ptr", "diag_idx"):
+        arr = getattr(obj, field, None)
+        if isinstance(arr, np.ndarray):
+            arr.flags.writeable = False
+    return obj
 
 
 def pattern_fingerprint(M) -> str:
@@ -74,9 +114,12 @@ class SymbolicAnalysis:
             sort=False,
             check=False,
         )
+        # frozen: cached pattern arrays are shared read-only views too
+        for arr in (self._pattern.indptr, self._pattern.indices, self._pattern.data):
+            arr.flags.writeable = False
         self._memo = {}
         self.compute_counts = {}
-        self._lock = threading.Lock()
+        self._lock = threading.Lock()  # verify: ok[JAV002] shared with the threaded runtime
 
     @property
     def nnz(self):
@@ -89,7 +132,7 @@ class SymbolicAnalysis:
             hit = self._memo.get(key)
         if hit is not None:
             return hit
-        built = builder()
+        built = freeze_product(builder())
         with self._lock:
             if key not in self._memo:
                 self._memo[key] = built
@@ -152,7 +195,7 @@ class SymbolicCache:
     def __init__(self, max_entries=32):
         self.max_entries = int(max_entries)
         self._entries: OrderedDict[str, SymbolicAnalysis] = OrderedDict()
-        self._lock = threading.Lock()
+        self._lock = threading.Lock()  # verify: ok[JAV002] shared with the threaded runtime
         self.hits = 0
         self.misses = 0
 
@@ -164,15 +207,18 @@ class SymbolicCache:
             if entry is not None:
                 self.hits += 1
                 self._entries.move_to_end(key)
-                return entry
-            self.misses += 1
-        entry = SymbolicAnalysis(M, fingerprint=key)
-        with self._lock:
-            winner = self._entries.setdefault(key, entry)
-            self._entries.move_to_end(key)
-            while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
-        return winner
+            else:
+                self.misses += 1
+        if entry is None:
+            entry = SymbolicAnalysis(M, fingerprint=key)
+            with self._lock:
+                entry = self._entries.setdefault(key, entry)
+                self._entries.move_to_end(key)
+                while len(self._entries) > self.max_entries:
+                    self._entries.popitem(last=False)
+        if _VALIDATION_HOOK is not None:
+            _VALIDATION_HOOK(entry)
+        return entry
 
     def __contains__(self, M):
         with self._lock:

@@ -24,10 +24,13 @@ __all__ = [
     "available_kernels",
     "set_default_backend",
     "get_default_backend",
+    "set_kernel_validator",
+    "get_kernel_validator",
 ]
 
 _REGISTRY: dict[str, dict[str, object]] = {}
 _DEFAULT: dict[str, str] = {}
+_VALIDATOR = None  # debug hook: fn(name, backend, args, kwargs) before dispatch
 
 
 def register_kernel(name, backend, *, default=False):
@@ -58,12 +61,22 @@ def get_kernel(name, backend=None):
         )
     backend = backend or _DEFAULT[name]
     try:
-        return impls[backend]
+        fn = impls[backend]
     except KeyError:
         raise KeyError(
             f"kernel {name!r} has no {backend!r} backend; "
             f"available: {sorted(impls)}"
         ) from None
+    if _VALIDATOR is None:
+        return fn
+
+    def validated(*args, **kwargs):
+        _VALIDATOR(name, backend, args, kwargs)
+        return fn(*args, **kwargs)
+
+    validated.__wrapped__ = fn
+    validated.__name__ = getattr(fn, "__name__", name)
+    return validated
 
 
 def available_backends(name):
@@ -91,3 +104,20 @@ def get_default_backend(name):
     if name not in _DEFAULT:
         raise KeyError(f"unknown kernel {name!r}")
     return _DEFAULT[name]
+
+
+def set_kernel_validator(fn):
+    """Install (or clear, with ``None``) the dispatch-time debug validator.
+
+    When set, every implementation resolved by :func:`get_kernel` is
+    wrapped so ``fn(name, backend, args, kwargs)`` runs before the
+    kernel body — the hook :func:`repro.verify.enable_debug_validation`
+    uses to validate matrix/plan arguments on the hot path.  Costs
+    nothing while unset (the raw function is returned).
+    """
+    global _VALIDATOR
+    _VALIDATOR = fn
+
+
+def get_kernel_validator():
+    return _VALIDATOR

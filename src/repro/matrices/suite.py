@@ -17,12 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
-from ..ordering.dulmage_mendelsohn import (
-    dulmage_mendelsohn_row_perm,
-    StructurallySingularError,
-)
+from ..ordering.dulmage_mendelsohn import dulmage_mendelsohn_row_perm
 from ..ordering.nd import nested_dissection_order
 from ..sparse.csr import CSRMatrix
 from ..sparse.pattern import has_full_diagonal

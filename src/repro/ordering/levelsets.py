@@ -19,7 +19,7 @@ imposed on an RCM- or ND-preordered matrix.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -20,7 +20,7 @@ from ..core.lower_er import EvenRows, _factor_row_range
 from ..core.upper import assign_round_robin
 from ..sparse.csr import CSRMatrix
 from .pointtopoint import ProgressBoard
-from .threadpool import _deps_by_producer
+from .threadpool import deps_by_producer
 
 __all__ = ["threaded_factor_two_stage"]
 
@@ -60,7 +60,7 @@ def threaded_factor_two_stage(
             my_rows = np.nonzero(thread_of == t)[0]
             for r in my_rows:
                 r = int(r)
-                for u, need in _deps_by_producer(S, r, thread_of, t).items():
+                for u, need in deps_by_producer(S, r, thread_of, t).items():
                     board.wait_for(u, need)
                 factor_row(F, r, diag_pos, pivot_tol=pivot_tol)
                 board.publish(t, r)

@@ -35,10 +35,10 @@ from ..core.upper import assign_round_robin
 from ..sparse.csr import CSRMatrix
 from .pointtopoint import FaultInjectedBoard, ProgressBoard
 
-__all__ = ["threaded_factor", "threaded_trisolve_lower"]
+__all__ = ["deps_by_producer", "threaded_factor", "threaded_trisolve_lower"]
 
 
-def _deps_by_producer(S, r, thread_of, own_thread):
+def deps_by_producer(S, r, thread_of, own_thread):
     """Latest dependency row per distinct producer thread (pruned waits)."""
     cols = S.indices[S.indptr[r] : S.indptr[r + 1]]
     deps = cols[cols < r]
@@ -108,7 +108,7 @@ def threaded_factor(
                 r = int(r)
                 if stop.is_set():
                     return
-                for u, need in _deps_by_producer(S, r, thread_of, t).items():
+                for u, need in deps_by_producer(S, r, thread_of, t).items():
                     if not board.try_wait(u, need, timeout=watchdog_timeout, stop=stop):
                         if not stop.is_set():
                             stalled.append((t, u, need))
@@ -192,7 +192,7 @@ def threaded_trisolve_lower(
                 r = int(r)
                 if stop.is_set():
                     return
-                for u, need in _deps_by_producer(F, r, thread_of, t).items():
+                for u, need in deps_by_producer(F, r, thread_of, t).items():
                     if not board.try_wait(u, need, timeout=watchdog_timeout, stop=stop):
                         if not stop.is_set():
                             stalled.append((t, u, need))

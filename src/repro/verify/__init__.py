@@ -1,0 +1,78 @@
+"""Static analysis for the framework's scheduling and structure claims.
+
+Javelin's correctness story is an *argument* — one monotonic progress
+counter per thread suffices because the row→thread map's implied
+ordering prunes the dependency DAG (§III-A) — and this package turns it
+into executable checks:
+
+* :mod:`repro.verify.races` — happens-before replay of a schedule or an
+  execution trace with vector clocks; reports unordered reads with
+  sanitizer-style witnesses.
+* :mod:`repro.verify.pruning` — a domination proof that the pruned sync
+  set the DES and the threaded runtime actually use covers the true
+  DAG, plus the paper's sparsification (pruning-ratio) diagnostic and
+  ER/SR lower-stage structural coverage checks.
+* :mod:`repro.verify.invariants` — structural validators for CSR/CSC
+  matrices, level sets, sweep plans and cached symbolic products
+  (including the frozen-cache-arrays rule), installable as debug hooks
+  on kernel dispatch and cache lookups.
+* :mod:`repro.verify.lint` — repo-specific AST rules (JAV001–JAV004).
+
+Run everything with ``python -m repro.verify`` (or ``repro verify``);
+see ``docs/static_analysis.md``.
+"""
+
+from .invariants import (
+    InvariantViolation,
+    disable_debug_validation,
+    enable_debug_validation,
+    validate,
+    validate_analysis,
+    validate_csc,
+    validate_csr,
+    validate_levels,
+    validate_plan,
+)
+from .lint import Finding, RULES, lint_paths, lint_source
+from .pruning import (
+    PruningReport,
+    check_lower_er,
+    check_lower_sr,
+    check_pruning,
+    implementation_sync_sets_agree,
+)
+from .races import (
+    RaceReport,
+    RaceWitness,
+    replay_schedule,
+    replay_trace,
+    sync_edges_from_producer_csr,
+    thread_sequences,
+)
+
+__all__ = [
+    "InvariantViolation",
+    "validate",
+    "validate_csr",
+    "validate_csc",
+    "validate_levels",
+    "validate_plan",
+    "validate_analysis",
+    "enable_debug_validation",
+    "disable_debug_validation",
+    "Finding",
+    "RULES",
+    "lint_source",
+    "lint_paths",
+    "PruningReport",
+    "check_pruning",
+    "check_lower_er",
+    "check_lower_sr",
+    "implementation_sync_sets_agree",
+    "RaceWitness",
+    "RaceReport",
+    "replay_schedule",
+    "replay_trace",
+    "thread_sequences",
+    "sync_edges_from_producer_csr",
+]

@@ -1,0 +1,316 @@
+"""``python -m repro.verify`` — run every static-analysis pass and gate on it.
+
+Passes (any failure makes the exit code 1):
+
+``lint``
+    The four repo-specific AST rules (:mod:`repro.verify.lint`) over the
+    given paths (default: the installed ``repro`` package source).
+``schedules``
+    For every matrix of the synthetic suite (at ``--scale``): build the
+    Javelin two-stage schedule, then (a) prove the pruned sync set of
+    both the static and the dynamic row→thread map covers the true
+    dependency DAG (:mod:`repro.verify.pruning`, with the pruning ratio
+    reported), (b) replay both schedules with vector clocks and demand
+    race-freedom (:mod:`repro.verify.races`), (c) cross-check that the
+    DES and the threaded runtime derive identical sync sets, and (d)
+    run the ER/SR lower-stage structural coverage checks.
+``invariants``
+    Structural validation of the patterns, level sets, plans and cached
+    symbolic products the schedule pass built (including the
+    frozen-cache-arrays rule).
+``selftest``
+    Negative controls: a seeded dropped-publish fault plan must be
+    *flagged* by the race detector (on the schedule and on a DES trace
+    replay), and deleting one retained sync edge must break the pruning
+    proof.  A detector that cannot see planted bugs proves nothing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["main", "build_parser", "run_lint", "run_schedules", "run_selftest"]
+
+_PASSES = ("lint", "schedules", "invariants", "selftest")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(prog="repro.verify", description=__doc__)
+    p.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to lint (default: the repro package source)",
+    )
+    p.add_argument("--scale", type=float, default=0.25, help="suite size multiplier")
+    p.add_argument(
+        "--matrices",
+        default=None,
+        help="comma-separated suite names (default: the whole suite)",
+    )
+    p.add_argument("--threads", type=int, default=4, help="simulated thread count")
+    p.add_argument(
+        "--skip",
+        action="append",
+        default=[],
+        choices=_PASSES,
+        help="skip a pass (repeatable)",
+    )
+    p.add_argument("--list-rules", action="store_true", help="print lint rule IDs and exit")
+    p.add_argument("-v", "--verbose", action="store_true")
+    return p
+
+
+def run_lint(paths, *, out=print) -> int:
+    """Run the AST lint; returns the number of findings."""
+    from .lint import RULES, iter_python_files, lint_paths
+
+    files = list(iter_python_files(paths))
+    findings = lint_paths(paths)
+    for f in findings:
+        out(f.format())
+    out(
+        f"[lint] {len(findings)} finding(s) in {len(files)} file(s) "
+        f"(rules {', '.join(sorted(RULES))})"
+    )
+    return len(findings)
+
+
+def _suite_matrices(names, scale):
+    from ..matrices import SUITE, build_matrix, preorder_for_javelin
+
+    picked = sorted(SUITE) if names is None else [s.strip() for s in names.split(",")]
+    for name in picked:
+        if name not in SUITE:
+            raise SystemExit(f"unknown suite matrix {name!r}")
+        yield name, preorder_for_javelin(build_matrix(name, scale=scale))
+
+
+def run_schedules(args, *, out=print):
+    """Pruning + race + lower-stage checks across the suite.
+
+    Returns ``(n_failures, worklist)`` where ``worklist`` carries the
+    per-matrix objects for the invariants pass.
+    """
+    from ..core import JavelinILU
+    from ..core.lower_sr import SegmentedRows
+    from ..core.upper import assign_dynamic, assign_round_robin
+    from ..kernels import cached_analysis
+    from ..machine import SimMachine, uniform_machine
+    from .pruning import (
+        check_lower_er,
+        check_lower_sr,
+        check_pruning,
+        implementation_sync_sets_agree,
+    )
+    from .races import replay_schedule
+
+    p = args.threads
+    machine = SimMachine(uniform_machine(n_cores=p), p)
+    failures = 0
+    worklist = []
+    ratios = {"static": [], "dynamic": []}
+    reads = 0
+    for name, A in _suite_matrices(args.matrices, args.scale):
+        ilu = JavelinILU().setup(A)
+        S, level_ptr, m = ilu.S_perm, ilu.level_ptr, ilu.m
+        ana = cached_analysis(S)
+        flops, touched = ana.factor_costs()
+        maps = {"static": assign_round_robin(level_ptr, p)}
+        maps["dynamic"], _ = assign_dynamic(level_ptr, p, machine, flops, touched)
+        for policy, thread_of in maps.items():
+            pr = check_pruning(S, thread_of, m=m)
+            rr = replay_schedule(S, thread_of, m=m)
+            ratios[policy].append(pr.pruning_ratio)
+            reads += rr.n_reads_checked
+            if not pr.ok:
+                failures += 1
+                out(f"[pruning] {name} ({policy}): {pr.format()}")
+            if not rr.ok:
+                failures += 1
+                out(f"[races] {name} ({policy}): {rr.format()}")
+            if args.verbose:
+                out(f"[schedules] {name} ({policy}): {pr.format()}")
+        mism = implementation_sync_sets_agree(S, maps["static"], m=m)
+        if mism:
+            failures += 1
+            r, mine, des = mism[0]
+            out(
+                f"[schedules] {name}: DES and threadpool sync sets disagree at "
+                f"row {r}: {mine} vs {des} ({len(mism)} rows total)"
+            )
+        n = S.n_rows
+        if n > m:
+            er = check_lower_er(S, m, p)
+            if not er.ok:
+                failures += 1
+                out(f"[lower-er] {name}: {er.format()}")
+            sr = SegmentedRows.build(S, m, level_ptr)
+            srr = check_lower_sr(sr, S, m, level_ptr)
+            if not srr.ok:
+                failures += 1
+                out(f"[lower-sr] {name}: {srr.format()}")
+        worklist.append((name, ilu, ana))
+    for policy in ("static", "dynamic"):
+        if ratios[policy]:
+            r = ratios[policy]
+            out(
+                f"[pruning] {policy}: sync coverage proved on {len(r)} matrices, "
+                f"pruning ratio mean {float(np.mean(r)):.3f} "
+                f"(min {min(r):.3f}, max {max(r):.3f})"
+            )
+    out(f"[races] {reads} reads checked across static+dynamic schedules")
+    return failures, worklist
+
+
+def run_invariants(worklist, *, out=print) -> int:
+    """Validate the structures the schedule pass built."""
+    from .invariants import InvariantViolation, validate_analysis, validate_csr, validate_levels
+
+    failures = 0
+    for name, ilu, ana in worklist:
+        try:
+            validate_csr(ilu.S_perm, require_diagonal=True, name=f"{name}.S_perm")
+            validate_csr(ilu.A_perm, name=f"{name}.A_perm")
+            validate_levels(ilu.schedule.levels, name=f"{name}.levels")
+            # force the sweep plans so the frozen-cache rule has entries to see
+            ana.plan("lower")
+            ana.plan("upper")
+            validate_analysis(ana, name=f"{name}.analysis")
+        except InvariantViolation as e:
+            failures += 1
+            out(f"[invariants] {name}: {e}")
+    out(f"[invariants] {len(worklist)} matrices validated" + (" with failures" if failures else ""))
+    return failures
+
+
+def run_selftest(args, *, out=print) -> int:
+    """Negative controls: planted bugs must be detected."""
+    from ..core import JavelinILU
+    from ..core.upper import assign_round_robin, simulate_upper_p2p
+    from ..kernels import cached_analysis
+    from ..machine import SimMachine, uniform_machine
+    from ..matrices import build_matrix, preorder_for_javelin
+    from ..resilience import FaultPlan, drop_last_publish
+    from .pruning import check_pruning
+    from .races import replay_schedule, replay_trace, sync_edges_from_producer_csr
+
+    failures = 0
+    p = args.threads
+    A = preorder_for_javelin(build_matrix("wang3", scale=args.scale))
+    ilu = JavelinILU().setup(A)
+    S, level_ptr, m = ilu.S_perm, ilu.level_ptr, ilu.m
+    thread_of = assign_round_robin(level_ptr, p)
+
+    # 1) a dropped publish with no surviving cover must be flagged on the
+    # schedule.  Seed it deterministically: take the first cross-thread
+    # dependency edge c -> r and drop every publish of c's owner from c
+    # on, so no later publish of that thread can heal the loss.  (The
+    # plainer ``drop_last_publish`` seed can be vacuous when the
+    # thread's last row has no upper-stage consumer.)
+    edge = next(
+        (
+            (int(c), r)
+            for r in range(m)
+            for c in S.indices[S.indptr[r] : S.indptr[r + 1]]
+            if c < r and int(thread_of[c]) != int(thread_of[r])
+        ),
+        None,
+    )
+    if edge is None:
+        out("[selftest] no cross-thread edge at this scale; raise --scale")
+        return failures + 1
+    c0, _ = edge
+    victim = int(thread_of[c0])
+    dropped = frozenset(
+        (victim, row) for row in range(c0, m) if int(thread_of[row]) == victim
+    )
+    assert dropped >= drop_last_publish(thread_of[:m], victim)
+    plan = FaultPlan(dropped=dropped)
+    rep = replay_schedule(S, thread_of, m=m, fault_plan=plan)
+    flagged = any(w.kind == "dropped-publish" for w in rep.witnesses)
+    if not flagged:
+        failures += 1
+        out("[selftest] FAIL: dropped-publish schedule was not flagged")
+    else:
+        out(
+            f"[selftest] dropped publishes of thread {victim} (rows >= {c0}) flagged: "
+            f"{len(rep.witnesses)} witness(es), first: "
+            f"{rep.witnesses[0].kind} row {rep.witnesses[0].row} <- "
+            f"dep {rep.witnesses[0].dep}"
+        )
+
+    # 2) the same fault plan on a DES trace replay
+    machine = SimMachine(uniform_machine(n_cores=p), p)
+    flops, touched = cached_analysis(S).factor_costs()
+    _, _, trace = simulate_upper_p2p(
+        S, level_ptr, machine, flops, touched, fault_plan=plan
+    )
+    rep_t = replay_trace(trace, S, fault_plan=plan)
+    if rep_t.ok:
+        failures += 1
+        out("[selftest] FAIL: dropped-publish DES trace was not flagged")
+    else:
+        out(f"[selftest] fault-injected DES trace flagged ({len(rep_t.witnesses)} witness(es))")
+    # the fault-free trace must be clean
+    _, _, trace0 = simulate_upper_p2p(S, level_ptr, machine, flops, touched)
+    rep0 = replay_trace(trace0, S)
+    if not rep0.ok:
+        failures += 1
+        out(f"[selftest] FAIL: fault-free DES trace reported races: {rep0.format()}")
+
+    # 3) deleting one retained sync edge must break the pruning proof
+    from ..kernels.plans import build_producer_csr
+
+    sync = sync_edges_from_producer_csr(*build_producer_csr(S, m, thread_of))
+    victim_row = next((r for r in range(m) if sync[r]), None)
+    if victim_row is not None:
+        u = next(iter(sync[victim_row]))
+        del sync[victim_row][u]
+        pr = check_pruning(S, thread_of, m=m, sync=sync)
+        rr = replay_schedule(S, thread_of, m=m, sync=sync)
+        if pr.ok or rr.ok:
+            failures += 1
+            out("[selftest] FAIL: removed sync edge not caught "
+                f"(pruning ok={pr.ok}, races ok={rr.ok})")
+        else:
+            out(
+                f"[selftest] removed sync (row {victim_row}, thread {u}) caught by "
+                f"pruning ({len(pr.uncovered)} uncovered) and races "
+                f"({len(rr.witnesses)} witness(es))"
+            )
+    if failures == 0:
+        out("[selftest] all planted bugs detected")
+    return failures
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        from .lint import RULES
+
+        for rule_id, check in sorted(RULES.items()):
+            doc = (check.__doc__ or "").strip().splitlines()
+            print(f"{rule_id}: {doc[0] if doc else check.__name__}")
+        return 0
+    paths = args.paths or [str(Path(__file__).resolve().parents[1])]
+    failures = 0
+    if "lint" not in args.skip:
+        failures += run_lint(paths)
+    worklist = []
+    if "schedules" not in args.skip:
+        n, worklist = run_schedules(args)
+        failures += n
+    if "invariants" not in args.skip and worklist:
+        failures += run_invariants(worklist)
+    if "selftest" not in args.skip:
+        failures += run_selftest(args)
+    print("PASS" if failures == 0 else f"FAIL ({failures} failure(s))")
+    return 0 if failures == 0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

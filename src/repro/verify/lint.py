@@ -1,0 +1,384 @@
+"""Repo-specific AST lint rules for ``src/repro``.
+
+Generic linters cannot know this codebase's contracts, so the four
+rules here encode them directly (each with a stable ID, used both in
+reports and in suppression comments):
+
+``JAV001`` — *guarded division in core kernels.*  In ``core/`` modules,
+    dividing by a stored matrix entry (a subscript like ``data[kk]``, or
+    a name bound from one, like ``pivot = data[diag_pos[c]]``) is only
+    legal inside a function that goes through the pivot-floor breakdown
+    path — i.e. one that raises a ``*Breakdown*`` error or calls
+    ``classify_pivot``.  An unguarded division silently turns a zero or
+    NaN pivot into a poisoned factor.
+
+``JAV002`` — *synchronization primitives live in runtime/.*  ``time.sleep``
+    and ``threading`` lock-family constructors (``Lock``, ``RLock``,
+    ``Condition``, ``Semaphore``, ``BoundedSemaphore``, ``Barrier``)
+    outside ``runtime/`` are flagged: everything else in the framework
+    is deterministic simulation or pure numerics, and stray blocking
+    calls there are bugs waiting for a scheduler to find them.
+
+``JAV003`` — *no mutation of symbolic-cache products.*  Arrays obtained
+    from ``cached_analysis(...)`` / ``SymbolicCache.analysis(...)`` (or
+    their accessors ``diag_pos`` / ``levels`` / ``plan`` /
+    ``solve_costs`` / ``factor_costs`` / ``level_order``) are shared
+    across factor/solve cycles and threads; subscript-assigning or
+    calling mutating methods (``fill``, ``sort``, ``resize``, ``put``,
+    ``partition``) on them corrupts every other consumer.  (At runtime
+    the cache also freezes its arrays — this rule catches the mutation
+    at review time instead of raise time.)
+
+``JAV004`` — *public modules declare ``__all__``.*  Every module except
+    ``__main__``/tests must state its export surface; the re-export
+    convention (explicit ``__all__`` everywhere) is what lets the lint
+    and the docs enumerate the API.
+
+A finding can be suppressed in place with a trailing comment
+``# verify: ok[JAV002] <reason>`` (comma-separate several IDs, ``*``
+suppresses all); module-scope rules accept the comment anywhere in the
+file.  Use sparingly — each suppression is a claim that the contract
+holds for a reason the AST cannot see.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = [
+    "Finding",
+    "RULES",
+    "lint_source",
+    "lint_paths",
+    "iter_python_files",
+]
+
+_LOCK_NAMES = {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore", "Barrier"}
+_CACHE_CALLS = {"cached_analysis"}
+_CACHE_ACCESSORS = {
+    "analysis",
+    "diag_pos",
+    "levels",
+    "plan",
+    "solve_costs",
+    "factor_costs",
+    "level_order",
+}
+_MUTATING_METHODS = {"fill", "sort", "resize", "put", "partition", "itemset"}
+_SUPPRESS_RE = re.compile(r"#\s*verify:\s*ok\[([A-Z0-9*,\s]+)\]")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint violation."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+def _suppressions(source: str) -> dict[int, set[str]]:
+    out: dict[int, set[str]] = {}
+    for i, line in enumerate(source.splitlines(), start=1):
+        m = _SUPPRESS_RE.search(line)
+        if m:
+            out[i] = {s.strip() for s in m.group(1).split(",") if s.strip()}
+    return out
+
+
+def _path_parts(path: str) -> tuple[str, ...]:
+    return Path(path).parts
+
+
+# ----------------------------------------------------------------------
+# JAV001
+# ----------------------------------------------------------------------
+def _is_guarded(fn: ast.AST) -> bool:
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Raise) and node.exc is not None:
+            exc = node.exc
+            name = ""
+            if isinstance(exc, ast.Call):
+                exc = exc.func
+            if isinstance(exc, ast.Name):
+                name = exc.id
+            elif isinstance(exc, ast.Attribute):
+                name = exc.attr
+            if "Breakdown" in name:
+                return True
+        if isinstance(node, ast.Call):
+            f = node.func
+            callee = f.id if isinstance(f, ast.Name) else getattr(f, "attr", "")
+            if callee == "classify_pivot":
+                return True
+    return False
+
+
+def _data_derived_names(fn: ast.AST) -> set[str]:
+    names: set[str] = set()
+    for node in ast.walk(fn):
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and isinstance(node.value, ast.Subscript)
+        ):
+            names.add(node.targets[0].id)
+    return names
+
+
+def _check_core_division(tree: ast.Module, path: str) -> list[Finding]:
+    """core/ kernels must not divide by a stored entry without a pivot-floor guard."""
+    if "core" not in _path_parts(path):
+        return []
+    findings = []
+    for fn in ast.walk(tree):
+        if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        guarded = _is_guarded(fn)
+        if guarded:
+            continue
+        data_names = _data_derived_names(fn)
+        for node in ast.walk(fn):
+            divisor = None
+            if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+                divisor = node.right
+            elif isinstance(node, ast.AugAssign) and isinstance(node.op, ast.Div):
+                divisor = node.value
+            if divisor is None:
+                continue
+            by_entry = isinstance(divisor, ast.Subscript) or (
+                isinstance(divisor, ast.Name) and divisor.id in data_names
+            )
+            if by_entry:
+                findings.append(
+                    Finding(
+                        "JAV001",
+                        path,
+                        node.lineno,
+                        node.col_offset,
+                        f"division by a stored matrix entry in `{fn.name}` without "
+                        "a pivot-floor guard (raise a *Breakdown* error or route "
+                        "through classify_pivot before dividing)",
+                    )
+                )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# JAV002
+# ----------------------------------------------------------------------
+def _check_sync_primitives(tree: ast.Module, path: str) -> list[Finding]:
+    """time.sleep and threading lock constructors belong in runtime/ only."""
+    if "runtime" in _path_parts(path):
+        return []
+    findings = []
+    lock_aliases: set[str] = set()
+    sleep_aliases: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom):
+            if node.module == "threading":
+                for a in node.names:
+                    if a.name in _LOCK_NAMES:
+                        lock_aliases.add(a.asname or a.name)
+            elif node.module == "time":
+                for a in node.names:
+                    if a.name == "sleep":
+                        sleep_aliases.add(a.asname or a.name)
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        f = node.func
+        bad = None
+        if isinstance(f, ast.Attribute) and isinstance(f.value, ast.Name):
+            if f.value.id == "time" and f.attr == "sleep":
+                bad = "time.sleep"
+            elif f.value.id == "threading" and f.attr in _LOCK_NAMES:
+                bad = f"threading.{f.attr}"
+        elif isinstance(f, ast.Name):
+            if f.id in sleep_aliases:
+                bad = "time.sleep"
+            elif f.id in lock_aliases:
+                bad = f"threading.{f.id}"
+        if bad is not None:
+            findings.append(
+                Finding(
+                    "JAV002",
+                    path,
+                    node.lineno,
+                    node.col_offset,
+                    f"{bad} outside runtime/ — blocking synchronization belongs "
+                    "to the threaded executors",
+                )
+            )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# JAV003
+# ----------------------------------------------------------------------
+def _is_cache_call(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    f = node.func
+    if isinstance(f, ast.Name) and f.id in _CACHE_CALLS:
+        return True
+    return isinstance(f, ast.Attribute) and f.attr in _CACHE_ACCESSORS
+
+
+def _root_of(node: ast.AST, tainted: set[str]) -> bool:
+    """True when the expression chains back to a cache product."""
+    while True:
+        if _is_cache_call(node):
+            return True
+        if isinstance(node, ast.Call):
+            # a non-accessor method call (`.copy()`, `.astype()`, ...)
+            # returns a fresh object — the taint does not flow through
+            return False
+        elif isinstance(node, (ast.Attribute, ast.Subscript)):
+            node = node.value
+        elif isinstance(node, ast.Name):
+            return node.id in tainted
+        else:
+            return False
+
+
+def _check_cache_mutation(tree: ast.Module, path: str) -> list[Finding]:
+    """no in-place writes or mutating methods on symbolic-cache products."""
+    findings = []
+    body_nodes = list(ast.walk(tree))
+    # taint propagation to fixpoint: x = cached_analysis(F).plan('lower');
+    # rows = x.rows; rows[0] = ... must still be caught
+    tainted: set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for node in body_nodes:
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and node.targets[0].id not in tainted
+                and _root_of(node.value, tainted)
+            ):
+                tainted.add(node.targets[0].id)
+                changed = True
+    for node in body_nodes:
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = [t for t in node.targets if isinstance(t, ast.Subscript)]
+        elif isinstance(node, ast.AugAssign) and isinstance(node.target, ast.Subscript):
+            targets = [node.target]
+        for tgt in targets:
+            if _root_of(tgt.value, tainted):
+                findings.append(
+                    Finding(
+                        "JAV003",
+                        path,
+                        node.lineno,
+                        node.col_offset,
+                        "in-place write to an array obtained from the symbolic "
+                        "cache — cached products are shared and frozen",
+                    )
+                )
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _MUTATING_METHODS
+            and _root_of(node.func.value, tainted)
+        ):
+            findings.append(
+                Finding(
+                    "JAV003",
+                    path,
+                    node.lineno,
+                    node.col_offset,
+                    f"mutating method .{node.func.attr}() on a symbolic-cache "
+                    "product — cached products are shared and frozen",
+                )
+            )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# JAV004
+# ----------------------------------------------------------------------
+def _check_all_declared(tree: ast.Module, path: str) -> list[Finding]:
+    """public modules must declare an explicit __all__."""
+    base = Path(path).name
+    if base == "__main__.py" or base.startswith("test_") or base == "conftest.py":
+        return []
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            if any(isinstance(t, ast.Name) and t.id == "__all__" for t in node.targets):
+                return []
+        if isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name) and node.target.id == "__all__":
+                return []
+        if isinstance(node, ast.AugAssign):
+            if isinstance(node.target, ast.Name) and node.target.id == "__all__":
+                return []
+    return [
+        Finding(
+            "JAV004",
+            path,
+            1,
+            0,
+            "public module does not declare __all__ (state the export surface "
+            "explicitly)",
+        )
+    ]
+
+
+RULES = {
+    "JAV001": _check_core_division,
+    "JAV002": _check_sync_primitives,
+    "JAV003": _check_cache_mutation,
+    "JAV004": _check_all_declared,
+}
+_MODULE_SCOPE_RULES = {"JAV004"}
+
+
+def lint_source(source: str, path: str, *, rules=None) -> list[Finding]:
+    """Lint one module's source; ``path`` drives rule applicability."""
+    tree = ast.parse(source, filename=path)
+    selected = RULES if rules is None else {r: RULES[r] for r in rules}
+    suppress = _suppressions(source)
+    module_ok = set().union(*suppress.values()) if suppress else set()
+    findings: list[Finding] = []
+    for rule_id, check in selected.items():
+        for f in check(tree, path):
+            if rule_id in _MODULE_SCOPE_RULES:
+                if rule_id in module_ok or "*" in module_ok:
+                    continue
+            line_ok = suppress.get(f.line, set())
+            if f.rule in line_ok or "*" in line_ok:
+                continue
+            findings.append(f)
+    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule))
+
+
+def iter_python_files(paths):
+    """Yield ``.py`` files under the given files/directories."""
+    for p in paths:
+        p = Path(p)
+        if p.is_dir():
+            yield from sorted(p.rglob("*.py"))
+        elif p.suffix == ".py":
+            yield p
+
+
+def lint_paths(paths, *, rules=None) -> list[Finding]:
+    """Lint every python file under ``paths``; returns all findings."""
+    findings: list[Finding] = []
+    for f in iter_python_files(paths):
+        findings.extend(lint_source(f.read_text(), str(f), rules=rules))
+    return findings

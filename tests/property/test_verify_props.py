@@ -1,0 +1,75 @@
+"""Property tests: every shipped schedule verifies; any tampering is caught."""
+
+import numpy as np
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.core import JavelinILU, JavelinOptions, ScheduleOptions
+from repro.core.symbolic import row_factor_costs
+from repro.core.upper import assign_dynamic, assign_round_robin
+from repro.kernels.plans import build_producer_csr
+from repro.machine import SimMachine, uniform_machine
+from repro.sparse import from_dense
+from repro.verify import check_pruning, replay_schedule, sync_edges_from_producer_csr
+
+
+@st.composite
+def staged_pattern(draw, max_n=24):
+    """A level-scheduled factor pattern (LS-only staging) + its level_ptr."""
+    n = draw(st.integers(5, max_n))
+    density = draw(st.floats(0.08, 0.4))
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    D = (rng.random((n, n)) < density) * rng.standard_normal((n, n))
+    np.fill_diagonal(D, 0.0)
+    np.fill_diagonal(D, np.abs(D).sum(axis=1) + 1.0)
+    ilu = JavelinILU(JavelinOptions(schedule=ScheduleOptions(lower_method="none")))
+    ilu.setup(from_dense(D))
+    return ilu.S_perm, ilu.level_ptr, ilu.m
+
+
+@settings(max_examples=30, deadline=None)
+@given(staged_pattern(), st.integers(1, 6))
+def test_static_schedules_always_prove_and_replay(sp, p):
+    S, level_ptr, m = sp
+    thread_of = assign_round_robin(level_ptr, p)
+    pr = check_pruning(S, thread_of, m=m)
+    assert pr.ok, pr.format()
+    rr = replay_schedule(S, thread_of, m=m)
+    assert rr.ok, rr.format()
+    assert pr.n_sync_edges == rr.n_sync_edges
+
+
+@settings(max_examples=20, deadline=None)
+@given(staged_pattern(), st.integers(2, 6))
+def test_dynamic_schedules_always_prove_and_replay(sp, p):
+    S, level_ptr, m = sp
+    machine = SimMachine(uniform_machine(n_cores=p), p)
+    flops, touched = row_factor_costs(S)
+    thread_of, _ = assign_dynamic(level_ptr, p, machine, flops, touched)
+    pr = check_pruning(S, thread_of, m=m)
+    assert pr.ok, pr.format()
+    rr = replay_schedule(S, thread_of, m=m)
+    assert rr.ok, rr.format()
+
+
+@settings(max_examples=30, deadline=None)
+@given(staged_pattern(), st.integers(2, 6), st.randoms(use_true_random=False))
+def test_removing_first_sync_edge_is_always_caught(sp, p, rnd):
+    S, level_ptr, m = sp
+    thread_of = assign_round_robin(level_ptr, p)
+    sync = sync_edges_from_producer_csr(*build_producer_csr(S, m, thread_of))
+    rows_with_sync = [r for r in range(m) if sync[r]]
+    assume(rows_with_sync)
+    # the *globally first* synced row: no join exists anywhere before it, so
+    # no transitive ordering can mask the removal (an arbitrary later edge
+    # can legitimately be redundant — the replay would rightly stay clean)
+    r = rows_with_sync[0]
+    u = rnd.choice(sorted(sync[r]))
+    del sync[r][u]
+    pr = check_pruning(S, thread_of, m=m, sync=sync)
+    rr = replay_schedule(S, thread_of, m=m, sync=sync)
+    assert not pr.ok, "pruning proof survived a deleted sync edge"
+    assert not rr.ok, "race replay survived a deleted sync edge"
+    # the two detectors must incriminate the same producer thread
+    assert any(uu == u for (_, _, uu, _) in pr.uncovered)
+    assert any(w.dep_thread == u for w in rr.witnesses)

@@ -1,0 +1,198 @@
+"""Each lint rule: at least one failing fixture, a passing twin, suppression."""
+
+import textwrap
+
+from repro.verify import lint_paths, lint_source
+from repro.verify.lint import RULES, iter_python_files
+
+
+def _lint(src, path, rules=None):
+    return lint_source(textwrap.dedent(src), path, rules=rules)
+
+
+def _ids(findings):
+    return [f.rule for f in findings]
+
+
+# ----------------------------------------------------------------------
+# JAV001 — guarded division in core kernels
+# ----------------------------------------------------------------------
+def test_jav001_flags_unguarded_division_by_entry():
+    src = """
+    __all__ = []
+    def kernel(data, k, x):
+        return x / data[k]
+    """
+    assert _ids(_lint(src, "src/repro/core/bad.py")) == ["JAV001"]
+
+
+def test_jav001_flags_name_bound_from_subscript():
+    src = """
+    __all__ = []
+    def kernel(data, diag, c, x):
+        pivot = data[diag[c]]
+        x /= pivot
+        return x
+    """
+    assert _ids(_lint(src, "src/repro/core/bad.py")) == ["JAV001"]
+
+
+def test_jav001_passes_breakdown_guarded_function():
+    src = """
+    __all__ = []
+    def kernel(data, k, x):
+        if data[k] == 0.0:
+            raise PivotBreakdownError(k)
+        return x / data[k]
+    """
+    assert _lint(src, "src/repro/core/good.py") == []
+
+
+def test_jav001_passes_classify_pivot_path():
+    src = """
+    __all__ = []
+    def kernel(data, k, x):
+        classify_pivot(data[k])
+        return x / data[k]
+    """
+    assert _lint(src, "src/repro/core/good.py") == []
+
+
+def test_jav001_only_applies_under_core():
+    src = """
+    __all__ = []
+    def helper(data, k, x):
+        return x / data[k]
+    """
+    assert _lint(src, "src/repro/solvers/free.py") == []
+
+
+# ----------------------------------------------------------------------
+# JAV002 — sync primitives only in runtime/
+# ----------------------------------------------------------------------
+def test_jav002_flags_time_sleep_outside_runtime():
+    src = """
+    __all__ = []
+    import time
+    def poll():
+        time.sleep(0.1)
+    """
+    assert _ids(_lint(src, "src/repro/machine/bad.py")) == ["JAV002"]
+
+
+def test_jav002_flags_lock_from_import_alias():
+    src = """
+    __all__ = []
+    from threading import Lock as Mutex
+    guard = Mutex()
+    """
+    assert _ids(_lint(src, "src/repro/kernels/bad.py")) == ["JAV002"]
+
+
+def test_jav002_allows_runtime_modules():
+    src = """
+    __all__ = []
+    import threading
+    lock = threading.Lock()
+    """
+    assert _lint(src, "src/repro/runtime/ok.py") == []
+
+
+def test_jav002_suppression_comment():
+    src = """
+    __all__ = []
+    import threading
+    lock = threading.Lock()  # verify: ok[JAV002] shared with the runtime
+    """
+    assert _lint(src, "src/repro/kernels/ok.py") == []
+
+
+# ----------------------------------------------------------------------
+# JAV003 — no mutation of symbolic-cache products
+# ----------------------------------------------------------------------
+def test_jav003_flags_subscript_write_through_taint_chain():
+    src = """
+    __all__ = []
+    def f(F):
+        ana = cached_analysis(F)
+        rows = ana.levels("lower").rows
+        rows[0] = 7
+    """
+    assert _ids(_lint(src, "src/repro/core/bad.py", rules=["JAV003"])) == ["JAV003"]
+
+
+def test_jav003_flags_mutating_method_on_accessor_result():
+    src = """
+    __all__ = []
+    def f(F):
+        cached_analysis(F).diag_pos().fill(0)
+    """
+    assert _ids(_lint(src, "src/repro/anything.py")) == ["JAV003"]
+
+
+def test_jav003_allows_reads_and_copies():
+    src = """
+    __all__ = []
+    def f(F):
+        ana = cached_analysis(F)
+        dp = ana.diag_pos()
+        x = dp[3]
+        mine = dp.copy()
+        mine[0] = 1
+        return x, mine
+    """
+    assert _lint(src, "src/repro/anything.py") == []
+
+
+# ----------------------------------------------------------------------
+# JAV004 — public modules declare __all__
+# ----------------------------------------------------------------------
+def test_jav004_flags_missing_all():
+    assert _ids(_lint("x = 1\n", "src/repro/naked.py")) == ["JAV004"]
+
+
+def test_jav004_passes_declared_all():
+    assert _lint("__all__ = ['x']\nx = 1\n", "src/repro/ok.py") == []
+
+
+def test_jav004_exempts_tests_and_main():
+    assert _lint("x = 1\n", "src/repro/pkg/__main__.py") == []
+    assert _lint("x = 1\n", "tests/test_naked.py") == []
+
+
+def test_jav004_module_scope_suppression_anywhere():
+    src = """
+    # verify: ok[JAV004] script, not a library module
+    x = 1
+    """
+    assert _lint(src, "src/repro/scriptish.py") == []
+
+
+# ----------------------------------------------------------------------
+# whole-repo gate + plumbing
+# ----------------------------------------------------------------------
+def test_rules_have_ids_and_docstrings():
+    assert set(RULES) == {"JAV001", "JAV002", "JAV003", "JAV004"}
+    for check in RULES.values():
+        assert check.__doc__, check.__name__
+
+
+def test_repo_source_is_lint_clean():
+    import pathlib
+
+    import repro
+
+    pkg = pathlib.Path(repro.__file__).parent
+    findings = lint_paths([str(pkg)])
+    assert findings == [], "\n".join(f.format() for f in findings)
+
+
+def test_iter_python_files_accepts_files_and_dirs(tmp_path):
+    a = tmp_path / "a.py"
+    a.write_text("__all__ = []\n")
+    (tmp_path / "sub").mkdir()
+    b = tmp_path / "sub" / "b.py"
+    b.write_text("x = 1\n")
+    found = list(iter_python_files([str(a), str(tmp_path / "sub")]))
+    assert [p.name for p in found] == ["a.py", "b.py"]
+    assert _ids(lint_paths([str(tmp_path)])) == ["JAV004"]

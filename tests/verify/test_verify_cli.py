@@ -1,0 +1,70 @@
+"""The ``python -m repro.verify`` gate and its ``repro verify`` passthrough."""
+
+import textwrap
+
+from repro.cli import main as repro_main
+from repro.verify.cli import main as verify_main
+
+
+def test_list_rules(capsys):
+    assert verify_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("JAV001", "JAV002", "JAV003", "JAV004"):
+        assert rule_id in out
+
+
+def test_lint_only_pass_on_clean_tree(tmp_path, capsys):
+    good = tmp_path / "good.py"
+    good.write_text("__all__ = []\n")
+    rc = verify_main(
+        ["--skip", "schedules", "--skip", "invariants", "--skip", "selftest", str(tmp_path)]
+    )
+    assert rc == 0
+    assert "PASS" in capsys.readouterr().out
+
+
+def test_lint_failure_sets_exit_code(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        textwrap.dedent(
+            """
+            import time
+            def f():
+                time.sleep(1)
+            """
+        )
+    )
+    rc = verify_main(
+        ["--skip", "schedules", "--skip", "invariants", "--skip", "selftest", str(tmp_path)]
+    )
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert "JAV002" in out and "JAV004" in out and "FAIL" in out
+
+
+def test_full_gate_on_one_matrix(tmp_path, capsys):
+    clean = tmp_path / "clean.py"
+    clean.write_text("__all__ = []\n")
+    rc = verify_main(["--scale", "0.15", "--matrices", "wang3", str(clean)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "pruning ratio" in out
+    assert "reads checked" in out
+    assert "all planted bugs detected" in out
+    assert out.strip().endswith("PASS")
+
+
+def test_unknown_matrix_is_an_error(tmp_path):
+    clean = tmp_path / "clean.py"
+    clean.write_text("__all__ = []\n")
+    try:
+        verify_main(["--matrices", "definitely_not_a_matrix", str(clean)])
+    except SystemExit as e:
+        assert "unknown suite matrix" in str(e)
+    else:  # pragma: no cover - the call must raise
+        raise AssertionError("expected SystemExit")
+
+
+def test_repro_cli_forwards_verify(capsys):
+    assert repro_main(["verify", "--list-rules"]) == 0
+    assert "JAV001" in capsys.readouterr().out
