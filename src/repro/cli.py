@@ -17,6 +17,12 @@ verify [ARGS...]
     Static-analysis suite (``repro.verify``): lint rules, schedule
     race replay, pruning proof, structural invariants.  All arguments
     are forwarded to ``python -m repro.verify``.
+obs {report,export,diff}
+    Observability (``repro.obs``): trace a factorization (real threads
+    + simulated timeline) and print a flamegraph-style summary
+    (``report``), export it as Chrome trace-event JSON for
+    ``chrome://tracing`` / Perfetto (``export``), or compare two
+    metrics snapshots (``diff``).
 """
 
 from __future__ import annotations
@@ -161,6 +167,103 @@ def cmd_verify(args):
     return verify_main(args.rest)
 
 
+def _traced_factor_run(args):
+    """One observed factorization: real-thread spans + simulated timeline.
+
+    Returns ``(ilu, sim_report, recorder)`` — the simulated DES trace
+    pair (upper + lower stage) and a :class:`SpanRecorder` holding the
+    wait/work spans of an actual ``threaded_factor_two_stage`` run at
+    the same thread count.
+    """
+    from . import obs
+    from .core import JavelinILU
+    from .machine import SimMachine
+    from .runtime.threaded_lower import threaded_factor_two_stage
+
+    A = _load_matrix(args)
+    spec = _machine(args)
+    ilu = JavelinILU().setup(A, n_threads=args.threads)
+    rep = ilu.simulate_factor(SimMachine(spec, args.threads), lower=True)
+    with obs.tracing() as rec:
+        threaded_factor_two_stage(
+            ilu.A_perm, ilu.S_perm, ilu.level_ptr, ilu.m, args.threads
+        )
+    return ilu, rep, rec
+
+
+def cmd_obs_report(args):
+    from . import obs
+    from .kernels.cache import default_cache
+
+    ilu, rep, rec = _traced_factor_run(args)
+    print(f"== real threads ({args.threads}): span summary ==")
+    print(obs.render_flame(rec.events()))
+    print()
+    print(obs.render_trace_report(rep.trace, title=f"simulated upper stage (lower method {rep.method})"))
+    if rep.lower_trace is not None:
+        print()
+        print(obs.render_trace_report(rep.lower_trace, title="simulated lower stage"))
+    reg = obs.MetricsRegistry()
+    obs.record_trace_metrics(reg, rep.trace, prefix="sim.upper", level_ptr=ilu.level_ptr)
+    if rep.lower_trace is not None:
+        obs.record_trace_metrics(reg, rep.lower_trace, prefix="sim.lower")
+    obs.record_cache_metrics(reg, default_cache())
+    snap = reg.snapshot()
+    print()
+    print("== metrics ==")
+    for section in ("counters", "gauges"):
+        for name, v in sorted(snap[section].items()):
+            print(f"  {name} = {v:.6g}")
+    return 0
+
+
+def cmd_obs_export(args):
+    from . import obs
+
+    ilu, rep, rec = _traced_factor_run(args)
+    events = obs.recorder_events(rec, pid=1)
+    events += obs.execution_trace_events(
+        rep.trace, pid=2, cat="sim.upper", level_ptr=ilu.level_ptr
+    )
+    if rep.lower_trace is not None:
+        events += obs.execution_trace_events(rep.lower_trace, pid=3, cat="sim.lower")
+    errors = obs.validate_events(events)
+    if errors:
+        for e in errors:
+            print(f"schema error: {e}", file=sys.stderr)
+        return 1
+    obs.write_chrome_trace(
+        args.out,
+        events,
+        metadata={
+            "matrix": args.matrix,
+            "threads": args.threads,
+            "machine": args.machine,
+            "lower_method": rep.method,
+        },
+    )
+    print(f"wrote {len(events)} trace events to {args.out} (load in chrome://tracing)")
+    return 0
+
+
+def cmd_obs_diff(args):
+    import json
+
+    from . import obs
+
+    docs = []
+    for path in (args.old, args.new):
+        with open(path) as fh:
+            doc = json.load(fh)
+        # bench files wrap the snapshot under "metrics"; accept both
+        doc = doc.get("metrics", doc) if isinstance(doc, dict) else doc
+        for e in obs.validate_metrics(doc):
+            print(f"{path}: {e}", file=sys.stderr)
+        docs.append(doc)
+    print(obs.diff_metrics(docs[0], docs[1], rel_threshold=args.rel_threshold))
+    return 0
+
+
 def build_parser():
     p = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = p.add_subparsers(dest="command", required=True)
@@ -216,6 +319,44 @@ def build_parser():
     sp = sub.add_parser("verify", help="run the static-analysis suite", add_help=False)
     sp.add_argument("rest", nargs=argparse.REMAINDER, help="arguments for repro.verify")
     sp.set_defaults(func=cmd_verify)
+
+    sp = sub.add_parser("obs", help="observability: trace, export, compare")
+    obs_sub = sp.add_subparsers(dest="obs_command", required=True)
+
+    def add_obs_run_opts(osp):
+        add_matrix_opts(osp)
+        osp.add_argument("--threads", type=int, default=8, help="thread count to trace")
+        osp.add_argument(
+            "--machine",
+            default="haswell",
+            help="'haswell', 'knl', or a core count for a generic machine",
+        )
+        osp.add_argument(
+            "--overhead-scale",
+            type=float,
+            default=1 / 30,
+            help="latency scaling for scaled-down matrices (see DESIGN.md)",
+        )
+
+    osp = obs_sub.add_parser("report", help="flamegraph summary + per-thread breakdown")
+    add_obs_run_opts(osp)
+    osp.set_defaults(func=cmd_obs_report)
+
+    osp = obs_sub.add_parser("export", help="write a Chrome trace-event JSON file")
+    add_obs_run_opts(osp)
+    osp.add_argument("--out", default="trace.json", help="output path")
+    osp.set_defaults(func=cmd_obs_export)
+
+    osp = obs_sub.add_parser("diff", help="compare two metrics snapshots")
+    osp.add_argument("old", help="baseline metrics JSON (snapshot or BENCH_obs.json)")
+    osp.add_argument("new", help="candidate metrics JSON")
+    osp.add_argument(
+        "--rel-threshold",
+        type=float,
+        default=0.0,
+        help="hide rows whose relative change is below this",
+    )
+    osp.set_defaults(func=cmd_obs_diff)
     return p
 
 

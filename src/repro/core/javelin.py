@@ -101,7 +101,13 @@ class FactorResult:
 
 @dataclass
 class SimReport:
-    """Simulated execution times (seconds) of one factorization."""
+    """Simulated execution times (seconds) of one factorization.
+
+    ``trace`` is the upper-stage (or LS-only) timeline; ``lower_trace``
+    carries the ER/SR lower stage when a two-stage schedule ran, so
+    exporters (:mod:`repro.obs.chrome_trace`) can show the full
+    upper+lower timeline instead of silently dropping the second stage.
+    """
 
     total: float
     upper: float
@@ -109,6 +115,7 @@ class SimReport:
     method: str
     n_threads: int
     trace: ExecutionTrace | None = None
+    lower_trace: ExecutionTrace | None = None
 
 
 class JavelinILU:
@@ -414,6 +421,7 @@ class JavelinILU:
             method=method,
             n_threads=machine.n_threads,
             trace=trace,
+            lower_trace=trace2,
         )
 
     def simulate_trisolve(self, machine: SimMachine, *, method="two_stage", both=True):

@@ -24,6 +24,7 @@ from collections import OrderedDict
 
 import numpy as np
 
+from ..obs import spans as _spans
 from ..sparse.csr import CSRMatrix
 from .plans import (
     backward_level_sets,
@@ -198,6 +199,7 @@ class SymbolicCache:
         self._lock = threading.Lock()  # verify: ok[JAV002] shared with the threaded runtime
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def analysis(self, M) -> SymbolicAnalysis:
         """The (possibly cached) symbolic analysis of ``M``'s pattern."""
@@ -209,13 +211,23 @@ class SymbolicCache:
                 self._entries.move_to_end(key)
             else:
                 self.misses += 1
+        # obs events fire outside the lock: the recorder takes its own
+        _spans.instant(
+            "cache.hit" if entry is not None else "cache.miss",
+            cat="cache", key=key[:12], n=int(M.n_rows),
+        )
         if entry is None:
             entry = SymbolicAnalysis(M, fingerprint=key)
+            evicted = []
             with self._lock:
                 entry = self._entries.setdefault(key, entry)
                 self._entries.move_to_end(key)
                 while len(self._entries) > self.max_entries:
-                    self._entries.popitem(last=False)
+                    old_key, _ = self._entries.popitem(last=False)
+                    self.evictions += 1
+                    evicted.append(old_key)
+            for old_key in evicted:
+                _spans.instant("cache.evict", cat="cache", key=old_key[:12])
         if _VALIDATION_HOOK is not None:
             _VALIDATION_HOOK(entry)
         return entry
@@ -229,14 +241,32 @@ class SymbolicCache:
             return len(self._entries)
 
     def stats(self):
+        """Locked snapshot of the counters — the only supported read.
+
+        The counters are mutated under the cache lock; reading the bare
+        attributes from another thread can observe a torn pair (hits
+        from before a lookup, misses from after).  The snapshot is
+        internally consistent and adds ``hit_rate`` (0.0 when no
+        lookups have happened yet, never a ZeroDivisionError).
+        """
         with self._lock:
-            return {"hits": self.hits, "misses": self.misses, "entries": len(self._entries)}
+            hits, misses = self.hits, self.misses
+            evictions, entries = self.evictions, len(self._entries)
+        lookups = hits + misses
+        return {
+            "hits": hits,
+            "misses": misses,
+            "evictions": evictions,
+            "entries": entries,
+            "hit_rate": (hits / lookups) if lookups else 0.0,
+        }
 
     def clear(self):
         with self._lock:
             self._entries.clear()
             self.hits = 0
             self.misses = 0
+            self.evictions = 0
 
 
 _DEFAULT_CACHE = SymbolicCache()

@@ -17,6 +17,8 @@ scalar path while bisecting a numerical discrepancy) with
 
 from __future__ import annotations
 
+from ..obs import spans as _spans
+
 __all__ = [
     "register_kernel",
     "get_kernel",
@@ -53,7 +55,16 @@ def register_kernel(name, backend, *, default=False):
 
 
 def get_kernel(name, backend=None):
-    """Resolve a kernel implementation (default backend when unspecified)."""
+    """Resolve a kernel implementation (default backend when unspecified).
+
+    With neither the debug validator nor span tracing active the raw
+    function is returned — dispatch costs nothing.  When
+    :mod:`repro.obs` tracing is enabled at resolve time, the call is
+    wrapped in a ``kernel.<name>`` span tagged with the backend (hot
+    paths resolve per apply, so enabling tracing before a run
+    instruments every dispatch).  Spans only read the clock; kernel
+    results are bit-identical with tracing on or off.
+    """
     impls = _REGISTRY.get(name)
     if impls is None:
         raise KeyError(
@@ -67,16 +78,18 @@ def get_kernel(name, backend=None):
             f"kernel {name!r} has no {backend!r} backend; "
             f"available: {sorted(impls)}"
         ) from None
-    if _VALIDATOR is None:
+    if _VALIDATOR is None and not _spans.enabled():
         return fn
 
-    def validated(*args, **kwargs):
-        _VALIDATOR(name, backend, args, kwargs)
-        return fn(*args, **kwargs)
+    def instrumented(*args, **kwargs):
+        if _VALIDATOR is not None:
+            _VALIDATOR(name, backend, args, kwargs)
+        with _spans.span(f"kernel.{name}", cat="kernel", backend=backend):
+            return fn(*args, **kwargs)
 
-    validated.__wrapped__ = fn
-    validated.__name__ = getattr(fn, "__name__", name)
-    return validated
+    instrumented.__wrapped__ = fn
+    instrumented.__name__ = getattr(fn, "__name__", name)
+    return instrumented
 
 
 def available_backends(name):

@@ -52,12 +52,65 @@ class ExecutionTrace:
             return sum(iv.duration for iv in self.intervals)
         return sum(iv.duration for iv in self.intervals if iv.thread == thread)
 
+    def occupancy(self, thread):
+        """Union length of ``thread``'s intervals (overlap counted once).
+
+        Differs from :meth:`busy_time` exactly when intervals on the
+        thread overlap — a malformed trace the race detector assumes
+        cannot happen; :meth:`overlapping_threads` flags it.
+        """
+        total = 0.0
+        cur_start = cur_stop = None
+        for iv in self.thread_intervals(thread):
+            if cur_stop is None or iv.start > cur_stop:
+                if cur_stop is not None:
+                    total += cur_stop - cur_start
+                cur_start, cur_stop = iv.start, iv.stop
+            else:
+                cur_stop = max(cur_stop, iv.stop)
+        if cur_stop is not None:
+            total += cur_stop - cur_start
+        return total
+
     def utilization(self):
-        """Mean fraction of the makespan each thread spends busy."""
+        """Mean fraction of the makespan each thread spends busy.
+
+        An empty trace has utilization 0.0 (nothing ran), and per-thread
+        occupancy counts overlapping intervals once, so the result is
+        always in ``[0, 1]`` — double-booked threads cannot push it
+        past 1 (they are reported by :meth:`overlapping_threads`).
+        """
         span = self.makespan()
         if span == 0.0:
-            return 1.0
-        return self.busy_time() / (span * self.n_threads)
+            return 0.0
+        occ = sum(self.occupancy(t) for t in range(self.n_threads))
+        return occ / (span * self.n_threads)
+
+    def per_thread_utilization(self):
+        """Busy fraction of the makespan per thread (overlap-safe).
+
+        The metrics layer (:func:`repro.obs.record_trace_metrics`) feeds
+        this into its thread-utilization histogram.  Empty traces give
+        all zeros.
+        """
+        span = self.makespan()
+        if span == 0.0:
+            return [0.0] * self.n_threads
+        return [self.occupancy(t) / span for t in range(self.n_threads)]
+
+    def overlapping_threads(self, tol=1e-12):
+        """Threads whose intervals overlap each other (malformed traces).
+
+        Program order within a thread is the race detector's ground
+        assumption; a nonempty result means the trace was recorded
+        wrongly and utilization numbers are occupancy-clamped.
+        """
+        out = []
+        for t in range(self.n_threads):
+            ivs = self.thread_intervals(t)
+            if any(b.start < a.stop - tol for a, b in zip(ivs, ivs[1:])):
+                out.append(t)
+        return out
 
     def thread_intervals(self, thread):
         return sorted(
@@ -115,6 +168,7 @@ class ExecutionTrace:
             "busy": self.busy_time(),
             "utilization": self.utilization(),
             "n_intervals": len(self.intervals),
+            "overlap_threads": self.overlapping_threads(),
         }
 
     def ascii_gantt(self, width=72, max_threads=16):

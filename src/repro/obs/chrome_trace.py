@@ -1,0 +1,257 @@
+"""Chrome trace-event export: real spans and simulated timelines.
+
+Both kinds of timeline the framework produces become one JSON format,
+loadable in ``chrome://tracing`` or https://ui.perfetto.dev:
+
+* :func:`recorder_events` — the wall-clock spans/instants/counters of a
+  :class:`~repro.obs.spans.SpanRecorder` (the real threaded runtime);
+* :func:`execution_trace_events` — a simulated
+  :class:`~repro.machine.trace.ExecutionTrace` (the DES timelines),
+  with per-thread *sync-wait* gaps emitted as their own spans, level
+  boundaries as global instant events, and fault-injection events
+  (dropped publishes, spin faults) as thread-local instants.
+
+The event dialect is the documented trace-event format: ``"X"``
+complete events (``ts`` + ``dur``), ``"i"`` instants, ``"C"`` counters
+and ``"M"`` metadata, all with microsecond timestamps.
+:func:`validate_events` checks exactly the subset this module emits —
+the schema the round-trip tests and ``bench_obs`` gate on.
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = [
+    "recorder_events",
+    "execution_trace_events",
+    "chrome_trace",
+    "write_chrome_trace",
+    "validate_events",
+]
+
+_US = 1e6  # seconds -> trace-event microseconds
+
+_PHASES = {"X", "i", "C", "M"}
+_INSTANT_SCOPES = {"t", "p", "g"}
+
+
+def _label_name(label):
+    """Human-readable event name for an ExecutionTrace interval label."""
+    if isinstance(label, tuple) and len(label) == 2:
+        return f"{label[0]} {label[1]}"
+    return "task" if label is None else str(label)
+
+
+def _thread_metadata(tids, pid, prefix="thread"):
+    return [
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": int(t),
+            "args": {"name": f"{prefix} {t}"},
+        }
+        for t in tids
+    ]
+
+
+def recorder_events(recorder, *, pid=1):
+    """Trace events for a :class:`SpanRecorder`'s recorded output."""
+    out = _thread_metadata(range(recorder.n_threads()), pid)
+    for e in recorder.events():
+        base = {
+            "name": e.name,
+            "cat": e.cat or "obs",
+            "pid": pid,
+            "tid": int(e.thread),
+            "ts": e.start * _US,
+        }
+        if e.kind == "span":
+            base["ph"] = "X"
+            base["dur"] = e.duration * _US
+            base["args"] = dict(e.args)
+        elif e.kind == "instant":
+            base["ph"] = "i"
+            base["s"] = "t"
+            base["args"] = dict(e.args)
+        else:  # counter
+            base["ph"] = "C"
+            base["args"] = dict(e.args)
+        out.append(base)
+    return out
+
+
+def execution_trace_events(
+    trace,
+    *,
+    pid=0,
+    cat="sim",
+    wait_spans=True,
+    level_ptr=None,
+    fault_plan=None,
+    thread_prefix="sim thread",
+):
+    """Trace events for a simulated :class:`ExecutionTrace`.
+
+    ``wait_spans`` emits each thread's idle gaps (time spent spinning
+    on a dependency or out of work) as ``"wait"`` spans in their own
+    category, so Perfetto shows busy vs. wait per thread directly.
+    ``level_ptr`` adds a global instant at each level's completion time
+    (the boundary a barrier schedule would synchronize on).
+    ``fault_plan`` marks dropped publishes and spin faults on the rows
+    they hit.
+    """
+    out = _thread_metadata(range(trace.n_threads), pid, prefix=thread_prefix)
+    stop_of_row = {}
+    for iv in trace.intervals:
+        out.append(
+            {
+                "name": _label_name(iv.label),
+                "cat": cat,
+                "ph": "X",
+                "pid": pid,
+                "tid": int(iv.thread),
+                "ts": iv.start * _US,
+                "dur": iv.duration * _US,
+                "args": {},
+            }
+        )
+        if isinstance(iv.label, tuple) and len(iv.label) == 2 and iv.label[0] == "row":
+            stop_of_row[int(iv.label[1])] = iv
+    if wait_spans:
+        for t in range(trace.n_threads):
+            ivs = trace.thread_intervals(t)
+            cursor = 0.0
+            for iv in ivs:
+                if iv.start > cursor:
+                    out.append(
+                        {
+                            "name": "wait",
+                            "cat": f"{cat}.wait",
+                            "ph": "X",
+                            "pid": pid,
+                            "tid": int(t),
+                            "ts": cursor * _US,
+                            "dur": (iv.start - cursor) * _US,
+                            "args": {},
+                        }
+                    )
+                cursor = max(cursor, iv.stop)
+    if level_ptr is not None:
+        level_ptr = list(int(x) for x in level_ptr)
+        for lev in range(len(level_ptr) - 1):
+            rows = range(level_ptr[lev], level_ptr[lev + 1])
+            stops = [stop_of_row[r].stop for r in rows if r in stop_of_row]
+            if not stops:
+                continue
+            out.append(
+                {
+                    "name": f"level {lev} done",
+                    "cat": f"{cat}.level",
+                    "ph": "i",
+                    "s": "g",
+                    "pid": pid,
+                    "tid": 0,
+                    "ts": max(stops) * _US,
+                    "args": {"rows": len(stops)},
+                }
+            )
+    if fault_plan is not None:
+        for (u, row) in sorted(fault_plan.dropped):
+            iv = stop_of_row.get(int(row))
+            if iv is None:
+                continue
+            out.append(
+                {
+                    "name": f"dropped publish row {int(row)}",
+                    "cat": f"{cat}.fault",
+                    "ph": "i",
+                    "s": "t",
+                    "pid": pid,
+                    "tid": int(u),
+                    "ts": iv.stop * _US,
+                    "args": {"row": int(row)},
+                }
+            )
+        for row in sorted(fault_plan.spin_faults):
+            iv = stop_of_row.get(int(row))
+            if iv is None:
+                continue
+            out.append(
+                {
+                    "name": f"spin fault row {int(row)}",
+                    "cat": f"{cat}.fault",
+                    "ph": "i",
+                    "s": "t",
+                    "pid": pid,
+                    "tid": int(iv.thread),
+                    "ts": iv.start * _US,
+                    "args": {"row": int(row)},
+                }
+            )
+    return out
+
+
+def chrome_trace(events, *, metadata=None):
+    """Wrap a flat event list in the trace-file envelope."""
+    return {
+        "traceEvents": list(events),
+        "displayTimeUnit": "ms",
+        "otherData": dict(metadata or {}),
+    }
+
+
+def write_chrome_trace(path, events, *, metadata=None):
+    """Serialize ``events`` to ``path`` as a Chrome trace JSON file."""
+    doc = chrome_trace(events, metadata=metadata)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=1)
+        fh.write("\n")
+    return path
+
+
+def validate_events(events):
+    """Schema-check a trace-event list; returns a list of error strings.
+
+    Validates the subset this module emits: required keys, known
+    phases, microsecond timestamps that are finite and non-negative,
+    non-negative durations on complete events, and instant scopes.
+    An empty return means the trace loads cleanly.
+    """
+    errors = []
+    if not isinstance(events, list):
+        return [f"traceEvents must be a list, got {type(events).__name__}"]
+    for i, e in enumerate(events):
+        where = f"event[{i}]"
+        if not isinstance(e, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        name = e.get("name")
+        if not isinstance(name, str) or not name:
+            errors.append(f"{where}: missing or empty name")
+        ph = e.get("ph")
+        if ph not in _PHASES:
+            errors.append(f"{where} ({name}): unknown phase {ph!r}")
+            continue
+        for key in ("pid", "tid"):
+            if not isinstance(e.get(key), int):
+                errors.append(f"{where} ({name}): {key} must be an int")
+        if ph == "M":
+            continue  # metadata events carry no timestamp contract
+        ts = e.get("ts")
+        if not isinstance(ts, (int, float)) or ts != ts or ts < 0.0:
+            errors.append(f"{where} ({name}): bad ts {ts!r}")
+        if ph == "X":
+            dur = e.get("dur")
+            if not isinstance(dur, (int, float)) or dur != dur or dur < 0.0:
+                errors.append(f"{where} ({name}): complete event needs dur >= 0")
+        if ph == "i" and e.get("s") not in _INSTANT_SCOPES:
+            errors.append(f"{where} ({name}): instant scope must be one of t/p/g")
+        if ph == "C":
+            args = e.get("args")
+            if not isinstance(args, dict) or not args or not all(
+                isinstance(v, (int, float)) for v in args.values()
+            ):
+                errors.append(f"{where} ({name}): counter needs numeric args")
+    return errors

@@ -1,0 +1,289 @@
+"""Metrics registry: counters, gauges, histograms with a stable schema.
+
+The durable side of observability: where spans answer *where did this
+run spend its time*, the registry answers *how do runs compare* — sync
+wait share, level occupancy, cache hit rate, roofline utilization —
+as plain numbers with a versioned JSON schema (``SCHEMA``) that
+``benchmarks/bench_obs.py`` records and CI gates on.
+
+Instruments are get-or-created by name and thread-safe (the threaded
+runtime updates them from workers).  ``snapshot()`` is the only export
+path; its layout is the schema :func:`validate_metrics` checks:
+
+.. code-block:: json
+
+    {"schema": "repro.obs.metrics/v1",
+     "counters":   {"name": 3.0},
+     "gauges":     {"name": 0.82},
+     "histograms": {"name": {"count": 8, "sum": ..., "min": ...,
+                             "max": ..., "mean": ..., "p50": ...,
+                             "p90": ..., "p99": ...}}}
+
+The ``record_*`` helpers derive the standard metric set from the
+framework's own objects (ExecutionTrace, SymbolicCache, SimMachine).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+__all__ = [
+    "SCHEMA",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "validate_metrics",
+    "record_trace_metrics",
+    "record_cache_metrics",
+    "record_roofline_metrics",
+]
+
+SCHEMA = "repro.obs.metrics/v1"
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    def __init__(self, lock):
+        self._lock = lock
+        self._value = 0.0
+
+    def inc(self, amount=1.0):
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        with self._lock:
+            self._value += float(amount)
+
+    @property
+    def value(self):
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    def __init__(self, lock):
+        self._lock = lock
+        self._value = 0.0
+
+    def set(self, value):
+        with self._lock:
+            self._value = float(value)
+
+    @property
+    def value(self):
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Value distribution; summarized as count/sum/min/max/mean/percentiles."""
+
+    def __init__(self, lock):
+        self._lock = lock
+        self._values = []
+
+    def observe(self, value):
+        with self._lock:
+            self._values.append(float(value))
+
+    def observe_many(self, values):
+        with self._lock:
+            self._values.extend(float(v) for v in values)
+
+    @property
+    def count(self):
+        with self._lock:
+            return len(self._values)
+
+    def summary(self):
+        with self._lock:
+            vals = np.asarray(self._values, dtype=np.float64)
+        if vals.size == 0:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+                    "mean": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0}
+        p50, p90, p99 = np.percentile(vals, [50.0, 90.0, 99.0])
+        return {
+            "count": int(vals.size),
+            "sum": float(vals.sum()),
+            "min": float(vals.min()),
+            "max": float(vals.max()),
+            "mean": float(vals.mean()),
+            "p50": float(p50),
+            "p90": float(p90),
+            "p99": float(p99),
+        }
+
+
+class MetricsRegistry:
+    """Named instruments, get-or-created on first use.
+
+    A name is bound to one instrument kind for the registry's lifetime;
+    asking for the same name as a different kind is an error (it would
+    silently fork the metric).
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()  # verify: ok[JAV002] obs is the instrumentation layer
+        self._instruments = {}
+
+    def _get(self, name, cls):
+        with self._lock:
+            inst = self._instruments.get(name)
+            if inst is None:
+                inst = self._instruments[name] = cls(self._lock)
+            elif not isinstance(inst, cls):
+                raise TypeError(
+                    f"metric {name!r} is a {type(inst).__name__}, not a {cls.__name__}"
+                )
+            return inst
+
+    def counter(self, name) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name) -> Histogram:
+        return self._get(name, Histogram)
+
+    def names(self):
+        with self._lock:
+            return sorted(self._instruments)
+
+    def snapshot(self):
+        """The full registry as a schema-versioned, JSON-ready dict."""
+        with self._lock:
+            items = sorted(self._instruments.items())
+        out = {"schema": SCHEMA, "counters": {}, "gauges": {}, "histograms": {}}
+        for name, inst in items:
+            if isinstance(inst, Counter):
+                out["counters"][name] = inst.value
+            elif isinstance(inst, Gauge):
+                out["gauges"][name] = inst.value
+            else:
+                out["histograms"][name] = inst.summary()
+        return out
+
+
+_HIST_KEYS = {"count", "sum", "min", "max", "mean", "p50", "p90", "p99"}
+
+
+def validate_metrics(doc):
+    """Schema-check a :meth:`MetricsRegistry.snapshot` document.
+
+    Returns a list of error strings (empty = valid); the check
+    ``bench_obs.py --check`` and the CI smoke gate run over
+    ``BENCH_obs.json``.
+    """
+    errors = []
+    if not isinstance(doc, dict):
+        return [f"snapshot must be an object, got {type(doc).__name__}"]
+    if doc.get("schema") != SCHEMA:
+        errors.append(f"schema must be {SCHEMA!r}, got {doc.get('schema')!r}")
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(doc.get(section), dict):
+            errors.append(f"missing section {section!r}")
+    if errors:
+        return errors
+    for section in ("counters", "gauges"):
+        for name, v in doc[section].items():
+            if not isinstance(v, (int, float)) or v != v:
+                errors.append(f"{section}.{name}: non-finite or non-numeric {v!r}")
+    for name, h in doc["histograms"].items():
+        if not isinstance(h, dict) or set(h) != _HIST_KEYS:
+            errors.append(f"histograms.{name}: keys must be {sorted(_HIST_KEYS)}")
+            continue
+        if not all(isinstance(v, (int, float)) and v == v for v in h.values()):
+            errors.append(f"histograms.{name}: non-numeric summary value")
+    return errors
+
+
+# ----------------------------------------------------------------------
+# derived collectors: the framework's own objects -> standard metrics
+# ----------------------------------------------------------------------
+def record_trace_metrics(registry, trace, *, prefix="sim", level_ptr=None):
+    """Busy/wait/occupancy metrics of one :class:`ExecutionTrace`.
+
+    Records makespan, total busy time, total per-thread wait (idle gap)
+    time, mean utilization, a per-thread utilization histogram (via the
+    overlap-safe :meth:`per_thread_utilization`), the number of threads
+    with overlapping intervals, and — when ``level_ptr`` is given — a
+    per-level occupancy histogram (busy share of each level's window).
+    """
+    span = trace.makespan()
+    registry.gauge(f"{prefix}.makespan").set(span)
+    registry.gauge(f"{prefix}.busy_time").set(trace.busy_time())
+    registry.gauge(f"{prefix}.utilization").set(trace.utilization())
+    per_thread = trace.per_thread_utilization()
+    registry.histogram(f"{prefix}.thread_utilization").observe_many(per_thread)
+    registry.gauge(f"{prefix}.overlap_threads").set(len(trace.overlapping_threads()))
+    wait = registry.counter(f"{prefix}.wait_time")
+    n_waits = registry.counter(f"{prefix}.sync_waits")
+    for t in range(trace.n_threads):
+        cursor = 0.0
+        for iv in trace.thread_intervals(t):
+            if iv.start > cursor:
+                wait.inc(iv.start - cursor)
+                n_waits.inc()
+            cursor = max(cursor, iv.stop)
+        if span > cursor:
+            wait.inc(span - cursor)
+    if level_ptr is not None:
+        occ = registry.histogram(f"{prefix}.level_occupancy")
+        level_ptr = [int(x) for x in level_ptr]
+        by_row = {
+            int(iv.label[1]): iv
+            for iv in trace.intervals
+            if isinstance(iv.label, tuple) and len(iv.label) == 2 and iv.label[0] == "row"
+        }
+        for lev in range(len(level_ptr) - 1):
+            ivs = [by_row[r] for r in range(level_ptr[lev], level_ptr[lev + 1]) if r in by_row]
+            if not ivs:
+                continue
+            lo = min(iv.start for iv in ivs)
+            hi = max(iv.stop for iv in ivs)
+            window = (hi - lo) * trace.n_threads
+            busy = sum(iv.duration for iv in ivs)
+            occ.observe(busy / window if window > 0.0 else 0.0)
+    return registry
+
+
+def record_cache_metrics(registry, cache, *, prefix="cache"):
+    """Hit/miss/eviction metrics from a :meth:`SymbolicCache.stats` snapshot."""
+    st = cache.stats()
+    registry.gauge(f"{prefix}.hits").set(st["hits"])
+    registry.gauge(f"{prefix}.misses").set(st["misses"])
+    registry.gauge(f"{prefix}.evictions").set(st["evictions"])
+    registry.gauge(f"{prefix}.entries").set(st["entries"])
+    registry.gauge(f"{prefix}.hit_rate").set(st["hit_rate"])
+    return registry
+
+
+def record_roofline_metrics(registry, trace, machine, flops, touched, *, prefix="roofline"):
+    """Achieved vs. peak flop and bandwidth rates on a simulated run.
+
+    ``flops``/``touched`` are the per-row cost arrays the simulation
+    charged (``SymbolicAnalysis.factor_costs()``); peak rates come from
+    the :class:`SimMachine`'s spec, so the gauges say how close the
+    schedule gets to the hardware the paper models.
+    """
+    span = trace.makespan()
+    spec = machine.spec
+    flops_total = float(np.sum(flops))
+    bytes_total = float(np.sum(touched)) * 12.0  # CSR streaming unit (see machine.core)
+    peak_flops = spec.flops_per_core * machine.n_threads
+    peak_bw = spec.socket_bw * max(machine.n_sockets_used, 1)
+    registry.gauge(f"{prefix}.flops_total").set(flops_total)
+    registry.gauge(f"{prefix}.bytes_total").set(bytes_total)
+    if span > 0.0:
+        registry.gauge(f"{prefix}.flop_utilization").set(flops_total / span / peak_flops)
+        registry.gauge(f"{prefix}.bw_utilization").set(bytes_total / span / peak_bw)
+    else:
+        registry.gauge(f"{prefix}.flop_utilization").set(0.0)
+        registry.gauge(f"{prefix}.bw_utilization").set(0.0)
+    return registry

@@ -1,0 +1,126 @@
+"""Text rendering: flamegraph-style span summaries and metric diffs.
+
+The terminal half of the observability layer (the graphical half is
+the Chrome trace export).  :func:`aggregate_spans` folds a recorder's
+events into per-name totals with self-time; :func:`render_flame`
+prints them as an indentation-free flamegraph summary — one bar per
+name, widest first — and :func:`render_trace_report` does the busy vs.
+wait per-thread breakdown for simulated traces.  :func:`diff_metrics`
+compares two metric snapshots (the ``repro obs diff`` command).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "aggregate_spans",
+    "render_flame",
+    "render_trace_report",
+    "diff_metrics",
+]
+
+
+def aggregate_spans(events):
+    """Fold span events into ``{name: {total, self, count}}`` seconds.
+
+    ``total`` is inclusive time, ``self`` excludes time covered by
+    spans nested (strictly deeper, within the interval) on the same
+    thread — the flamegraph decomposition.
+    """
+    spans = [e for e in events if getattr(e, "kind", None) == "span"]
+    agg = {}
+    for e in spans:
+        slot = agg.setdefault(e.name, {"total": 0.0, "self": 0.0, "count": 0})
+        slot["total"] += e.duration
+        slot["count"] += 1
+        child_time = sum(
+            c.duration
+            for c in spans
+            if c.thread == e.thread
+            and c.depth == e.depth + 1
+            and c.start >= e.start
+            and c.stop <= e.stop
+        )
+        slot["self"] += max(e.duration - child_time, 0.0)
+    return agg
+
+
+def _bar(frac, width=30):
+    n = int(round(max(0.0, min(1.0, frac)) * width))
+    return "#" * n + "." * (width - n)
+
+
+def render_flame(events, *, width=30):
+    """Flamegraph-style text summary of recorded spans, widest first."""
+    agg = aggregate_spans(events)
+    if not agg:
+        return "(no spans recorded)"
+    grand = sum(v["self"] for v in agg.values()) or 1.0
+    name_w = max(len(n) for n in agg) + 1
+    lines = [f"{'span':<{name_w}} {'self':>9} {'total':>9} {'count':>6}  share"]
+    for name, v in sorted(agg.items(), key=lambda kv: -kv[1]["self"]):
+        share = v["self"] / grand
+        lines.append(
+            f"{name:<{name_w}} {v['self'] * 1e3:8.2f}m {v['total'] * 1e3:8.2f}m "
+            f"{v['count']:6d}  |{_bar(share, width)}| {share:5.1%}"
+        )
+    return "\n".join(lines)
+
+
+def render_trace_report(trace, *, title="simulated timeline", width=40):
+    """Per-thread busy vs. wait breakdown of an :class:`ExecutionTrace`."""
+    span = trace.makespan()
+    lines = [f"{title}: makespan {span:.3e}s, " f"utilization {trace.utilization():.1%}"]
+    if span == 0.0:
+        lines.append("(empty trace)")
+        return "\n".join(lines)
+    per_thread = trace.per_thread_utilization()
+    for t in range(trace.n_threads):
+        busy = per_thread[t]
+        lines.append(
+            f"t{t:<3d} |{_bar(busy, width)}| busy {busy:6.1%}  wait {1.0 - busy:6.1%}"
+        )
+    overlaps = trace.overlapping_threads()
+    if overlaps:
+        lines.append(f"WARNING: overlapping intervals on threads {overlaps}")
+    return "\n".join(lines)
+
+
+def _flatten(doc):
+    """Numeric leaves of a metrics snapshot as ``{dotted.name: value}``."""
+    flat = {}
+    for section in ("counters", "gauges"):
+        for name, v in (doc.get(section) or {}).items():
+            flat[f"{section}.{name}"] = float(v)
+    for name, h in (doc.get("histograms") or {}).items():
+        if isinstance(h, dict):
+            for k in ("count", "mean", "p50", "p90", "p99", "max"):
+                if k in h:
+                    flat[f"histograms.{name}.{k}"] = float(h[k])
+    return flat
+
+
+def diff_metrics(old, new, *, rel_threshold=0.0):
+    """Line-per-metric comparison of two snapshot documents.
+
+    Returns the rendered text; metrics present on one side only are
+    marked added/removed.  ``rel_threshold`` hides rows whose relative
+    change is below the threshold (0 shows everything).
+    """
+    a, b = _flatten(old), _flatten(new)
+    names = sorted(set(a) | set(b))
+    if not names:
+        return "(no numeric metrics on either side)"
+    name_w = max(len(n) for n in names) + 1
+    lines = [f"{'metric':<{name_w}} {'old':>12} {'new':>12} {'delta':>12}"]
+    for n in names:
+        if n not in a:
+            lines.append(f"{n:<{name_w}} {'-':>12} {b[n]:12.4g} {'added':>12}")
+        elif n not in b:
+            lines.append(f"{n:<{name_w}} {a[n]:12.4g} {'-':>12} {'removed':>12}")
+        else:
+            d = b[n] - a[n]
+            rel = abs(d) / abs(a[n]) if a[n] != 0.0 else (0.0 if d == 0.0 else float("inf"))
+            if rel < rel_threshold:
+                continue
+            lines.append(f"{n:<{name_w}} {a[n]:12.4g} {b[n]:12.4g} {d:+12.4g}")
+    return "\n".join(lines)

@@ -1,0 +1,297 @@
+"""Structured span/event tracing — the instrumentation substrate.
+
+Every measurement in the framework flows through this module: nested
+wall-clock spans (kernel dispatches, per-row wait vs. work in the
+threaded runtime), instant events (cache hits, resilience attempt
+transitions, watchdog firings), and counter samples (per-iteration
+solver residuals).  The design constraint is the one the bit-identity
+tests enforce: **tracing must never change results, and disabled
+tracing must cost one global read per site**.
+
+* Disabled (the default): :func:`span` returns a shared no-op context
+  manager, :func:`instant` / :func:`counter` return immediately after a
+  single ``None`` check.  No recorder, no locks, no clock reads.
+* Enabled (:func:`enable` / the :func:`tracing` context manager): a
+  :class:`SpanRecorder` timestamps events with ``time.perf_counter``
+  relative to its own epoch, assigns dense thread ids in first-seen
+  order, and tracks a per-thread span stack so nesting depth is
+  recorded and well-formedness is checkable
+  (:meth:`SpanRecorder.check_wellformed`).
+
+Spans carry only *time* — they read the clock and append to a list —
+so enabling them cannot perturb any numeric path.  Export to Chrome
+trace-event JSON lives in :mod:`repro.obs.chrome_trace`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+__all__ = [
+    "SpanEvent",
+    "SpanRecorder",
+    "enable",
+    "disable",
+    "active",
+    "enabled",
+    "tracing",
+    "span",
+    "instant",
+    "counter",
+]
+
+_RECORDER = None  # the process-wide recorder; None = tracing disabled
+
+
+@dataclass(frozen=True)
+class SpanEvent:
+    """One recorded event.
+
+    ``kind`` is ``"span"`` (closed interval), ``"instant"`` (point
+    event) or ``"counter"`` (point sample with a ``value`` arg).
+    ``thread`` is a dense id assigned in first-seen order, ``start`` /
+    ``stop`` are seconds since the recorder's epoch (equal for point
+    events), ``depth`` is the span-nesting depth at emission, and
+    ``args`` is a tuple of ``(key, value)`` tag pairs.
+    """
+
+    kind: str
+    name: str
+    cat: str
+    thread: int
+    start: float
+    stop: float
+    depth: int
+    args: tuple = ()
+
+    @property
+    def duration(self):
+        return self.stop - self.start
+
+
+class _NullSpan:
+    """Shared no-op context manager returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """An open span: records on exit, maintains the thread-local stack."""
+
+    __slots__ = ("_rec", "name", "cat", "args", "_start", "_depth")
+
+    def __init__(self, rec, name, cat, args):
+        self._rec = rec
+        self.name = name
+        self.cat = cat
+        self.args = args
+
+    def __enter__(self):
+        rec = self._rec
+        stack = rec._stack()
+        self._depth = len(stack)
+        stack.append(self)
+        self._start = rec._now()
+        return self
+
+    def __exit__(self, *exc):
+        rec = self._rec
+        stop = rec._now()
+        stack = rec._stack()
+        # exception-safe pop: anything pushed above us is abandoned
+        while stack and stack[-1] is not self:
+            stack.pop()
+        if stack:
+            stack.pop()
+        rec._append(
+            SpanEvent(
+                "span", self.name, self.cat, rec._tid(), self._start, stop,
+                self._depth, self.args,
+            )
+        )
+        return False
+
+
+class SpanRecorder:
+    """Collects :class:`SpanEvent` records, thread-safely.
+
+    All clocks are relative to the recorder's construction time, so a
+    fresh recorder's events start near 0 and export cleanly.  Events
+    are appended under a lock; thread ids are dense (0, 1, ...) in
+    first-seen order so exports map onto compact timeline rows.
+    """
+
+    def __init__(self):
+        self._epoch = time.perf_counter()
+        self._events = []
+        self._lock = threading.Lock()  # verify: ok[JAV002] obs is the instrumentation layer
+        self._tids = {}
+        self._local = threading.local()
+
+    # -- internals -----------------------------------------------------
+    def _now(self):
+        return time.perf_counter() - self._epoch
+
+    def _tid(self):
+        ident = threading.get_ident()
+        tid = self._tids.get(ident)
+        if tid is None:
+            with self._lock:
+                tid = self._tids.setdefault(ident, len(self._tids))
+        return tid
+
+    def _stack(self):
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _append(self, ev):
+        with self._lock:
+            self._events.append(ev)
+
+    @staticmethod
+    def _args(kw):
+        return tuple(sorted(kw.items()))
+
+    # -- recording API -------------------------------------------------
+    def span(self, name, cat="", **args):
+        """A context manager recording ``name`` as a closed span."""
+        return _Span(self, name, cat, self._args(args))
+
+    def instant(self, name, cat="", **args):
+        """Record a point event at the current time."""
+        now = self._now()
+        self._append(
+            SpanEvent("instant", name, cat, self._tid(), now, now,
+                      len(self._stack()), self._args(args))
+        )
+
+    def counter(self, name, value, cat=""):
+        """Record a counter sample (e.g. a per-iteration residual)."""
+        now = self._now()
+        self._append(
+            SpanEvent("counter", name, cat, self._tid(), now, now,
+                      len(self._stack()), (("value", float(value)),))
+        )
+
+    # -- inspection ----------------------------------------------------
+    def events(self):
+        """Snapshot of all events recorded so far (a copy)."""
+        with self._lock:
+            return list(self._events)
+
+    def spans(self):
+        return [e for e in self.events() if e.kind == "span"]
+
+    def n_threads(self):
+        with self._lock:
+            return len(self._tids)
+
+    def __len__(self):
+        with self._lock:
+            return len(self._events)
+
+    def check_wellformed(self, tol=0.0):
+        """Assert span nesting is well-formed on every thread.
+
+        Two spans on one thread must be disjoint or strictly nested
+        (the stack discipline of the context manager guarantees it;
+        this check is what the property tests run against recorded
+        output, including under fault injection).  Returns True or
+        raises AssertionError naming the offending pair.
+        """
+        by_thread = {}
+        for e in self.spans():
+            by_thread.setdefault(e.thread, []).append(e)
+        for t, evs in by_thread.items():
+            # sort by start time, longer spans first on ties (parents)
+            evs.sort(key=lambda e: (e.start, -e.duration))
+            stack = []
+            for e in evs:
+                while stack and e.start >= stack[-1].stop - tol:
+                    stack.pop()
+                if stack and e.stop > stack[-1].stop + tol:
+                    raise AssertionError(
+                        f"thread {t}: span {e.name!r} [{e.start}, {e.stop}] "
+                        f"overlaps {stack[-1].name!r} "
+                        f"[{stack[-1].start}, {stack[-1].stop}] without nesting"
+                    )
+                stack.append(e)
+        return True
+
+
+# ----------------------------------------------------------------------
+# module-level switch + zero-cost facade
+# ----------------------------------------------------------------------
+def enable() -> SpanRecorder:
+    """Install (and return) a fresh process-wide recorder."""
+    global _RECORDER
+    _RECORDER = SpanRecorder()
+    return _RECORDER
+
+
+def disable():
+    """Stop tracing; returns the recorder that was active (or None)."""
+    global _RECORDER
+    rec, _RECORDER = _RECORDER, None
+    return rec
+
+
+def active():
+    """The active :class:`SpanRecorder`, or None when tracing is off."""
+    return _RECORDER
+
+
+def enabled() -> bool:
+    return _RECORDER is not None
+
+
+class tracing:
+    """``with tracing() as rec:`` — enable for a block, then restore.
+
+    Restores the *previous* recorder (usually None) on exit, so nested
+    uses and test isolation behave.
+    """
+
+    def __enter__(self) -> SpanRecorder:
+        self._prev = _RECORDER
+        return enable()
+
+    def __exit__(self, *exc):
+        global _RECORDER
+        _RECORDER = self._prev
+        return False
+
+
+def span(name, cat="", **args):
+    """A span context manager; free (a shared no-op) when disabled."""
+    rec = _RECORDER
+    if rec is None:
+        return _NULL_SPAN
+    return rec.span(name, cat, **args)
+
+
+def instant(name, cat="", **args):
+    """Record an instant event; no-op when disabled."""
+    rec = _RECORDER
+    if rec is not None:
+        rec.instant(name, cat, **args)
+
+
+def counter(name, value, cat=""):
+    """Record a counter sample; no-op when disabled."""
+    rec = _RECORDER
+    if rec is not None:
+        rec.counter(name, value, cat)

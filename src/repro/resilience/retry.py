@@ -44,6 +44,7 @@ from ..core.ilut import ilut_factor
 from ..core.javelin import JavelinILU, JavelinOptions
 from ..core.trisolve import LevelizedTriangularSolver
 from ..kernels.cache import default_cache
+from ..obs import spans as _spans
 from ..sparse.pattern import has_full_diagonal
 
 __all__ = ["RetryPolicy", "AttemptRecord", "ResilienceReport", "ResilientFactor"]
@@ -100,6 +101,19 @@ class ResilienceReport:
     final_shift: float = 0.0
     resetups: int = 0
     cache: dict = field(default_factory=dict)
+
+    def record(self, attempt: AttemptRecord):
+        """Append one attempt and mirror it as a ``resilience.attempt``
+        obs instant (free when tracing is off)."""
+        self.attempts.append(attempt)
+        _spans.instant(
+            "resilience.attempt",
+            cat="resilience",
+            variant=attempt.variant,
+            shift=attempt.shift,
+            ok=attempt.ok,
+            detail=attempt.detail,
+        )
 
     @property
     def n_attempts(self):
@@ -205,7 +219,7 @@ class ResilientFactor:
         a bad pivot.  Returns True when a validated candidate won.
         """
         if not self._structural_diag:
-            self.report.attempts.append(
+            self.report.record(
                 AttemptRecord(variant, 0.0, False, detail="missing structural diagonal")
             )
             return False
@@ -220,19 +234,19 @@ class ResilientFactor:
             try:
                 apply, data, ilu = build(B)
             except FactorizationBreakdown as e:
-                self.report.attempts.append(
+                self.report.record(
                     AttemptRecord(variant, alpha, False, detail=str(e), row=e.row, kind=e.kind)
                 )
             else:
                 why = self._validate(apply, data)
                 if why is None:
-                    self.report.attempts.append(AttemptRecord(variant, alpha, True))
+                    self.report.record(AttemptRecord(variant, alpha, True))
                     self.report.final_variant = variant
                     self.report.final_shift = alpha
                     self._apply = apply
                     self.ilu = ilu
                     return True
-                self.report.attempts.append(AttemptRecord(variant, alpha, False, detail=why))
+                self.report.record(AttemptRecord(variant, alpha, False, detail=why))
             alpha = max(2.0 * alpha, pol.shift0)
         return False
 
@@ -263,13 +277,13 @@ class ResilientFactor:
         try:
             bj = BlockJacobi(self.policy.block_size).setup(self.A)
         except Exception as e:  # singular blocks already regularized; be safe
-            self.report.attempts.append(AttemptRecord("block_jacobi", 0.0, False, detail=str(e)))
+            self.report.record(AttemptRecord("block_jacobi", 0.0, False, detail=str(e)))
             return False
         why = self._validate(bj.solve)
         if why is not None:
-            self.report.attempts.append(AttemptRecord("block_jacobi", 0.0, False, detail=why))
+            self.report.record(AttemptRecord("block_jacobi", 0.0, False, detail=why))
             return False
-        self.report.attempts.append(AttemptRecord("block_jacobi", 0.0, True))
+        self.report.record(AttemptRecord("block_jacobi", 0.0, True))
         self.report.final_variant = "block_jacobi"
         self.report.final_shift = 0.0
         self._apply = bj.solve
@@ -285,7 +299,7 @@ class ResilientFactor:
         def apply(r):
             return np.asarray(r, dtype=np.float64) * inv
 
-        self.report.attempts.append(
+        self.report.record(
             AttemptRecord("jacobi", 0.0, True, detail=f"{int(bad.sum())} guarded diagonal entries")
         )
         self.report.final_variant = "jacobi"
@@ -347,7 +361,7 @@ class ResilientFactor:
         """
         if not self._ready:
             raise RuntimeError("call setup(A) first")
-        self.report.attempts.append(
+        self.report.record(
             AttemptRecord(
                 self.report.final_variant or "?",
                 self.report.final_shift,

@@ -18,6 +18,7 @@ import numpy as np
 from ..core.iluk import _diag_positions, _scatter_values, factor_row
 from ..core.lower_er import EvenRows, _factor_row_range
 from ..core.upper import assign_round_robin
+from ..obs import spans as _spans
 from ..sparse.csr import CSRMatrix
 from .pointtopoint import ProgressBoard
 from .threadpool import deps_by_producer
@@ -56,28 +57,51 @@ def threaded_factor_two_stage(
 
     def worker(t):
         try:
+            rec = _spans.active()
             # ---- upper stage: p2p level-scheduled rows
             my_rows = np.nonzero(thread_of == t)[0]
-            for r in my_rows:
-                r = int(r)
-                for u, need in deps_by_producer(S, r, thread_of, t).items():
-                    board.wait_for(u, need)
-                factor_row(F, r, diag_pos, pivot_tol=pivot_tol)
-                board.publish(t, r)
-            # ---- wait until every upper row is published
-            for u in range(n_threads):
-                rows_u = np.nonzero(thread_of == u)[0]
-                if rows_u.size:
-                    board.wait_for(u, int(rows_u[-1]))
+            with _spans.span("upper_stage", cat="runtime", thread=t):
+                for r in my_rows:
+                    r = int(r)
+                    for u, need in deps_by_producer(S, r, thread_of, t).items():
+                        if rec is None:
+                            board.wait_for(u, need)
+                        else:
+                            with rec.span(
+                                "wait", cat="runtime",
+                                producer=int(u), need=int(need), row=r,
+                            ):
+                                board.wait_for(u, need)
+                    with _spans.span("factor_row", cat="runtime", row=r):
+                        factor_row(F, r, diag_pos, pivot_tol=pivot_tol)
+                    board.publish(t, r)
+                # ---- wait until every upper row is published
+                for u in range(n_threads):
+                    rows_u = np.nonzero(thread_of == u)[0]
+                    if rows_u.size:
+                        if rec is None:
+                            board.wait_for(u, int(rows_u[-1]))
+                        else:
+                            with rec.span(
+                                "wait.stage", cat="runtime",
+                                producer=int(u), need=int(rows_u[-1]),
+                            ):
+                                board.wait_for(u, int(rows_u[-1]))
             # ---- lower stage phase 1: my block's FACTOR_L
             lo, hi = blocks[t]
-            for r in range(lo, hi):
-                _factor_row_range(F, r, diag_pos, 0, m, pivot_tol=pivot_tol)
-            barrier.wait()
+            with _spans.span("lower_block", cat="runtime", lo=lo, hi=hi):
+                for r in range(lo, hi):
+                    _factor_row_range(F, r, diag_pos, 0, m, pivot_tol=pivot_tol)
+            if rec is None:
+                barrier.wait()
+            else:
+                with rec.span("wait.barrier", cat="runtime"):
+                    barrier.wait()
             # ---- corner: serial on thread 0
             if t == 0:
-                for r in range(m, n):
-                    _factor_row_range(F, r, diag_pos, m, r, pivot_tol=pivot_tol)
+                with _spans.span("corner", cat="runtime", m=m, n=n):
+                    for r in range(m, n):
+                        _factor_row_range(F, r, diag_pos, m, r, pivot_tol=pivot_tol)
         except BaseException as e:
             errors.append(e)
             try:

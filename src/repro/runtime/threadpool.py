@@ -32,10 +32,24 @@ import numpy as np
 
 from ..core.iluk import factor_row, _diag_positions, _scatter_values
 from ..core.upper import assign_round_robin
+from ..obs import spans as _spans
 from ..sparse.csr import CSRMatrix
 from .pointtopoint import FaultInjectedBoard, ProgressBoard
 
 __all__ = ["deps_by_producer", "threaded_factor", "threaded_trisolve_lower"]
+
+
+def _traced_wait(board, u, need, *, timeout, stop, rec, row):
+    """One dependency wait, wrapped in a ``wait`` span when tracing.
+
+    The span brackets the spin only — it reads the clock and appends an
+    event, so the wait's outcome (and therefore the factor bits) is
+    identical with tracing on or off.
+    """
+    if rec is None:
+        return board.try_wait(u, need, timeout=timeout, stop=stop)
+    with rec.span("wait", cat="runtime", producer=int(u), need=int(need), row=int(row)):
+        return board.try_wait(u, need, timeout=timeout, stop=stop)
 
 
 def deps_by_producer(S, r, thread_of, own_thread):
@@ -102,6 +116,7 @@ def threaded_factor(
 
     def worker(t):
         try:
+            rec = _spans.active()
             sleep_per_row = _straggler_sleep(fault_plan, t)
             my_rows = np.nonzero(thread_of == t)[0]
             for r in my_rows:
@@ -109,14 +124,22 @@ def threaded_factor(
                 if stop.is_set():
                     return
                 for u, need in deps_by_producer(S, r, thread_of, t).items():
-                    if not board.try_wait(u, need, timeout=watchdog_timeout, stop=stop):
+                    if not _traced_wait(
+                        board, u, need, timeout=watchdog_timeout, stop=stop, rec=rec, row=r
+                    ):
                         if not stop.is_set():
                             stalled.append((t, u, need))
                             stop.set()
+                            if rec is not None:
+                                rec.instant(
+                                    "watchdog", cat="runtime",
+                                    row=r, producer=int(u), need=int(need),
+                                )
                         return
                 if sleep_per_row:
                     time.sleep(sleep_per_row)
-                factor_row(F, r, diag_pos, pivot_tol=pivot_tol)
+                with _spans.span("factor_row", cat="runtime", row=r):
+                    factor_row(F, r, diag_pos, pivot_tol=pivot_tol)
                 done[r] = True  # before publish: truth even if the publish drops
                 board.publish(t, r)
         except BaseException as e:  # surface worker failures to the caller
@@ -135,10 +158,11 @@ def threaded_factor(
         # workers have joined, deps of row r are rows < r, and done[]
         # keeps non-idempotent factor_row off completed rows.
         n_fallback = 0
-        for r in range(n):
-            if not done[r]:
-                factor_row(F, r, diag_pos, pivot_tol=pivot_tol)
-                n_fallback += 1
+        with _spans.span("watchdog_fallback", cat="runtime"):
+            for r in range(n):
+                if not done[r]:
+                    factor_row(F, r, diag_pos, pivot_tol=pivot_tol)
+                    n_fallback += 1
         if fault_report is not None:
             fault_report.watchdog_engaged = True
             fault_report.n_fallback_rows = n_fallback
@@ -186,6 +210,7 @@ def threaded_trisolve_lower(
 
     def worker(t):
         try:
+            rec = _spans.active()
             sleep_per_row = _straggler_sleep(fault_plan, t)
             my_rows = np.nonzero(thread_of == t)[0]
             for r in my_rows:
@@ -193,14 +218,22 @@ def threaded_trisolve_lower(
                 if stop.is_set():
                     return
                 for u, need in deps_by_producer(F, r, thread_of, t).items():
-                    if not board.try_wait(u, need, timeout=watchdog_timeout, stop=stop):
+                    if not _traced_wait(
+                        board, u, need, timeout=watchdog_timeout, stop=stop, rec=rec, row=r
+                    ):
                         if not stop.is_set():
                             stalled.append((t, u, need))
                             stop.set()
+                            if rec is not None:
+                                rec.instant(
+                                    "watchdog", cat="runtime",
+                                    row=r, producer=int(u), need=int(need),
+                                )
                         return
                 if sleep_per_row:
                     time.sleep(sleep_per_row)
-                solve_row(r)
+                with _spans.span("solve_row", cat="runtime", row=r):
+                    solve_row(r)
                 done[r] = True
                 board.publish(t, r)
         except BaseException as e:
@@ -216,10 +249,11 @@ def threaded_trisolve_lower(
         raise errors[0]
     if stop.is_set():
         n_fallback = 0
-        for r in range(n):
-            if not done[r]:
-                solve_row(r)
-                n_fallback += 1
+        with _spans.span("watchdog_fallback", cat="runtime"):
+            for r in range(n):
+                if not done[r]:
+                    solve_row(r)
+                    n_fallback += 1
         if fault_report is not None:
             fault_report.watchdog_engaged = True
             fault_report.n_fallback_rows = n_fallback

@@ -16,6 +16,8 @@ from .common import (
     as_operator,
     as_preconditioner,
     input_guard,
+    record_residual,
+    zero_rhs_result,
 )
 
 __all__ = ["bicgstab"]
@@ -35,10 +37,13 @@ def bicgstab(A, b, *, M=None, x0=None, tol=1e-6, maxiter=5000):
     if why is not None:
         return SolveResult(x=x, iterations=0, converged=False, residual=np.inf, reason=why)
     guard = ConvergenceGuard()
+    bnorm = float(np.linalg.norm(b))
+    if bnorm == 0.0:
+        return zero_rhs_result(n)
     r = b - matvec(x)
     r_hat = r.copy()
-    bnorm = float(np.linalg.norm(b)) or 1.0
     history = [float(np.linalg.norm(r)) / bnorm]
+    record_residual("bicgstab", 0, history[-1])
     if history[-1] <= tol:
         return SolveResult(x=x, iterations=0, converged=True, residual=history[-1], history=history)
     rho = alpha = omega = 1.0
@@ -75,6 +80,7 @@ def bicgstab(A, b, *, M=None, x0=None, tol=1e-6, maxiter=5000):
             r = s - omega * t
             rel = float(np.linalg.norm(r)) / bnorm
             history.append(rel)
+            record_residual("bicgstab", it, rel)
             if rel <= tol:
                 return SolveResult(x=x, iterations=it, converged=True, residual=rel, history=history)
             why = guard.check(rel)

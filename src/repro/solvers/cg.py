@@ -17,6 +17,8 @@ from .common import (
     as_operator,
     as_preconditioner,
     input_guard,
+    record_residual,
+    zero_rhs_result,
 )
 
 __all__ = ["cg"]
@@ -47,9 +49,12 @@ def cg(A, b, *, M=None, x0=None, tol=1e-6, maxiter=5000):
             x=x, iterations=0, converged=False, residual=np.inf, reason=why
         )
     guard = ConvergenceGuard()
+    bnorm = float(np.linalg.norm(b))
+    if bnorm == 0.0:
+        return zero_rhs_result(n)
     r = b - matvec(x)
-    bnorm = float(np.linalg.norm(b)) or 1.0
     history = [float(np.linalg.norm(r)) / bnorm]
+    record_residual("cg", 0, history[-1])
     if history[-1] <= tol:
         return SolveResult(x=x, iterations=0, converged=True, residual=history[-1], history=history)
     it = 0
@@ -74,6 +79,7 @@ def cg(A, b, *, M=None, x0=None, tol=1e-6, maxiter=5000):
             r -= alpha * Ap
             rel = float(np.linalg.norm(r)) / bnorm
             history.append(rel)
+            record_residual("cg", it, rel)
             if rel <= tol:
                 return SolveResult(x=x, iterations=it, converged=True, residual=rel, history=history)
             why = guard.check(rel)

@@ -21,6 +21,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs import spans as _spans
+
 __all__ = [
     "SolveResult",
     "PreconditionerBreakdown",
@@ -28,6 +30,8 @@ __all__ = [
     "input_guard",
     "as_operator",
     "as_preconditioner",
+    "zero_rhs_result",
+    "record_residual",
 ]
 
 
@@ -59,6 +63,37 @@ class SolveResult:
 class PreconditionerBreakdown(ArithmeticError):
     """A preconditioner apply produced non-finite values (even after the
     one permitted re-setup).  Solvers catch this and abort cleanly."""
+
+
+def zero_rhs_result(n):
+    """The exact solve of ``A x = 0``: ``x = 0`` in zero iterations.
+
+    Every solver short-circuits through here when ``‖b‖ = 0``.  The old
+    code silently substituted ``bnorm = 1.0`` and iterated against an
+    *absolute* tolerance, so a zero right-hand side with a nonzero
+    ``x0`` could report "converged" at whatever ``x`` the iteration
+    wandered to.  A homogeneous system with a convergence test defined
+    as ``‖b - Ax‖ / ‖b‖`` has exactly one sensible answer, and it costs
+    nothing.
+    """
+    return SolveResult(
+        x=np.zeros(int(n)), iterations=0, converged=True, residual=0.0, history=[0.0]
+    )
+
+
+def record_residual(solver, iteration, rel):
+    """Per-iteration residual telemetry (no-op unless tracing is on).
+
+    Emits a ``solver.residual`` counter event through :mod:`repro.obs`
+    so a traced solve shows its convergence curve on the timeline.
+    Reads the clock only — solve results are bit-identical either way.
+    """
+    if _spans.enabled():
+        _spans.counter(f"solver.{solver}.residual", float(rel), cat="solver")
+        _spans.instant(
+            "solver.iteration", cat="solver",
+            solver=solver, iteration=int(iteration), rel=float(rel),
+        )
 
 
 def input_guard(b, x):

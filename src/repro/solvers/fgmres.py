@@ -19,6 +19,8 @@ from .common import (
     as_operator,
     as_preconditioner,
     input_guard,
+    record_residual,
+    zero_rhs_result,
 )
 
 __all__ = ["fgmres"]
@@ -43,7 +45,9 @@ def fgmres(A, b, *, M=None, x0=None, tol=1e-6, restart=50, maxiter=5000):
     if why is not None:
         return SolveResult(x=x, iterations=0, converged=False, residual=np.inf, reason=why)
     guard = ConvergenceGuard()
-    bnorm = float(np.linalg.norm(b)) or 1.0
+    bnorm = float(np.linalg.norm(b))
+    if bnorm == 0.0:
+        return zero_rhs_result(n)
     total = 0
     history = []
 
@@ -57,6 +61,7 @@ def fgmres(A, b, *, M=None, x0=None, tol=1e-6, restart=50, maxiter=5000):
         beta = float(np.linalg.norm(r))
         rel = beta / bnorm
         history.append(rel)
+        record_residual("fgmres", total, rel)
         if rel <= tol:
             return SolveResult(x=x, iterations=total, converged=True, residual=rel, history=history)
         why = guard.check(rel)
@@ -96,6 +101,7 @@ def fgmres(A, b, *, M=None, x0=None, tol=1e-6, restart=50, maxiter=5000):
                 k_used = k + 1
                 inner_rel = abs(g[k + 1]) / bnorm
                 history.append(inner_rel)
+                record_residual("fgmres", total, inner_rel)
                 if not np.isfinite(inner_rel):
                     return _failed(inner_rel, "non-finite residual")
                 if inner_rel <= tol:

@@ -17,6 +17,8 @@ from .common import (
     as_operator,
     as_preconditioner,
     input_guard,
+    record_residual,
+    zero_rhs_result,
 )
 
 __all__ = ["gmres"]
@@ -39,7 +41,9 @@ def gmres(A, b, *, M=None, x0=None, tol=1e-6, restart=50, maxiter=5000):
     if why is not None:
         return SolveResult(x=x, iterations=0, converged=False, residual=np.inf, reason=why)
     guard = ConvergenceGuard()
-    bnorm = float(np.linalg.norm(b)) or 1.0
+    bnorm = float(np.linalg.norm(b))
+    if bnorm == 0.0:
+        return zero_rhs_result(n)
     total_iters = 0
     history = []
 
@@ -53,6 +57,7 @@ def gmres(A, b, *, M=None, x0=None, tol=1e-6, restart=50, maxiter=5000):
         beta = float(np.linalg.norm(r))
         rel = beta / bnorm
         history.append(rel)
+        record_residual("gmres", total_iters, rel)
         if rel <= tol:
             return SolveResult(x=x, iterations=total_iters, converged=True, residual=rel, history=history)
         why = guard.check(rel)
@@ -97,6 +102,7 @@ def gmres(A, b, *, M=None, x0=None, tol=1e-6, restart=50, maxiter=5000):
                 k_used = k + 1
                 rel = abs(g[k + 1]) / bnorm
                 history.append(rel)
+                record_residual("gmres", total_iters, rel)
                 if not np.isfinite(rel):
                     return _failed(rel, "non-finite residual")
                 if rel <= tol or H[k + 1, k] == 0.0 and k_used == m:

@@ -16,7 +16,13 @@ from __future__ import annotations
 import numpy as np
 
 from ..sparse.csr import CSRMatrix
-from .common import ConvergenceGuard, SolveResult, input_guard
+from .common import (
+    ConvergenceGuard,
+    SolveResult,
+    input_guard,
+    record_residual,
+    zero_rhs_result,
+)
 
 __all__ = ["sor_solve", "ssor_preconditioner"]
 
@@ -59,7 +65,9 @@ def sor_solve(A: CSRMatrix, b, *, omega=1.2, symmetric=True, tol=1e-6, maxiter=2
     if why is not None:
         return SolveResult(x=x, iterations=0, converged=False, residual=np.inf, reason=why)
     guard = ConvergenceGuard()
-    bnorm = float(np.linalg.norm(b)) or 1.0
+    bnorm = float(np.linalg.norm(b))
+    if bnorm == 0.0:
+        return zero_rhs_result(n)
     history = []
     for it in range(1, maxiter + 1):
         _sweep_forward(A, x, b, omega, diag)
@@ -67,6 +75,7 @@ def sor_solve(A: CSRMatrix, b, *, omega=1.2, symmetric=True, tol=1e-6, maxiter=2
             _sweep_backward(A, x, b, omega, diag)
         rel = float(np.linalg.norm(b - A.matvec(x))) / bnorm
         history.append(rel)
+        record_residual("sor", it, rel)
         if rel <= tol:
             return SolveResult(x=x, iterations=it, converged=True, residual=rel, history=history)
         why = guard.check(rel)

@@ -16,7 +16,7 @@ into executable checks:
   matrices, level sets, sweep plans and cached symbolic products
   (including the frozen-cache-arrays rule), installable as debug hooks
   on kernel dispatch and cache lookups.
-* :mod:`repro.verify.lint` — repo-specific AST rules (JAV001–JAV004).
+* :mod:`repro.verify.lint` — repo-specific AST rules (JAV001–JAV005).
 
 Run everything with ``python -m repro.verify`` (or ``repro verify``);
 see ``docs/static_analysis.md``.

@@ -1,6 +1,6 @@
 """Repo-specific AST lint rules for ``src/repro``.
 
-Generic linters cannot know this codebase's contracts, so the four
+Generic linters cannot know this codebase's contracts, so the five
 rules here encode them directly (each with a stable ID, used both in
 reports and in suppression comments):
 
@@ -33,6 +33,15 @@ reports and in suppression comments):
     ``__main__``/tests must state its export surface; the re-export
     convention (explicit ``__all__`` everywhere) is what lets the lint
     and the docs enumerate the API.
+
+``JAV005`` — *instrumentation goes through the repro.obs facade.*
+    Wall-clock timing calls (``time.perf_counter``, ``perf_counter_ns``,
+    ``process_time``, ``monotonic``, ``monotonic_ns``) outside
+    ``obs/`` and ``runtime/`` are flagged: ad-hoc timing in the numeric
+    layers bypasses the span recorder (so the timeline lies) and is
+    exactly the kind of side channel the bit-identity tests cannot see.
+    Instrument with :func:`repro.obs.span` / :func:`repro.obs.instant`
+    instead.
 
 A finding can be suppressed in place with a trailing comment
 ``# verify: ok[JAV002] <reason>`` (comma-separate several IDs, ``*``
@@ -309,6 +318,56 @@ def _check_cache_mutation(tree: ast.Module, path: str) -> list[Finding]:
 
 
 # ----------------------------------------------------------------------
+# JAV005
+# ----------------------------------------------------------------------
+_CLOCK_NAMES = {
+    "perf_counter",
+    "perf_counter_ns",
+    "process_time",
+    "process_time_ns",
+    "monotonic",
+    "monotonic_ns",
+}
+
+
+def _check_raw_clocks(tree: ast.Module, path: str) -> list[Finding]:
+    """wall-clock timing outside obs/ and runtime/ bypasses the span layer."""
+    parts = _path_parts(path)
+    if "obs" in parts or "runtime" in parts:
+        return []
+    findings = []
+    clock_aliases: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "time":
+            for a in node.names:
+                if a.name in _CLOCK_NAMES:
+                    clock_aliases.add(a.asname or a.name)
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        f = node.func
+        bad = None
+        if isinstance(f, ast.Attribute) and isinstance(f.value, ast.Name):
+            if f.value.id == "time" and f.attr in _CLOCK_NAMES:
+                bad = f"time.{f.attr}"
+        elif isinstance(f, ast.Name) and f.id in clock_aliases:
+            bad = f"time.{f.id}"
+        if bad is not None:
+            findings.append(
+                Finding(
+                    "JAV005",
+                    path,
+                    node.lineno,
+                    node.col_offset,
+                    f"{bad} outside obs/ and runtime/ — instrument through the "
+                    "repro.obs facade (span/instant/counter) so timing shows up "
+                    "on the recorded timeline",
+                )
+            )
+    return findings
+
+
+# ----------------------------------------------------------------------
 # JAV004
 # ----------------------------------------------------------------------
 def _check_all_declared(tree: ast.Module, path: str) -> list[Finding]:
@@ -343,6 +402,7 @@ RULES = {
     "JAV002": _check_sync_primitives,
     "JAV003": _check_cache_mutation,
     "JAV004": _check_all_declared,
+    "JAV005": _check_raw_clocks,
 }
 _MODULE_SCOPE_RULES = {"JAV004"}
 

@@ -58,7 +58,13 @@ class TestCacheBehavior:
         a1 = cache.analysis(F)
         a2 = cache.analysis(F)
         assert a1 is a2
-        assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
+        assert cache.stats() == {
+            "hits": 1,
+            "misses": 1,
+            "evictions": 0,
+            "entries": 1,
+            "hit_rate": 0.5,
+        }
 
     def test_hit_skips_recomputation(self):
         cache = SymbolicCache()
@@ -97,7 +103,13 @@ class TestCacheBehavior:
         G.data = G.data[:-1]
         assert G not in cache
         cache.analysis(G)
-        assert cache.stats() == {"hits": 0, "misses": 2, "entries": 2}
+        assert cache.stats() == {
+            "hits": 0,
+            "misses": 2,
+            "evictions": 0,
+            "entries": 2,
+            "hit_rate": 0.0,
+        }
 
     def test_source_mutation_cannot_corrupt_entry(self):
         """The analysis copies the pattern, so in-place edits of the
@@ -117,13 +129,31 @@ class TestCacheBehavior:
         assert len(cache) == 2
         assert Fs[0] not in cache  # oldest evicted
         assert Fs[2] in cache
+        assert cache.stats()["evictions"] == 1
 
     def test_clear(self):
         cache = SymbolicCache()
         cache.analysis(_factor())
         cache.clear()
         assert len(cache) == 0
-        assert cache.stats() == {"hits": 0, "misses": 0, "entries": 0}
+        # regression: hit_rate on a fresh/cleared cache is 0.0, never a
+        # ZeroDivisionError, and the snapshot carries the eviction count
+        assert cache.stats() == {
+            "hits": 0,
+            "misses": 0,
+            "evictions": 0,
+            "entries": 0,
+            "hit_rate": 0.0,
+        }
+
+    def test_stats_snapshot_is_consistent(self):
+        cache = SymbolicCache()
+        F = _factor()
+        for _ in range(4):
+            cache.analysis(F)
+        s = cache.stats()
+        assert s["hits"] + s["misses"] == 4
+        assert s["hit_rate"] == pytest.approx(s["hits"] / 4)
 
 
 class TestDefaultCache:

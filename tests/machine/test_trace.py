@@ -36,9 +36,37 @@ class TestTraceMetrics:
         assert tr.utilization() == pytest.approx(5.0 / 6.0)
 
     def test_empty_trace(self):
+        # regression: an empty trace used to report utilization 1.0
+        # (0/0 short-circuited to "fully utilized"); nothing ran, so 0.0
         tr = ExecutionTrace(3)
         assert tr.makespan() == 0.0
-        assert tr.utilization() == 1.0
+        assert tr.utilization() == 0.0
+        assert tr.per_thread_utilization() == [0.0, 0.0, 0.0]
+
+    def test_per_thread_utilization(self):
+        tr = self._trace()
+        assert tr.per_thread_utilization() == [
+            pytest.approx(1.0),
+            pytest.approx(2.0 / 3.0),
+        ]
+
+    def test_overlapping_threads_empty_when_wellformed(self):
+        assert self._trace().overlapping_threads() == []
+
+    def test_overlapping_threads_flagged(self):
+        tr = ExecutionTrace(2)
+        tr.record(0, 0.0, 2.0, "a")
+        tr.record(0, 1.0, 3.0, "b")  # double-booked thread 0
+        tr.record(1, 0.0, 1.0, "c")
+        assert tr.overlapping_threads() == [0]
+
+    def test_overlap_cannot_push_utilization_past_one(self):
+        tr = ExecutionTrace(1)
+        tr.record(0, 0.0, 2.0, "a")
+        tr.record(0, 0.0, 2.0, "b")  # same span twice: busy_time 4, span 2
+        assert tr.busy_time() == pytest.approx(4.0)
+        assert tr.utilization() == pytest.approx(1.0)  # occupancy-clamped
+        assert tr.occupancy(0) == pytest.approx(2.0)
 
     def test_finish_of(self):
         assert self._trace().finish_of("c") == 2.5
@@ -47,7 +75,14 @@ class TestTraceMetrics:
 
     def test_summary_keys(self):
         s = self._trace().summary()
-        assert set(s) == {"makespan", "busy", "utilization", "n_intervals"}
+        assert set(s) == {
+            "makespan",
+            "busy",
+            "utilization",
+            "n_intervals",
+            "overlap_threads",
+        }
+        assert s["overlap_threads"] == []
 
 
 class TestInvariants:

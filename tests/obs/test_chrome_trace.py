@@ -1,0 +1,145 @@
+"""Chrome trace-event export: round-trip, schema, sim timelines."""
+
+import json
+
+from repro.machine import ExecutionTrace
+from repro.obs import (
+    chrome_trace,
+    execution_trace_events,
+    recorder_events,
+    tracing,
+    validate_events,
+    write_chrome_trace,
+)
+from repro.obs import spans
+from repro.resilience import FaultPlan
+
+
+def _recorded():
+    with tracing() as rec:
+        with spans.span("outer", cat="test", row=1):
+            with spans.span("inner", cat="test"):
+                pass
+        spans.instant("tick", cat="test", level=2)
+        spans.counter("residual", 0.25, cat="solver")
+    return rec
+
+
+def _sim_trace():
+    tr = ExecutionTrace(2)
+    tr.record(0, 0.0, 1.0, label=("row", 0))
+    tr.record(0, 2.0, 3.0, label=("row", 2))  # gap [1, 2] -> wait span
+    tr.record(1, 0.5, 2.0, label=("row", 1))
+    return tr
+
+
+class TestRecorderEvents:
+    def test_roundtrip_through_json_is_schema_valid(self):
+        rec = _recorded()
+        doc = chrome_trace(recorder_events(rec), metadata={"matrix": "test"})
+        loaded = json.loads(json.dumps(doc))
+        assert loaded["displayTimeUnit"] == "ms"
+        assert loaded["otherData"] == {"matrix": "test"}
+        assert validate_events(loaded["traceEvents"]) == []
+
+    def test_event_kinds_map_to_phases(self):
+        events = recorder_events(_recorded(), pid=7)
+        by_ph = {}
+        for e in events:
+            by_ph.setdefault(e["ph"], []).append(e)
+        assert {e["name"] for e in by_ph["X"]} == {"outer", "inner"}
+        (inst,) = by_ph["i"]
+        assert inst["name"] == "tick" and inst["s"] in {"t", "p", "g"}
+        (ctr,) = by_ph["C"]
+        assert ctr["args"] == {"value": 0.25}
+        assert all(e["pid"] == 7 for e in events)
+        # one thread_name metadata record per dense thread id
+        assert len(by_ph["M"]) == _recorded().n_threads() or len(by_ph["M"]) >= 1
+
+    def test_span_args_survive(self):
+        events = recorder_events(_recorded())
+        outer = next(e for e in events if e["name"] == "outer")
+        assert outer["args"] == {"row": 1}
+        assert outer["dur"] >= 0.0
+
+
+class TestExecutionTraceEvents:
+    def test_intervals_become_complete_events(self):
+        events = execution_trace_events(_sim_trace(), pid=2, cat="sim")
+        xs = [e for e in events if e["ph"] == "X" and e.get("cat") == "sim"]
+        assert len(xs) == 3
+        assert {e["name"] for e in xs} == {"row 0", "row 1", "row 2"}
+        assert validate_events(events) == []
+
+    def test_wait_spans_fill_idle_gaps(self):
+        events = execution_trace_events(_sim_trace(), pid=2, cat="sim")
+        waits = [e for e in events if e.get("cat") == "sim.wait"]
+        # thread 0 idles [1, 2]; thread 1 idles [0, 0.5]
+        assert len(waits) == 2
+        by_tid = {w["tid"]: w for w in waits}
+        assert by_tid[0]["ts"] == 1.0 * 1e6 and by_tid[0]["dur"] == 1.0 * 1e6
+        assert by_tid[1]["ts"] == 0.0 and by_tid[1]["dur"] == 0.5 * 1e6
+
+    def test_wait_spans_can_be_disabled(self):
+        events = execution_trace_events(_sim_trace(), wait_spans=False)
+        assert not [e for e in events if e.get("cat", "").endswith(".wait")]
+
+    def test_level_instants(self):
+        events = execution_trace_events(_sim_trace(), cat="sim", level_ptr=[0, 2, 3])
+        levels = [e for e in events if e.get("cat") == "sim.level"]
+        assert [e["name"] for e in levels] == ["level 0 done", "level 1 done"]
+        # level 0 = rows {0, 1}: done at max(1.0, 2.0); level 1 = row 2
+        assert levels[0]["ts"] == 2.0 * 1e6
+        assert levels[1]["ts"] == 3.0 * 1e6
+        assert all(e["ph"] == "i" and e["s"] == "g" for e in levels)
+        assert validate_events(events) == []
+
+    def test_fault_instants(self):
+        plan = FaultPlan(dropped=frozenset({(0, 2)}), spin_faults=frozenset({1}))
+        events = execution_trace_events(_sim_trace(), cat="sim", fault_plan=plan)
+        faults = [e for e in events if e.get("cat") == "sim.fault"]
+        names = {e["name"] for e in faults}
+        assert names == {"dropped publish row 2", "spin fault row 1"}
+        assert validate_events(events) == []
+
+
+class TestValidateEvents:
+    def test_rejects_non_list(self):
+        assert validate_events({"not": "a list"}) != []
+
+    def test_rejects_unknown_phase(self):
+        errs = validate_events([{"name": "x", "ph": "B", "pid": 0, "tid": 0, "ts": 0.0}])
+        assert any("unknown phase" in m for m in errs)
+
+    def test_rejects_negative_ts_and_dur(self):
+        base = {"name": "x", "ph": "X", "pid": 0, "tid": 0}
+        assert any("bad ts" in m for m in validate_events([{**base, "ts": -1.0, "dur": 1.0}]))
+        assert any("dur" in m for m in validate_events([{**base, "ts": 0.0, "dur": -1.0}]))
+
+    def test_rejects_bad_instant_scope(self):
+        errs = validate_events(
+            [{"name": "x", "ph": "i", "pid": 0, "tid": 0, "ts": 0.0, "s": "z"}]
+        )
+        assert any("scope" in m for m in errs)
+
+    def test_rejects_non_numeric_counter(self):
+        errs = validate_events(
+            [{"name": "c", "ph": "C", "pid": 0, "tid": 0, "ts": 0.0, "args": {"v": "hi"}}]
+        )
+        assert any("numeric" in m for m in errs)
+
+    def test_rejects_missing_name(self):
+        errs = validate_events([{"ph": "X", "pid": 0, "tid": 0, "ts": 0.0, "dur": 0.0}])
+        assert any("name" in m for m in errs)
+
+
+class TestWriteFile:
+    def test_write_chrome_trace(self, tmp_path):
+        path = tmp_path / "trace.json"
+        events = execution_trace_events(_sim_trace(), level_ptr=[0, 2, 3])
+        out = write_chrome_trace(str(path), events, metadata={"threads": 2})
+        assert out == str(path)
+        doc = json.loads(path.read_text())
+        assert doc["otherData"] == {"threads": 2}
+        assert validate_events(doc["traceEvents"]) == []
+        assert len(doc["traceEvents"]) == len(events)

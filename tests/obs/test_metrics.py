@@ -1,0 +1,175 @@
+"""Metrics registry: instruments, schema, derived collectors."""
+
+import json
+
+import pytest
+
+from repro.kernels import SymbolicCache
+from repro.machine import ExecutionTrace, SimMachine, uniform_machine
+from repro.obs import (
+    SCHEMA,
+    MetricsRegistry,
+    record_cache_metrics,
+    record_roofline_metrics,
+    record_trace_metrics,
+    validate_metrics,
+)
+import numpy as np
+
+from helpers import random_csr
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("hits")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == pytest.approx(3.5)
+        assert reg.counter("hits") is c  # get-or-create returns the same one
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError, match="only go up"):
+            MetricsRegistry().counter("c").inc(-1.0)
+
+    def test_gauge_last_write_wins(self):
+        g = MetricsRegistry().gauge("util")
+        g.set(0.5)
+        g.set(0.9)
+        assert g.value == 0.9
+
+    def test_histogram_summary(self):
+        h = MetricsRegistry().histogram("lat")
+        h.observe_many([1.0, 2.0, 3.0, 4.0])
+        s = h.summary()
+        assert s["count"] == 4 and s["sum"] == 10.0
+        assert s["min"] == 1.0 and s["max"] == 4.0
+        assert s["mean"] == pytest.approx(2.5)
+        assert s["p50"] == pytest.approx(2.5)
+
+    def test_empty_histogram_summary_is_zeros(self):
+        s = MetricsRegistry().histogram("empty").summary()
+        assert s["count"] == 0 and s["sum"] == 0.0 and s["p99"] == 0.0
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError, match="is a Counter"):
+            reg.gauge("x")
+
+
+class TestSnapshotSchema:
+    def test_snapshot_validates_and_serializes(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc(3)
+        reg.gauge("b").set(0.25)
+        reg.histogram("c").observe(1.0)
+        doc = json.loads(json.dumps(reg.snapshot()))
+        assert doc["schema"] == SCHEMA
+        assert doc["counters"] == {"a": 3.0}
+        assert doc["gauges"] == {"b": 0.25}
+        assert doc["histograms"]["c"]["count"] == 1
+        assert validate_metrics(doc) == []
+
+    def test_validate_rejects_wrong_schema(self):
+        assert any(
+            "schema" in m for m in validate_metrics({"schema": "other/v0"})
+        )
+
+    def test_validate_rejects_missing_section(self):
+        doc = {"schema": SCHEMA, "counters": {}, "gauges": {}}
+        assert any("histograms" in m for m in validate_metrics(doc))
+
+    def test_validate_rejects_nan_and_non_numeric(self):
+        doc = {
+            "schema": SCHEMA,
+            "counters": {"bad": float("nan")},
+            "gauges": {"worse": "text"},
+            "histograms": {},
+        }
+        errs = validate_metrics(doc)
+        assert len(errs) == 2
+
+    def test_validate_rejects_malformed_histogram(self):
+        doc = {
+            "schema": SCHEMA,
+            "counters": {},
+            "gauges": {},
+            "histograms": {"h": {"count": 1}},
+        }
+        assert any("keys must be" in m for m in validate_metrics(doc))
+
+
+class TestDerivedCollectors:
+    def _trace(self):
+        # two threads: t0 busy [0,2] and [3,4]; t1 busy [1,2] -> waits
+        tr = ExecutionTrace(2)
+        tr.record(0, 0.0, 2.0, label=("row", 0))
+        tr.record(0, 3.0, 4.0, label=("row", 2))
+        tr.record(1, 1.0, 2.0, label=("row", 1))
+        return tr
+
+    def test_record_trace_metrics(self):
+        reg = record_trace_metrics(MetricsRegistry(), self._trace(), prefix="t")
+        snap = reg.snapshot()
+        assert snap["gauges"]["t.makespan"] == 4.0
+        assert snap["gauges"]["t.busy_time"] == 4.0
+        assert snap["gauges"]["t.utilization"] == pytest.approx(0.5)
+        assert snap["gauges"]["t.overlap_threads"] == 0
+        # waits: t0 gap [2,3] = 1; t1 lead-in [0,1] = 1 + tail [2,4] = 2
+        assert snap["counters"]["t.wait_time"] == pytest.approx(4.0)
+        assert snap["counters"]["t.sync_waits"] == 2  # tail idle isn't a sync wait
+        assert snap["histograms"]["t.thread_utilization"]["count"] == 2
+        assert validate_metrics(snap) == []
+
+    def test_level_occupancy_histogram(self):
+        reg = record_trace_metrics(
+            MetricsRegistry(), self._trace(), prefix="t", level_ptr=[0, 2, 3]
+        )
+        h = reg.snapshot()["histograms"]["t.level_occupancy"]
+        # level 0 = rows 0,1: window [0,2] x 2 threads = 4, busy 3
+        # level 1 = row 2: window [3,4] x 2 = 2, busy 1
+        assert h["count"] == 2
+        assert h["min"] == pytest.approx(0.5)
+        assert h["max"] == pytest.approx(0.75)
+
+    def test_record_cache_metrics(self):
+        from repro.core.iluk import ilu0_factor
+
+        cache = SymbolicCache()
+        F = ilu0_factor(random_csr(20, 0.2, seed=3))
+        cache.analysis(F)
+        cache.analysis(F)
+        snap = record_cache_metrics(MetricsRegistry(), cache).snapshot()
+        g = snap["gauges"]
+        assert g["cache.hits"] == 1 and g["cache.misses"] == 1
+        assert g["cache.hit_rate"] == pytest.approx(0.5)
+        assert g["cache.entries"] == 1 and g["cache.evictions"] == 0
+
+    def test_record_roofline_metrics(self):
+        machine = SimMachine(uniform_machine(n_cores=2), 2)
+        reg = record_roofline_metrics(
+            MetricsRegistry(),
+            self._trace(),
+            machine,
+            flops=np.array([10.0, 20.0, 30.0]),
+            touched=np.array([5.0, 5.0, 5.0]),
+        )
+        g = reg.snapshot()["gauges"]
+        assert g["roofline.flops_total"] == 60.0
+        assert g["roofline.bytes_total"] == 15.0 * 12.0
+        assert g["roofline.flop_utilization"] > 0.0
+        assert g["roofline.bw_utilization"] > 0.0
+
+    def test_roofline_zero_makespan(self):
+        machine = SimMachine(uniform_machine(n_cores=1), 1)
+        reg = record_roofline_metrics(
+            MetricsRegistry(),
+            ExecutionTrace(1),
+            machine,
+            flops=np.array([1.0]),
+            touched=np.array([1.0]),
+        )
+        g = reg.snapshot()["gauges"]
+        assert g["roofline.flop_utilization"] == 0.0
+        assert g["roofline.bw_utilization"] == 0.0

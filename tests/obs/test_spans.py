@@ -1,0 +1,121 @@
+"""Span recorder: zero-cost facade, nesting, thread ids, well-formedness."""
+
+import threading
+
+import pytest
+
+from repro.obs import spans
+from repro.obs.spans import SpanEvent, SpanRecorder, tracing
+
+
+class TestDisabledFacade:
+    def test_disabled_by_default(self):
+        assert not spans.enabled()
+        assert spans.active() is None
+
+    def test_span_returns_shared_noop(self):
+        s1 = spans.span("a")
+        s2 = spans.span("b", cat="x", row=3)
+        assert s1 is s2  # one shared null object, no allocation per site
+        with s1:
+            pass
+
+    def test_instant_and_counter_are_noops(self):
+        spans.instant("nothing", cat="x", row=1)
+        spans.counter("nothing", 1.0)
+        assert not spans.enabled()
+
+    def test_enable_disable_roundtrip(self):
+        rec = spans.enable()
+        try:
+            assert spans.active() is rec
+            assert spans.enabled()
+        finally:
+            assert spans.disable() is rec
+        assert not spans.enabled()
+
+
+class TestRecording:
+    def test_span_records_interval(self):
+        with tracing() as rec:
+            with spans.span("work", cat="test", row=7):
+                pass
+        (e,) = rec.events()
+        assert e.kind == "span" and e.name == "work" and e.cat == "test"
+        assert e.stop >= e.start >= 0.0
+        assert e.depth == 0
+        assert dict(e.args) == {"row": 7}
+
+    def test_nesting_depth(self):
+        with tracing() as rec:
+            with spans.span("outer"):
+                with spans.span("inner"):
+                    pass
+        by_name = {e.name: e for e in rec.events()}
+        assert by_name["outer"].depth == 0
+        assert by_name["inner"].depth == 1
+        # inner closed first, and lies within outer
+        assert by_name["inner"].start >= by_name["outer"].start
+        assert by_name["inner"].stop <= by_name["outer"].stop
+        rec.check_wellformed()
+
+    def test_exception_still_closes_span(self):
+        with tracing() as rec:
+            with pytest.raises(RuntimeError):
+                with spans.span("doomed"):
+                    raise RuntimeError("boom")
+        (e,) = rec.events()
+        assert e.name == "doomed" and e.stop >= e.start
+
+    def test_instant_and_counter_events(self):
+        with tracing() as rec:
+            spans.instant("hit", cat="cache", key="abc")
+            spans.counter("residual", 0.5, cat="solver")
+        inst, ctr = rec.events()
+        assert inst.kind == "instant" and inst.start == inst.stop
+        assert ctr.kind == "counter" and dict(ctr.args) == {"value": 0.5}
+
+    def test_tracing_restores_previous_recorder(self):
+        outer = spans.enable()
+        try:
+            with tracing() as inner:
+                assert spans.active() is inner
+            assert spans.active() is outer
+        finally:
+            spans.disable()
+
+    def test_dense_thread_ids(self):
+        with tracing() as rec:
+            def work():
+                with rec.span("w"):
+                    pass
+
+            threads = [threading.Thread(target=work) for _ in range(3)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        tids = {e.thread for e in rec.events()}
+        assert tids == set(range(rec.n_threads()))
+
+
+class TestWellformed:
+    def test_accepts_disjoint_and_nested(self):
+        rec = SpanRecorder()
+        rec._append(SpanEvent("span", "a", "", 0, 0.0, 2.0, 0))
+        rec._append(SpanEvent("span", "b", "", 0, 0.5, 1.0, 1))
+        rec._append(SpanEvent("span", "c", "", 0, 3.0, 4.0, 0))
+        assert rec.check_wellformed()
+
+    def test_rejects_partial_overlap(self):
+        rec = SpanRecorder()
+        rec._append(SpanEvent("span", "a", "", 0, 0.0, 2.0, 0))
+        rec._append(SpanEvent("span", "b", "", 0, 1.0, 3.0, 0))
+        with pytest.raises(AssertionError, match="without nesting"):
+            rec.check_wellformed()
+
+    def test_other_threads_independent(self):
+        rec = SpanRecorder()
+        rec._append(SpanEvent("span", "a", "", 0, 0.0, 2.0, 0))
+        rec._append(SpanEvent("span", "b", "", 1, 1.0, 3.0, 0))
+        assert rec.check_wellformed()

@@ -1,0 +1,86 @@
+"""Property: span nesting stays well-formed under fault injection.
+
+Hypothesis drives random fault plans (stragglers, dropped publishes)
+through the real threaded runtime with tracing enabled.  Whatever path
+the run takes — clean, delayed, or through the watchdog fallback — the
+recorded spans must nest per thread, and the factor bits must match the
+sequential reference (tracing + faults never change results).
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.core.iluk import ilu_factor_sequential
+from repro.core.symbolic import ilu0_pattern
+from repro.core.upper import assign_round_robin
+from repro.ordering.levelsets import level_schedule
+from repro.resilience import FaultPlan
+from repro.runtime import threaded_factor
+
+from helpers import random_csr
+
+P = 3
+
+
+def _staged(seed, n=60, density=0.08):
+    A0 = random_csr(n, density, seed=seed)
+    ls = level_schedule(A0)
+    p = ls.permutation()
+    A = A0.permute(p, p)
+    S = ilu0_pattern(A)
+    return A, S, level_schedule(S)
+
+
+@st.composite
+def fault_plans(draw, thread_of):
+    """A random mix of stragglers and dropped publishes (possibly none)."""
+    stragglers = {}
+    for t in range(P):
+        if draw(st.booleans()):
+            stragglers[t] = draw(
+                st.floats(min_value=1.0, max_value=4.0, allow_nan=False)
+            )
+    dropped = frozenset()
+    victim = draw(st.integers(min_value=-1, max_value=P - 1))
+    if victim >= 0:
+        rows = np.nonzero(thread_of == victim)[0]
+        k = draw(st.integers(min_value=0, max_value=min(3, len(rows))))
+        dropped = frozenset((victim, int(r)) for r in rows[len(rows) - k :])
+    return FaultPlan(stragglers=stragglers, dropped=dropped)
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.data_too_large],
+)
+@given(data=st.data(), seed=st.integers(min_value=0, max_value=5))
+def test_traced_factor_wellformed_and_bit_identical(data, seed):
+    A, S, ls = _staged(seed)
+    Fref = ilu_factor_sequential(A, S)
+    thread_of = assign_round_robin(ls.level_ptr, P)
+    plan = data.draw(fault_plans(thread_of))
+
+    with obs.tracing() as rec:
+        F = threaded_factor(
+            A, S, ls.level_ptr, P, fault_plan=plan, watchdog_timeout=0.2
+        )
+
+    assert np.array_equal(F.data, Fref.data)
+    assert rec.check_wellformed()
+    names = {e.name for e in rec.events()}
+    assert "factor_row" in names
+    if plan.dropped:
+        # a lost last publish forces at least one traced wait span
+        assert "wait" in names
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=4))
+def test_tracing_off_leaves_no_recorder(seed):
+    A, S, ls = _staged(seed, n=40)
+    assert obs.spans.active() is None
+    threaded_factor(A, S, ls.level_ptr, P)
+    assert obs.spans.active() is None

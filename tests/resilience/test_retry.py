@@ -201,7 +201,13 @@ class TestRetryChain:
     def test_report_repr_and_cache_stats(self):
         rf = ResilientFactor().setup(grid2d(6))
         assert "final='primary'" in repr(rf.report)
-        assert set(rf.report.cache) == {"hits", "misses", "entries"}
+        assert set(rf.report.cache) == {
+            "hits",
+            "misses",
+            "evictions",
+            "entries",
+            "hit_rate",
+        }
 
     def test_solve_before_setup_raises(self):
         with pytest.raises(RuntimeError):

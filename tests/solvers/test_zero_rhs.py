@@ -1,0 +1,53 @@
+"""Regression: ``b = 0`` must short-circuit to the exact zero solution.
+
+Every solver used to normalize the residual by ``bnorm or 1.0``: with a
+zero right-hand side and a nonzero initial guess, the relative
+"residual" became the absolute one and the solvers iterated (or spun to
+maxiter) toward a vector the exact answer — ``x = 0`` — already is.
+Now all five return ``x = 0`` immediately: converged, 0 iterations,
+residual 0.0, history ``[0.0]``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.matrices import grid2d
+from repro.solvers import bicgstab, cg, fgmres, gmres, sor_solve
+
+SOLVERS = {
+    "gmres": gmres,
+    "fgmres": fgmres,
+    "cg": cg,
+    "bicgstab": bicgstab,
+    "sor": sor_solve,
+}
+
+
+@pytest.fixture(scope="module")
+def A():
+    return grid2d(8)
+
+
+@pytest.mark.parametrize("name", sorted(SOLVERS))
+def test_zero_rhs_short_circuits(A, name):
+    n = A.n_rows
+    r = SOLVERS[name](A, np.zeros(n), x0=np.ones(n))
+    assert r.converged
+    assert r.iterations == 0
+    assert r.residual == 0.0
+    assert r.history == [0.0]
+    assert np.array_equal(r.x, np.zeros(n))  # exact, not just small
+
+
+@pytest.mark.parametrize("name", sorted(SOLVERS))
+def test_zero_rhs_without_x0(A, name):
+    r = SOLVERS[name](A, np.zeros(A.n_rows))
+    assert r.converged and r.iterations == 0
+    assert np.array_equal(r.x, np.zeros(A.n_rows))
+
+
+def test_nonzero_rhs_still_solves(A):
+    b = np.ones(A.n_rows)
+    r = gmres(A, b, tol=1e-10, maxiter=200)
+    assert r.converged
+    assert np.linalg.norm(b - A @ r.x) <= 1e-8 * np.linalg.norm(b)

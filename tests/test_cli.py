@@ -27,6 +27,15 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["solve", "wang3", "--solver", "magic"])
 
+    def test_obs_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["obs"])
+
+    def test_obs_export_defaults(self):
+        args = build_parser().parse_args(["obs", "export", "wang3"])
+        assert args.threads == 8
+        assert args.out == "trace.json"
+
 
 class TestCommands:
     def test_factor_runs(self, capsys):
@@ -78,6 +87,62 @@ class TestCommands:
     def test_unknown_matrix_errors(self):
         with pytest.raises(SystemExit, match="unknown matrix"):
             main(["factor", "no_such_matrix"])
+
+    def test_obs_report(self, capsys):
+        assert main(["obs", "report", "wang3", "--scale", "0.4", "--threads", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "flame" in out.lower() or "span" in out.lower()
+        assert "wait" in out  # wait-vs-work shows up in the text summary
+
+    def test_obs_export_is_schema_valid(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import validate_events
+
+        out_path = tmp_path / "trace.json"
+        assert (
+            main(
+                [
+                    "obs",
+                    "export",
+                    "wang3",
+                    "--scale",
+                    "0.4",
+                    "--threads",
+                    "4",
+                    "--out",
+                    str(out_path),
+                ]
+            )
+            == 0
+        )
+        doc = json.loads(out_path.read_text())
+        assert validate_events(doc["traceEvents"]) == []
+        # real recorder (pid 1) plus both simulated stages (pids 2, 3)
+        assert {e["pid"] for e in doc["traceEvents"]} == {1, 2, 3}
+        assert doc["otherData"]["threads"] == 4
+
+    def test_obs_diff(self, tmp_path, capsys):
+        import json
+
+        old = {
+            "schema": "repro.obs.metrics/v1",
+            "counters": {"c": 1.0},
+            "gauges": {"g": 0.5},
+            "histograms": {},
+        }
+        new = {
+            "schema": "repro.obs.metrics/v1",
+            "counters": {"c": 2.0},
+            "gauges": {"g": 0.5},
+            "histograms": {},
+        }
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        a.write_text(json.dumps(old))
+        b.write_text(json.dumps(new))
+        assert main(["obs", "diff", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "c" in out
 
     def test_mtx_file_path(self, tmp_path, capsys):
         from repro.matrices.generators import grid2d

@@ -169,10 +169,65 @@ def test_jav004_module_scope_suppression_anywhere():
 
 
 # ----------------------------------------------------------------------
+# JAV005 — wall-clock reads only in obs/ and runtime/
+# ----------------------------------------------------------------------
+def test_jav005_flags_perf_counter_outside_obs():
+    src = """
+    __all__ = []
+    import time
+    def f():
+        t0 = time.perf_counter()
+        return time.perf_counter() - t0
+    """
+    assert _ids(_lint(src, "src/repro/solvers/bad.py")) == ["JAV005", "JAV005"]
+
+
+def test_jav005_flags_from_import_alias():
+    src = """
+    __all__ = []
+    from time import monotonic as clock
+    def f():
+        return clock()
+    """
+    assert _ids(_lint(src, "src/repro/core/bad.py", rules=["JAV005"])) == ["JAV005"]
+
+
+def test_jav005_allows_obs_and_runtime():
+    src = """
+    __all__ = []
+    import time
+    def f():
+        return time.perf_counter()
+    """
+    assert _lint(src, "src/repro/obs/ok.py") == []
+    assert _lint(src, "src/repro/runtime/ok.py") == []
+
+
+def test_jav005_suppression_comment():
+    src = """
+    __all__ = []
+    import time
+    def f():
+        return time.perf_counter()  # verify: ok[JAV005] bench harness timing
+    """
+    assert _lint(src, "src/repro/kernels/ok.py") == []
+
+
+def test_jav005_ignores_non_clock_time_attrs():
+    src = """
+    __all__ = []
+    import time
+    def f():
+        time.sleep(0.1)  # verify: ok[JAV002] test fixture
+    """
+    assert _lint(src, "src/repro/kernels/ok.py") == []
+
+
+# ----------------------------------------------------------------------
 # whole-repo gate + plumbing
 # ----------------------------------------------------------------------
 def test_rules_have_ids_and_docstrings():
-    assert set(RULES) == {"JAV001", "JAV002", "JAV003", "JAV004"}
+    assert set(RULES) == {"JAV001", "JAV002", "JAV003", "JAV004", "JAV005"}
     for check in RULES.values():
         assert check.__doc__, check.__name__
 
