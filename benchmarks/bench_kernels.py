@@ -22,7 +22,6 @@ import argparse
 import json
 import os
 import sys
-import time
 
 import numpy as np
 
@@ -33,7 +32,8 @@ from repro.core.iluk import ilu0_factor
 from repro.core.trisolve import trisolve_factor
 from repro.sparse import CSR5Matrix, spmv_csr, spmv_csr5
 
-from bench_util import RESULTS_DIR, suite_ilu, suite_matrix
+from bench_util import RESULTS_DIR, level_ordered_pattern, suite_ilu, suite_matrix
+from bench_util import timeit_best as _timeit
 
 
 @pytest.fixture(scope="module")
@@ -146,15 +146,6 @@ FULL_CASES = [224, 48]
 CHECK_CASE = 48
 
 
-def _timeit(fn, *args, repeats=3):
-    best = float("inf")
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        out = fn(*args)
-        best = min(best, time.perf_counter() - t0)
-    return best, out
-
-
 def _trisolve_case(nx, repeats=3):
     """Time scalar vs batched L/U sweeps on a grid2d(nx) ILU(0)-style factor.
 
@@ -190,18 +181,11 @@ def _trisolve_case(nx, repeats=3):
 
 def _des_case(nx=64, p=8, repeats=3):
     """Time scalar vs batched upper-stage DES on grid2d(nx)."""
-    from repro.core.symbolic import ilu0_pattern, row_factor_costs
+    from repro.core.symbolic import row_factor_costs
     from repro.core.upper import simulate_upper_p2p
     from repro.machine import SimMachine, haswell
-    from repro.matrices.generators import grid2d
-    from repro.ordering.levelsets import level_schedule
 
-    A = grid2d(nx)
-    S = ilu0_pattern(A)
-    ls = level_schedule(S)
-    perm = ls.permutation()
-    Sp = S.permute(row_perm=perm, col_perm=perm)
-    lsp = level_schedule(Sp)
+    Sp, lsp = level_ordered_pattern(nx)
     flops, touched = row_factor_costs(Sp)
     mach = SimMachine(haswell(), p)
     t_scalar, res_s = _timeit(

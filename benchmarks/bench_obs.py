@@ -35,16 +35,15 @@ import numpy as np
 
 from repro import obs
 from repro.core import JavelinILU
-from repro.core.symbolic import ilu0_pattern, row_factor_costs
+from repro.core.symbolic import row_factor_costs
 from repro.kernels.cache import clear_default_cache, default_cache
 from repro.machine import SimMachine, uniform_machine
 from repro.machine.trace import ExecutionTrace
 from repro.matrices import grid2d
-from repro.ordering.levelsets import level_schedule
 from repro.runtime import threaded_factor
 from repro.solvers import bicgstab, cg, fgmres, gmres, sor_solve
 
-from bench_util import RESULTS_DIR
+from bench_util import RESULTS_DIR, level_ordered_matrix
 
 BASELINE_PATH = os.path.join(RESULTS_DIR, "BENCH_obs.json")
 
@@ -88,13 +87,7 @@ def traced_factor(nx=32, p=8):
 
 def span_overhead(nx=16, p=4):
     """Real-thread factorization, tracing off vs on, bit-identity check."""
-    A0 = grid2d(nx)
-    S0 = ilu0_pattern(A0)
-    ls0 = level_schedule(S0)
-    perm = ls0.permutation()
-    A = A0.permute(perm, perm)
-    S = ilu0_pattern(A)
-    ls = level_schedule(S)
+    A, S, ls = level_ordered_matrix(nx)
 
     t0 = time.perf_counter()
     F_plain = threaded_factor(A, S, ls.level_ptr, p)

@@ -40,39 +40,21 @@ from repro.core.upper import assign_round_robin, simulate_upper_p2p
 from repro.machine import SimMachine, uniform_machine
 from repro.matrices import grid2d, singular_block, zero_diag_rows
 from repro.ordering.levelsets import level_schedule
-from repro.resilience import FaultPlan, FaultRunReport, ResilientFactor, RetryPolicy
+from repro.resilience import FaultPlan, FaultRunReport, ResilientFactor
 from repro.runtime import threaded_factor
 from repro.sparse import from_dense
 
-from bench_util import RESULTS_DIR
+from bench_util import RESULTS_DIR, level_ordered_pattern
+from bench_util import timeit_best as _timeit
 
 BASELINE_PATH = os.path.join(RESULTS_DIR, "BENCH_resilience.json")
 
 SLOWDOWNS = [1.0, 2.0, 4.0, 8.0]
 
 
-def _timeit(fn, repeats=3):
-    best = float("inf")
-    out = None
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        out = fn()
-        best = min(best, time.perf_counter() - t0)
-    return best, out
-
-
-def _staged_pattern(nx):
-    A = grid2d(nx)
-    S = ilu0_pattern(A)
-    ls = level_schedule(S)
-    perm = ls.permutation()
-    Sp = S.permute(row_perm=perm, col_perm=perm)
-    return Sp, level_schedule(Sp)
-
-
 def straggler_sweep(nx=48, p=8):
     """Makespan degradation vs one straggler's slowdown factor."""
-    Sp, lsp = _staged_pattern(nx)
+    Sp, lsp = level_ordered_pattern(nx)
     flops, touched = row_factor_costs(Sp)
     clean = SimMachine(uniform_machine(n_cores=p), p)
     mk0, _, _ = simulate_upper_p2p(Sp, lsp.level_ptr, clean, flops, touched)

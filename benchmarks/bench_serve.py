@@ -1,0 +1,60 @@
+"""Serving-layer benchmark: the ``repro serve bench`` gates, recorded.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py
+        # records benchmarks/results/BENCH_serve.json
+    PYTHONPATH=src python benchmarks/bench_serve.py --check
+        # fast CI gate: determinism + batch identity + fault termination
+
+The heavy lifting lives in :func:`repro.serve.cli.run_bench` — this
+script points it at the shared ``benchmarks/results`` directory (via
+:data:`bench_util.RESULTS_DIR`) so the serving record sits beside the
+kernel/resilience/obs baselines.  The acceptance number is the
+warm-cache batched-vs-sequential throughput gate: ≥ 3× at some batch
+width ≥ 8 (full mode only; ``--check`` asserts the exact properties —
+deterministic replay, per-column bit identity, structured fault
+outcomes — and skips wall-clock timing).
+"""
+
+import argparse
+import os
+import sys
+
+from bench_util import RESULTS_DIR
+
+BASELINE_PATH = os.path.join(RESULTS_DIR, "BENCH_serve.json")
+
+
+def _run(check):
+    from repro.serve.cli import run_bench
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    out_path = None if check else BASELINE_PATH
+    _, n_failures = run_bench(check=check, seed=0, out_path=out_path)
+    if n_failures:
+        print(f"bench_serve: {n_failures} gate(s) failed", file=sys.stderr)
+    return 1 if n_failures else 0
+
+
+def _run_full():
+    return _run(check=False)
+
+
+def _run_check():
+    return _run(check=True)
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument(
+        "--check",
+        action="store_true",
+        help="fast mode: exact serving properties only, no wall-clock timing",
+    )
+    args = ap.parse_args(argv)
+    return _run_check() if args.check else _run_full()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

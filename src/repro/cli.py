@@ -23,11 +23,21 @@ obs {report,export,diff}
     (``report``), export it as Chrome trace-event JSON for
     ``chrome://tracing`` / Perfetto (``export``), or compare two
     metrics snapshots (``diff``).
+serve bench [--check]
+    Batched solve service (``repro.serve``): run the seeded serving
+    benchmark — admission, micro-batching, deadline-aware retries,
+    fault injection — and write ``BENCH_serve.json``.  ``--check``
+    is the fast CI gate.
+
+The ``REPRO_SYMBOLIC_CACHE_SIZE`` environment variable resizes the
+process-wide symbolic cache (``repro.kernels.cache``) before any
+command runs.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 import numpy as np
@@ -165,6 +175,12 @@ def cmd_verify(args):
     from .verify.cli import main as verify_main
 
     return verify_main(args.rest)
+
+
+def cmd_serve(args):
+    from .serve.cli import main as serve_main
+
+    return serve_main(args.rest)
 
 
 def _traced_factor_run(args):
@@ -320,6 +336,11 @@ def build_parser():
     sp.add_argument("rest", nargs=argparse.REMAINDER, help="arguments for repro.verify")
     sp.set_defaults(func=cmd_verify)
 
+    # routed early in main() like verify; listed here for --help only
+    sp = sub.add_parser("serve", help="batched solve service benchmark", add_help=False)
+    sp.add_argument("rest", nargs=argparse.REMAINDER, help="arguments for repro.serve")
+    sp.set_defaults(func=cmd_serve)
+
     sp = sub.add_parser("obs", help="observability: trace, export, compare")
     obs_sub = sp.add_subparsers(dest="obs_command", required=True)
 
@@ -362,12 +383,25 @@ def build_parser():
 
 def main(argv=None):
     argv = sys.argv[1:] if argv is None else list(argv)
+    cache_size = os.environ.get("REPRO_SYMBOLIC_CACHE_SIZE")
+    if cache_size:
+        from .kernels import configure_default_cache
+
+        try:
+            configure_default_cache(max_entries=int(cache_size))
+        except ValueError as exc:
+            print(f"error: REPRO_SYMBOLIC_CACHE_SIZE={cache_size!r}: {exc}", file=sys.stderr)
+            return 2
     # argparse.REMAINDER mis-parses leading options ("verify --list-rules"),
     # so the verify passthrough is routed before the parser runs
     if argv[:1] == ["verify"]:
         from .verify.cli import main as verify_main
 
         return verify_main(argv[1:])
+    if argv[:1] == ["serve"]:
+        from .serve.cli import main as serve_main
+
+        return serve_main(argv[1:])
     args = build_parser().parse_args(argv)
     return args.func(args)
 

@@ -309,6 +309,27 @@ class JavelinILU:
 
         return apply
 
+    def build_multi_solver(self):
+        """A reusable multi-RHS preconditioner apply: ``apply(B) -> X``.
+
+        ``B`` is a 2-D block of shape ``(n, k)``; column ``j`` of the
+        result is bit-identical to ``build_solver()(B[:, j])`` — the
+        multi-RHS sweeps only amortize per-level dispatch across the
+        block (the serving layer's micro-batch contract).
+        """
+        if not self._factored:
+            raise RuntimeError("call factor() before build_multi_solver()")
+        lv = LevelizedTriangularSolver(self.F)
+        perm = self.perm
+
+        def apply(B):
+            Xp = lv.solve_multi(np.asarray(B, dtype=np.float64)[perm, :])
+            X = np.empty_like(Xp)
+            X[perm, :] = Xp
+            return X
+
+        return apply
+
     # ------------------------------------------------------------------
     # simulation
     # ------------------------------------------------------------------

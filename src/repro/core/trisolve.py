@@ -40,6 +40,7 @@ __all__ = [
     "trisolve_upper_levels",
     "trisolve_factor",
     "trisolve_factor_levels",
+    "trisolve_factor_multi",
     "upper_solve_levels",
     "LevelizedTriangularSolver",
     "simulate_trisolve_barrier",
@@ -94,6 +95,22 @@ def trisolve_factor_levels(F: CSRMatrix, b, *, analysis=None):
         analysis = cached_analysis(F)
     y = trisolve_lower_levels(F, b, plan=analysis.plan("lower"))
     return trisolve_upper_levels(F, y, plan=analysis.plan("upper"))
+
+
+def trisolve_factor_multi(F: CSRMatrix, B, *, analysis=None, backend=None):
+    """Multi-RHS ``X = U⁻¹ L⁻¹ B`` on a 2-D block ``B`` of shape ``(n, k)``.
+
+    Column ``j`` of the result is bit-identical to
+    ``trisolve_factor_levels(F, B[:, j])`` (and so to the scalar
+    reference) — the multi-RHS kernels keep each column's accumulation
+    order unchanged and only amortize the per-level dispatch across the
+    block.  This is the warm-path kernel behind
+    :mod:`repro.serve`'s micro-batched preconditioner applies.
+    """
+    if analysis is None:
+        analysis = cached_analysis(F)
+    Y = get_kernel("trisolve_lower_multi", backend)(F, B, plan=analysis.plan("lower"))
+    return get_kernel("trisolve_upper_multi", backend)(F, Y, plan=analysis.plan("upper"))
 
 
 # ----------------------------------------------------------------------
@@ -151,6 +168,15 @@ class LevelizedTriangularSolver:
     def solve(self, b):
         """Apply the preconditioner: ``x = U⁻¹ L⁻¹ b``."""
         return self.backward(self.forward(b))
+
+    def solve_multi(self, B):
+        """Multi-RHS apply on a 2-D block ``B`` of shape ``(n, k)``.
+
+        Bit-identical per column to :meth:`solve` — see
+        :func:`trisolve_factor_multi` for the contract.
+        """
+        Y = get_kernel("trisolve_lower_multi")(self.F, B, plan=self._fwd_plan)
+        return get_kernel("trisolve_upper_multi")(self.F, Y, plan=self._bwd_plan)
 
 
 # ----------------------------------------------------------------------

@@ -39,6 +39,7 @@ from .cache import (
     SymbolicCache,
     cached_analysis,
     clear_default_cache,
+    configure_default_cache,
     default_cache,
     freeze_product,
     pattern_fingerprint,
@@ -70,6 +71,7 @@ __all__ = [
     "cached_analysis",
     "default_cache",
     "clear_default_cache",
+    "configure_default_cache",
     "freeze_product",
     "set_validation_hook",
 ]

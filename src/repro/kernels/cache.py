@@ -40,6 +40,7 @@ __all__ = [
     "default_cache",
     "cached_analysis",
     "clear_default_cache",
+    "configure_default_cache",
     "set_validation_hook",
     "freeze_product",
 ]
@@ -194,12 +195,34 @@ class SymbolicCache:
     """
 
     def __init__(self, max_entries=32):
+        if int(max_entries) < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.max_entries = int(max_entries)
         self._entries: OrderedDict[str, SymbolicAnalysis] = OrderedDict()
         self._lock = threading.Lock()  # verify: ok[JAV002] shared with the threaded runtime
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+
+    def configure(self, *, max_entries):
+        """Resize the cache at runtime (``REPRO_SYMBOLIC_CACHE_SIZE``).
+
+        Shrinking below the current population evicts
+        least-recently-used entries immediately, counted as evictions
+        like any capacity eviction.  Returns the evicted fingerprints.
+        """
+        if int(max_entries) < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        evicted = []
+        with self._lock:
+            self.max_entries = int(max_entries)
+            while len(self._entries) > self.max_entries:
+                old_key, _ = self._entries.popitem(last=False)
+                self.evictions += 1
+                evicted.append(old_key)
+        for old_key in evicted:
+            _spans.instant("cache.evict", cat="cache", key=old_key[:12])
+        return evicted
 
     def analysis(self, M) -> SymbolicAnalysis:
         """The (possibly cached) symbolic analysis of ``M``'s pattern."""
@@ -252,12 +275,14 @@ class SymbolicCache:
         with self._lock:
             hits, misses = self.hits, self.misses
             evictions, entries = self.evictions, len(self._entries)
+            max_entries = self.max_entries
         lookups = hits + misses
         return {
             "hits": hits,
             "misses": misses,
             "evictions": evictions,
             "entries": entries,
+            "max_entries": max_entries,
             "hit_rate": (hits / lookups) if lookups else 0.0,
         }
 
@@ -284,3 +309,12 @@ def cached_analysis(M) -> SymbolicAnalysis:
 
 def clear_default_cache():
     _DEFAULT_CACHE.clear()
+
+
+def configure_default_cache(*, max_entries):
+    """Resize the process-wide cache (see :meth:`SymbolicCache.configure`).
+
+    The CLI calls this when ``REPRO_SYMBOLIC_CACHE_SIZE`` is set;
+    library users may call it directly at startup.
+    """
+    return _DEFAULT_CACHE.configure(max_entries=max_entries)

@@ -14,6 +14,18 @@ of a level are independent, so each level is one gather/multiply pass,
 and ``np.bincount`` performs the per-row segment sums strictly
 sequentially in the same entry order.  Tests assert exact equality, not
 closeness.
+
+The ``*_multi`` kernels extend the contract to a 2-D right-hand side
+``B`` of shape ``(n, k)`` — the multi-RHS sweeps behind the serving
+layer's micro-batches (:mod:`repro.serve`).  Column ``j`` of the result
+is bit-identical to the 1-RHS sweep on ``B[:, j]``: the batched backend
+flattens the per-level segment sum to bins ``(local_row * k + column)``,
+so each ``(row, column)`` bin accumulates its entries in exactly the
+ascending entry order of the 1-RHS ``np.bincount`` — same products,
+same addition order, same floats.  What batching buys is amortization:
+the per-level gather/reduce overhead (the dominant cost on the many
+small levels of a triangular schedule) is paid once per level instead
+of once per level *per request*.
 """
 
 from __future__ import annotations
@@ -123,3 +135,96 @@ def trisolve_upper_batched(F, y, plan=None):
             s = 0.0
         x[rows_l] = (y[rows_l] - s) / data[diag_idx[rows_l]]
     return x
+
+
+# ----------------------------------------------------------------------
+# multi-RHS sweeps
+# ----------------------------------------------------------------------
+def _as_block(B):
+    B = np.asarray(B, dtype=np.float64)
+    if B.ndim != 2:
+        raise ValueError(f"multi-RHS kernels take a 2-D block, got shape {B.shape}")
+    return B
+
+
+@register_kernel("trisolve_lower_multi", "scalar")
+def trisolve_lower_multi_scalar(F, B, plan=None):
+    """Forward solve ``L Y = B``, one column at a time (reference)."""
+    B = _as_block(B)
+    cols = [trisolve_lower_scalar(F, B[:, j], plan=plan) for j in range(B.shape[1])]
+    return np.stack(cols, axis=1) if cols else np.empty((F.n_rows, 0))
+
+
+@register_kernel("trisolve_upper_multi", "scalar")
+def trisolve_upper_multi_scalar(F, Y, plan=None):
+    """Backward solve ``U X = Y``, one column at a time (reference)."""
+    Y = _as_block(Y)
+    cols = [trisolve_upper_scalar(F, Y[:, j], plan=plan) for j in range(Y.shape[1])]
+    return np.stack(cols, axis=1) if cols else np.empty((F.n_rows, 0))
+
+
+@register_kernel("trisolve_lower_multi", "batched", default=True)
+def trisolve_lower_multi_batched(F, B, plan=None):
+    """Forward solve ``L Y = B``: one gather/reduce per level for all columns.
+
+    Per column bit-identical to :func:`trisolve_lower_batched` (and so
+    to the scalar reference): the flattened bins ``local_row * k + j``
+    keep each column's per-row accumulation in the same ascending entry
+    order as the 1-RHS segment sum.
+    """
+    plan = _resolve_plan(F, "lower", plan)
+    B = _as_block(B)
+    k = B.shape[1]
+    if k == 0:
+        return np.empty((plan.n, 0))
+    data, indices = F.data, F.indices
+    Y = np.empty((plan.n, k))
+    rows, level_ptr = plan.rows, plan.level_ptr
+    ent_idx, ent_local, eptr = plan.ent_idx, plan.ent_local, plan.lev_ent_ptr
+    col_ix = np.arange(k, dtype=np.int64)
+    for l in range(plan.n_levels):
+        rlo, rhi = level_ptr[l], level_ptr[l + 1]
+        rows_l = rows[rlo:rhi]
+        elo, ehi = eptr[l], eptr[l + 1]
+        if ehi > elo:
+            ents = ent_idx[elo:ehi]
+            prod = data[ents, None] * Y[indices[ents], :]
+            bins = (ent_local[elo:ehi, None] * k + col_ix).ravel()
+            s = np.bincount(
+                bins, weights=prod.ravel(), minlength=(rhi - rlo) * k
+            ).reshape(rhi - rlo, k)
+        else:
+            s = 0.0
+        Y[rows_l, :] = B[rows_l, :] - s
+    return Y
+
+
+@register_kernel("trisolve_upper_multi", "batched", default=True)
+def trisolve_upper_multi_batched(F, Y, plan=None):
+    """Backward solve ``U X = Y`` for all columns at once (see lower)."""
+    plan = _resolve_plan(F, "upper", plan)
+    Y = _as_block(Y)
+    k = Y.shape[1]
+    if k == 0:
+        return np.empty((plan.n, 0))
+    data, indices = F.data, F.indices
+    X = np.empty((plan.n, k))
+    rows, level_ptr = plan.rows, plan.level_ptr
+    ent_idx, ent_local, eptr = plan.ent_idx, plan.ent_local, plan.lev_ent_ptr
+    diag_idx = plan.diag_idx
+    col_ix = np.arange(k, dtype=np.int64)
+    for l in range(plan.n_levels):
+        rlo, rhi = level_ptr[l], level_ptr[l + 1]
+        rows_l = rows[rlo:rhi]
+        elo, ehi = eptr[l], eptr[l + 1]
+        if ehi > elo:
+            ents = ent_idx[elo:ehi]
+            prod = data[ents, None] * X[indices[ents], :]
+            bins = (ent_local[elo:ehi, None] * k + col_ix).ravel()
+            s = np.bincount(
+                bins, weights=prod.ravel(), minlength=(rhi - rlo) * k
+            ).reshape(rhi - rlo, k)
+        else:
+            s = 0.0
+        X[rows_l, :] = (Y[rows_l, :] - s) / data[diag_idx[rows_l], None]
+    return X

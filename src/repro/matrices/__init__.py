@@ -27,6 +27,7 @@ from .generators import (
     make_spd_values,
     zero_diag_rows,
     singular_block,
+    rhs_stream,
 )
 from .suite import (
     MatrixSpec,
@@ -53,6 +54,7 @@ __all__ = [
     "make_spd_values",
     "zero_diag_rows",
     "singular_block",
+    "rhs_stream",
     "MatrixSpec",
     "SUITE",
     "GROUP_A",

@@ -29,7 +29,33 @@ __all__ = [
     "make_spd_values",
     "zero_diag_rows",
     "singular_block",
+    "rhs_stream",
 ]
+
+
+def rhs_stream(n, *, drift=0.1, seed=0):
+    """Infinite generator of correlated right-hand sides (AR(1) drift).
+
+    Successive vectors follow ``b ← ρ·b + √(1-ρ²)·ε`` with
+    ``ρ = 1 - drift`` and ``ε ~ N(0, I)``, so the marginal distribution
+    stays N(0, I) while consecutive draws correlate with coefficient
+    ``ρ``: ``drift=0`` repeats the same vector forever (the steady-state
+    workload a warm serving cache loves), ``drift=1`` is i.i.d. fresh
+    draws, and values in between model a time-stepping simulation whose
+    right-hand side evolves slowly — the request stream
+    ``repro.serve``'s workload driver feeds to the micro-batcher.  All
+    randomness flows through ``seed``; two streams with the same
+    ``(n, drift, seed)`` yield bit-identical sequences.
+    """
+    if not 0.0 <= drift <= 1.0:
+        raise ValueError(f"drift must be in [0, 1], got {drift}")
+    rng = np.random.default_rng(seed)
+    rho = 1.0 - float(drift)
+    mix = np.sqrt(max(0.0, 1.0 - rho * rho))
+    b = rng.standard_normal(int(n))
+    while True:
+        yield b.copy()
+        b = rho * b + mix * rng.standard_normal(int(n))
 
 
 def _assemble(n, rows, cols, vals):

@@ -260,6 +260,8 @@ def record_cache_metrics(registry, cache, *, prefix="cache"):
     registry.gauge(f"{prefix}.misses").set(st["misses"])
     registry.gauge(f"{prefix}.evictions").set(st["evictions"])
     registry.gauge(f"{prefix}.entries").set(st["entries"])
+    if "max_entries" in st:
+        registry.gauge(f"{prefix}.max_entries").set(st["max_entries"])
     registry.gauge(f"{prefix}.hit_rate").set(st["hit_rate"])
     return registry
 

@@ -69,6 +69,13 @@ class RetryPolicy:
     milu_tau: float = 1e-3
     block_size: int = 32
 
+    def with_(self, **kw):
+        """A copy with some knobs replaced (the serve layer's deadline
+        demotion shrinks ``max_shift_attempts`` under a tight budget)."""
+        from dataclasses import replace
+
+        return replace(self, **kw)
+
 
 @dataclass
 class AttemptRecord:
@@ -349,6 +356,33 @@ class ResilientFactor:
         if not self._ready:
             raise RuntimeError("call setup(A) first")
         return self._apply(b)
+
+    def build_multi_solver(self):
+        """A multi-RHS apply ``apply(B) -> Z`` on a 2-D block ``(n, k)``.
+
+        When the chain's winner is an ILU variant, the block goes
+        through the multi-RHS level-batched sweeps
+        (:meth:`~repro.core.javelin.JavelinILU.build_multi_solver`) —
+        bit-identical per column to :meth:`solve` while amortizing the
+        per-level dispatch across the batch.  Fallback variants
+        (MILU/block-Jacobi/Jacobi) apply column-by-column, which is
+        trivially identical.  Rebuild after a :meth:`resetup` — the
+        returned callable is pinned to the current variant.
+        """
+        if not self._ready:
+            raise RuntimeError("call setup(A) first")
+        if self.ilu is not None:
+            return self.ilu.build_multi_solver()
+        apply = self._apply
+
+        def apply_multi(B):
+            B = np.asarray(B, dtype=np.float64)
+            cols = [apply(B[:, j]) for j in range(B.shape[1])]
+            return (
+                np.stack(cols, axis=1) if cols else np.empty((B.shape[0], 0))
+            )
+
+        return apply_multi
 
     def resetup(self):
         """Advance the chain mid-solve (the guarded-apply protocol).

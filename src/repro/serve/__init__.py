@@ -1,0 +1,58 @@
+"""repro.serve — a deterministic batched preconditioned-solve service.
+
+The serving layer closes the loop the paper opens: Javelin makes one
+incomplete factorization cheap to *apply* many times; a serving tier
+is where "many times" actually comes from.  This package turns the
+stack below it into a request/response system:
+
+* :mod:`repro.serve.request` — :class:`SolveRequest` /
+  :class:`RequestResult` and the closed outcome vocabulary
+  (``served``, ``deadline_miss``, ``rejected``, ``breakdown``);
+* :mod:`repro.serve.queue` — bounded :class:`AdmissionQueue` with
+  backpressure (reject / shed-oldest) and per-tenant fairness;
+* :mod:`repro.serve.batcher` — :class:`MicroBatcher` coalescing
+  compatible requests into multi-RHS blocks for the level-batched
+  trisolve kernels (close on max-size, max-wait, deadline pressure);
+* :mod:`repro.serve.factor_cache` — pattern-keyed LRU of
+  :class:`~repro.resilience.ResilientFactor`-built preconditioners;
+* :mod:`repro.serve.workers` — :class:`WorkerShard` and the
+  virtual-clock :class:`SolveService` event loop (deadline-aware
+  factorization demotion, fault-plan perturbations, metric wiring);
+* :mod:`repro.serve.workload` — seeded open-loop Poisson workloads;
+* :mod:`repro.serve.cli` — ``repro serve bench`` and its CI gate.
+
+The core is synchronous and single-threaded on a *virtual* clock:
+time is charged by a :class:`CostModel`, so every run — including
+fault-injected ones — replays bit-for-bit from its seed.  Batching is
+numerically invisible: a batched column is bit-identical to the same
+request served alone (asserted by property tests and the bench gate).
+"""
+
+from .request import OUTCOMES, RequestResult, SolveRequest
+from .queue import ADMISSION_POLICIES, AdmissionQueue
+from .batcher import Batch, BatchPolicy, MicroBatcher
+from .factor_cache import FactorCache, FactorEntry
+from .workers import SOLVERS, CostModel, SolveService, WorkerShard, blocked_richardson
+from .workload import WorkloadSpec, build_matrices, generate_requests, summarize
+
+__all__ = [
+    "OUTCOMES",
+    "SolveRequest",
+    "RequestResult",
+    "ADMISSION_POLICIES",
+    "AdmissionQueue",
+    "BatchPolicy",
+    "Batch",
+    "MicroBatcher",
+    "FactorCache",
+    "FactorEntry",
+    "SOLVERS",
+    "CostModel",
+    "WorkerShard",
+    "SolveService",
+    "blocked_richardson",
+    "WorkloadSpec",
+    "build_matrices",
+    "generate_requests",
+    "summarize",
+]

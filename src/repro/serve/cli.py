@@ -1,0 +1,276 @@
+"""``repro serve`` — benchmark and gate the batched solve service.
+
+::
+
+    python -m repro serve bench                 # full run, writes BENCH_serve.json
+    python -m repro serve bench --check         # fast CI gate (small workload)
+    python -m repro serve bench --out path.json
+
+The bench exercises every acceptance property of the serving layer and
+records the evidence in one JSON file:
+
+* **workload** — a seeded open-loop run (Zipf pattern mix, drifting
+  RHS streams, mixed tenants/priorities/deadlines): throughput,
+  p50/p99 latency, deadline-miss and reject rates, mean batch width;
+* **replay** — the same spec run twice must produce identical outcome
+  sequences and bit-identical solutions (the core is deterministic);
+* **batch_identity** — the workload served with batching on versus
+  ``max_batch=1`` must give bit-identical solutions per request
+  (batching is a scheduling decision, never a numerical one);
+* **speedup** — wall-clock throughput of the warm-cache multi-RHS
+  solve versus serving the same columns one at a time, at widths
+  8/16/32 (gate: ≥ 3× at some width ≥ 8);
+* **faults** — a seeded :class:`~repro.resilience.FaultPlan`
+  (straggler shard, spin faults, dropped completions) under tight
+  deadlines: every request must still terminate in a structured
+  outcome, and the faulted run must replay deterministically too.
+
+``--check`` shrinks the workload and skips the wall-clock timing (it
+is the one non-deterministic measurement) but still enforces replay,
+batch identity and fault termination — the properties CI can assert
+exactly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import math
+
+import numpy as np
+
+from ..matrices import grid2d
+from ..obs.metrics import MetricsRegistry, validate_metrics
+from ..resilience import FaultPlan, ResilientFactor
+from .batcher import BatchPolicy
+from .request import OUTCOMES
+from .workers import CostModel, SolveService, blocked_richardson
+from .workload import WorkloadSpec, build_matrices, generate_requests, summarize
+
+__all__ = ["main", "build_parser", "run_bench"]
+
+
+def _service(matrices, *, registry=None, fault_plan=None, max_batch=16, capacity=64, **kw):
+    return SolveService(
+        matrices,
+        n_shards=2,
+        capacity=capacity,
+        batch_policy=BatchPolicy(max_batch=max_batch, max_wait=0.01),
+        cost=CostModel(),
+        fault_plan=fault_plan,
+        registry=registry,
+        **kw,
+    )
+
+
+def _outcome_sig(results):
+    """A run's comparable signature: per-request scheduling + numerics."""
+    return [
+        (r.request_id, r.outcome, r.shard, r.batch_size, r.iterations, r.residual)
+        for r in results
+    ]
+
+
+def _solutions_identical(a, b):
+    """Bitwise equality of per-request solutions across two runs."""
+    for ra, rb in zip(a, b):
+        if (ra.x is None) != (rb.x is None):
+            return False
+        if ra.x is not None and not np.array_equal(ra.x, rb.x, equal_nan=True):
+            return False
+    return True
+
+
+def _run_workload(spec, *, registry=None, fault_plan=None, max_batch=16, capacity=64):
+    matrices = build_matrices(spec.patterns)
+    service = _service(
+        matrices,
+        registry=registry,
+        fault_plan=fault_plan,
+        max_batch=max_batch,
+        capacity=capacity,
+    )
+    results = service.run(generate_requests(spec, matrices))
+    return service, results
+
+
+def _measure_speedup(widths, *, nx=48, tol=1e-8, maxiter=60):
+    """Warm-cache wall-clock: one multi-RHS solve vs a per-column loop."""
+    import time  # verify: ok[JAV005] — bench-only wall-clock measurement
+
+    A = grid2d(nx)
+    rf = ResilientFactor().setup(A)
+    # a minimal FactorEntry stand-in: the measured object is the applies
+    entry = dataclasses.make_dataclass(
+        "E", ["factor", "apply_multi"], namespace={"refresh_applies": lambda self: None}
+    )(rf, rf.build_multi_solver())
+    rng = np.random.default_rng(11)
+    out = {}
+    target_met = False
+    for k in widths:
+        B = rng.standard_normal((A.n_rows, k))
+        best_batch = math.inf
+        best_seq = math.inf
+        for _ in range(3):
+            t0 = time.perf_counter()  # verify: ok[JAV005]
+            blocked_richardson(A, entry, B, tol, maxiter)
+            best_batch = min(best_batch, time.perf_counter() - t0)  # verify: ok[JAV005]
+            t0 = time.perf_counter()  # verify: ok[JAV005]
+            for j in range(k):
+                blocked_richardson(A, entry, B[:, j : j + 1], tol, maxiter)
+            best_seq = min(best_seq, time.perf_counter() - t0)  # verify: ok[JAV005]
+        speedup = best_seq / best_batch
+        out[str(k)] = {
+            "batched_s": best_batch,
+            "sequential_s": best_seq,
+            "speedup": speedup,
+        }
+        if k >= 8 and speedup >= 3.0:
+            target_met = True
+    out["target_met"] = target_met
+    return out
+
+
+def run_bench(*, check=False, seed=0, out_path="BENCH_serve.json"):
+    """Run the serving benchmark; returns (record, n_failures)."""
+    failures = []
+
+    def gate(ok, name):
+        print(f"  [{'ok' if ok else 'FAIL'}] {name}")
+        if not ok:
+            failures.append(name)
+
+    if check:
+        spec = WorkloadSpec(
+            seed=seed,
+            n_requests=48,
+            rate=600.0,
+            patterns=("grid2d-12", "grid2d-16"),
+            deadline_lo=0.02,
+            deadline_hi=0.2,
+            maxiter=60,
+        )
+    else:
+        spec = WorkloadSpec(
+            seed=seed,
+            n_requests=240,
+            rate=500.0,
+            patterns=("grid2d-16", "grid2d-24", "convect2d-16", "circuit-400"),
+            deadline_lo=0.05,
+            deadline_hi=0.5,
+            maxiter=80,
+        )
+
+    print("serve bench: workload")
+    registry = MetricsRegistry()
+    _, results = _run_workload(spec, registry=registry)
+    summary = summarize(results)
+    gate(len(results) == spec.n_requests, "every request terminated")
+    gate(all(r.outcome in OUTCOMES for r in results), "all outcomes structured")
+
+    print("serve bench: deterministic replay")
+    _, replay = _run_workload(spec)
+    replay_ok = _outcome_sig(results) == _outcome_sig(replay) and _solutions_identical(
+        results, replay
+    )
+    gate(replay_ok, "same seed replays bit-identically")
+
+    print("serve bench: batched vs sequential identity")
+    # best-effort deadlines and an unbounded queue: admission and
+    # demotion out of the picture, so the comparison is purely numerical
+    # (sequential serving is slower on the virtual clock and would
+    # otherwise overflow the queue and reject the tail)
+    ident_spec = dataclasses.replace(spec, deadline_lo=1e9, deadline_hi=1e9)
+    _, batched = _run_workload(ident_spec, max_batch=32, capacity=spec.n_requests)
+    _, seq = _run_workload(ident_spec, max_batch=1, capacity=spec.n_requests)
+    ident_ok = _solutions_identical(batched, seq) and [
+        r.outcome for r in batched
+    ] == [r.outcome for r in seq]
+    gate(ident_ok, "batched solutions bit-identical to max_batch=1")
+    mean_width = float(np.mean([r.batch_size for r in batched if r.batch_size]))
+    gate(mean_width > 1.0, "batching actually coalesced requests")
+
+    print("serve bench: faulted workload")
+    plan = FaultPlan.seeded(
+        2,
+        n_rows=spec.n_requests,
+        seed=seed + 1,
+        n_stragglers=1,
+        slowdown=4.0,
+        spin_fault_frac=0.1,
+        dropped=((0, 3), (1, 7)),
+        watchdog_timeout=0.02,
+    )
+    fault_spec = dataclasses.replace(spec, deadline_lo=0.01, deadline_hi=0.1)
+    _, faulted = _run_workload(fault_spec, fault_plan=plan)
+    _, faulted2 = _run_workload(fault_spec, fault_plan=plan)
+    gate(
+        len(faulted) == spec.n_requests
+        and all(r.outcome in OUTCOMES for r in faulted),
+        "faulted run: every request terminated with a structured outcome",
+    )
+    gate(
+        _outcome_sig(faulted) == _outcome_sig(faulted2),
+        "faulted run replays deterministically",
+    )
+    fault_summary = summarize(faulted)
+
+    speedup = None
+    if not check:
+        print("serve bench: warm-cache batched speedup (wall clock)")
+        speedup = _measure_speedup((8, 16, 32))
+        gate(speedup["target_met"], "≥3x batched throughput at some width ≥ 8")
+        for k in ("8", "16", "32"):
+            print(f"    width {k:>2}: {speedup[k]['speedup']:.2f}x")
+
+    snapshot = registry.snapshot()
+    gate(not validate_metrics(snapshot), "metrics snapshot validates")
+
+    record = {
+        "bench": "serve",
+        "mode": "check" if check else "full",
+        "spec": dataclasses.asdict(spec),
+        "workload": summary,
+        "fault_workload": fault_summary,
+        "replay_identical": replay_ok,
+        "batch_identity": ident_ok,
+        "mean_batch_width": mean_width,
+        "speedup": speedup,
+        "failures": failures,
+        "metrics": snapshot,
+    }
+    if out_path:
+        with open(out_path, "w") as fh:
+            json.dump(record, fh, indent=2)
+        print(f"wrote {out_path}")
+    print(
+        f"workload: served {summary['outcomes'].get('served', 0)}/{summary['n_requests']}"
+        f", p50 {summary['p50_latency']:.4f}, p99 {summary['p99_latency']:.4f}, "
+        f"mean batch {summary['mean_batch_size']:.2f}"
+    )
+    return record, len(failures)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(prog="repro serve", description=__doc__)
+    sub = p.add_subparsers(dest="cmd", required=True)
+    b = sub.add_parser("bench", help="run the serving benchmark / CI gate")
+    b.add_argument("--check", action="store_true", help="fast CI gate")
+    b.add_argument("--seed", type=int, default=0)
+    b.add_argument("--out", default="BENCH_serve.json", help="output JSON path")
+    return p
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    _, n_failures = run_bench(check=args.check, seed=args.seed, out_path=args.out)
+    if n_failures:
+        print(f"serve bench: {n_failures} gate(s) FAILED")
+        return 1
+    print("serve bench: all gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,113 @@
+"""Pattern-keyed LRU of ResilientFactor-built preconditioners.
+
+Where the symbolic cache (:mod:`repro.kernels.cache`) memoizes
+*structure* — level sets, sweep plans — this cache holds the expensive
+part a serving system actually amortizes: the factored preconditioner
+itself, built once per pattern by the breakdown-safe
+:class:`~repro.resilience.ResilientFactor` chain and reused for every
+subsequent request that hits the same fingerprint.  A warm hit turns a
+request into pure solve work; a cold miss pays the factorization under
+the request's deadline budget (the shard may demote the factorization
+tier to fit — see :mod:`repro.serve.workers`).
+
+Each worker shard owns a private instance: shard affinity routes a
+pattern to one shard, so sharding the cache costs no duplicate entries
+while keeping the deterministic core free of shared mutable state (and
+of locks — JAV002).  ``stats()`` mirrors the symbolic cache's snapshot
+shape so :func:`repro.obs.record_cache_metrics` works on either.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+__all__ = ["FactorEntry", "FactorCache"]
+
+
+@dataclass(eq=False)
+class FactorEntry:
+    """One cached preconditioner and what it cost to build.
+
+    ``apply_one``/``apply_multi`` are the current 1-RHS and multi-RHS
+    applies (rebuilt together on a mid-solve demotion); ``variant`` is
+    the resilience chain's winner; ``demoted`` records that the factor
+    tier was lowered to fit a deadline budget; ``n_levels``/``nnz``
+    feed the virtual cost model.
+    """
+
+    fingerprint: str
+    factor: object
+    apply_one: object
+    apply_multi: object
+    variant: str
+    n_levels: int
+    nnz: int
+    build_cost: float = 0.0
+    demoted: bool = False
+    resetups: int = 0
+
+    def refresh_applies(self):
+        """Rebuild both applies after the factor's chain advanced."""
+        self.apply_one = self.factor.build_solver()
+        self.apply_multi = self.factor.build_multi_solver()
+        self.variant = self.factor.report.final_variant
+        self.resetups = self.factor.report.resetups
+
+
+class FactorCache:
+    """LRU of :class:`FactorEntry`, keyed by pattern fingerprint."""
+
+    def __init__(self, max_entries=8):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = int(max_entries)
+        self._entries: OrderedDict[str, FactorEntry] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, fingerprint):
+        """The cached entry (refreshing recency), or None on a miss."""
+        entry = self._entries.get(fingerprint)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._entries.move_to_end(fingerprint)
+        return entry
+
+    def put(self, entry: FactorEntry):
+        """Insert ``entry``, evicting least-recently-used past capacity."""
+        self._entries[entry.fingerprint] = entry
+        self._entries.move_to_end(entry.fingerprint)
+        evicted = []
+        while len(self._entries) > self.max_entries:
+            _, old = self._entries.popitem(last=False)
+            self.evictions += 1
+            evicted.append(old)
+        return evicted
+
+    def __contains__(self, fingerprint):
+        return fingerprint in self._entries
+
+    def __len__(self):
+        return len(self._entries)
+
+    def stats(self):
+        """Snapshot in the SymbolicCache shape (plus ``max_entries``)."""
+        lookups = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": len(self._entries),
+            "max_entries": self.max_entries,
+            "hit_rate": (self.hits / lookups) if lookups else 0.0,
+        }
+
+    def clear(self):
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0

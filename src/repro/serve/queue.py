@@ -1,0 +1,183 @@
+"""Bounded admission queue with backpressure and per-tenant fairness.
+
+The waiting room between arrival and batch formation.  Three concerns
+live here and nowhere else:
+
+* **Backpressure.**  The queue holds at most ``capacity`` requests.
+  Past that, policy ``"reject"`` bounces the newcomer and
+  ``"shed_oldest"`` evicts the longest-waiting request instead (the
+  newcomer is fresher and therefore likelier to make its deadline).
+  Either way :meth:`push` returns the displaced requests so the
+  service can terminate them with a ``rejected`` outcome — backpressure
+  never silently drops work.
+
+* **Per-tenant fairness.**  Extraction round-robins across the tenants
+  waiting in a batch group, so one chatty tenant cannot monopolize a
+  batch; within a tenant, higher ``priority`` goes first, ties broken
+  by ``(arrival_time, request_id)``.
+
+* **Group indexing.**  Requests are bucketed by ``batch_key`` so the
+  micro-batcher (:mod:`repro.serve.batcher`) can ask "how many are
+  waiting to share a batch, since when, and how urgent" in O(groups).
+
+Deliberately lock-free: the deterministic service core is
+single-threaded (JAV002 — synchronization primitives live in
+``runtime/`` and ``serve/workers.py`` only); thread-safe ingestion is
+:meth:`repro.serve.workers.SolveService.submit`'s job.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["ADMISSION_POLICIES", "AdmissionQueue"]
+
+ADMISSION_POLICIES = ("reject", "shed_oldest")
+
+
+class AdmissionQueue:
+    """Bounded, group-indexed, tenant-fair waiting room."""
+
+    def __init__(self, capacity=64, policy="reject"):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if policy not in ADMISSION_POLICIES:
+            raise ValueError(f"policy must be one of {ADMISSION_POLICIES}, got {policy!r}")
+        self.capacity = int(capacity)
+        self.policy = policy
+        # group key -> tenant -> list of requests (kept extraction-sorted)
+        self._groups: dict = {}
+        # group key -> rotating tenant offset (the round-robin cursor)
+        self._cursor: dict = {}
+        self._depth = 0
+        self.peak_depth = 0
+        self.n_admitted = 0
+        self.n_displaced = 0
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+    def push(self, req):
+        """Admit ``req``; returns the list of displaced requests.
+
+        ``[]`` — admitted, nobody displaced.  ``[req]`` — queue full
+        under the ``reject`` policy, the newcomer bounced.  Under
+        ``shed_oldest`` a full queue sheds its globally oldest waiting
+        request (by ``(arrival_time, request_id)``) to make room, and
+        that victim is returned instead.
+        """
+        displaced = []
+        if self._depth >= self.capacity:
+            if self.policy == "reject":
+                self.n_displaced += 1
+                return [req]
+            victim = self._shed_oldest()
+            if victim is not None:
+                displaced.append(victim)
+                self.n_displaced += 1
+        bucket = self._groups.setdefault(req.batch_key, {})
+        lane = bucket.setdefault(req.tenant, [])
+        lane.append(req)
+        lane.sort(key=_lane_order)
+        self._depth += 1
+        self.n_admitted += 1
+        self.peak_depth = max(self.peak_depth, self._depth)
+        return displaced
+
+    def _shed_oldest(self):
+        oldest, where = None, None
+        for key, bucket in self._groups.items():
+            for tenant, lane in bucket.items():
+                for req in lane:
+                    stamp = (req.arrival_time, req.request_id)
+                    if oldest is None or stamp < oldest:
+                        oldest, where = stamp, (key, tenant, req)
+        if where is None:
+            return None
+        key, tenant, req = where
+        self._groups[key][tenant].remove(req)
+        self._prune(key, tenant)
+        self._depth -= 1
+        return req
+
+    # ------------------------------------------------------------------
+    # extraction (the micro-batcher's side)
+    # ------------------------------------------------------------------
+    def take(self, key, k):
+        """Up to ``k`` requests of group ``key``, in fair order.
+
+        Round-robins across the group's tenants (cursor persists across
+        calls, so a group repeatedly batched keeps rotating who goes
+        first); each tenant contributes its own best request — highest
+        priority, then earliest arrival — per turn.
+        """
+        bucket = self._groups.get(key)
+        if not bucket:
+            return []
+        out = []
+        tenants = sorted(bucket)
+        start = self._cursor.get(key, 0) % len(tenants)
+        tenants = tenants[start:] + tenants[:start]
+        turns = 0
+        while len(out) < int(k):
+            progressed = False
+            for tenant in tenants:
+                lane = bucket.get(tenant)
+                if not lane:
+                    continue
+                out.append(lane.pop(0))
+                progressed = True
+                turns += 1
+                if len(out) >= int(k):
+                    break
+            if not progressed:
+                break
+        for tenant in list(bucket):
+            self._prune(key, tenant)
+        if key in self._groups:
+            self._cursor[key] = (start + turns) % max(1, len(tenants))
+        else:
+            self._cursor.pop(key, None)
+        self._depth -= len(out)
+        return out
+
+    def _prune(self, key, tenant):
+        bucket = self._groups.get(key)
+        if bucket is None:
+            return
+        if tenant in bucket and not bucket[tenant]:
+            del bucket[tenant]
+        if not bucket:
+            del self._groups[key]
+
+    # ------------------------------------------------------------------
+    # group views (read-only, for batching policy)
+    # ------------------------------------------------------------------
+    def group_sizes(self):
+        """``{batch_key: waiting count}`` over non-empty groups."""
+        return {
+            key: sum(len(lane) for lane in bucket.values())
+            for key, bucket in self._groups.items()
+        }
+
+    def oldest_arrival(self, key):
+        """Earliest ``arrival_time`` waiting in group ``key`` (inf if empty)."""
+        bucket = self._groups.get(key, {})
+        times = [req.arrival_time for lane in bucket.values() for req in lane]
+        return min(times) if times else math.inf
+
+    def min_deadline(self, key):
+        """Tightest deadline waiting in group ``key`` (inf if empty)."""
+        bucket = self._groups.get(key, {})
+        deadlines = [req.deadline for lane in bucket.values() for req in lane]
+        return min(deadlines) if deadlines else math.inf
+
+    def __len__(self):
+        return self._depth
+
+    def __bool__(self):
+        return self._depth > 0
+
+
+def _lane_order(req):
+    return (-req.priority, req.arrival_time, req.request_id)

@@ -1,0 +1,579 @@
+"""Worker shards and the deterministic solve-service core.
+
+The service is a discrete-event simulation of a serving fleet with
+*real numerics*: solutions, iteration counts and residuals come from
+actually running the preconditioned solves (through the multi-RHS
+level-batched kernels), while *time* is virtual — a
+:class:`CostModel` charges each factorization and solve a
+deterministic cost derived from the matrix structure and the work
+performed, and a :class:`~repro.resilience.FaultPlan` perturbs those
+charges (stragglers, spin faults, dropped completion publishes) without
+ever touching the numbers.  The same seed therefore replays the same
+run bit-for-bit, which is what the acceptance tests assert.
+
+Shape of the core loop (:meth:`SolveService.run`):
+
+1. advance the virtual clock to the next event — an arrival, a shard
+   completion, or a batch-close time;
+2. admit arrivals through the bounded
+   :class:`~repro.serve.queue.AdmissionQueue` (displaced requests
+   terminate immediately with a ``rejected`` outcome);
+3. for each idle shard, close ready batches
+   (:class:`~repro.serve.batcher.MicroBatcher`) for the groups that
+   hash to it and execute them back-to-back.
+
+Each :class:`WorkerShard` owns a private pattern-keyed
+:class:`~repro.serve.factor_cache.FactorCache`: a warm hit is pure
+solve work; a cold miss runs the
+:class:`~repro.resilience.ResilientFactor` chain under the batch's
+deadline budget, demoting the factorization tier (fill level, shift
+attempts) when the budget is tight.
+
+This module is the one place in ``serve/`` allowed to hold a lock
+(JAV002): :meth:`SolveService.submit` may be called from other
+threads, so the inbox hand-off is serialized; everything downstream of
+:meth:`SolveService.run` is single-threaded and deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.javelin import JavelinOptions
+from ..kernels.cache import cached_analysis, pattern_fingerprint
+from ..obs import spans as _spans
+from ..resilience import ResilientFactor, RetryPolicy
+from ..sparse import spmv_csr
+from .batcher import BatchPolicy, MicroBatcher
+from .factor_cache import FactorCache, FactorEntry
+from .queue import AdmissionQueue
+from .request import RequestResult, SolveRequest
+
+__all__ = ["CostModel", "WorkerShard", "SolveService", "blocked_richardson", "SOLVERS"]
+
+#: solvers the service accepts; only "richardson" is column-separable
+#: (batchable) — the Krylov methods run per-request
+SOLVERS = ("richardson", "gmres", "cg", "bicgstab")
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Virtual-time charges for factor and solve work.
+
+    Mirrors where the real implementation spends: a triangular sweep
+    pays a fixed dispatch cost per level (``level_pass``) plus a
+    per-entry cost per column (``entry_op``) — so the model, like the
+    real kernels, rewards batching by amortizing the level term across
+    a block's columns.  ``est_iters`` is the iteration guess used for
+    deadline-pressure estimates before a solve has run.
+    """
+
+    factor_per_nnz: float = 4e-6
+    level_pass: float = 4e-6
+    entry_op: float = 6e-9
+    spmv_entry: float = 4e-9
+    iteration_overhead: float = 2e-6
+    batch_overhead: float = 2e-5
+    est_iters: int = 25
+
+    def factor_cost(self, nnz, fill_level=0):
+        """Setup charge for one factorization at the given fill tier."""
+        return self.factor_per_nnz * float(nnz) * (1.0 + float(fill_level))
+
+    def solve_cost(self, n_levels, nnz, passes, col_iters):
+        """Charge for one (possibly batched) iterative solve.
+
+        ``passes`` iterations swept the levels once each (shared by
+        every active column — the batching win); ``col_iters`` is the
+        sum of per-column iteration counts (per-entry work scales with
+        it).
+        """
+        per_pass = self.iteration_overhead + 2.0 * float(n_levels) * self.level_pass
+        per_col_iter = float(nnz) * (2.0 * self.entry_op + self.spmv_entry)
+        return self.batch_overhead + float(passes) * per_pass + float(col_iters) * per_col_iter
+
+    def estimate_solve(self, n_levels, nnz, k):
+        """A-priori estimate for deadline pressure (``est_iters`` guess)."""
+        return self.solve_cost(n_levels, nnz, self.est_iters, self.est_iters * int(k))
+
+
+# ----------------------------------------------------------------------
+# batched numeric core
+# ----------------------------------------------------------------------
+def blocked_richardson(A, entry, B, tol, maxiter):
+    """Preconditioned Richardson on a block of right-hand sides.
+
+    ``x ← x + M⁻¹ (b - A x)`` per column, with the preconditioner
+    applied to all active columns at once through ``entry.apply_multi``
+    (the multi-RHS level-batched sweeps).  The iteration is
+    column-separable — each column's float sequence is identical to a
+    1-RHS run of the same code — so batching changes throughput, never
+    results.  A converged column freezes (is dropped from the active
+    set) exactly as its solo run would have stopped.
+
+    Breakdown protocol: a non-finite preconditioner output on a column
+    whose residual was finite means the factor itself is poisoned —
+    every column sees it (the bad factor entries multiply all columns
+    alike), so the entry's resilience chain advances once
+    (``resetup``) and all unfinished columns restart from zero,
+    exactly as each solo run would.  A column whose own residual went
+    non-finite (overflow divergence) is marked broken alone.  A second
+    poisoning marks the remaining columns broken — every request still
+    terminates.
+    """
+    B = np.asarray(B, dtype=np.float64)
+    n, k = B.shape
+    X = np.zeros((n, k))
+    iters = np.zeros(k, dtype=np.int64)
+    resid = np.full(k, math.nan)
+    converged = np.zeros(k, dtype=bool)
+    broken = np.zeros(k, dtype=bool)
+    bnorm = np.zeros(k)
+    active = []
+    for j in range(k):
+        bn = float(np.linalg.norm(B[:, j]))
+        bnorm[j] = bn
+        if not math.isfinite(bn):
+            broken[j] = True
+        elif bn == 0.0:
+            converged[j] = True
+            resid[j] = 0.0
+        else:
+            active.append(j)
+    R = B.copy()
+    restarts_left = 1
+    restarts = 0
+    passes = 0
+    col_iters = 0
+    it = 0
+    while active and it < maxiter:
+        it += 1
+        passes += 1
+        col_iters += len(active)
+        Z = entry.apply_multi(R[:, active])
+        bad = [j for i, j in enumerate(active) if not np.all(np.isfinite(Z[:, i]))]
+        if bad:
+            poisoned = [j for j in bad if np.all(np.isfinite(R[:, j]))]
+            if poisoned and restarts_left:
+                # factor-global poisoning: demote the chain once and
+                # restart every unfinished column from zero
+                restarts_left -= 1
+                restarts += 1
+                entry.factor.resetup()
+                entry.refresh_applies()
+                for j in active:
+                    X[:, j] = 0.0
+                    R[:, j] = B[:, j]
+                    iters[j] = 0
+                it = 0
+                continue
+            for j in bad:
+                broken[j] = True
+                iters[j] = it
+            keep = [i for i, j in enumerate(active) if j not in set(bad)]
+            Z = Z[:, keep]
+            active = [active[i] for i in keep]
+            if not active:
+                break
+        X[:, active] += Z
+        finished = set()
+        for j in active:
+            r = B[:, j] - spmv_csr(A, X[:, j])
+            R[:, j] = r
+            rel = float(np.linalg.norm(r)) / bnorm[j]
+            iters[j] = it
+            resid[j] = rel
+            if not math.isfinite(rel):
+                broken[j] = True
+                finished.add(j)
+            elif rel <= tol:
+                converged[j] = True
+                finished.add(j)
+        if finished:
+            active = [j for j in active if j not in finished]
+    return {
+        "X": X,
+        "iterations": iters,
+        "residual": resid,
+        "converged": converged,
+        "broken": broken,
+        "restarts": restarts,
+        "passes": passes,
+        "col_iters": col_iters,
+    }
+
+
+# ----------------------------------------------------------------------
+# shards
+# ----------------------------------------------------------------------
+class WorkerShard:
+    """One serving shard: a factor cache plus a virtual busy clock."""
+
+    def __init__(
+        self,
+        shard_id,
+        *,
+        cache_entries=8,
+        cost: CostModel | None = None,
+        options: JavelinOptions | None = None,
+        retry_policy: RetryPolicy | None = None,
+        fault_plan=None,
+    ):
+        self.shard_id = int(shard_id)
+        self.cache = FactorCache(cache_entries)
+        self.cost = cost or CostModel()
+        self.options = options or JavelinOptions()
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.fault_plan = fault_plan
+        self.free_at = 0.0
+        self.busy = False
+        self.n_batches = 0
+        self.n_cold = 0
+        self.n_demotions = 0
+
+    # ------------------------------------------------------------------
+    def _build_entry(self, A, fingerprint, budget):
+        """Cold-miss factorization under a deadline budget.
+
+        Picks the factorization tier the budget affords: the full
+        requested options when there is headroom, a shift-limited run
+        when tight, and a demoted ILU(0) with a single shift attempt
+        when the budget cannot even cover the requested tier — a late
+        preconditioner serves nobody, a cruder one might.
+        """
+        full = self.cost.factor_cost(A.nnz, self.options.fill_level)
+        opts, pol, demoted, charge = self.options, self.retry_policy, False, full
+        if budget < full:
+            opts = self.options.with_(fill_level=0, tau=0.0, modified=False)
+            pol = self.retry_policy.with_(max_shift_attempts=1)
+            demoted = True
+            charge = self.cost.factor_cost(A.nnz, 0)
+        elif budget < 2.0 * full:
+            pol = self.retry_policy.with_(
+                max_shift_attempts=min(2, self.retry_policy.max_shift_attempts)
+            )
+        rf = ResilientFactor(opts, pol).setup(A)
+        if rf.ilu is not None:
+            n_levels = int(cached_analysis(rf.ilu.F).plan("lower").n_levels)
+            nnz = int(rf.ilu.F.nnz)
+        else:
+            n_levels, nnz = 1, int(A.nnz)
+        entry = FactorEntry(
+            fingerprint=fingerprint,
+            factor=rf,
+            apply_one=rf.build_solver(),
+            apply_multi=rf.build_multi_solver(),
+            variant=rf.report.final_variant,
+            n_levels=n_levels,
+            nnz=nnz,
+            build_cost=charge,
+            demoted=demoted,
+        )
+        self.cache.put(entry)
+        self.n_cold += 1
+        if demoted:
+            self.n_demotions += 1
+        _spans.instant(
+            "serve.factor",
+            cat="serve",
+            shard=self.shard_id,
+            key=fingerprint[:12],
+            variant=entry.variant,
+            demoted=demoted,
+        )
+        return entry, charge
+
+    # ------------------------------------------------------------------
+    def execute(self, batch, A, fingerprint, now):
+        """Run one batch starting at virtual time ``now``.
+
+        Returns ``(results, finish_time)``; the shard is busy until
+        ``finish_time``.  Faults scale or delay the virtual charges but
+        never change the computed numbers.
+        """
+        reqs = batch.requests
+        _, solver, tol, maxiter = batch.key
+        budget = min(r.deadline for r in reqs) - now
+        entry = self.cache.get(fingerprint)
+        factor_charge = 0.0
+        if entry is None:
+            entry, factor_charge = self._build_entry(A, fingerprint, budget)
+        if solver == "richardson":
+            out = blocked_richardson(
+                A, entry, np.stack([r.b for r in reqs], axis=1), tol, maxiter
+            )
+            solve_charge = self.cost.solve_cost(
+                entry.n_levels, entry.nnz, out["passes"], out["col_iters"]
+            )
+        else:
+            out = self._krylov(A, entry, reqs, solver, tol, maxiter)
+            solve_charge = self.cost.solve_cost(
+                entry.n_levels, entry.nnz, int(out["iterations"].sum()),
+                int(out["iterations"].sum()),
+            )
+        service = factor_charge + solve_charge
+        plan = self.fault_plan
+        if plan is not None:
+            service *= plan.rate(self.shard_id)
+            service += sum(
+                plan.spin_fault_penalty for r in reqs if r.request_id in plan.spin_faults
+            )
+        finish = now + service
+        if plan is not None:
+            # a lost completion publish is healed by the watchdog, one
+            # timeout per dropped event — late, never lost
+            n_dropped = sum(1 for r in reqs if plan.is_dropped(self.shard_id, r.request_id))
+            finish += plan.watchdog_timeout * n_dropped
+        self.n_batches += 1
+        _spans.instant(
+            "serve.batch",
+            cat="serve",
+            shard=self.shard_id,
+            size=len(reqs),
+            solver=solver,
+            cold=factor_charge > 0.0,
+        )
+        results = []
+        for j, r in enumerate(reqs):
+            if out["broken"][j]:
+                outcome, detail = "breakdown", "non-finite solve even after demotion"
+            elif finish > r.deadline:
+                outcome, detail = "deadline_miss", ""
+            else:
+                outcome, detail = "served", ""
+            results.append(
+                RequestResult(
+                    request_id=r.request_id,
+                    outcome=outcome,
+                    x=out["X"][:, j].copy(),
+                    iterations=int(out["iterations"][j]),
+                    residual=float(out["residual"][j]),
+                    converged=bool(out["converged"][j]),
+                    arrival_time=r.arrival_time,
+                    start_time=now,
+                    finish_time=finish,
+                    shard=self.shard_id,
+                    batch_size=len(reqs),
+                    variant=entry.variant,
+                    detail=detail,
+                )
+            )
+        return results, finish
+
+    def _krylov(self, A, entry, reqs, solver, tol, maxiter):
+        """Per-request Krylov solves (non-batchable path)."""
+        from ..solvers import bicgstab, cg, gmres
+
+        run = {"gmres": gmres, "cg": cg, "bicgstab": bicgstab}[solver]
+        k = len(reqs)
+        n = A.n_rows
+        X = np.zeros((n, k))
+        iters = np.zeros(k, dtype=np.int64)
+        resid = np.full(k, math.nan)
+        converged = np.zeros(k, dtype=bool)
+        broken = np.zeros(k, dtype=bool)
+        for j, r in enumerate(reqs):
+            res = run(A, r.b, M=entry.factor, tol=tol, maxiter=maxiter)
+            X[:, j] = res.x
+            iters[j] = res.iterations
+            resid[j] = res.residual
+            converged[j] = res.converged
+            if not np.all(np.isfinite(res.x)) or (
+                res.reason is not None and "breakdown" in res.reason.lower()
+            ):
+                broken[j] = True
+        entry.refresh_applies()  # a guarded resetup may have advanced the chain
+        return {
+            "X": X,
+            "iterations": iters,
+            "residual": resid,
+            "converged": converged,
+            "broken": broken,
+            "restarts": 0,
+            "passes": int(iters.sum()),
+            "col_iters": int(iters.sum()),
+        }
+
+
+# ----------------------------------------------------------------------
+# the service
+# ----------------------------------------------------------------------
+class SolveService:
+    """Deterministic batched solve service over registered matrices."""
+
+    def __init__(
+        self,
+        matrices,
+        *,
+        n_shards=2,
+        capacity=64,
+        admission="reject",
+        batch_policy: BatchPolicy | None = None,
+        cost: CostModel | None = None,
+        options: JavelinOptions | None = None,
+        retry_policy: RetryPolicy | None = None,
+        fault_plan=None,
+        factor_cache_entries=8,
+        registry=None,
+    ):
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        self.matrices = dict(matrices)
+        self.fingerprints = {k: pattern_fingerprint(A) for k, A in self.matrices.items()}
+        self.capacity = int(capacity)
+        self.admission = admission
+        self.batch_policy = batch_policy or BatchPolicy()
+        self.cost = cost or CostModel()
+        self.registry = registry
+        self.shards = [
+            WorkerShard(
+                i,
+                cache_entries=factor_cache_entries,
+                cost=self.cost,
+                options=options,
+                retry_policy=retry_policy,
+                fault_plan=fault_plan,
+            )
+            for i in range(int(n_shards))
+        ]
+        self._inbox: list = []
+        self._lock = threading.Lock()  # thread-safe submit(); run() is single-threaded
+
+    # ------------------------------------------------------------------
+    def submit(self, req: SolveRequest):
+        """Enqueue a request for the next :meth:`run` (thread-safe)."""
+        with self._lock:
+            self._inbox.append(req)
+
+    def drain_inbox(self):
+        with self._lock:
+            out, self._inbox = self._inbox, []
+        return out
+
+    def shard_of(self, matrix_key) -> int:
+        """Pattern affinity: one fingerprint always lands on one shard."""
+        return int(self.fingerprints[matrix_key], 16) % len(self.shards)
+
+    def _est_cost(self, key, size):
+        """Deadline-pressure estimate before anything has been factored."""
+        A = self.matrices[key[0]]
+        est_levels = max(1, int(A.n_rows**0.5))
+        return self.cost.estimate_solve(est_levels, A.nnz, size)
+
+    # ------------------------------------------------------------------
+    def run(self, requests=None):
+        """Serve a workload to completion; returns results by request id.
+
+        ``requests`` defaults to the submitted inbox.  Every request
+        terminates with a structured outcome; the run is a pure
+        function of the inputs (virtual clock, seeded numerics), so the
+        same workload replays identically.
+        """
+        reqs = list(requests) if requests is not None else self.drain_inbox()
+        for r in reqs:
+            if r.matrix_key not in self.matrices:
+                raise KeyError(f"unknown matrix_key {r.matrix_key!r}")
+            if r.solver not in SOLVERS:
+                raise ValueError(f"unknown solver {r.solver!r}; supported: {SOLVERS}")
+        reqs.sort(key=lambda r: (r.arrival_time, r.request_id))
+        queue = AdmissionQueue(self.capacity, self.admission)
+        batcher = MicroBatcher(self.batch_policy)
+        results: dict[int, RequestResult] = {}
+        for s in self.shards:
+            s.busy = False
+            s.free_at = 0.0
+        i = 0
+        now = 0.0
+        while i < len(reqs) or queue or any(s.busy for s in self.shards):
+            cands = []
+            if i < len(reqs):
+                cands.append(reqs[i].arrival_time)
+            for s in self.shards:
+                if s.busy:
+                    cands.append(s.free_at)
+            idle_keys = {
+                key
+                for key in queue.group_sizes()
+                if not self.shards[self.shard_of(key[0])].busy
+            }
+            if idle_keys:
+                cands.append(batcher.next_close_time(queue, self._est_cost, keys=idle_keys))
+            now = max(now, min(cands))
+            for s in self.shards:
+                if s.busy and s.free_at <= now:
+                    s.busy = False
+            while i < len(reqs) and reqs[i].arrival_time <= now:
+                req = reqs[i]
+                i += 1
+                for victim in queue.push(req):
+                    results[victim.request_id] = RequestResult(
+                        request_id=victim.request_id,
+                        outcome="rejected",
+                        arrival_time=victim.arrival_time,
+                        start_time=now,
+                        finish_time=now,
+                        detail=f"queue full (capacity {self.capacity}, "
+                        f"policy {self.admission})",
+                    )
+                    _spans.instant(
+                        "serve.reject", cat="serve", request_id=victim.request_id
+                    )
+            for s in self.shards:
+                if s.busy:
+                    continue
+                keys_for_s = {
+                    key
+                    for key in queue.group_sizes()
+                    if self.shard_of(key[0]) == s.shard_id
+                }
+                if not keys_for_s:
+                    continue
+                batches = batcher.pop_ready(queue, now, self._est_cost, keys=keys_for_s)
+                start = now
+                for batch in batches:
+                    A = self.matrices[batch.matrix_key]
+                    batch_results, finish = s.execute(
+                        batch, A, self.fingerprints[batch.matrix_key], start
+                    )
+                    for res in batch_results:
+                        results[res.request_id] = res
+                    start = finish
+                if batches:
+                    s.busy = True
+                    s.free_at = start
+        ordered = [results[r.request_id] for r in sorted(reqs, key=lambda r: r.request_id)]
+        self._record_metrics(ordered, queue, batcher)
+        return ordered
+
+    # ------------------------------------------------------------------
+    def _record_metrics(self, results, queue, batcher):
+        reg = self.registry
+        if reg is None:
+            return
+        from .request import OUTCOMES
+
+        reg.counter("serve.requests").inc(len(results))
+        for outcome in OUTCOMES:
+            n = sum(1 for r in results if r.outcome == outcome)
+            if n:
+                reg.counter(f"serve.{outcome}").inc(n)
+        reg.counter("serve.batches").inc(batcher.n_batches)
+        reg.counter("serve.demotions").inc(sum(s.n_demotions for s in self.shards))
+        reg.gauge("serve.queue_depth_peak").set(queue.peak_depth)
+        finished = [r for r in results if r.outcome != "rejected"]
+        if finished:
+            reg.histogram("serve.latency").observe_many(r.latency for r in finished)
+            reg.histogram("serve.wait_time").observe_many(r.wait_time for r in finished)
+            reg.histogram("serve.batch_size").observe_many(r.batch_size for r in finished)
+        for s in self.shards:
+            st = s.cache.stats()
+            prefix = f"serve.factor_cache.shard{s.shard_id}"
+            reg.gauge(f"{prefix}.hits").set(st["hits"])
+            reg.gauge(f"{prefix}.misses").set(st["misses"])
+            reg.gauge(f"{prefix}.evictions").set(st["evictions"])
+            reg.gauge(f"{prefix}.entries").set(st["entries"])
+            reg.gauge(f"{prefix}.hit_rate").set(st["hit_rate"])

@@ -17,7 +17,10 @@ reports and in suppression comments):
     ``Condition``, ``Semaphore``, ``BoundedSemaphore``, ``Barrier``)
     outside ``runtime/`` are flagged: everything else in the framework
     is deterministic simulation or pure numerics, and stray blocking
-    calls there are bugs waiting for a scheduler to find them.
+    calls there are bugs waiting for a scheduler to find them.  One
+    more file is exempt: ``serve/workers.py``, whose thread-safe
+    ``submit()`` inbox is the serving layer's single sanctioned
+    ingestion lock (the service core itself stays single-threaded).
 
 ``JAV003`` — *no mutation of symbolic-cache products.*  Arrays obtained
     from ``cached_analysis(...)`` / ``SymbolicCache.analysis(...)`` (or
@@ -186,8 +189,15 @@ def _check_core_division(tree: ast.Module, path: str) -> list[Finding]:
 # JAV002
 # ----------------------------------------------------------------------
 def _check_sync_primitives(tree: ast.Module, path: str) -> list[Finding]:
-    """time.sleep and threading lock constructors belong in runtime/ only."""
-    if "runtime" in _path_parts(path):
+    """time.sleep and threading lock constructors belong in runtime/ only.
+
+    ``serve/workers.py`` is the one named exception: the service's
+    thread-safe ``submit()`` inbox needs a lock, and confining the
+    exemption to that file keeps the rest of ``serve/`` provably
+    lock-free.
+    """
+    parts = _path_parts(path)
+    if "runtime" in parts or parts[-2:] == ("serve", "workers.py"):
         return []
     findings = []
     lock_aliases: set[str] = set()

@@ -63,6 +63,7 @@ class TestCacheBehavior:
             "misses": 1,
             "evictions": 0,
             "entries": 1,
+            "max_entries": 32,
             "hit_rate": 0.5,
         }
 
@@ -108,6 +109,7 @@ class TestCacheBehavior:
             "misses": 2,
             "evictions": 0,
             "entries": 2,
+            "max_entries": 32,
             "hit_rate": 0.0,
         }
 
@@ -143,6 +145,7 @@ class TestCacheBehavior:
             "misses": 0,
             "evictions": 0,
             "entries": 0,
+            "max_entries": 32,
             "hit_rate": 0.0,
         }
 

@@ -1,0 +1,138 @@
+"""SymbolicCache under concurrent hammering, including live resizing.
+
+The process-wide cache is shared by the threaded runtime and, now, the
+serving layer's ingestion side.  These tests drive it from many
+threads at once — mixed patterns, repeated lookups, a concurrent
+``configure()`` resize — and assert the accounting invariants that the
+single-threaded tests take for granted:
+
+* ``hits + misses == lookups`` (no lost or double-counted lookup);
+* ``entries <= max_entries`` after the dust settles;
+* cached symbolic products are frozen (no worker can mutate what
+  another worker is reading).
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.iluk import ilu0_factor
+from repro.kernels import SymbolicCache
+
+from helpers import random_csr
+
+
+def _factors(count, n=24):
+    return [ilu0_factor(random_csr(n, 0.18, seed=s)) for s in range(count)]
+
+
+class TestConcurrentHammer:
+    N_THREADS = 8
+    LOOKUPS_PER_THREAD = 25
+
+    def _hammer(self, cache, mats):
+        errors = []
+        barrier = threading.Barrier(self.N_THREADS)
+
+        def worker(tid):
+            try:
+                barrier.wait()
+                for i in range(self.LOOKUPS_PER_THREAD):
+                    a = cache.analysis(mats[(tid + i) % len(mats)])
+                    a.plan("lower"), a.diag_pos()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(t,)) for t in range(self.N_THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        return self.N_THREADS * self.LOOKUPS_PER_THREAD
+
+    def test_accounting_closes_under_contention(self):
+        cache = SymbolicCache(max_entries=16)
+        lookups = self._hammer(cache, _factors(6))
+        s = cache.stats()
+        assert s["hits"] + s["misses"] == lookups
+        assert s["entries"] <= s["max_entries"]
+        # 6 distinct patterns, capacity 16: racing builds may each count
+        # a miss, but the surviving population is the pattern set
+        assert s["entries"] == 6
+        assert s["evictions"] == 0
+
+    def test_eviction_pressure_respects_capacity(self):
+        cache = SymbolicCache(max_entries=3)
+        lookups = self._hammer(cache, _factors(7))
+        s = cache.stats()
+        assert s["hits"] + s["misses"] == lookups
+        assert s["entries"] <= 3
+        assert s["evictions"] >= 4  # 7 patterns cannot fit in 3 slots
+
+    def test_concurrent_configure_shrink(self):
+        cache = SymbolicCache(max_entries=32)
+        mats = _factors(8)
+        stop = threading.Event()
+
+        def resizer():
+            sizes = [2, 8, 4, 16]
+            i = 0
+            while not stop.is_set():
+                cache.configure(max_entries=sizes[i % len(sizes)])
+                i += 1
+
+        t = threading.Thread(target=resizer)
+        t.start()
+        try:
+            lookups = self._hammer(cache, mats)
+        finally:
+            stop.set()
+            t.join()
+        cache.configure(max_entries=4)
+        s = cache.stats()
+        assert s["hits"] + s["misses"] == lookups
+        assert s["entries"] <= 4
+        assert s["max_entries"] == 4
+
+    def test_cached_products_stay_frozen(self):
+        cache = SymbolicCache(max_entries=8)
+        F = _factors(1)[0]
+        a = cache.analysis(F)
+        dp = a.diag_pos()
+        assert not dp.flags.writeable  # frozen against cross-thread mutation
+        before = dp.copy()
+        self._hammer(cache, [F] * 3)
+        assert np.array_equal(a.diag_pos(), before)
+
+
+class TestConfigure:
+    def test_shrink_evicts_lru_and_counts(self):
+        cache = SymbolicCache(max_entries=8)
+        mats = _factors(5)
+        for F in mats:
+            cache.analysis(F)
+        # touch the last two so they are most recent
+        cache.analysis(mats[3]), cache.analysis(mats[4])
+        evicted = cache.configure(max_entries=2)
+        assert len(evicted) == 3
+        s = cache.stats()
+        assert s["entries"] == 2 and s["max_entries"] == 2 and s["evictions"] == 3
+        assert mats[4] in cache and mats[3] in cache
+
+    def test_grow_keeps_entries(self):
+        cache = SymbolicCache(max_entries=2)
+        mats = _factors(2)
+        for F in mats:
+            cache.analysis(F)
+        assert cache.configure(max_entries=16) == []
+        assert cache.stats()["max_entries"] == 16
+        assert len(cache) == 2
+
+    def test_invalid_size_rejected(self):
+        cache = SymbolicCache()
+        with pytest.raises(ValueError, match="max_entries"):
+            cache.configure(max_entries=0)

@@ -1,0 +1,92 @@
+"""Multi-RHS trisolve kernels: per-column bit-identity with the 1-RHS path."""
+
+import numpy as np
+import pytest
+
+from repro.core.iluk import ilu0_factor
+from repro.core.trisolve import (
+    LevelizedTriangularSolver,
+    trisolve_factor,
+    trisolve_factor_multi,
+)
+from repro.kernels import cached_analysis, get_kernel
+from repro.matrices import grid2d
+from repro.resilience import ResilientFactor
+
+from helpers import random_csr
+
+
+def _factor(n=40, seed=0):
+    return ilu0_factor(random_csr(n, 0.15, seed=seed))
+
+
+def _block(n, k, seed=1):
+    return np.random.default_rng(seed).standard_normal((n, k))
+
+
+class TestKernelBitIdentity:
+    @pytest.mark.parametrize("k", [1, 3, 7])
+    @pytest.mark.parametrize("name", ["trisolve_lower_multi", "trisolve_upper_multi"])
+    def test_batched_matches_scalar_reference(self, name, k):
+        F = _factor()
+        B = _block(F.n_rows, k)
+        out_s = get_kernel(name, "scalar")(F, B)
+        out_b = get_kernel(name, "batched")(F, B)
+        assert np.array_equal(out_s, out_b)  # bitwise, not approx
+
+    @pytest.mark.parametrize("k", [1, 2, 5])
+    def test_each_column_identical_to_one_rhs_solve(self, k):
+        F = _factor(seed=3)
+        B = _block(F.n_rows, k, seed=4)
+        X = trisolve_factor_multi(F, B)
+        for j in range(k):
+            xj = trisolve_factor(F, B[:, j])
+            assert np.array_equal(X[:, j], xj)
+
+    def test_column_order_is_irrelevant(self):
+        # batching must not couple columns: permuting them permutes output
+        F = _factor(seed=5)
+        B = _block(F.n_rows, 4, seed=6)
+        perm = [2, 0, 3, 1]
+        X = trisolve_factor_multi(F, B)
+        Xp = trisolve_factor_multi(F, B[:, perm])
+        assert np.array_equal(X[:, perm], Xp)
+
+    def test_zero_width_block(self):
+        F = _factor()
+        X = trisolve_factor_multi(F, np.empty((F.n_rows, 0)))
+        assert X.shape == (F.n_rows, 0)
+
+    def test_rejects_1d_input(self):
+        F = _factor()
+        with pytest.raises(ValueError, match="2-D block"):
+            get_kernel("trisolve_lower_multi")(F, np.ones(F.n_rows))
+
+    def test_explicit_analysis_reused(self):
+        F = _factor(seed=7)
+        a = cached_analysis(F)
+        B = _block(F.n_rows, 3, seed=8)
+        X1 = trisolve_factor_multi(F, B, analysis=a)
+        X2 = trisolve_factor_multi(F, B)
+        assert np.array_equal(X1, X2)
+
+
+class TestSolverIntegration:
+    def test_levelized_solver_solve_multi(self):
+        A = grid2d(10)
+        F = ilu0_factor(A)
+        solver = LevelizedTriangularSolver(F)
+        B = _block(A.n_rows, 4, seed=9)
+        X = solver.solve_multi(B)
+        for j in range(4):
+            assert np.array_equal(X[:, j], solver.solve(B[:, j]))
+
+    def test_resilient_factor_multi_solver(self):
+        A = grid2d(10)
+        rf = ResilientFactor().setup(A)
+        apply_multi = rf.build_multi_solver()
+        apply_one = rf.build_solver()
+        B = _block(A.n_rows, 5, seed=10)
+        Z = apply_multi(B)
+        for j in range(5):
+            assert np.array_equal(Z[:, j], apply_one(B[:, j]))

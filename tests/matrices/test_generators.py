@@ -10,6 +10,7 @@ from repro.matrices.generators import (
     make_nonsymmetric_pattern,
     make_spd_values,
     power_flow_blocks,
+    rhs_stream,
     tetra_mesh_like,
 )
 from repro.sparse import has_full_diagonal, is_pattern_symmetric
@@ -150,3 +151,42 @@ class TestValueHelpers:
         D = np.array([[0.0, 1.0], [1.0, 0.0]])
         with pytest.raises(ValueError, match="diagonal"):
             make_spd_values(from_dense(D))
+
+
+class TestRhsStream:
+    def test_seeded_stream_is_reproducible(self):
+        a = [next(g) for g in [rhs_stream(20, seed=7)] for _ in range(4)]
+        g1, g2 = rhs_stream(20, seed=7), rhs_stream(20, seed=7)
+        for _ in range(4):
+            assert np.array_equal(next(g1), next(g2))
+        assert len(a) == 4
+
+    def test_yields_independent_copies(self):
+        g = rhs_stream(10, seed=0)
+        b1 = next(g)
+        b1[:] = 0.0  # vandalize the yielded vector
+        b2 = next(g)
+        assert not np.array_equal(b2, np.zeros(10))  # stream state unharmed
+
+    def test_drift_controls_correlation(self):
+        def corr(drift):
+            g = rhs_stream(4000, drift=drift, seed=3)
+            b1, b2 = next(g), next(g)
+            return float(np.corrcoef(b1, b2)[0, 1])
+
+        assert corr(0.01) > 0.95  # nearly frozen stream
+        assert abs(corr(1.0)) < 0.1  # fresh draw every step
+        assert corr(0.01) > corr(0.5)
+
+    def test_stationary_variance(self):
+        # the AR(1) mixing keeps the marginal variance at 1, so a long
+        # drifting stream neither blows up nor collapses
+        g = rhs_stream(500, drift=0.3, seed=11)
+        b = None
+        for _ in range(50):
+            b = next(g)
+        assert 0.7 < float(np.std(b)) < 1.3
+
+    def test_drift_validation(self):
+        with pytest.raises(ValueError, match="drift"):
+            next(rhs_stream(5, drift=1.5))

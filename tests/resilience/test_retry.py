@@ -207,6 +207,7 @@ class TestRetryChain:
             "evictions",
             "entries",
             "hit_rate",
+            "max_entries",
         }
 
     def test_solve_before_setup_raises(self):

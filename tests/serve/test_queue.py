@@ -1,0 +1,128 @@
+"""AdmissionQueue: backpressure policies, tenant fairness, group views."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.serve import AdmissionQueue, SolveRequest
+
+
+def _req(rid, tenant="t0", key="m", arrival=None, priority=0, deadline=math.inf):
+    return SolveRequest(
+        request_id=rid,
+        tenant=tenant,
+        matrix_key=key,
+        b=np.ones(3),
+        arrival_time=float(rid) if arrival is None else arrival,
+        priority=priority,
+        deadline=deadline,
+    )
+
+
+class TestAdmission:
+    def test_push_within_capacity_admits(self):
+        q = AdmissionQueue(capacity=2)
+        assert q.push(_req(0)) == []
+        assert q.push(_req(1)) == []
+        assert len(q) == 2
+
+    def test_reject_policy_bounces_newcomer(self):
+        q = AdmissionQueue(capacity=1, policy="reject")
+        q.push(_req(0))
+        newcomer = _req(1)
+        assert q.push(newcomer) == [newcomer]
+        assert len(q) == 1
+        assert q.n_displaced == 1
+
+    def test_shed_oldest_evicts_longest_waiting(self):
+        q = AdmissionQueue(capacity=2, policy="shed_oldest")
+        old, mid, new = _req(0), _req(1), _req(2)
+        q.push(old), q.push(mid)
+        displaced = q.push(new)
+        assert displaced == [old]
+        assert len(q) == 2
+        remaining = q.take(new.batch_key, 5)
+        assert new in remaining and mid in remaining  # the newcomer was admitted
+
+    def test_shed_oldest_across_groups(self):
+        q = AdmissionQueue(capacity=2, policy="shed_oldest")
+        a = _req(0, key="ma")
+        b = _req(1, key="mb")
+        q.push(a), q.push(b)
+        victim = q.push(_req(2, key="mb"))
+        assert victim == [a]  # globally oldest, regardless of group
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError, match="capacity"):
+            AdmissionQueue(capacity=0)
+        with pytest.raises(ValueError, match="policy"):
+            AdmissionQueue(policy="drop")
+
+    def test_peak_depth_tracks_high_water(self):
+        q = AdmissionQueue(capacity=8)
+        for i in range(5):
+            q.push(_req(i))
+        q.take(_req(0).batch_key, 5)
+        assert len(q) == 0
+        assert q.peak_depth == 5
+
+
+class TestFairness:
+    def test_round_robin_across_tenants(self):
+        q = AdmissionQueue(capacity=16)
+        # tenant a floods, tenant b sends one
+        for i in range(5):
+            q.push(_req(i, tenant="a"))
+        q.push(_req(10, tenant="b"))
+        got = q.take(_req(0).batch_key, 2)
+        tenants = {r.tenant for r in got}
+        assert tenants == {"a", "b"}  # b is not starved by a's flood
+
+    def test_priority_orders_within_tenant(self):
+        q = AdmissionQueue(capacity=8)
+        low = _req(0, priority=0)
+        high = _req(1, priority=2)
+        q.push(low), q.push(high)
+        got = q.take(low.batch_key, 1)
+        assert got == [high]
+
+    def test_cursor_rotates_between_takes(self):
+        q = AdmissionQueue(capacity=32)
+        key = _req(0).batch_key
+        for i in range(4):
+            q.push(_req(i, tenant="a"))
+            q.push(_req(10 + i, tenant="b"))
+        first = q.take(key, 1)[0].tenant
+        second = q.take(key, 1)[0].tenant
+        assert {first, second} == {"a", "b"}  # leadership rotated
+
+    def test_take_drains_in_arrival_order_single_tenant(self):
+        q = AdmissionQueue(capacity=8)
+        reqs = [_req(i) for i in (3, 1, 2)]
+        for r in reqs:
+            q.push(r)
+        got = q.take(reqs[0].batch_key, 3)
+        assert [r.request_id for r in got] == [1, 2, 3]
+
+
+class TestGroupViews:
+    def test_group_sizes_and_times(self):
+        q = AdmissionQueue(capacity=16)
+        q.push(_req(0, key="ma", arrival=1.0, deadline=9.0))
+        q.push(_req(1, key="ma", arrival=2.0, deadline=5.0))
+        q.push(_req(2, key="mb", arrival=0.5))
+        ka = _req(0, key="ma").batch_key
+        kb = _req(0, key="mb").batch_key
+        assert q.group_sizes() == {ka: 2, kb: 1}
+        assert q.oldest_arrival(ka) == 1.0
+        assert q.min_deadline(ka) == 5.0
+        assert q.min_deadline(("nope", "richardson", 1e-8, 200)) == math.inf
+
+    def test_take_prunes_empty_groups(self):
+        q = AdmissionQueue(capacity=8)
+        r = _req(0)
+        q.push(r)
+        q.take(r.batch_key, 1)
+        assert q.group_sizes() == {}
+        assert not q
