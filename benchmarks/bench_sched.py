@@ -1,0 +1,313 @@
+"""Trisolve scheduler crossover study (``docs/schedulers.md``).
+
+Simulates every scheduler in :mod:`repro.sched` over a grid of DAG
+shapes × machines × core counts × staleness budgets, and gates the
+subsystem's contracts:
+
+* every superstep plan is a valid topological execution (structural
+  validation plus a happens-before replay of its barrier schedule);
+* every exact mode is **bit-identical** to the p2p/level-batched
+  reference solve (superstep, syncfree, and elastic at ``tol == 0``);
+* staleness mode (``elastic_tol > 0``) converges within tolerance;
+* at least one new scheduler beats p2p by ≥ 1.3× simulated solve time
+  on at least one shape × machine point (the crossover exists).
+
+The crossover narrative the full run records: superstep wins where
+levels are thin and spins are slow (deep chains on KNL-class cores —
+the DAG partition keeps a chain's rows on one thread and pays *no*
+sync, while p2p's round-robin dealing pays a spin per row); elastic's
+exact fixpoint prices every correction sweep, so it trails badly on
+chains (``final_sweep`` grows with depth) and narrows only on
+shallow-wide shapes; syncfree matches p2p in the DES (both are
+poll-priced) but is the schedule of record on the ``gpulike`` preset,
+where the barrier times recorded alongside show a device-wide barrier
+costing thousands of flag polls.
+
+Run as a script::
+
+    PYTHONPATH=src python benchmarks/bench_sched.py           # full run,
+        # records benchmarks/results/BENCH_sched.json
+    PYTHONPATH=src python benchmarks/bench_sched.py --check   # fast CI
+        # gate: exits non-zero on any broken contract
+"""
+
+import argparse
+import json
+import os
+import sys
+
+import numpy as np
+
+from repro.kernels import cached_analysis, clear_default_cache
+from repro.machine import SimMachine, gpulike
+from repro.sched import (
+    SchedOptions,
+    build_superstep_plan,
+    get_scheduler,
+    superstep_stats,
+    validate_superstep_plan,
+)
+from repro.sparse.csr import CSRMatrix
+from repro.verify import replay_superstep_schedule
+
+from bench_util import HASWELL, KNL, RESULTS_DIR, SCALE, level_ordered_pattern
+
+BASELINE_PATH = os.path.join(RESULTS_DIR, "BENCH_sched.json")
+
+GPULIKE = gpulike().scaled_overheads(SCALE)
+
+#: the schedulers whose wins the crossover gate may count
+NEW_SCHEDULERS = ("superstep", "elastic", "syncfree")
+
+
+# ----------------------------------------------------------------------
+# DAG shapes
+# ----------------------------------------------------------------------
+def chain_matrix(n):
+    """Tridiagonal chain: ``n`` levels of width 1 — the deep/thin extreme."""
+    indptr = [0]
+    indices = []
+    for i in range(n):
+        indices.extend(c for c in (i - 1, i, i + 1) if 0 <= c < n)
+        indptr.append(len(indices))
+    return _with_values(
+        CSRMatrix(n, n, np.asarray(indptr), np.asarray(indices), np.ones(len(indices)))
+    )
+
+
+def wide_matrix(n_levels, width):
+    """``width`` independent chains interleaved: shallow/wide extreme.
+
+    Row ``l * width + j`` depends only on its predecessor in chain
+    ``j`` — every level holds ``width`` independent rows.
+    """
+    n = n_levels * width
+    indptr = [0]
+    indices = []
+    for r in range(n):
+        l, j = divmod(r, width)
+        if l > 0:
+            indices.append(r - width)
+        indices.append(r)
+        indptr.append(len(indices))
+    return _with_values(
+        CSRMatrix(n, n, np.asarray(indptr), np.asarray(indices), np.ones(len(indices)))
+    )
+
+
+def grid_matrix(nx):
+    """ILU(0) pattern of ``grid2d(nx)`` in level order — the realistic mix."""
+    Sp, _ = level_ordered_pattern(nx)
+    return _with_values(Sp)
+
+
+def _with_values(S):
+    """Deterministic diagonally-dominant values on a pattern (a factor stand-in)."""
+    from repro.kernels.plans import diag_positions
+
+    rng = np.random.default_rng(S.n_rows)
+    F = CSRMatrix(
+        S.n_rows, S.n_cols, S.indptr.copy(), S.indices.copy(),
+        0.1 * rng.standard_normal(int(S.indptr[-1])),
+        sort=False, check=False,
+    )
+    dp = diag_positions(F)
+    F.data[dp] = 3.0 + np.abs(F.data[dp])
+    return F
+
+
+def shapes(check):
+    if check:
+        return {"chain-200": chain_matrix(200), "wide-12x64": wide_matrix(12, 64),
+                "grid-16": grid_matrix(16)}
+    return {
+        "chain-400": chain_matrix(400),
+        "chain-1200": chain_matrix(1200),
+        "wide-16x128": wide_matrix(16, 128),
+        "wide-48x32": wide_matrix(48, 32),
+        "grid-24": grid_matrix(24),
+        "grid-48": grid_matrix(48),
+    }
+
+
+def machines(check):
+    if check:
+        return [("haswell", HASWELL, 14), ("knl", KNL, 68), ("gpulike", GPULIKE, 256)]
+    return [
+        ("haswell", HASWELL, 14),
+        ("haswell", HASWELL, 28),
+        ("knl", KNL, 68),
+        ("gpulike", GPULIKE, 256),
+        ("gpulike", GPULIKE, 1024),
+    ]
+
+
+# ----------------------------------------------------------------------
+# contract gates
+# ----------------------------------------------------------------------
+def check_plans(F, *, thread_counts=(2, 4, 8)):
+    """Superstep plans must be valid topological executions (both parts)."""
+    failures = []
+    for part in ("lower", "upper"):
+        for p in thread_counts:
+            plan = build_superstep_plan(F, part, n_threads=p)
+            errs = validate_superstep_plan(plan, F)
+            failures += [f"{part}/p={p}: {e}" for e in errs]
+            rep = replay_superstep_schedule(F, plan)
+            if not rep.ok:
+                failures.append(
+                    f"{part}/p={p}: race replay found {len(rep.witnesses)} witness(es)"
+                )
+    return failures
+
+
+def check_numerics(F, *, staleness=(1, 4), tol_mode=1e-11):
+    """Exact modes bit-identical to p2p; staleness mode within tolerance."""
+    failures = []
+    rng = np.random.default_rng(7)
+    b = rng.standard_normal(F.n_rows)
+    ref = get_scheduler("p2p").solve(F, b)
+    for name in ("barrier", "superstep", "syncfree"):
+        x = get_scheduler(name).solve(F, b, opts=SchedOptions(scheduler=name, n_threads=4))
+        if not np.array_equal(x, ref):
+            failures.append(f"{name}: exact mode differs from p2p (max "
+                            f"|Δ|={np.abs(x - ref).max():.3e})")
+    el = get_scheduler("elastic")
+    for st in staleness:
+        opts = SchedOptions(scheduler="elastic", staleness=st)
+        x = el.solve(F, b, opts=opts)
+        if not np.array_equal(x, ref):
+            failures.append(f"elastic(staleness={st}, tol=0): differs from p2p")
+        xt = el.solve(F, b, opts=opts.with_(elastic_tol=tol_mode))
+        err = float(np.abs(xt - ref).max()) / max(1.0, float(np.abs(ref).max()))
+        if err > 1e-8:
+            failures.append(
+                f"elastic(staleness={st}, tol={tol_mode}): relative error {err:.3e}"
+            )
+    return failures
+
+
+# ----------------------------------------------------------------------
+# crossover study
+# ----------------------------------------------------------------------
+def crossover(check):
+    """Simulated solve time of every scheduler on every (shape, machine)."""
+    staleness_budgets = (1, 4) if check else (1, 4, 8)
+    points = []
+    for shape, F in shapes(check).items():
+        clear_default_cache()
+        an = cached_analysis(F)
+        for mname, spec, p in machines(check):
+            m = SimMachine(spec, p)
+            opts = SchedOptions(n_threads=p)
+            times = {
+                "p2p": get_scheduler("p2p").simulate(F, m, opts=opts),
+                "barrier": get_scheduler("barrier").simulate(F, m, opts=opts),
+                "superstep": get_scheduler("superstep").simulate(F, m, opts=opts),
+                "syncfree": get_scheduler("syncfree").simulate(F, m, opts=opts),
+            }
+            for st in staleness_budgets:
+                times[f"elastic-s{st}"] = get_scheduler("elastic").simulate(
+                    F, m, opts=opts.with_(staleness=st)
+                )
+            best_new = min(
+                v for k, v in times.items()
+                if k.split("-")[0] in NEW_SCHEDULERS
+            )
+            pl = an.superstep_plan("lower", n_threads=p, opts=opts)
+            points.append(
+                {
+                    "shape": shape,
+                    "n": int(F.n_rows),
+                    "machine": mname,
+                    "p": p,
+                    "times": {k: float(v) for k, v in times.items()},
+                    "speedup_vs_p2p": float(times["p2p"] / best_new),
+                    "superstep": superstep_stats(pl),
+                }
+            )
+    return points
+
+
+def run(check):
+    failures = []
+    print("bench_sched: plan validity + numeric identity")
+    for shape, F in shapes(check).items():
+        for f in check_plans(F):
+            failures.append(f"{shape}: {f}")
+        for f in check_numerics(F):
+            failures.append(f"{shape}: {f}")
+        print(f"  {shape:12s} n={F.n_rows:6d}: plans valid, exact modes bit-identical")
+
+    print("bench_sched: crossover study")
+    points = crossover(check)
+    best = max(points, key=lambda e: e["speedup_vs_p2p"])
+    for e in points:
+        t = e["times"]
+        print(
+            f"  {e['shape']:12s} {e['machine']:8s} p={e['p']:4d} "
+            f"p2p={t['p2p']:.3e} superstep={t['superstep']:.3e} "
+            f"elastic={min(v for k, v in t.items() if k.startswith('elastic')):.3e} "
+            f"syncfree={t['syncfree']:.3e} best_new={e['speedup_vs_p2p']:.2f}x"
+        )
+    print(
+        f"  best crossover point: {best['shape']} on {best['machine']} "
+        f"p={best['p']} -> {best['speedup_vs_p2p']:.2f}x vs p2p"
+    )
+    if best["speedup_vs_p2p"] < 1.3:
+        failures.append(
+            f"no crossover: best new-scheduler win is {best['speedup_vs_p2p']:.2f}x "
+            "(need >= 1.3x at some shape x machine point)"
+        )
+    return points, best, failures
+
+
+def _run_check():
+    _, _, failures = run(check=True)
+    for f in failures:
+        print(f"FAIL: {f}", file=sys.stderr)
+    if not failures:
+        print("sched check: plans=valid exact=bit-identical staleness=converged "
+              "crossover>=1.3x")
+    return 1 if failures else 0
+
+
+def _run_full():
+    points, best, failures = run(check=False)
+    record = {
+        "meta": {
+            "numpy": np.__version__,
+            "python": sys.version.split()[0],
+            "scale": SCALE,
+            "note": "trisolve scheduler crossover: superstep/elastic/syncfree vs "
+            "p2p/barrier; exact modes are bit-identical to the p2p path, the "
+            "crossover gate requires one >=1.3x win vs p2p",
+        },
+        "points": points,
+        "best_crossover": best,
+        "gate": {"min_speedup_vs_p2p": 1.3, "met": best["speedup_vs_p2p"] >= 1.3},
+        "failures": failures,
+    }
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(BASELINE_PATH, "w") as fh:
+        json.dump(record, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {BASELINE_PATH}")
+    for f in failures:
+        print(f"FAIL: {f}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument(
+        "--check",
+        action="store_true",
+        help="fast CI gate: small shapes, fail on any broken scheduler contract",
+    )
+    args = ap.parse_args(argv)
+    return _run_check() if args.check else _run_full()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

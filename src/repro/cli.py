@@ -233,6 +233,73 @@ def cmd_obs_report(args):
     return 0
 
 
+def _scheduler_timeline_events(args, ilu):
+    """Trace events of one scheduler's simulated forward solve (pid 4).
+
+    Superstep runs its DES kernel and marks every superstep boundary as
+    a global instant; elastic emits the block/correction-sweep clocks of
+    its stale-synchronous simulation; syncfree shows the per-lane
+    self-scheduled timeline.  ``p2p``/``barrier`` add nothing — their
+    timelines are pids 2/3 already.
+    """
+    from . import obs
+    from .kernels import cached_analysis, get_kernel
+    from .machine import SimMachine
+
+    name = args.scheduler
+    if name in (None, "p2p", "barrier"):
+        return []
+    S = ilu.S_perm
+    machine = SimMachine(_machine(args), args.threads)
+    an = cached_analysis(S)
+    fl, tl = an.solve_costs("lower")
+    if name == "superstep":
+        plan = an.superstep_plan("lower", n_threads=args.threads)
+        _, _, trace = get_kernel("superstep_sim")(S, machine, plan, fl, tl)
+        return obs.execution_trace_events(
+            trace,
+            pid=4,
+            cat="sim.sched",
+            step_groups=[plan.step_rows(s) for s in range(plan.n_steps)],
+            thread_prefix="sched thread",
+        )
+    if name == "elastic":
+        from .sched import simulate_elastic
+
+        sched = an.elastic_schedule("lower", staleness=4)
+        ev = []
+        simulate_elastic(S, sched, machine, fl, tl, events=ev)
+        out = []
+        for kind, k, b, clk in ev:
+            label = (
+                f"correction sweep {k} done" if kind == "sweep"
+                else f"sweep {k} block {b} done"
+            )
+            out.append(
+                {
+                    "name": label,
+                    "cat": "sim.sched",
+                    "ph": "i",
+                    "s": "g",
+                    "pid": 4,
+                    "tid": 0,
+                    "ts": clk * 1e6,
+                    "args": {"sweep": int(k), "block": int(b)},
+                }
+            )
+        return out
+    if name == "syncfree":
+        from .machine.trace import ExecutionTrace
+        from .sched import simulate_syncfree
+
+        trace = ExecutionTrace(args.threads)
+        simulate_syncfree(S, machine, fl, tl, part="lower", trace=trace)
+        return obs.execution_trace_events(
+            trace, pid=4, cat="sim.sched", thread_prefix="lane"
+        )
+    raise ValueError(f"unknown scheduler {name!r}")
+
+
 def cmd_obs_export(args):
     from . import obs
 
@@ -243,6 +310,7 @@ def cmd_obs_export(args):
     )
     if rep.lower_trace is not None:
         events += obs.execution_trace_events(rep.lower_trace, pid=3, cat="sim.lower")
+    events += _scheduler_timeline_events(args, ilu)
     errors = obs.validate_events(events)
     if errors:
         for e in errors:
@@ -256,6 +324,7 @@ def cmd_obs_export(args):
             "threads": args.threads,
             "machine": args.machine,
             "lower_method": rep.method,
+            "scheduler": args.scheduler or "p2p",
         },
     )
     print(f"wrote {len(events)} trace events to {args.out} (load in chrome://tracing)")
@@ -366,6 +435,13 @@ def build_parser():
     osp = obs_sub.add_parser("export", help="write a Chrome trace-event JSON file")
     add_obs_run_opts(osp)
     osp.add_argument("--out", default="trace.json", help="output path")
+    osp.add_argument(
+        "--scheduler",
+        default=None,
+        choices=["p2p", "barrier", "superstep", "elastic", "syncfree"],
+        help="add a pid-4 timeline of this trisolve scheduler's simulated "
+        "forward solve (superstep boundaries / correction sweeps / lanes)",
+    )
     osp.set_defaults(func=cmd_obs_export)
 
     osp = obs_sub.add_parser("diff", help="compare two metrics snapshots")

@@ -46,6 +46,9 @@ __all__ = [
     "simulate_trisolve_barrier",
     "simulate_trisolve_p2p",
     "simulate_trisolve_two_stage",
+    "simulate_trisolve_superstep",
+    "simulate_trisolve_elastic",
+    "simulate_trisolve_syncfree",
 ]
 
 
@@ -327,4 +330,90 @@ def simulate_trisolve_two_stage(
         # lower rows; model it with the p2p sweep whose first levels are
         # the (cheap, wide) lower rows
         t = _sweep_p2p(machine, groups_b, bdeps, fu, tu, t + machine.barrier_cost())
+    return t
+
+
+def simulate_trisolve_superstep(
+    S: CSRMatrix,
+    machine: SimMachine,
+    *,
+    opts=None,
+    both=True,
+    backend=None,
+):
+    """Superstep solve: fused multi-level partitions, one barrier each.
+
+    Plans come from the pattern-keyed symbolic cache (so repeated
+    simulations of one pattern reuse the DAG partition); the DES itself
+    is the ``superstep_sim`` kernel from the dispatch registry.
+    """
+    analysis = cached_analysis(S)
+    sim = get_kernel("superstep_sim", backend)
+    fl, tl = row_solve_costs(S, part="lower")
+    plan_l = analysis.superstep_plan(
+        "lower", n_threads=machine.n_threads, opts=opts
+    )
+    t, _, _ = sim(S, machine, plan_l, fl, tl)
+    if both:
+        fu, tu = row_solve_costs(S, part="upper")
+        plan_u = analysis.superstep_plan(
+            "upper", n_threads=machine.n_threads, opts=opts
+        )
+        t, _, _ = sim(
+            S, machine, plan_u, fu, tu, start_time=t + machine.barrier_cost()
+        )
+    return t
+
+
+def simulate_trisolve_elastic(
+    S: CSRMatrix,
+    machine: SimMachine,
+    *,
+    opts=None,
+    both=True,
+    events=None,
+):
+    """Stale-synchronous solve: blocks race, correction sweeps repair."""
+    from ..sched.elastic import simulate_elastic
+    from ..sched.options import SchedOptions
+
+    if opts is None:
+        opts = SchedOptions()
+    analysis = cached_analysis(S)
+    fl, tl = row_solve_costs(S, part="lower")
+    sched_l = analysis.elastic_schedule("lower", staleness=opts.staleness)
+    t = simulate_elastic(
+        S, sched_l, machine, fl, tl, max_sweeps=opts.max_sweeps, events=events
+    )
+    if both:
+        fu, tu = row_solve_costs(S, part="upper")
+        sched_u = analysis.elastic_schedule("upper", staleness=opts.staleness)
+        t = simulate_elastic(
+            S, sched_u, machine, fu, tu,
+            start_time=t + machine.barrier_cost(),
+            max_sweeps=opts.max_sweeps,
+            events=events,
+        )
+    return t
+
+
+def simulate_trisolve_syncfree(
+    S: CSRMatrix,
+    machine: SimMachine,
+    *,
+    both=True,
+    trace=None,
+):
+    """Sync-free self-scheduled solve (GPU-style flag polling, no levels)."""
+    from ..sched.syncfree import simulate_syncfree
+
+    fl, tl = row_solve_costs(S, part="lower")
+    t, _, trace = simulate_syncfree(S, machine, fl, tl, part="lower", trace=trace)
+    if both:
+        fu, tu = row_solve_costs(S, part="upper")
+        # the stage hand-off is one device-wide flush, not per-level
+        t, _, trace = simulate_syncfree(
+            S, machine, fu, tu, part="upper",
+            start_time=t + machine.barrier_cost(), trace=trace,
+        )
     return t

@@ -77,7 +77,12 @@ def freeze_product(obj):
     if isinstance(obj, tuple):
         return tuple(freeze_product(x) for x in obj)
     for field in ("level_of", "level_ptr", "rows", "ent_idx", "ent_local",
-                  "lev_ent_ptr", "diag_idx"):
+                  "lev_ent_ptr", "diag_idx",
+                  # superstep plans (repro.sched)
+                  "step_ptr", "thread_ptr", "thread_of", "step_of",
+                  "step_level_ptr", "seg_rows", "seg_ptr", "seg_ent_ptr",
+                  # elastic schedules (repro.sched)
+                  "block_of", "final_sweep", "ent_ptr"):
         arr = getattr(obj, field, None)
         if isinstance(arr, np.ndarray):
             arr.flags.writeable = False
@@ -165,6 +170,46 @@ class SymbolicAnalysis:
             lambda: build_trisolve_plan(
                 self._pattern,
                 part,
+                levels=self.levels(part),
+                diag_idx=self.diag_pos() if part == "upper" else None,
+            ),
+        )
+
+    def superstep_plan(self, part, *, n_threads, opts=None):
+        """The DAG-partition superstep plan (reuses levels + diag_pos).
+
+        Keyed beside the level/plan products: same pattern, distinct
+        plans per ``(part, n_threads, superstep knobs)``.
+        """
+        from ..sched.options import SchedOptions
+        from ..sched.superstep import build_superstep_plan
+
+        if opts is None:
+            opts = SchedOptions()
+        key = ("superstep", part, int(n_threads), opts.superstep_key())
+        return self._get(
+            key,
+            lambda: build_superstep_plan(
+                self._pattern,
+                part,
+                n_threads=n_threads,
+                opts=opts,
+                levels=self.levels(part),
+                diag_idx=self.diag_pos() if part == "upper" else None,
+            ),
+        )
+
+    def elastic_schedule(self, part, *, staleness):
+        """The stale-synchronous schedule for ``part`` (cached per budget)."""
+        from ..sched.elastic import build_elastic_schedule
+
+        key = ("elastic", part, int(staleness))
+        return self._get(
+            key,
+            lambda: build_elastic_schedule(
+                self._pattern,
+                part,
+                staleness=staleness,
                 levels=self.levels(part),
                 diag_idx=self.diag_pos() if part == "upper" else None,
             ),

@@ -44,6 +44,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..machine.trace import ExecutionTrace
+from ..obs import spans as _spans
 from .registry import register_kernel
 
 __all__ = []  # access via repro.kernels.get_kernel
@@ -205,3 +206,121 @@ def upper_p2p_sim_batched(
         thread_time[t] = stop
         record(t, start, stop, label=("row", r))
     return float(max(thread_time)), np.asarray(finish), trace
+
+
+# ----------------------------------------------------------------------
+# superstep DES kernels (repro.sched DAG-partition schedules)
+# ----------------------------------------------------------------------
+def _check_superstep_machine(machine, plan):
+    if plan.n_threads > machine.n_threads:
+        raise ValueError(
+            f"plan was partitioned for {plan.n_threads} threads but the "
+            f"machine has only {machine.n_threads}"
+        )
+
+
+@register_kernel("superstep_sim", "scalar")
+def superstep_sim_scalar(
+    S,
+    machine,
+    plan,
+    flops,
+    touched,
+    *,
+    start_time=0.0,
+    trace=None,
+    step_times=None,
+):
+    """Reference superstep DES: per-row costing inside each superstep.
+
+    Threads run their superstep rows back-to-back (no intra-step waits
+    by construction of the plan); one barrier separates consecutive
+    supersteps.  ``step_times`` (optional list) receives the clock at
+    each superstep boundary — the observability export's instants.
+    """
+    _check_superstep_machine(machine, plan)
+    p = plan.n_threads
+    if trace is None:
+        trace = ExecutionTrace(machine.n_threads)
+    clock = float(start_time)
+    finish = np.zeros(plan.n)
+    for s in range(plan.n_steps):
+        with _spans.span("sched.superstep", cat="sched", step=s, part=plan.part):
+            step_end = clock
+            for t in range(p):
+                tt = clock
+                for r in plan.thread_rows(s, t):
+                    r = int(r)
+                    stop = tt + machine.work_time(flops[r], touched[r], thread=t)
+                    trace.record(t, tt, stop, label=("row", r))
+                    finish[r] = stop
+                    tt = stop
+                if tt > step_end:
+                    step_end = tt
+            clock = step_end
+            if s < plan.n_steps - 1:
+                clock += machine.barrier_cost()
+        _spans.instant(
+            "sched.superstep_boundary", cat="sched",
+            step=s, part=plan.part, t=clock,
+        )
+        if step_times is not None:
+            step_times.append(clock)
+    return clock, finish, trace
+
+
+@register_kernel("superstep_sim", "batched", default=True)
+def superstep_sim_batched(
+    S,
+    machine,
+    plan,
+    flops,
+    touched,
+    *,
+    start_time=0.0,
+    trace=None,
+    step_times=None,
+):
+    """Batched superstep DES: vectorized row costs, plain-Python loop."""
+    _check_superstep_machine(machine, plan)
+    p = plan.n_threads
+    if trace is None:
+        trace = ExecutionTrace(machine.n_threads)
+    n = plan.n
+    if n == 0:
+        return float(start_time), np.zeros(0), trace
+    work = machine.work_time_batch(
+        np.asarray(flops, dtype=np.float64),
+        np.asarray(touched, dtype=np.float64),
+        thread=plan.thread_of,
+    )
+    work_l = work.tolist()
+    rows_l = plan.rows.tolist()
+    tptr = plan.thread_ptr.tolist()
+    barrier = machine.barrier_cost()
+    clock = float(start_time)
+    finish = [0.0] * n
+    record = trace.record
+    for s in range(plan.n_steps):
+        with _spans.span("sched.superstep", cat="sched", step=s, part=plan.part):
+            step_end = clock
+            for t in range(p):
+                tt = clock
+                for j in range(tptr[s * p + t], tptr[s * p + t + 1]):
+                    r = rows_l[j]
+                    stop = tt + work_l[r]
+                    record(t, tt, stop, label=("row", r))
+                    finish[r] = stop
+                    tt = stop
+                if tt > step_end:
+                    step_end = tt
+            clock = step_end
+            if s < plan.n_steps - 1:
+                clock += barrier
+        _spans.instant(
+            "sched.superstep_boundary", cat="sched",
+            step=s, part=plan.part, t=clock,
+        )
+        if step_times is not None:
+            step_times.append(clock)
+    return clock, np.asarray(finish), trace

@@ -23,7 +23,7 @@ task-queue overhead growing with thread count, and the bandwidth
 roofline that makes ILU memory-bound.
 """
 
-from .topology import MachineSpec, haswell, knl, uniform_machine
+from .topology import MachineSpec, gpulike, haswell, knl, uniform_machine
 from .core import SimMachine
 from .tasking import Task, TaskGraph, simulate_task_graph
 from .trace import ExecutionTrace, Interval
@@ -32,6 +32,7 @@ __all__ = [
     "MachineSpec",
     "haswell",
     "knl",
+    "gpulike",
     "uniform_machine",
     "SimMachine",
     "Task",

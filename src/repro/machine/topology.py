@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-__all__ = ["MachineSpec", "haswell", "knl", "uniform_machine"]
+__all__ = ["MachineSpec", "haswell", "knl", "gpulike", "uniform_machine"]
 
 
 @dataclass(frozen=True)
@@ -139,6 +139,40 @@ def knl() -> MachineSpec:
         task_spawn_overhead=1.2e-6,
         task_dispatch_overhead=2.6e-6,
         task_contention_coeff=0.06e-6,
+    )
+
+
+def gpulike() -> MachineSpec:
+    """A GPU-flavoured lane machine for the sync-free scheduler studies.
+
+    Not a calibrated device model — a *regime* model
+    (``docs/machine_model.md``): thousands of slow scalar lanes, huge
+    aggregate bandwidth, near-free flag polling (an L2 atomic read,
+    single-digit nanoseconds) and *expensive* device-wide barriers
+    (grid sync / kernel relaunch, tens of microseconds).  This inverts
+    the CPU presets' sync economy, which is exactly the regime where
+    Li-style self-scheduled trisolve beats every level-set schedule.
+    """
+    return MachineSpec(
+        name="gpulike",
+        n_sockets=1,
+        cores_per_socket=1024,
+        threads_per_core=1,
+        flops_per_core=5.0e7,  # one slow lane; throughput comes from width
+        vector_lanes=1,  # lanes ARE the vector; no further SIMD per lane
+        vector_efficiency=1.0,
+        smt_throughput=1.0,
+        single_thread_bw=1.5e9,
+        socket_bw=900.0e9,  # HBM-class aggregate
+        numa_remote_factor=1.0,
+        remote_traffic_fraction=0.0,
+        spin_poll=4e-9,  # a flag poll is an L2 atomic, near-free
+        cross_socket_sync_factor=1.0,
+        barrier_base=18e-6,  # a device-wide barrier is a kernel relaunch
+        barrier_per_log2p=1.5e-6,
+        task_spawn_overhead=2.0e-6,
+        task_dispatch_overhead=4.0e-6,
+        task_contention_coeff=0.002e-6,
     )
 
 

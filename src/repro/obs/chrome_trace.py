@@ -89,6 +89,8 @@ def execution_trace_events(
     cat="sim",
     wait_spans=True,
     level_ptr=None,
+    step_groups=None,
+    step_name="superstep",
     fault_plan=None,
     thread_prefix="sim thread",
 ):
@@ -99,8 +101,13 @@ def execution_trace_events(
     category, so Perfetto shows busy vs. wait per thread directly.
     ``level_ptr`` adds a global instant at each level's completion time
     (the boundary a barrier schedule would synchronize on).
-    ``fault_plan`` marks dropped publishes and spin faults on the rows
-    they hit.
+    ``step_groups`` does the same for superstep schedules
+    (:mod:`repro.sched`), whose groups are *not* contiguous row-id
+    ranges: each element is the explicit array of row ids of one
+    superstep, and a global ``"{step_name} N done"`` instant lands at
+    the group's latest row completion — the barrier the schedule
+    actually pays.  ``fault_plan`` marks dropped publishes and spin
+    faults on the rows they hit.
     """
     out = _thread_metadata(range(trace.n_threads), pid, prefix=thread_prefix)
     stop_of_row = {}
@@ -149,6 +156,23 @@ def execution_trace_events(
                 {
                     "name": f"level {lev} done",
                     "cat": f"{cat}.level",
+                    "ph": "i",
+                    "s": "g",
+                    "pid": pid,
+                    "tid": 0,
+                    "ts": max(stops) * _US,
+                    "args": {"rows": len(stops)},
+                }
+            )
+    if step_groups is not None:
+        for s, rows in enumerate(step_groups):
+            stops = [stop_of_row[int(r)].stop for r in rows if int(r) in stop_of_row]
+            if not stops:
+                continue
+            out.append(
+                {
+                    "name": f"{step_name} {s} done",
+                    "cat": f"{cat}.{step_name}",
                     "ph": "i",
                     "s": "g",
                     "pid": pid,

@@ -23,10 +23,15 @@ from .pointtopoint import ProgressBoard, FaultInjectedBoard
 from .threadpool import threaded_factor, threaded_trisolve_lower
 from .threaded_lower import threaded_factor_two_stage
 
+# the superstep executor lives in repro.sched (its plans do too) but is
+# re-exported here beside the other real-thread entry points
+from ..sched.threaded import threaded_trisolve_superstep
+
 __all__ = [
     "ProgressBoard",
     "FaultInjectedBoard",
     "threaded_factor",
     "threaded_trisolve_lower",
     "threaded_factor_two_stage",
+    "threaded_trisolve_superstep",
 ]

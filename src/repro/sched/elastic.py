@@ -1,0 +1,295 @@
+"""Stale-synchronous elastic scheduling for triangular solves.
+
+After Steiner et al. (*Elasticity in Parallel Sparse Triangular
+Solve*): instead of synchronizing at every level, fuse ``staleness + 1``
+consecutive levels into a **block** and let threads race through a
+block without any intra-block synchronization — a row may therefore
+read dependency values up to ``staleness`` levels stale (the
+deterministic model here: intra-block reads see the block-entry
+snapshot; cross-block reads see finished values).  Wrong reads are
+repaired by **correction sweeps**: re-running the not-yet-final rows,
+block by block, until every row has consumed final inputs.
+
+The convergence argument is structural, not numerical.  Define
+``final_sweep[r]`` by the recursion
+
+    final_sweep[r] = max over deps d of
+        final_sweep[d] + 1   if d is in r's block   (stale read)
+        final_sweep[d]       if d is in an earlier block (fresh read)
+
+(0 with no deps).  Sweep ``k`` recomputes exactly the rows with
+``final_sweep >= k``; after its sweep ``final_sweep[r]``, row ``r``
+holds the bit-exact reference value (every input it read was final).
+The whole solve therefore finishes in ``max(final_sweep) + 1`` sweeps
+— elasticity trades ``n_levels`` synchronizations for
+``n_blocks × n_sweeps`` *cheaper* ones, which wins exactly when
+intra-block dependency chains are short (shallow, wide DAGs) and loses
+on deep chains (``final_sweep`` grows by ``staleness`` per block).
+``elastic_tol > 0`` stops sweeping early instead, accepting an
+iterative-correction answer within the given tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..kernels.plans import backward_level_sets, diag_positions, forward_level_sets
+from ..obs import spans as _spans
+from .options import SchedOptions
+
+__all__ = [
+    "ElasticSchedule",
+    "build_elastic_schedule",
+    "elastic_solve_part",
+    "simulate_elastic",
+]
+
+
+@dataclass
+class ElasticSchedule:
+    """Structural products of one stale-synchronous sweep schedule.
+
+    ``block_of[r] = level_of[r] // (staleness + 1)``; ``final_sweep``
+    is the correction-depth recursion above; ``ent_ptr``/``ent_idx``
+    are the strict-``part`` entries of each row (CSR order, ascending
+    column — the bit-identity accumulation order), used by both numeric
+    backends to gather arbitrary active-row subsets.
+    """
+
+    part: str
+    staleness: int
+    n: int
+    level_of: np.ndarray
+    level_ptr: np.ndarray
+    rows: np.ndarray
+    block_of: np.ndarray
+    final_sweep: np.ndarray
+    ent_ptr: np.ndarray
+    ent_idx: np.ndarray
+    diag_idx: np.ndarray | None = None
+
+    @property
+    def n_levels(self) -> int:
+        return self.level_ptr.shape[0] - 1
+
+    @property
+    def n_blocks(self) -> int:
+        span = self.staleness + 1
+        return -(-self.n_levels // span) if self.n_levels else 0
+
+    @property
+    def n_sweeps(self) -> int:
+        """Sweeps to the exact fixpoint (``max(final_sweep) + 1``)."""
+        return int(self.final_sweep.max()) + 1 if self.n else 0
+
+    def block_levels(self, b):
+        """The level range ``[lo, hi)`` of block ``b``."""
+        span = self.staleness + 1
+        return b * span, min((b + 1) * span, self.n_levels)
+
+
+def build_elastic_schedule(
+    pattern,
+    part: str = "lower",
+    *,
+    staleness: int,
+    levels=None,
+    diag_idx=None,
+) -> ElasticSchedule:
+    """Build the stale-synchronous schedule of ``pattern``'s ``part`` DAG."""
+    if part not in ("lower", "upper"):
+        raise ValueError("part must be 'lower' or 'upper'")
+    staleness = int(staleness)
+    if staleness < 0:
+        raise ValueError(f"staleness must be >= 0, got {staleness}")
+    n = pattern.n_rows
+    if levels is None:
+        levels = forward_level_sets(pattern) if part == "lower" else backward_level_sets(pattern)
+    if part == "upper" and diag_idx is None:
+        diag_idx = diag_positions(pattern)
+    level_of = np.asarray(levels.level_of, dtype=np.int64)
+    block_of = level_of // (staleness + 1)
+    indptr, indices = pattern.indptr, pattern.indices
+    # strict-part entry CSR (storage indices, ascending column per row)
+    row_of = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+    mask = indices < row_of if part == "lower" else indices > row_of
+    ent_idx = np.flatnonzero(mask)
+    cnt = np.bincount(row_of[ent_idx], minlength=n) if ent_idx.size else np.zeros(n, np.int64)
+    ent_ptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(cnt, out=ent_ptr[1:])
+    # correction-depth recursion, rows visited in level (topological) order
+    final_sweep = np.zeros(n, dtype=np.int64)
+    lrows = np.asarray(levels.rows, dtype=np.int64)
+    for r in lrows:
+        r = int(r)
+        ents = ent_idx[ent_ptr[r] : ent_ptr[r + 1]]
+        if ents.size:
+            d = indices[ents]
+            fs = final_sweep[d] + (block_of[d] == block_of[r])
+            final_sweep[r] = int(fs.max())
+    return ElasticSchedule(
+        part=part,
+        staleness=staleness,
+        n=n,
+        level_of=level_of,
+        level_ptr=np.asarray(levels.level_ptr, dtype=np.int64),
+        rows=lrows,
+        block_of=block_of,
+        final_sweep=final_sweep,
+        ent_ptr=ent_ptr,
+        ent_idx=ent_idx,
+        diag_idx=diag_idx,
+    )
+
+
+def _subset_entries(sched: ElasticSchedule, rows):
+    """Gather the strict entries of ``rows``: (ent_storage, local_row)."""
+    cnt = sched.ent_ptr[rows + 1] - sched.ent_ptr[rows]
+    tot = int(cnt.sum())
+    if tot == 0:
+        return np.empty(0, np.int64), np.empty(0, np.int64)
+    heads = sched.ent_ptr[rows]
+    offs = np.repeat(heads - np.r_[np.int64(0), np.cumsum(cnt)[:-1]], cnt)
+    ents = sched.ent_idx[offs + np.arange(tot, dtype=np.int64)]
+    local = np.repeat(np.arange(rows.shape[0], dtype=np.int64), cnt)
+    return ents, local
+
+
+def elastic_solve_part(
+    F,
+    rhs,
+    sched: ElasticSchedule,
+    *,
+    tol: float = 0.0,
+    max_sweeps: int = 128,
+    backend: str = "batched",
+):
+    """One stale-synchronous triangular sweep (lower or upper part).
+
+    ``tol == 0`` runs ``sched.n_sweeps`` correction sweeps — the exact
+    fixpoint, bit-identical to the reference sweeps.  ``tol > 0`` stops
+    after the first sweep whose largest correction is at most
+    ``tol * max(1, ||x||_inf)``.  Both backends share the iteration
+    structure; the scalar one accumulates per row, the batched one per
+    (block, level) segment with the same ascending-entry order.
+    """
+    rhs = np.asarray(rhs, dtype=np.float64)
+    n = sched.n
+    x = np.zeros(n)
+    data, indices = F.data, F.indices
+    diag = data[sched.diag_idx] if sched.part == "upper" else None
+    n_sweeps = min(sched.n_sweeps, int(max_sweeps)) if n else 0
+    fs = sched.final_sweep
+    lrows, level_ptr = sched.rows, sched.level_ptr
+    span = sched.staleness + 1
+    for k in range(n_sweeps):
+        active_mask = fs >= k
+        n_active = int(np.count_nonzero(active_mask))
+        if n_active == 0:
+            break
+        delta = 0.0
+        with _spans.span("sched.elastic.sweep", cat="sched", sweep=k, active=n_active):
+            for b in range(sched.n_blocks):
+                lo, hi = sched.block_levels(b)
+                rlo, rhi = int(level_ptr[lo]), int(level_ptr[hi])
+                brows = lrows[rlo:rhi]
+                brows = brows[active_mask[brows]]
+                if brows.size == 0:
+                    continue
+                snap = x.copy()  # block-entry snapshot: the stale reads
+                for lev in range(lo, hi):
+                    rows_l = brows[sched.level_of[brows] == lev]
+                    if rows_l.size == 0:
+                        continue
+                    if backend == "scalar":
+                        for r in rows_l:
+                            r = int(r)
+                            s = 0.0
+                            for e in sched.ent_idx[sched.ent_ptr[r] : sched.ent_ptr[r + 1]]:
+                                c = int(indices[e])
+                                v = snap[c] if sched.block_of[c] == b else x[c]
+                                s += data[e] * v
+                            new = rhs[r] - s
+                            if sched.part == "upper":
+                                new = new / data[sched.diag_idx[r]]
+                            if tol > 0.0:
+                                delta = max(delta, abs(new - x[r]))
+                            x[r] = new
+                    else:
+                        ents, local = _subset_entries(sched, rows_l)
+                        if ents.size:
+                            c = indices[ents]
+                            src = np.where(sched.block_of[c] == b, snap[c], x[c])
+                            prod = data[ents] * src
+                            s = np.bincount(local, weights=prod, minlength=rows_l.shape[0])
+                        else:
+                            s = 0.0
+                        new = rhs[rows_l] - s
+                        if sched.part == "upper":
+                            new = new / diag[rows_l]
+                        if tol > 0.0:
+                            d = np.abs(new - x[rows_l])
+                            if d.size:
+                                delta = max(delta, float(d.max()))
+                        x[rows_l] = new
+        _spans.instant(
+            "sched.correction_sweep", cat="sched",
+            sweep=k, active=n_active, part=sched.part,
+        )
+        if tol > 0.0 and delta <= tol * max(1.0, float(np.abs(x).max())):
+            break
+    return x
+
+
+def simulate_elastic(
+    S,
+    sched: ElasticSchedule,
+    machine,
+    flops,
+    touched,
+    *,
+    start_time: float = 0.0,
+    max_sweeps: int = 128,
+    events=None,
+):
+    """Modelled time of the stale-synchronous sweep on a SimMachine.
+
+    Sweep ``k`` processes every block that still has active rows
+    (``final_sweep >= k``): the block's active rows are dealt
+    round-robin across threads with *no* intra-block waits, then one
+    barrier separates it from the next processed block.  ``events``
+    (optional list) receives ``("sweep"|"block", sweep, block, clock)``
+    tuples for the observability export.
+    """
+    p = machine.n_threads
+    clock = float(start_time)
+    n_sweeps = min(sched.n_sweeps, int(max_sweeps))
+    fs = sched.final_sweep
+    lrows, level_ptr = sched.rows, sched.level_ptr
+    first = True
+    for k in range(n_sweeps):
+        active_mask = fs >= k
+        if not active_mask.any():
+            break
+        for b in range(sched.n_blocks):
+            lo, hi = sched.block_levels(b)
+            brows = lrows[int(level_ptr[lo]) : int(level_ptr[hi])]
+            brows = brows[active_mask[brows]]
+            if brows.size == 0:
+                continue
+            if not first:
+                clock += machine.barrier_cost()
+            first = False
+            thread_time = np.zeros(p)
+            for j, r in enumerate(brows):
+                r = int(r)
+                t = j % p
+                thread_time[t] += machine.work_time(flops[r], touched[r], thread=t)
+            clock += float(thread_time.max())
+            if events is not None:
+                events.append(("block", k, b, clock))
+        if events is not None:
+            events.append(("sweep", k, -1, clock))
+    return clock

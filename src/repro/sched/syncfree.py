@@ -1,0 +1,73 @@
+"""Sync-free self-scheduling trisolve (GPU-style, after Li's CUDA solver).
+
+No levels, no barriers, no per-level dealing: row ``r`` is pinned to
+lane ``r mod L`` over ``L`` persistent lanes, and each lane simply
+spins on a per-row *ready* flag for every dependency before computing
+— the whole schedule is the data flow itself.  This only makes sense
+on a machine with thousands of slow lanes and cheap atomics (a GPU's
+``__threadfence`` + flag polling), which is what the
+:func:`repro.machine.gpulike` preset models: the barrier a level-set
+schedule would pay per level costs microseconds device-wide, while the
+per-dependency flag poll costs nanoseconds.
+
+Numerically the mode is exact by construction — any completion order
+consumes finished dependency values and each row's accumulation
+arithmetic is unchanged — so the numeric path is the standard batched
+kernel; only the *time* model differs, which is what
+:func:`simulate_syncfree` computes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["simulate_syncfree"]
+
+
+def simulate_syncfree(
+    S,
+    machine,
+    flops,
+    touched,
+    *,
+    part: str = "lower",
+    start_time: float = 0.0,
+    trace=None,
+):
+    """Modelled time of the self-scheduled sweep on a SimMachine.
+
+    Lane assignment is ``r mod n_threads`` in row order (the natural
+    CUDA block/warp numbering).  A row starts when its lane is free and
+    every dependency's ready flag has been observed — one
+    ``sync_latency`` poll per *distinct producing lane*, no barriers
+    anywhere.  Returns ``(makespan, finish, trace)`` like the DES
+    kernels.
+    """
+    n = S.n_rows
+    p = machine.n_threads
+    lane_time = [float(start_time)] * p
+    finish = [0.0] * n
+    sync = machine.sync_latency_matrix().tolist()
+    indptr, indices = S.indptr, S.indices
+    if trace is not None:
+        record = trace.record
+    order = range(n) if part == "lower" else range(n - 1, -1, -1)
+    for r in order:
+        t = r % p
+        start = lane_time[t]
+        cols = indices[indptr[r] : indptr[r + 1]]
+        deps = cols[cols < r] if part == "lower" else cols[cols > r]
+        row_sync = sync[t]
+        for d in deps:
+            d = int(d)
+            u = d % p
+            cand = finish[d] + (row_sync[u] if u != t else 0.0)
+            if cand > start:
+                start = cand
+        stop = start + machine.work_time(flops[r], touched[r], thread=t)
+        finish[r] = stop
+        lane_time[t] = stop
+        if trace is not None:
+            record(t, start, stop, label=("row", r))
+    makespan = float(max(lane_time)) if n else float(start_time)
+    return makespan, np.asarray(finish), trace

@@ -43,6 +43,7 @@ import numpy as np
 from ..matrices import grid2d
 from ..obs.metrics import MetricsRegistry, validate_metrics
 from ..resilience import FaultPlan, ResilientFactor
+from ..sched.options import SCHEDULER_NAMES
 from .batcher import BatchPolicy
 from .request import OUTCOMES
 from .workers import CostModel, SolveService, blocked_richardson
@@ -132,8 +133,14 @@ def _measure_speedup(widths, *, nx=48, tol=1e-8, maxiter=60):
     return out
 
 
-def run_bench(*, check=False, seed=0, out_path="BENCH_serve.json"):
-    """Run the serving benchmark; returns (record, n_failures)."""
+def run_bench(*, check=False, seed=0, out_path="BENCH_serve.json", scheduler=None):
+    """Run the serving benchmark; returns (record, n_failures).
+
+    ``scheduler`` stamps every generated request with that trisolve
+    scheduler (see :data:`repro.sched.SCHEDULER_NAMES`); the default
+    ``None`` keeps the historical p2p pricing, bit-identical to the
+    pre-knob service.
+    """
     failures = []
 
     def gate(ok, name):
@@ -150,6 +157,7 @@ def run_bench(*, check=False, seed=0, out_path="BENCH_serve.json"):
             deadline_lo=0.02,
             deadline_hi=0.2,
             maxiter=60,
+            scheduler=scheduler,
         )
     else:
         spec = WorkloadSpec(
@@ -160,6 +168,7 @@ def run_bench(*, check=False, seed=0, out_path="BENCH_serve.json"):
             deadline_lo=0.05,
             deadline_hi=0.5,
             maxiter=80,
+            scheduler=scheduler,
         )
 
     print("serve bench: workload")
@@ -230,6 +239,7 @@ def run_bench(*, check=False, seed=0, out_path="BENCH_serve.json"):
     record = {
         "bench": "serve",
         "mode": "check" if check else "full",
+        "scheduler": scheduler or "p2p",
         "spec": dataclasses.asdict(spec),
         "workload": summary,
         "fault_workload": fault_summary,
@@ -259,12 +269,22 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--check", action="store_true", help="fast CI gate")
     b.add_argument("--seed", type=int, default=0)
     b.add_argument("--out", default="BENCH_serve.json", help="output JSON path")
+    b.add_argument(
+        "--scheduler",
+        default=None,
+        choices=list(SCHEDULER_NAMES),
+        help="trisolve scheduler stamped on every request "
+        "(default: the service's p2p pricing, unchanged)",
+    )
     return p
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    _, n_failures = run_bench(check=args.check, seed=args.seed, out_path=args.out)
+    _, n_failures = run_bench(
+        check=args.check, seed=args.seed, out_path=args.out,
+        scheduler=args.scheduler,
+    )
     if n_failures:
         print(f"serve bench: {n_failures} gate(s) FAILED")
         return 1

@@ -20,7 +20,7 @@ shape so :func:`repro.obs.record_cache_metrics` works on either.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 __all__ = ["FactorEntry", "FactorCache"]
 
@@ -46,6 +46,8 @@ class FactorEntry:
     build_cost: float = 0.0
     demoted: bool = False
     resetups: int = 0
+    #: per-scheduler sync-point counts, lazily priced by the shards
+    sync_points: dict = field(default_factory=dict)
 
     def refresh_applies(self):
         """Rebuild both applies after the factor's chain advanced."""

@@ -35,6 +35,10 @@ class SolveRequest:
     fairness across tenants is the admission queue's round-robin, so a
     high-priority tenant cannot starve the others.  ``deadline`` is an
     absolute virtual time; ``math.inf`` means best-effort.
+    ``scheduler`` picks the trisolve synchronization strategy for this
+    request's preconditioner applies (one of
+    :data:`repro.sched.SCHEDULER_NAMES`); ``None`` means the service
+    default (p2p — behavior unchanged from before the knob existed).
     """
 
     request_id: int
@@ -47,6 +51,7 @@ class SolveRequest:
     priority: int = 0
     arrival_time: float = 0.0
     maxiter: int = 200
+    scheduler: str | None = None
 
     def __post_init__(self):
         object.__setattr__(self, "b", np.asarray(self.b, dtype=np.float64))
@@ -56,6 +61,14 @@ class SolveRequest:
             raise ValueError(f"tol must be positive, got {self.tol}")
         if self.maxiter < 1:
             raise ValueError(f"maxiter must be >= 1, got {self.maxiter}")
+        if self.scheduler is not None:
+            from ..sched.options import SCHEDULER_NAMES
+
+            if self.scheduler not in SCHEDULER_NAMES:
+                raise ValueError(
+                    f"unknown scheduler {self.scheduler!r}; "
+                    f"one of {SCHEDULER_NAMES} or None"
+                )
 
     @property
     def batch_key(self):
@@ -65,9 +78,12 @@ class SolveRequest:
         additionally requires identical solver semantics — same matrix
         (hence same values, not just pattern), tolerance and iteration
         cap — so a batched column is bit-identical to the request
-        served alone.
+        served alone.  The scheduler is part of the key: exact
+        schedulers produce identical bits, but their *cost* (and an
+        elastic request's tolerance contract) differs, so mixed batches
+        would be mis-priced.
         """
-        return (self.matrix_key, self.solver, self.tol, self.maxiter)
+        return (self.matrix_key, self.solver, self.tol, self.maxiter, self.scheduler)
 
 
 @dataclass(eq=False)

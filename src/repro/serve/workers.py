@@ -84,15 +84,20 @@ class CostModel:
         """Setup charge for one factorization at the given fill tier."""
         return self.factor_per_nnz * float(nnz) * (1.0 + float(fill_level))
 
-    def solve_cost(self, n_levels, nnz, passes, col_iters):
+    def solve_cost(self, n_levels, nnz, passes, col_iters, sync_points=None):
         """Charge for one (possibly batched) iterative solve.
 
         ``passes`` iterations swept the levels once each (shared by
         every active column — the batching win); ``col_iters`` is the
         sum of per-column iteration counts (per-entry work scales with
-        it).
+        it).  ``sync_points`` overrides the per-pass synchronization
+        count — the historical ``2 × n_levels`` of the level-set
+        schedulers — so superstep/elastic/syncfree batches are priced
+        by their actual sync economy (:func:`repro.sched.effective_sync_passes`).
         """
-        per_pass = self.iteration_overhead + 2.0 * float(n_levels) * self.level_pass
+        if sync_points is None:
+            sync_points = 2.0 * float(n_levels)
+        per_pass = self.iteration_overhead + float(sync_points) * self.level_pass
         per_col_iter = float(nnz) * (2.0 * self.entry_op + self.spmv_entry)
         return self.batch_overhead + float(passes) * per_pass + float(col_iters) * per_col_iter
 
@@ -288,6 +293,31 @@ class WorkerShard:
         return entry, charge
 
     # ------------------------------------------------------------------
+    def _scheduler_sync_points(self, entry, scheduler):
+        """Sync-point count of the batch's trisolve scheduler (cached).
+
+        ``None``/``p2p``/``barrier`` keep the historical pricing
+        (``2 × n_levels``, returned as ``None`` so ``solve_cost``'s
+        default applies — the no-knob behavior is bit-identical).  The
+        numeric applies are unchanged either way: every scheduler the
+        service exposes runs in its exact mode, so only the charge
+        moves.
+        """
+        if scheduler in (None, "p2p", "barrier"):
+            return None
+        sp = entry.sync_points.get(scheduler)
+        if sp is None:
+            rf = entry.factor
+            if rf.ilu is None:
+                sp = 2 * entry.n_levels
+            else:
+                from ..sched import effective_sync_passes
+
+                sp = effective_sync_passes(rf.ilu.F, scheduler)
+            entry.sync_points[scheduler] = sp
+        return sp
+
+    # ------------------------------------------------------------------
     def execute(self, batch, A, fingerprint, now):
         """Run one batch starting at virtual time ``now``.
 
@@ -296,24 +326,27 @@ class WorkerShard:
         never change the computed numbers.
         """
         reqs = batch.requests
-        _, solver, tol, maxiter = batch.key
+        _, solver, tol, maxiter, scheduler = batch.key
         budget = min(r.deadline for r in reqs) - now
         entry = self.cache.get(fingerprint)
         factor_charge = 0.0
         if entry is None:
             entry, factor_charge = self._build_entry(A, fingerprint, budget)
+        sync_points = self._scheduler_sync_points(entry, scheduler)
         if solver == "richardson":
             out = blocked_richardson(
                 A, entry, np.stack([r.b for r in reqs], axis=1), tol, maxiter
             )
             solve_charge = self.cost.solve_cost(
-                entry.n_levels, entry.nnz, out["passes"], out["col_iters"]
+                entry.n_levels, entry.nnz, out["passes"], out["col_iters"],
+                sync_points=sync_points,
             )
         else:
             out = self._krylov(A, entry, reqs, solver, tol, maxiter)
             solve_charge = self.cost.solve_cost(
                 entry.n_levels, entry.nnz, int(out["iterations"].sum()),
                 int(out["iterations"].sum()),
+                sync_points=sync_points,
             )
         service = factor_charge + solve_charge
         plan = self.fault_plan

@@ -54,6 +54,7 @@ class WorkloadSpec:
     tol: float = 1e-8
     maxiter: int = 200
     drift: float = 0.1
+    scheduler: str | None = None  # trisolve scheduler for every request
 
     def __post_init__(self):
         if self.n_requests < 1:
@@ -121,6 +122,7 @@ def generate_requests(spec: WorkloadSpec, matrices):
                 priority=int(rng.integers(3)),
                 arrival_time=now,
                 maxiter=spec.maxiter,
+                scheduler=spec.scheduler,
             )
         )
     return reqs

@@ -45,6 +45,7 @@ from .races import (
     RaceReport,
     RaceWitness,
     replay_schedule,
+    replay_superstep_schedule,
     replay_trace,
     sync_edges_from_producer_csr,
     thread_sequences,
@@ -72,6 +73,7 @@ __all__ = [
     "RaceWitness",
     "RaceReport",
     "replay_schedule",
+    "replay_superstep_schedule",
     "replay_trace",
     "thread_sequences",
     "sync_edges_from_producer_csr",

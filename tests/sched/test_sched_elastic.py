@@ -1,0 +1,101 @@
+"""Elastic (stale-synchronous) schedules: exactness, tolerance, structure."""
+
+import numpy as np
+import pytest
+
+from helpers import random_csr
+from repro.core.trisolve import trisolve_factor_levels
+from repro.kernels import cached_analysis, clear_default_cache, get_kernel
+from repro.sched import SchedOptions, build_elastic_schedule, get_scheduler
+from repro.sched.elastic import elastic_solve_part
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_default_cache()
+    yield
+    clear_default_cache()
+
+
+@pytest.fixture
+def F():
+    return random_csr(50, density=0.2, seed=11)
+
+
+@pytest.mark.parametrize("staleness", [0, 1, 3, 8])
+def test_exact_mode_bit_identical_for_every_staleness(F, staleness):
+    rng = np.random.default_rng(1)
+    b = rng.standard_normal(F.n_rows)
+    ref = trisolve_factor_levels(F, b)
+    opts = SchedOptions(scheduler="elastic", staleness=staleness)
+    x = get_scheduler("elastic").solve(F, b, opts=opts)
+    assert np.array_equal(x, ref)
+
+
+def test_staleness_zero_needs_one_sweep(F):
+    sched = build_elastic_schedule(F, "lower", staleness=0)
+    # blocks of one level: no intra-block staleness, no corrections
+    assert sched.n_sweeps == 1
+    assert int(sched.final_sweep.max()) == 0
+
+
+def test_final_sweep_is_a_fixpoint_bound(F):
+    sched = build_elastic_schedule(F, "lower", staleness=3)
+    fs = sched.final_sweep
+    blk = sched.block_of
+    indptr, indices = F.indptr, F.indices
+    for r in range(F.n_rows):
+        for c in indices[indptr[r] : indptr[r + 1]]:
+            if c < r:
+                assert fs[r] >= fs[c] + (blk[c] == blk[r])
+
+
+def test_tol_mode_stops_early_and_stays_close(F):
+    rng = np.random.default_rng(2)
+    b = rng.standard_normal(F.n_rows)
+    sched = cached_analysis(F).elastic_schedule("lower", staleness=4)
+    exact = elastic_solve_part(F, b, sched, tol=0.0)
+    loose = elastic_solve_part(F, b, sched, tol=1e-10)
+    y_ref = get_kernel("trisolve_lower")(F, b)
+    assert np.array_equal(exact, y_ref)
+    scale = max(1.0, float(np.abs(y_ref).max()))
+    assert float(np.abs(loose - y_ref).max()) / scale < 1e-8
+
+
+def test_scalar_and_batched_backends_agree(F):
+    rng = np.random.default_rng(5)
+    b = rng.standard_normal(F.n_rows)
+    sched = cached_analysis(F).elastic_schedule("lower", staleness=2)
+    xs = elastic_solve_part(F, b, sched, backend="scalar")
+    xb = elastic_solve_part(F, b, sched, backend="batched")
+    assert np.array_equal(xs, xb)
+
+
+def test_max_sweeps_truncation_is_inexact_but_finite(F):
+    rng = np.random.default_rng(6)
+    b = rng.standard_normal(F.n_rows)
+    sched = cached_analysis(F).elastic_schedule("lower", staleness=8)
+    if sched.n_sweeps > 1:
+        x = elastic_solve_part(F, b, sched, max_sweeps=1)
+        assert np.isfinite(x).all()
+
+
+def test_sync_points_counts_active_blocks(F):
+    el = get_scheduler("elastic")
+    tight = el.sync_points(F, opts=SchedOptions(staleness=0))
+    loose = el.sync_points(F, opts=SchedOptions(staleness=8))
+    an = cached_analysis(F)
+    n_levels = an.plan("lower").n_levels + an.plan("upper").n_levels
+    # staleness 0: one sweep, one sync per level-block -> exactly the levels
+    assert tight == n_levels
+    assert loose >= 1
+
+
+def test_schedules_cached_per_staleness(F):
+    an = cached_analysis(F)
+    assert an.elastic_schedule("lower", staleness=2) is an.elastic_schedule(
+        "lower", staleness=2
+    )
+    assert an.elastic_schedule("lower", staleness=2) is not an.elastic_schedule(
+        "lower", staleness=3
+    )

@@ -1,0 +1,56 @@
+"""SchedOptions: the frozen knob surface and its cache keys."""
+
+import dataclasses
+
+import pytest
+
+from repro.sched import SCHEDULER_NAMES, SchedOptions
+
+
+def test_defaults_are_the_p2p_status_quo():
+    o = SchedOptions()
+    assert o.scheduler == "p2p"
+    assert o.elastic_tol == 0.0  # elastic default is the exact mode
+
+
+def test_frozen():
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        SchedOptions().scheduler = "barrier"
+
+
+def test_with_overrides_without_mutation():
+    o = SchedOptions()
+    o2 = o.with_(scheduler="elastic", staleness=2)
+    assert (o2.scheduler, o2.staleness) == ("elastic", 2)
+    assert (o.scheduler, o.staleness) == ("p2p", 4)
+
+
+@pytest.mark.parametrize(
+    "kw",
+    [
+        {"scheduler": "bulk-sync"},
+        {"n_threads": 0},
+        {"max_superstep_rows": 0},
+        {"balance_factor": 0.99},
+        {"staleness": -1},
+        {"max_sweeps": 0},
+        {"elastic_tol": -1e-9},
+    ],
+)
+def test_validation_rejects_bad_knobs(kw):
+    with pytest.raises(ValueError):
+        SchedOptions(**kw)
+
+
+def test_every_scheduler_name_constructs():
+    for name in SCHEDULER_NAMES:
+        assert SchedOptions(scheduler=name).scheduler == name
+
+
+def test_cache_keys_cover_only_their_knobs():
+    o = SchedOptions()
+    # superstep plans don't depend on elastic knobs and vice versa
+    assert o.superstep_key() == o.with_(staleness=9).superstep_key()
+    assert o.elastic_key() == o.with_(balance_factor=3.0).elastic_key()
+    assert o.superstep_key() != o.with_(max_superstep_rows=7).superstep_key()
+    assert o.elastic_key() != o.with_(staleness=0).elastic_key()

@@ -1,0 +1,67 @@
+"""The scheduler registry and the cross-scheduler exactness contract."""
+
+import numpy as np
+import pytest
+
+from helpers import random_csr
+from repro.core.trisolve import trisolve_factor_levels
+from repro.kernels import clear_default_cache
+from repro.machine import SimMachine, gpulike, uniform_machine
+from repro.sched import (
+    SCHEDULER_NAMES,
+    SchedOptions,
+    available_schedulers,
+    effective_sync_passes,
+    get_scheduler,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_default_cache()
+    yield
+    clear_default_cache()
+
+
+@pytest.fixture
+def F():
+    return random_csr(45, density=0.18, seed=9)
+
+
+def test_registry_covers_the_cli_vocabulary():
+    assert available_schedulers() == SCHEDULER_NAMES
+    for name in SCHEDULER_NAMES:
+        assert get_scheduler(name).name == name
+
+
+def test_unknown_scheduler_raises():
+    with pytest.raises(ValueError, match="unknown scheduler"):
+        get_scheduler("bulk-sync")
+
+
+def test_all_exact_modes_bit_identical(F):
+    rng = np.random.default_rng(0)
+    b = rng.standard_normal(F.n_rows)
+    ref = trisolve_factor_levels(F, b)
+    for name in SCHEDULER_NAMES:
+        opts = SchedOptions(scheduler=name, n_threads=4)  # elastic_tol=0: exact
+        x = get_scheduler(name).solve(F, b, opts=opts)
+        assert np.array_equal(x, ref), name
+
+
+def test_every_scheduler_simulates_on_cpu_and_gpulike(F):
+    for spec, p in [(uniform_machine(n_cores=4), 4), (gpulike(), 64)]:
+        m = SimMachine(spec, p)
+        for name in SCHEDULER_NAMES:
+            t = get_scheduler(name).simulate(F, m, opts=SchedOptions(n_threads=p))
+            assert np.isfinite(t) and t > 0.0, (name, spec.name)
+
+
+def test_sync_point_economies_are_ordered(F):
+    opts = SchedOptions(n_threads=4)
+    counts = {n: effective_sync_passes(F, n, opts) for n in SCHEDULER_NAMES}
+    # p2p/barrier pay per level; superstep fuses; syncfree pays once
+    assert counts["p2p"] == counts["barrier"]
+    assert counts["superstep"] <= counts["p2p"]
+    assert counts["syncfree"] == 1
+    assert all(c >= 1 for c in counts.values())

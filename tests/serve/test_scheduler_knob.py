@@ -1,0 +1,88 @@
+"""The serving layer's trisolve-scheduler knob.
+
+The knob moves only the *cost* of a batch (its sync-point pricing) —
+every scheduler the service exposes runs its exact mode, so numerics
+are bit-identical to the default path, and a request without the knob
+is priced exactly as before the knob existed.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.matrices import grid2d
+from repro.serve import BatchPolicy, CostModel, SolveRequest, SolveService
+
+
+def _requests(n=16, *, scheduler=None, seed=0):
+    rng = np.random.default_rng(seed)
+    reqs = []
+    t = 0.0
+    for i in range(n):
+        t += float(rng.exponential(1 / 600.0))
+        reqs.append(
+            SolveRequest(
+                request_id=i,
+                tenant=f"t{int(rng.integers(2))}",
+                matrix_key="g12",
+                b=rng.standard_normal(144),
+                arrival_time=t,
+                maxiter=80,
+                scheduler=scheduler,
+            )
+        )
+    return reqs
+
+
+def _service():
+    return SolveService(
+        {"g12": grid2d(12)}, n_shards=1,
+        batch_policy=BatchPolicy(max_batch=8, max_wait=0.01),
+    )
+
+
+def test_batch_key_includes_scheduler():
+    a = _requests(2)[0]
+    b = SolveRequest(
+        request_id=99, tenant="t0", matrix_key="g12",
+        b=np.ones(144), scheduler="superstep",
+    )
+    assert a.batch_key != b.batch_key
+    assert a.batch_key[-1] is None and b.batch_key[-1] == "superstep"
+
+
+def test_unknown_scheduler_rejected_at_construction():
+    with pytest.raises(ValueError, match="unknown scheduler"):
+        SolveRequest(
+            request_id=0, tenant="t", matrix_key="g12",
+            b=np.ones(4), scheduler="bulk-sync",
+        )
+
+
+def test_cost_model_default_pricing_unchanged():
+    cm = CostModel()
+    # sync_points=None must reproduce the historical 2*n_levels charge
+    assert cm.solve_cost(10, 500, 3, 9) == cm.solve_cost(
+        10, 500, 3, 9, sync_points=2.0 * 10
+    )
+    # fewer sync points -> strictly cheaper pass
+    assert cm.solve_cost(10, 500, 3, 9, sync_points=4) < cm.solve_cost(10, 500, 3, 9)
+
+
+@pytest.mark.parametrize("scheduler", [None, "p2p", "barrier", "superstep", "syncfree"])
+def test_service_numerics_identical_across_schedulers(scheduler):
+    base = _service().run(_requests())
+    got = _service().run(_requests(scheduler=scheduler))
+    assert [r.outcome for r in got] == [r.outcome for r in base]
+    for rb, rg in zip(base, got):
+        assert np.array_equal(rb.x, rg.x)
+
+
+def test_scheduler_knob_moves_latency_not_results():
+    base = _service().run(_requests())
+    fused = _service().run(_requests(scheduler="superstep"))
+    t_base = sum(r.latency for r in base if math.isfinite(r.latency))
+    t_fused = sum(r.latency for r in fused if math.isfinite(r.latency))
+    # superstep fuses levels: fewer sync points can only cut the charge
+    assert t_fused <= t_base
