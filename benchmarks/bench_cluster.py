@@ -1,0 +1,64 @@
+"""Cluster-layer benchmark: the ``repro cluster bench`` gates, recorded.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_cluster.py
+        # records benchmarks/results/BENCH_cluster.json
+    PYTHONPATH=src python benchmarks/bench_cluster.py --check
+        # fast CI gate: conservation + replay + placement/storm bit identity
+
+The heavy lifting lives in :func:`repro.cluster.cli.run_bench` — this
+script points it at the shared ``benchmarks/results`` directory (via
+:data:`bench_util.RESULTS_DIR`) so the cluster record sits beside the
+kernel/resilience/serve baselines.  The acceptance properties: every
+request terminates with exactly one structured outcome under arbitrary
+node fault schedules (:func:`repro.verify.check_conservation`), runs
+replay bit-for-bit from (workload, plan, seeds), solutions are
+bit-identical to a single node's regardless of placement or failures,
+a kill-one-node storm at replication k=2 keeps the served fraction
+≥ 0.9, and the planted ``drop_failover`` bug is caught by the
+conservation checker.  Full mode adds a nodes × rate × crash-fraction
+scaling grid.
+"""
+
+import argparse
+import os
+import sys
+
+from bench_util import RESULTS_DIR
+
+BASELINE_PATH = os.path.join(RESULTS_DIR, "BENCH_cluster.json")
+
+
+def _run(check):
+    from repro.cluster.cli import run_bench
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    out_path = None if check else BASELINE_PATH
+    _, n_failures = run_bench(check=check, seed=0, out_path=out_path)
+    if n_failures:
+        print(f"bench_cluster: {n_failures} gate(s) failed", file=sys.stderr)
+    return 1 if n_failures else 0
+
+
+def _run_full():
+    return _run(check=False)
+
+
+def _run_check():
+    return _run(check=True)
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument(
+        "--check",
+        action="store_true",
+        help="fast mode: exact cluster properties only, no scaling grid",
+    )
+    args = ap.parse_args(argv)
+    return _run_check() if args.check else _run_full()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

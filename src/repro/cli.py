@@ -28,6 +28,11 @@ serve bench [--check]
     benchmark — admission, micro-batching, deadline-aware retries,
     fault injection — and write ``BENCH_serve.json``.  ``--check``
     is the fast CI gate.
+cluster bench [--check]
+    Fault-tolerant multi-node serving (``repro.cluster``): consistent-
+    hash placement, replication, heartbeat suspicion, hedging and
+    failover under a kill-one-node storm and seeded chaos plans;
+    writes ``BENCH_cluster.json``.  ``--check`` is the fast CI gate.
 
 The ``REPRO_SYMBOLIC_CACHE_SIZE`` environment variable resizes the
 process-wide symbolic cache (``repro.kernels.cache``) before any
@@ -183,6 +188,12 @@ def cmd_serve(args):
     return serve_main(args.rest)
 
 
+def cmd_cluster(args):
+    from .cluster.cli import main as cluster_main
+
+    return cluster_main(args.rest)
+
+
 def _traced_factor_run(args):
     """One observed factorization: real-thread spans + simulated timeline.
 
@@ -224,6 +235,7 @@ def cmd_obs_report(args):
     if rep.lower_trace is not None:
         obs.record_trace_metrics(reg, rep.lower_trace, prefix="sim.lower")
     obs.record_cache_metrics(reg, default_cache())
+    obs.record_factor_cache_metrics(reg)  # serving factor caches, if any live
     snap = reg.snapshot()
     print()
     print("== metrics ==")
@@ -410,6 +422,12 @@ def build_parser():
     sp.add_argument("rest", nargs=argparse.REMAINDER, help="arguments for repro.serve")
     sp.set_defaults(func=cmd_serve)
 
+    sp = sub.add_parser(
+        "cluster", help="fault-tolerant multi-node serving benchmark", add_help=False
+    )
+    sp.add_argument("rest", nargs=argparse.REMAINDER, help="arguments for repro.cluster")
+    sp.set_defaults(func=cmd_cluster)
+
     sp = sub.add_parser("obs", help="observability: trace, export, compare")
     obs_sub = sp.add_subparsers(dest="obs_command", required=True)
 
@@ -478,6 +496,10 @@ def main(argv=None):
         from .serve.cli import main as serve_main
 
         return serve_main(argv[1:])
+    if argv[:1] == ["cluster"]:
+        from .cluster.cli import main as cluster_main
+
+        return cluster_main(argv[1:])
     args = build_parser().parse_args(argv)
     return args.func(args)
 

@@ -1,0 +1,221 @@
+"""Node-level fault schedules: crashes, gray failures, delayed joins.
+
+Where :class:`repro.resilience.FaultPlan` perturbs *threads inside one
+machine* (stragglers, spin faults, dropped publishes), a
+:class:`NodeFaultPlan` perturbs *whole nodes of a serving cluster* on
+the shared virtual clock:
+
+* **crash** — a node is down over ``[down_at, up_at)``: it stops
+  heartbeating, loses every in-flight batch, and loses its factor
+  cache (recovery rejoins cold; the router re-warms hot fingerprints
+  from surviving replicas instead of refactorizing — see
+  ``docs/cluster.md``);
+* **gray failure (slow node)** — over ``[from_t, to_t)`` the node
+  computes ``factor×`` slower but heartbeats on time, so suspicion
+  never fires and only request hedging catches it — the classic
+  "limping but alive" production failure;
+* **delayed join** — the node does not exist before ``join_at``
+  (capacity arriving late; its first heartbeat announces it).
+
+The plan composes with the thread-level machinery it is layered on: a
+``shard_plan`` :class:`~repro.resilience.FaultPlan` is handed to every
+node's worker shard, so intra-node stragglers/spin faults/dropped
+publishes keep working under node-level chaos.  Everything is frozen
+and seeded; the same plan replays the same run bit-for-bit, and — the
+contract every fault class shares — faults move *time and placement*,
+never numerical results.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..resilience import FaultPlan
+
+__all__ = ["NodeFaultPlan"]
+
+
+def _norm_windows(windows, what, width=3):
+    out = []
+    for w in windows:
+        w = tuple(float(x) if i > 0 else int(x) for i, x in enumerate(w))
+        if len(w) != width:
+            raise ValueError(f"{what} entries must be {width}-tuples, got {w!r}")
+        out.append(w)
+    return tuple(sorted(out))
+
+
+@dataclass(frozen=True)
+class NodeFaultPlan:
+    """Seeded, frozen schedule of node-level failures.
+
+    ``crashes`` holds ``(node, down_at, up_at)`` windows (``up_at`` may
+    be ``inf`` — a permanent loss); ``slow`` holds ``(node, from_t,
+    to_t, factor)`` gray-failure windows with ``factor ≥ 1``;
+    ``joins`` holds ``(node, join_at)`` delayed first appearances.
+    ``shard_plan`` is the intra-node thread-level
+    :class:`~repro.resilience.FaultPlan` layered underneath (time-only
+    perturbation inside each node's worker shard).
+    """
+
+    seed: int = 0
+    crashes: tuple = ()
+    slow: tuple = ()
+    joins: tuple = ()
+    shard_plan: FaultPlan | None = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "crashes", _norm_windows(self.crashes, "crashes"))
+        object.__setattr__(self, "joins", _norm_windows(self.joins, "joins", width=2))
+        slow = _norm_windows(self.slow, "slow", width=4)
+        for node, lo, hi, factor in slow:
+            if factor < 1.0:
+                raise ValueError(f"slow factor for node {node} must be >= 1, got {factor}")
+            if hi < lo:
+                raise ValueError(f"slow window for node {node} ends before it starts")
+        for node, lo, hi in self.crashes:
+            if hi < lo:
+                raise ValueError(f"crash window for node {node} ends before it starts")
+        object.__setattr__(self, "slow", slow)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def seeded(
+        cls,
+        n_nodes,
+        *,
+        seed=0,
+        horizon=1.0,
+        crash_frac=0.0,
+        crash_duration=(0.05, 0.2),
+        slow_frac=0.0,
+        slow_factor=4.0,
+        slow_duration=(0.1, 0.4),
+        n_delayed_joins=0,
+        join_by=0.2,
+        shard_plan=None,
+    ):
+        """Draw a reproducible chaos schedule from ``seed``.
+
+        Each node independently crashes with probability ``crash_frac``
+        (one window, start ~ U(0, horizon), duration ~
+        U(*crash_duration*)), limps with probability ``slow_frac``
+        (window drawn the same way at ``slow_factor``×), and the last
+        ``n_delayed_joins`` nodes join late (join time ~ U(0,
+        join_by)).  Node 0 is exempt from crashes and delayed joins so
+        a seeded plan can never render the whole cluster stillborn.
+        """
+        rng = np.random.default_rng(seed)
+        crashes, slow, joins = [], [], []
+        for node in range(int(n_nodes)):
+            if node > 0 and float(rng.random()) < crash_frac:
+                at = float(rng.uniform(0.0, horizon))
+                dur = float(rng.uniform(*crash_duration))
+                crashes.append((node, at, at + dur))
+            if float(rng.random()) < slow_frac:
+                at = float(rng.uniform(0.0, horizon))
+                dur = float(rng.uniform(*slow_duration))
+                slow.append((node, at, at + dur, float(slow_factor)))
+        for node in range(max(1, int(n_nodes) - int(n_delayed_joins)), int(n_nodes)):
+            joins.append((node, float(rng.uniform(0.0, join_by))))
+        return cls(
+            seed=int(seed),
+            crashes=tuple(crashes),
+            slow=tuple(slow),
+            joins=tuple(joins),
+            shard_plan=shard_plan,
+        )
+
+    @classmethod
+    def kill_one(cls, node, at, duration=math.inf, **kw):
+        """The storm primitive: take ``node`` down at ``at``."""
+        return cls(crashes=((int(node), float(at), float(at) + float(duration)),), **kw)
+
+    def with_(self, **kw):
+        from dataclasses import replace
+
+        return replace(self, **kw)
+
+    # ------------------------------------------------------------------
+    # state queries (pure functions of the plan and the clock)
+    # ------------------------------------------------------------------
+    def join_time(self, node) -> float:
+        for n, t in self.joins:
+            if n == int(node):
+                return t
+        return 0.0
+
+    def is_up(self, node, t) -> bool:
+        """Node exists (has joined) and is not inside a crash window."""
+        node = int(node)
+        if t < self.join_time(node):
+            return False
+        for n, lo, hi in self.crashes:
+            if n == node and lo <= t < hi:
+                return False
+        return True
+
+    def rate(self, node, t) -> float:
+        """Gray-failure service-time multiplier at ``t`` (1.0 = healthy)."""
+        node = int(node)
+        out = 1.0
+        for n, lo, hi, factor in self.slow:
+            if n == node and lo <= t < hi:
+                out = max(out, factor)
+        return out
+
+    def down_during(self, node, start, stop) -> float | None:
+        """First instant in ``(start, stop]`` the node goes down, or None.
+
+        The in-flight-loss query: a batch running on ``node`` over
+        ``[start, stop]`` is lost iff a crash window opens inside it
+        (work already *finished* by ``stop`` survives — hence the
+        half-open check).
+        """
+        node = int(node)
+        hits = [lo for n, lo, hi in self.crashes if n == node and start < lo <= stop]
+        return min(hits) if hits else None
+
+    def transitions(self) -> tuple:
+        """Every instant any node's state changes, ascending.
+
+        The cluster event loop advances its clock to these (joins,
+        crash starts/ends, gray-window edges) so liveness re-evaluation
+        and cache re-warming happen exactly when the world changes.
+        """
+        times = set()
+        for _, t in self.joins:
+            times.add(t)
+        for _, lo, hi in self.crashes:
+            times.add(lo)
+            if math.isfinite(hi):
+                times.add(hi)
+        for _, lo, hi, _ in self.slow:
+            times.add(lo)
+            if math.isfinite(hi):
+                times.add(hi)
+        return tuple(sorted(times))
+
+    def events(self) -> tuple:
+        """``(time, kind, node)`` instants for tracing/obs, ascending.
+
+        Kinds: ``join``, ``crash``, ``recover``, ``slow_start``,
+        ``slow_end``.
+        """
+        ev = []
+        for node, t in self.joins:
+            ev.append((t, "join", node))
+        for node, lo, hi in self.crashes:
+            ev.append((lo, "crash", node))
+            if math.isfinite(hi):
+                ev.append((hi, "recover", node))
+        for node, lo, hi, _ in self.slow:
+            ev.append((lo, "slow_start", node))
+            if math.isfinite(hi):
+                ev.append((hi, "slow_end", node))
+        return tuple(sorted(ev))

@@ -1,0 +1,161 @@
+"""Consistent-hash ring and the replication-aware router.
+
+Placement is the cluster's only new degree of freedom, so it is built
+to be *boring*: a :class:`HashRing` hashes every node into ``vnodes``
+virtual points (blake2b of ``"{seed}:{node}:{v}"``, so the ring layout
+is itself seeded and reproducible), and a pattern fingerprint's owners
+are the first ``k`` **distinct** nodes met walking clockwise from the
+fingerprint's own hash.  Adding or removing one node therefore moves
+only the fingerprints in the arcs it owned — the classic consistent-
+hashing property that keeps factor caches warm through membership
+churn — and the walk order doubles as the failover order: when an
+owner is suspected dead, the next node on the same walk is exactly the
+node that would have owned the key had the dead one never existed.
+
+The :class:`Router` layers policy on the ring:
+
+* **replication of the zipf head** — every fingerprint has one home
+  owner; once its request count crosses ``hot_promote`` it is promoted
+  to the hot set and gains ``replication``-way ownership, so the few
+  patterns that dominate a skewed workload survive any single crash
+  with a warm factor replica (cold-tail patterns are not worth the
+  duplicate factor memory);
+* **liveness-filtered dispatch** — :meth:`Router.pick` returns the
+  first *believed-up* candidate on the walk (suspicion is the
+  service's heartbeat business; the router just takes the predicate).
+
+None of this touches numerics: cluster nodes build full-tier factors
+(no deadline demotion — see :mod:`repro.cluster.node`), so a factor is
+a pure function of the matrix and any owner computes bit-identical
+results.  Placement moves *where* and *when* work happens, never what
+it computes — the bench's placement-identity gate holds the cluster to
+that.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+__all__ = ["HashRing", "Router"]
+
+
+def _h(label: str) -> int:
+    """64-bit ring position of a label (stable across runs/platforms)."""
+    return int.from_bytes(hashlib.blake2b(label.encode(), digest_size=8).digest(), "big")
+
+
+class HashRing:
+    """Seeded consistent-hash ring with virtual nodes.
+
+    ``node_ids`` fixes the membership *identity space* (all nodes that
+    may ever exist, including ones joining late); liveness is the
+    caller's concern.  ``vnodes`` virtual points per node smooth the
+    arc-length (hence load) distribution.
+    """
+
+    def __init__(self, node_ids, *, vnodes=64, seed=0):
+        self.node_ids = tuple(int(n) for n in node_ids)
+        if not self.node_ids:
+            raise ValueError("ring needs at least one node")
+        if len(set(self.node_ids)) != len(self.node_ids):
+            raise ValueError(f"duplicate node ids: {self.node_ids}")
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        self.vnodes = int(vnodes)
+        self.seed = int(seed)
+        points = []
+        for node in self.node_ids:
+            for v in range(self.vnodes):
+                points.append((_h(f"{self.seed}:{node}:{v}"), node))
+        points.sort()
+        self._positions = [p for p, _ in points]
+        self._owners = [n for _, n in points]
+
+    def walk(self, fingerprint: str):
+        """All nodes in clockwise order from the fingerprint's position.
+
+        First element is the home owner; the rest is the failover /
+        replication order.  Every node appears exactly once.
+        """
+        start = bisect.bisect_right(self._positions, _h(f"{self.seed}:{fingerprint}"))
+        seen = []
+        seen_set = set()
+        n = len(self._owners)
+        for i in range(n):
+            node = self._owners[(start + i) % n]
+            if node not in seen_set:
+                seen_set.add(node)
+                seen.append(node)
+                if len(seen) == len(self.node_ids):
+                    break
+        return seen
+
+    def owners(self, fingerprint: str, k: int = 1):
+        """The first ``k`` distinct nodes on the fingerprint's walk."""
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        return self.walk(fingerprint)[: min(k, len(self.node_ids))]
+
+
+class Router:
+    """Ring + replication policy + liveness-filtered dispatch."""
+
+    def __init__(self, node_ids, *, replication=2, vnodes=64, seed=0, hot_promote=3):
+        self.ring = HashRing(node_ids, vnodes=vnodes, seed=seed)
+        if replication < 1:
+            raise ValueError(f"replication must be >= 1, got {replication}")
+        self.replication = int(replication)
+        self.hot_promote = int(hot_promote)
+        self._counts: dict[str, int] = {}
+        self._hot: set[str] = set()
+
+    # ------------------------------------------------------------------
+    def observe(self, fingerprint: str) -> bool:
+        """Count one request against ``fingerprint``.
+
+        Returns True exactly once — at the moment the fingerprint
+        crosses ``hot_promote`` and joins the zipf-head hot set (the
+        service reacts by replicating its factor to the other ring
+        owners).
+        """
+        c = self._counts.get(fingerprint, 0) + 1
+        self._counts[fingerprint] = c
+        if c >= self.hot_promote and fingerprint not in self._hot:
+            self._hot.add(fingerprint)
+            return True
+        return False
+
+    def is_hot(self, fingerprint: str) -> bool:
+        return fingerprint in self._hot
+
+    def replicas(self, fingerprint: str):
+        """The fingerprint's current owner set (1 cold, ``k`` hot)."""
+        k = self.replication if fingerprint in self._hot else 1
+        return self.ring.owners(fingerprint, k)
+
+    def hot(self):
+        """The promoted (zipf-head) fingerprints, in stable order."""
+        return tuple(sorted(self._hot))
+
+    # ------------------------------------------------------------------
+    def pick(self, fingerprint: str, believed_up, *, exclude=()) -> int | None:
+        """First believed-up candidate on the walk, or None if nobody is.
+
+        ``believed_up`` is a predicate ``node -> bool`` (the service's
+        heartbeat suspicion view — possibly *wrong* about gray
+        failures, which is what hedging is for).  ``exclude`` skips
+        nodes already tried (failover / hedging re-dispatch).
+        """
+        excluded = set(exclude)
+        for node in self.ring.walk(fingerprint):
+            if node not in excluded and believed_up(node):
+                return node
+        return None
+
+    def stats(self):
+        return {
+            "fingerprints": len(self._counts),
+            "hot": len(self._hot),
+            "replication": self.replication,
+        }

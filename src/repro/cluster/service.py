@@ -1,0 +1,659 @@
+"""The fault-tolerant cluster event loop: route, hedge, fail over, re-warm.
+
+:class:`ClusterService` is the multi-node generalization of
+:class:`~repro.serve.workers.SolveService`: the same deterministic
+discrete-event core (virtual clock, real numerics), but work is placed
+by a consistent-hash :class:`~repro.cluster.ring.Router` across
+:class:`~repro.cluster.node.ClusterNode`\\ s that a
+:class:`~repro.cluster.faults.NodeFaultPlan` crashes, slows and
+delays.  The failure protocol, end to end:
+
+* **heartbeat suspicion** — every node heartbeats on the shared
+  virtual clock at ``heartbeat_interval`` ticks; a node whose last
+  heartbeat is older than ``suspicion_timeout`` is *believed down* and
+  excluded from routing.  A crashed node is thus mis-trusted for up to
+  one suspicion window — dispatches to it fail fast (the connect is
+  refused) and fall through to the next ring owner — while a gray
+  (slow) node heartbeats on time forever and is *never* suspected;
+* **request hedging** — a batch still in flight ``hedge_after`` after
+  dispatch gets a duplicate on the next idle ring candidate; the first
+  completion wins and the loser is discarded.  Safe because every node
+  computes bit-identical results (full-tier factors, no deadline
+  demotion — :class:`~repro.cluster.node.NodeShard`), hedging is the
+  only mechanism that rescues gray nodes;
+* **failover with backoff** — a batch lost to a mid-flight crash is
+  re-dispatched to a surviving owner after a seeded
+  :class:`~repro.resilience.ExponentialBackoff` delay (shared with
+  :class:`~repro.resilience.ResilientFactor` — one retry vocabulary
+  for the whole stack); requests whose deadline passed while the
+  batch was down terminate as ``deadline_miss``, never vanish.
+  ``drop_failover=True`` disables the re-route — the *planted bug*
+  the CI gate uses to prove the request-conservation checker
+  (:func:`repro.verify.check_conservation`) has teeth;
+* **cache-aware re-warming** — when a fingerprint is promoted to the
+  zipf-head hot set (``hot_promote`` requests), its factor is copied
+  to all ``replication`` ring owners; when a node joins late or
+  recovers from a crash it re-adopts the hot entries it now owns from
+  any live holder, paying ``rewarm_cost`` per copy instead of a cold
+  refactorization.
+
+Everything is a pure function of (workload, plan, seeds): the same
+inputs replay bit-for-bit, and — the acceptance gate — the solutions
+are bit-identical to a single-node run regardless of placement,
+hedging or failures, because placement only ever decides *where* and
+*when*, never *what*.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..kernels.cache import matrix_fingerprint
+from ..obs import spans as _spans
+from ..resilience import RetryPolicy
+from ..serve.batcher import Batch, BatchPolicy, MicroBatcher
+from ..serve.queue import AdmissionQueue
+from ..serve.request import RequestResult
+from ..serve.workers import SOLVERS, CostModel
+from .faults import NodeFaultPlan
+from .node import ClusterNode
+from .ring import Router
+
+__all__ = ["ClusterService"]
+
+
+@dataclass(eq=False)
+class _Flight:
+    """One copy of one batch in flight on one node."""
+
+    seq: int
+    bid: int
+    batch: Batch
+    node: int
+    start: float
+    finish: float  # natural completion time of the virtual service
+    lost_at: float | None  # crash interrupts the flight here, if at all
+    results: list
+    is_hedge: bool = False
+
+    @property
+    def lost(self) -> bool:
+        return self.lost_at is not None
+
+    @property
+    def event_time(self) -> float:
+        return self.lost_at if self.lost else self.finish
+
+
+class ClusterService:
+    """Deterministic multi-node solve service with chaos-driven failover."""
+
+    def __init__(
+        self,
+        matrices,
+        *,
+        n_nodes=3,
+        replication=2,
+        vnodes=64,
+        ring_seed=0,
+        capacity=128,
+        admission="reject",
+        batch_policy: BatchPolicy | None = None,
+        cost: CostModel | None = None,
+        options=None,
+        retry_policy: RetryPolicy | None = None,
+        node_fault_plan: NodeFaultPlan | None = None,
+        factor_cache_entries=8,
+        heartbeat_interval=0.005,
+        suspicion_timeout=0.02,
+        hedge_after=0.02,
+        max_hedges=1,
+        failover_backoff=1e-3,
+        hot_promote=3,
+        rewarm_cost=5e-4,
+        registry=None,
+        drop_failover=False,
+    ):
+        if n_nodes < 1:
+            raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
+        if heartbeat_interval <= 0.0:
+            raise ValueError(f"heartbeat_interval must be positive, got {heartbeat_interval}")
+        if suspicion_timeout < heartbeat_interval:
+            raise ValueError(
+                "suspicion_timeout must cover at least one heartbeat interval "
+                f"({suspicion_timeout} < {heartbeat_interval})"
+            )
+        self.matrices = dict(matrices)
+        # value-aware digests: the ring places *factors*, and a factor
+        # depends on the values — two matrices sharing a stencil (same
+        # pattern_fingerprint) must not share a ring slot or cache entry
+        self.fingerprints = {k: matrix_fingerprint(A) for k, A in self.matrices.items()}
+        self.plan = node_fault_plan if node_fault_plan is not None else NodeFaultPlan()
+        self.router = Router(
+            range(int(n_nodes)),
+            replication=replication,
+            vnodes=vnodes,
+            seed=ring_seed,
+            hot_promote=hot_promote,
+        )
+        self.capacity = int(capacity)
+        self.admission = admission
+        self.batch_policy = batch_policy or BatchPolicy()
+        self.cost = cost or CostModel()
+        self.heartbeat_interval = float(heartbeat_interval)
+        self.suspicion_timeout = float(suspicion_timeout)
+        self.hedge_after = None if hedge_after is None else float(hedge_after)
+        self.max_hedges = int(max_hedges)
+        self.rewarm_cost = float(rewarm_cost)
+        self.registry = registry
+        self.drop_failover = bool(drop_failover)
+        self._backoff = (retry_policy or RetryPolicy()).backoff(
+            base=float(failover_backoff), jitter_seed=self.plan.seed
+        )
+        self.nodes = [
+            ClusterNode(
+                i,
+                plan=self.plan,
+                cache_entries=factor_cache_entries,
+                cost=self.cost,
+                options=options,
+                retry_policy=retry_policy,
+            )
+            for i in range(int(n_nodes))
+        ]
+        self.n_failovers = 0
+        self.n_hedges = 0
+        self.n_hedge_wins = 0
+        self.n_duplicates = 0
+        self.n_rewarms = 0
+        self.n_dropped = 0  # requests silently lost (drop_failover only)
+        self._timeline: list = []  # committed/lost batch executions, for tracing
+        self._events_log: list = []  # (t, kind, node, detail) fault/protocol instants
+        self._ready: list = []  # (bid, batch) awaiting a routable idle node
+
+    # ------------------------------------------------------------------
+    # failure detection and routing
+    # ------------------------------------------------------------------
+    def _believed_up(self, node, now) -> bool:
+        """The heartbeat view: any heartbeat inside the suspicion window?
+
+        Heartbeats land on the ``heartbeat_interval`` grid whenever the
+        node is actually up, so this is a bounded backward scan over at
+        most ``suspicion_timeout / heartbeat_interval`` grid points.
+        Gray nodes pass (they heartbeat on time); crashed nodes fail
+        once their last heartbeat ages out of the window.
+        """
+        hb = self.heartbeat_interval
+        g = math.floor(now / hb + 1e-12) * hb
+        if g > now:
+            g -= hb
+        lo = now - self.suspicion_timeout
+        while g >= lo and g >= 0.0:
+            if self.plan.is_up(node, g):
+                return True
+            g -= hb
+        return False
+
+    def _route(self, fingerprint, now):
+        """The node this fingerprint dispatches to right now, or None.
+
+        First *believed-up* candidate on the ring walk; a candidate
+        that is believed up but actually down (crashed inside the
+        suspicion window) refuses the connect and the walk continues —
+        the fast-failover path that makes fresh crashes cost a
+        re-route, not a suspicion timeout.
+        """
+        tried: set = set()
+        while True:
+            node = self.router.pick(
+                fingerprint, lambda n: self._believed_up(n, now), exclude=tried
+            )
+            if node is None or self.plan.is_up(node, now):
+                return node
+            tried.add(node)
+
+    def _est_cost(self, key, size):
+        """Deadline-pressure estimate before anything has been factored."""
+        A = self.matrices[key[0]]
+        est_levels = max(1, int(A.n_rows**0.5))
+        return self.cost.estimate_solve(est_levels, A.nnz, size)
+
+    # ------------------------------------------------------------------
+    # replication / re-warming
+    # ------------------------------------------------------------------
+    def _maybe_replicate(self, fp, now, timers):
+        """Copy a hot fingerprint's factor to every live ring owner."""
+        if not self.router.is_hot(fp):
+            return
+        donor = next(
+            (
+                n
+                for n in self.nodes
+                if n.holds(fp) and self.plan.is_up(n.node_id, now)
+            ),
+            None,
+        )
+        if donor is None:
+            return
+        entry = donor.entry(fp)
+        for nid in self.router.replicas(fp):
+            tgt = self.nodes[nid]
+            if tgt.holds(fp) or tgt.busy or not self.plan.is_up(nid, now):
+                continue
+            tgt.adopt(entry)
+            self.n_rewarms += 1
+            tgt.busy = True  # the copy briefly occupies the adopter
+            tgt.free_at = now + self.rewarm_cost
+            timers.append((tgt.free_at, self._tick(), "unbusy", nid))
+            self._events_log.append((now, "rewarm", nid, fp[:12]))
+            _spans.instant("cluster.rewarm", cat="cluster", node=nid, key=fp[:12])
+
+    def _rewarm_node(self, nid, now, timers):
+        """A joining/recovering node re-adopts the hot entries it owns."""
+        node = self.nodes[nid]
+        adopted = 0
+        for fp in self.router.hot():
+            if nid not in self.router.replicas(fp) or node.holds(fp):
+                continue
+            donor = next(
+                (
+                    n
+                    for n in self.nodes
+                    if n.node_id != nid
+                    and n.holds(fp)
+                    and self.plan.is_up(n.node_id, now)
+                ),
+                None,
+            )
+            if donor is None:
+                continue
+            node.adopt(donor.entry(fp))
+            self.n_rewarms += 1
+            adopted += 1
+            self._events_log.append((now, "rewarm", nid, fp[:12]))
+            _spans.instant("cluster.rewarm", cat="cluster", node=nid, key=fp[:12])
+        if adopted and not node.busy:
+            node.busy = True
+            node.free_at = now + adopted * self.rewarm_cost
+            timers.append((node.free_at, self._tick(), "unbusy", nid))
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def _tick(self):
+        self._seq += 1
+        return self._seq
+
+    def _dispatch(self, batch, nid, now, inflight, timers, bstate, *, bid=None, is_hedge=False):
+        node = self.nodes[nid]
+        fp = self.fingerprints[batch.matrix_key]
+        if bid is None:
+            bid = self._tick()
+            bstate[bid] = {"batch": batch, "done": False, "nodes": [], "failovers": 0, "hedges": 0}
+        st = bstate[bid]
+        st["batch"] = batch
+        st["nodes"].append(nid)
+        A = self.matrices[batch.matrix_key]
+        results, finish = node.execute(batch, A, fp, now)
+        lost_at = self.plan.down_during(nid, now, finish)
+        fl = _Flight(self._tick(), bid, batch, nid, now, finish, lost_at, results, is_hedge)
+        inflight.append(fl)
+        node.busy = True
+        node.free_at = fl.event_time
+        if self.hedge_after is not None and st["hedges"] < self.max_hedges:
+            timers.append((now + self.hedge_after, self._tick(), "hedge", bid))
+        self._timeline.append(
+            {
+                "node": nid,
+                "start": now,
+                "finish": fl.event_time,
+                "size": batch.size,
+                "solver": batch.solver,
+                "hedge": is_hedge,
+                "lost": fl.lost,
+            }
+        )
+        self._maybe_replicate(fp, now, timers)
+        return fl
+
+    def _reject(self, req, now, detail):
+        return RequestResult(
+            request_id=req.request_id,
+            outcome="rejected",
+            arrival_time=req.arrival_time,
+            start_time=now,
+            finish_time=now,
+            detail=detail,
+        )
+
+    # ------------------------------------------------------------------
+    # the event loop
+    # ------------------------------------------------------------------
+    def run(self, requests):
+        """Serve a workload to completion; returns results by request id.
+
+        Same contract as the single-machine service — every request
+        terminates in exactly one structured outcome (the request-
+        conservation property :func:`repro.verify.check_conservation`
+        audits), the whole run is a pure function of (workload, plan,
+        seeds) — plus the cluster promise: node crashes, gray slowdowns
+        and late joins move outcomes and timings, never solution bits.
+        """
+        reqs = list(requests)
+        for r in reqs:
+            if r.matrix_key not in self.matrices:
+                raise KeyError(f"unknown matrix_key {r.matrix_key!r}")
+            if r.solver not in SOLVERS:
+                raise ValueError(f"unknown solver {r.solver!r}; supported: {SOLVERS}")
+        reqs.sort(key=lambda r: (r.arrival_time, r.request_id))
+        queue = AdmissionQueue(self.capacity, self.admission)
+        batcher = MicroBatcher(self.batch_policy)
+        results: dict[int, RequestResult] = {}
+        inflight: list[_Flight] = []
+        timers: list = []  # (t, seq, kind, payload)
+        bstate: dict = {}
+        self._seq = 0
+        self._ready = []
+        for node in self.nodes:
+            node.busy = False
+            node.free_at = 0.0
+        plan_events = self.plan.events()
+        ei = 0
+        i = 0
+        now = 0.0
+        while i < len(reqs) or queue or inflight or timers or self._ready:
+            # -- 0. choose the next instant anything can happen -------------
+            cands = []
+            if i < len(reqs):
+                cands.append(reqs[i].arrival_time)
+            cands.extend(fl.event_time for fl in inflight)
+            cands.extend(t for t, _, _, _ in timers)
+            if ei < len(plan_events):
+                cands.append(plan_events[ei][0])
+            for _, batch in self._ready:
+                nid = self._route(self.fingerprints[batch.matrix_key], now)
+                if nid is not None and not self.nodes[nid].busy:
+                    cands.append(now)
+                    break
+            idle_keys = set()
+            for key in queue.group_sizes():
+                nid = self._route(self.fingerprints[key[0]], now)
+                if nid is not None and not self.nodes[nid].busy:
+                    idle_keys.add(key)
+            if idle_keys:
+                cands.append(batcher.next_close_time(queue, self._est_cost, keys=idle_keys))
+            if not cands:
+                # cluster permanently dead with work stranded: backpressure
+                # turns into rejection, never a silent drop
+                detail = "cluster down: no live node and no scheduled recovery"
+                for _, batch in self._ready:
+                    for r in batch.requests:
+                        results[r.request_id] = self._reject(r, now, detail)
+                self._ready = []
+                while queue:
+                    sizes = queue.group_sizes()
+                    key = next(iter(sizes))
+                    for r in queue.take(key, sizes[key]):
+                        results[r.request_id] = self._reject(r, now, detail)
+                break
+            now = max(now, min(cands))
+
+            # -- 1. the world changes: crashes, recoveries, joins -----------
+            while ei < len(plan_events) and plan_events[ei][0] <= now:
+                t_ev, kind, nid = plan_events[ei]
+                ei += 1
+                self._events_log.append((t_ev, kind, nid, ""))
+                _spans.instant(f"cluster.{kind}", cat="cluster", node=nid)
+                if kind == "crash":
+                    self.nodes[nid].on_crash()
+                    self.nodes[nid].free_at = t_ev
+                elif kind in ("recover", "join"):
+                    self._rewarm_node(nid, t_ev, timers)
+
+            # -- 2. flights resolve: completion, loss, duplicate ------------
+            due = sorted(
+                (fl for fl in inflight if fl.event_time <= now),
+                key=lambda f: (f.event_time, f.seq),
+            )
+            for fl in due:
+                inflight.remove(fl)
+                st = bstate[fl.bid]
+                if fl.lost:
+                    # the node died under the batch; its work is gone
+                    if st["done"] or any(f.bid == fl.bid for f in inflight):
+                        continue  # another copy already won / is still running
+                    if self.drop_failover:
+                        # PLANTED BUG (CI gate): the re-route is dropped, the
+                        # batch's requests never terminate
+                        self.n_dropped += len(fl.batch.requests)
+                        continue
+                    st["failovers"] += 1
+                    self.n_failovers += 1
+                    delay = self._backoff.delay(st["failovers"] - 1)
+                    timers.append((fl.lost_at + delay, self._tick(), "redispatch", fl.bid))
+                    self._events_log.append(
+                        (now, "failover", fl.node, f"batch of {fl.batch.size}")
+                    )
+                    _spans.instant(
+                        "cluster.failover", cat="cluster", node=fl.node, size=fl.batch.size
+                    )
+                    continue
+                node = self.nodes[fl.node]
+                if node.free_at <= now and not any(f.node == fl.node for f in inflight):
+                    node.busy = False
+                if st["done"]:
+                    self.n_duplicates += 1  # a slower copy finishing after the winner
+                    continue
+                st["done"] = True
+                if fl.is_hedge:
+                    self.n_hedge_wins += 1
+                    self._events_log.append((now, "hedge_win", fl.node, ""))
+                for res in fl.results:
+                    results[res.request_id] = res
+
+            # -- 3. timers: hedges, failover re-dispatches, rewarm holds ----
+            due_t = sorted(t for t in timers if t[0] <= now)
+            timers = [t for t in timers if t[0] > now]
+            for _, _, kind, payload in due_t:
+                if kind == "unbusy":
+                    node = self.nodes[payload]
+                    if node.busy and not any(f.node == payload for f in inflight):
+                        node.busy = False
+                elif kind == "hedge":
+                    st = bstate[payload]
+                    if (
+                        st["done"]
+                        or st["hedges"] >= self.max_hedges
+                        or not any(f.bid == payload for f in inflight)
+                    ):
+                        continue
+                    fp = self.fingerprints[st["batch"].matrix_key]
+                    tried = set(st["nodes"])
+                    cand = None
+                    while True:
+                        n = self.router.pick(
+                            fp, lambda m: self._believed_up(m, now), exclude=tried
+                        )
+                        if n is None:
+                            break
+                        if self.plan.is_up(n, now) and not self.nodes[n].busy:
+                            cand = n
+                            break
+                        tried.add(n)
+                    if cand is None:
+                        continue
+                    st["hedges"] += 1
+                    self.n_hedges += 1
+                    self._events_log.append((now, "hedge", cand, ""))
+                    _spans.instant("cluster.hedge", cat="cluster", node=cand)
+                    self._dispatch(
+                        st["batch"], cand, now, inflight, timers, bstate,
+                        bid=payload, is_hedge=True,
+                    )
+                elif kind == "redispatch":
+                    st = bstate[payload]
+                    if st["done"] or any(f.bid == payload for f in inflight):
+                        continue
+                    self._ready.append((payload, st["batch"]))
+
+            # -- 4. arrivals: admission + hotness accounting ----------------
+            while i < len(reqs) and reqs[i].arrival_time <= now:
+                req = reqs[i]
+                i += 1
+                fp = self.fingerprints[req.matrix_key]
+                promoted = self.router.observe(fp)
+                for victim in queue.push(req):
+                    results[victim.request_id] = self._reject(
+                        victim,
+                        now,
+                        f"queue full (capacity {self.capacity}, policy {self.admission})",
+                    )
+                if promoted:
+                    self._maybe_replicate(fp, now, timers)
+
+            # -- 5. dispatch: failover backlog first, then fresh batches ----
+            still = []
+            for bid, batch in self._ready:
+                st = bstate[bid]
+                expired = [r for r in batch.requests if r.deadline <= now]
+                alive = [r for r in batch.requests if r.deadline > now]
+                for r in expired:
+                    results[r.request_id] = RequestResult(
+                        request_id=r.request_id,
+                        outcome="deadline_miss",
+                        arrival_time=r.arrival_time,
+                        start_time=now,
+                        finish_time=now,
+                        detail="lost to node crash; deadline passed before failover",
+                    )
+                if not alive:
+                    st["done"] = True
+                    continue
+                if len(alive) != len(batch.requests):
+                    batch = Batch(key=batch.key, requests=alive, formed_at=now)
+                nid = self._route(self.fingerprints[batch.matrix_key], now)
+                if nid is not None and not self.nodes[nid].busy:
+                    self._dispatch(batch, nid, now, inflight, timers, bstate, bid=bid)
+                else:
+                    still.append((bid, batch))
+            self._ready = still
+            for node in self.nodes:
+                if node.busy or not self.plan.is_up(node.node_id, now):
+                    continue
+                keys_for = {
+                    key
+                    for key in queue.group_sizes()
+                    if self._route(self.fingerprints[key[0]], now) == node.node_id
+                }
+                if not keys_for:
+                    continue
+                batches = batcher.pop_ready(queue, now, self._est_cost, keys=keys_for)
+                if not batches:
+                    continue
+                self._dispatch(batches[0], node.node_id, now, inflight, timers, bstate)
+                for extra in batches[1:]:
+                    bid = self._tick()
+                    bstate[bid] = {
+                        "batch": extra, "done": False, "nodes": [],
+                        "failovers": 0, "hedges": 0,
+                    }
+                    self._ready.append((bid, extra))
+
+        ordered = [
+            results[r.request_id]
+            for r in sorted(reqs, key=lambda r: r.request_id)
+            if r.request_id in results
+        ]
+        self._record_metrics(ordered, queue, batcher)
+        return ordered
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def _record_metrics(self, results, queue, batcher):
+        reg = self.registry
+        if reg is None:
+            return
+        from ..serve.request import OUTCOMES
+
+        reg.counter("cluster.requests").inc(len(results))
+        for outcome in OUTCOMES:
+            n = sum(1 for r in results if r.outcome == outcome)
+            if n:
+                reg.counter(f"cluster.{outcome}").inc(n)
+        reg.counter("cluster.batches").inc(batcher.n_batches)
+        reg.counter("cluster.failovers").inc(self.n_failovers)
+        reg.counter("cluster.hedges").inc(self.n_hedges)
+        reg.counter("cluster.hedge_wins").inc(self.n_hedge_wins)
+        reg.counter("cluster.duplicates").inc(self.n_duplicates)
+        reg.counter("cluster.rewarms").inc(self.n_rewarms)
+        if self.n_dropped:
+            reg.counter("cluster.dropped").inc(self.n_dropped)
+        reg.gauge("cluster.nodes").set(len(self.nodes))
+        reg.gauge("cluster.queue_depth_peak").set(queue.peak_depth)
+        for node in self.nodes:
+            reg.gauge(f"cluster.node{node.node_id}.batches").set(node.n_batches)
+            reg.gauge(f"cluster.node{node.node_id}.crashes").set(node.n_crashes)
+            reg.gauge(f"cluster.node{node.node_id}.rewarms").set(node.n_rewarms)
+        finished = [r for r in results if r.outcome != "rejected"]
+        if finished:
+            reg.histogram("cluster.latency").observe_many(r.latency for r in finished)
+            reg.histogram("cluster.batch_size").observe_many(
+                r.batch_size for r in finished if r.batch_size
+            )
+        from ..obs.metrics import record_factor_cache_metrics
+
+        record_factor_cache_metrics(
+            reg, [n.shard.cache for n in self.nodes], prefix="cluster.factor_cache"
+        )
+
+    def trace_events(self, *, pid=5):
+        """Chrome trace-event dicts: one lane per node, faults as instants.
+
+        Batch executions are ``"X"`` complete events on the owning
+        node's lane (lost flights truncate at the crash); joins,
+        crashes, recoveries, failovers, hedges and re-warms are
+        thread-scoped instants.  Compatible with
+        :func:`repro.obs.write_chrome_trace` /
+        :func:`repro.obs.validate_events`.
+        """
+        us = 1e6
+        out = [
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": node.node_id,
+                "args": {"name": f"node {node.node_id}"},
+            }
+            for node in self.nodes
+        ]
+        for rec in self._timeline:
+            out.append(
+                {
+                    "name": f"batch x{rec['size']} {rec['solver']}"
+                    + (" (lost)" if rec["lost"] else ""),
+                    "cat": "cluster.lost" if rec["lost"] else "cluster",
+                    "ph": "X",
+                    "pid": pid,
+                    "tid": int(rec["node"]),
+                    "ts": rec["start"] * us,
+                    "dur": max(0.0, (rec["finish"] - rec["start"])) * us,
+                    "args": {"hedge": rec["hedge"], "lost": rec["lost"]},
+                }
+            )
+        for t, kind, nid, detail in self._events_log:
+            out.append(
+                {
+                    "name": f"{kind} {detail}".strip(),
+                    "cat": "cluster.fault",
+                    "ph": "i",
+                    "s": "t",
+                    "pid": pid,
+                    "tid": int(nid),
+                    "ts": max(0.0, t) * us,
+                    "args": {},
+                }
+            )
+        return out

@@ -42,6 +42,7 @@ from .cache import (
     configure_default_cache,
     default_cache,
     freeze_product,
+    matrix_fingerprint,
     pattern_fingerprint,
     set_validation_hook,
 )
@@ -68,6 +69,7 @@ __all__ = [
     "SymbolicAnalysis",
     "SymbolicCache",
     "pattern_fingerprint",
+    "matrix_fingerprint",
     "cached_analysis",
     "default_cache",
     "clear_default_cache",

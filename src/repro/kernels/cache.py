@@ -35,6 +35,7 @@ from .plans import (
 
 __all__ = [
     "pattern_fingerprint",
+    "matrix_fingerprint",
     "SymbolicAnalysis",
     "SymbolicCache",
     "default_cache",
@@ -95,6 +96,20 @@ def pattern_fingerprint(M) -> str:
     h.update(np.asarray([M.n_rows, M.n_cols], dtype=np.int64).tobytes())
     h.update(np.ascontiguousarray(M.indptr, dtype=np.int64).tobytes())
     h.update(np.ascontiguousarray(M.indices, dtype=np.int64).tobytes())
+    return h.hexdigest()
+
+
+def matrix_fingerprint(M) -> str:
+    """Hex digest of pattern *and* values — the numeric identity.
+
+    Two matrices on the same stencil (e.g. a diffusion and a convection
+    problem on one grid) share a :func:`pattern_fingerprint` but must
+    never share a *factor*; use this digest to key caches whose entries
+    depend on the values, not just the structure.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    h.update(pattern_fingerprint(M).encode())
+    h.update(np.ascontiguousarray(M.data, dtype=np.float64).tobytes())
     return h.hexdigest()
 
 

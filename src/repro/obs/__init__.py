@@ -45,6 +45,7 @@ from .metrics import (
     SCHEMA,
     MetricsRegistry,
     record_cache_metrics,
+    record_factor_cache_metrics,
     record_roofline_metrics,
     record_trace_metrics,
     validate_metrics,
@@ -72,6 +73,7 @@ __all__ = [
     "validate_metrics",
     "record_trace_metrics",
     "record_cache_metrics",
+    "record_factor_cache_metrics",
     "record_roofline_metrics",
     "aggregate_spans",
     "render_flame",

@@ -38,6 +38,7 @@ __all__ = [
     "validate_metrics",
     "record_trace_metrics",
     "record_cache_metrics",
+    "record_factor_cache_metrics",
     "record_roofline_metrics",
 ]
 
@@ -263,6 +264,37 @@ def record_cache_metrics(registry, cache, *, prefix="cache"):
     if "max_entries" in st:
         registry.gauge(f"{prefix}.max_entries").set(st["max_entries"])
     registry.gauge(f"{prefix}.hit_rate").set(st["hit_rate"])
+    return registry
+
+
+def record_factor_cache_metrics(registry, caches=None, *, prefix="factor_cache"):
+    """Hit/miss/eviction metrics of the serving factor caches.
+
+    Where :func:`record_cache_metrics` reports the process-wide
+    *symbolic* cache, this reports the *factor* caches — the LRU of
+    built preconditioners each worker shard / cluster node owns
+    (:class:`repro.serve.factor_cache.FactorCache`).  ``caches``
+    defaults to every live cache in the process
+    (:func:`repro.serve.factor_cache.live_factor_caches`); pass an
+    explicit iterable to scope to one service.  Records one gauge set
+    per named cache plus the pooled aggregate under ``prefix`` itself.
+    """
+    if caches is None:
+        from ..serve.factor_cache import live_factor_caches
+
+        caches = live_factor_caches()
+    caches = list(caches)
+    totals = {"hits": 0, "misses": 0, "evictions": 0, "entries": 0}
+    for cache in caches:
+        st = cache.stats()
+        for key in totals:
+            totals[key] += st[key]
+        record_cache_metrics(registry, cache, prefix=f"{prefix}.{cache.name}")
+    lookups = totals["hits"] + totals["misses"]
+    registry.gauge(f"{prefix}.caches").set(len(caches))
+    for key, v in totals.items():
+        registry.gauge(f"{prefix}.{key}").set(v)
+    registry.gauge(f"{prefix}.hit_rate").set(totals["hits"] / lookups if lookups else 0.0)
     return registry
 
 

@@ -17,7 +17,13 @@ Two halves, one contract (``docs/resilience.md``):
 
 from ..core.breakdown import FactorizationBreakdown, classify_pivot
 from .faults import FaultPlan, FaultRunReport, drop_last_publish
-from .retry import AttemptRecord, ResilienceReport, ResilientFactor, RetryPolicy
+from .retry import (
+    AttemptRecord,
+    ExponentialBackoff,
+    ResilienceReport,
+    ResilientFactor,
+    RetryPolicy,
+)
 
 __all__ = [
     "FactorizationBreakdown",
@@ -25,6 +31,7 @@ __all__ = [
     "FaultPlan",
     "FaultRunReport",
     "drop_last_publish",
+    "ExponentialBackoff",
     "RetryPolicy",
     "AttemptRecord",
     "ResilienceReport",

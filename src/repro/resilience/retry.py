@@ -47,7 +47,58 @@ from ..kernels.cache import default_cache
 from ..obs import spans as _spans
 from ..sparse.pattern import has_full_diagonal
 
-__all__ = ["RetryPolicy", "AttemptRecord", "ResilienceReport", "ResilientFactor"]
+__all__ = [
+    "ExponentialBackoff",
+    "RetryPolicy",
+    "AttemptRecord",
+    "ResilienceReport",
+    "ResilientFactor",
+]
+
+
+@dataclass(frozen=True)
+class ExponentialBackoff:
+    """Seeded exponential backoff: ``delay(i) = base·factorⁱ·(1 + jitter·u)``.
+
+    The one backoff implementation shared by every retry loop in the
+    stack — the cluster router's hedged re-dispatches and the
+    :class:`ResilientFactor` chain's virtual retry charges both draw
+    from here, so "how long do we wait before trying again" has a
+    single seeded answer.  ``u`` is a uniform draw in ``[0, 1)``
+    derived from ``(jitter_seed, attempt)`` alone, so ``delay(i)`` is a
+    pure function — independent of call order, process, or how many
+    other backoffs exist — which is what keeps the virtual-clock
+    replays bit-identical.
+    """
+
+    base: float = 1e-3
+    factor: float = 2.0
+    jitter: float = 0.1
+    jitter_seed: int = 0
+    max_delay: float = float("inf")
+
+    def __post_init__(self):
+        if self.base < 0.0:
+            raise ValueError(f"base must be >= 0, got {self.base}")
+        if self.factor < 1.0:
+            raise ValueError(f"factor must be >= 1, got {self.factor}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def delay(self, attempt) -> float:
+        """Deterministic delay before retry number ``attempt`` (0-based)."""
+        attempt = int(attempt)
+        if attempt < 0:
+            raise ValueError(f"attempt must be >= 0, got {attempt}")
+        raw = self.base * self.factor**attempt
+        if self.jitter > 0.0:
+            u = float(np.random.default_rng((self.jitter_seed, attempt)).random())
+            raw *= 1.0 + self.jitter * u
+        return min(raw, self.max_delay)
+
+    def delays(self, n) -> list:
+        """The first ``n`` delays (``[delay(0), …, delay(n-1)]``)."""
+        return [self.delay(i) for i in range(int(n))]
 
 
 @dataclass(frozen=True)
@@ -76,6 +127,24 @@ class RetryPolicy:
 
         return replace(self, **kw)
 
+    def backoff(self, base=1e-3, factor=2.0, jitter_seed=0, *, jitter=0.1,
+                max_delay=float("inf")) -> ExponentialBackoff:
+        """The policy's seeded exponential backoff schedule.
+
+        One implementation for every retry loop: the cluster router's
+        hedge/failover re-dispatch delays and the virtual charge a
+        :class:`ResilientFactor` retry ladder accrues
+        (:attr:`ResilienceReport.backoff_total`) both come from the
+        :class:`ExponentialBackoff` built here.
+        """
+        return ExponentialBackoff(
+            base=float(base),
+            factor=float(factor),
+            jitter=float(jitter),
+            jitter_seed=int(jitter_seed),
+            max_delay=float(max_delay),
+        )
+
 
 @dataclass
 class AttemptRecord:
@@ -87,6 +156,8 @@ class AttemptRecord:
     detail: str = ""
     row: int | None = None
     kind: str | None = None
+    #: seeded virtual delay charged before the *next* retry (0 on a win)
+    backoff: float = 0.0
 
     def to_dict(self):
         return {
@@ -96,6 +167,7 @@ class AttemptRecord:
             "detail": self.detail,
             "row": self.row,
             "kind": self.kind,
+            "backoff": self.backoff,
         }
 
 
@@ -129,6 +201,17 @@ class ResilienceReport:
     @property
     def n_breakdowns(self):
         return sum(1 for a in self.attempts if not a.ok)
+
+    @property
+    def backoff_total(self):
+        """Virtual retry-delay charge accrued by failed attempts.
+
+        Serving layers add this to a cold build's cost so a
+        breakdown-riddled setup pays for its retries on the virtual
+        clock too (same :meth:`RetryPolicy.backoff` schedule the
+        cluster router uses for hedging).
+        """
+        return sum(a.backoff for a in self.attempts)
 
     def to_dict(self):
         return {
@@ -191,6 +274,21 @@ class ResilientFactor:
         self._ready = False
         self._apply = None
         self.ilu = None  # the JavelinILU behind an ILU-variant win, if any
+        # the chain's virtual retry-delay schedule (shared implementation
+        # with the cluster router's hedging — see RetryPolicy.backoff)
+        self._backoff = self.policy.backoff()
+
+    def _record_failure(self, variant, shift, **kw):
+        """Record a failed attempt, charging its seeded backoff delay."""
+        self.report.record(
+            AttemptRecord(
+                variant,
+                shift,
+                False,
+                backoff=self._backoff.delay(self.report.n_breakdowns),
+                **kw,
+            )
+        )
 
     # ------------------------------------------------------------------
     def setup(self, A):
@@ -226,9 +324,7 @@ class ResilientFactor:
         a bad pivot.  Returns True when a validated candidate won.
         """
         if not self._structural_diag:
-            self.report.record(
-                AttemptRecord(variant, 0.0, False, detail="missing structural diagonal")
-            )
+            self._record_failure(variant, 0.0, detail="missing structural diagonal")
             return False
         pol = self.policy
         alpha = 0.0
@@ -241,9 +337,7 @@ class ResilientFactor:
             try:
                 apply, data, ilu = build(B)
             except FactorizationBreakdown as e:
-                self.report.record(
-                    AttemptRecord(variant, alpha, False, detail=str(e), row=e.row, kind=e.kind)
-                )
+                self._record_failure(variant, alpha, detail=str(e), row=e.row, kind=e.kind)
             else:
                 why = self._validate(apply, data)
                 if why is None:
@@ -253,7 +347,7 @@ class ResilientFactor:
                     self._apply = apply
                     self.ilu = ilu
                     return True
-                self.report.record(AttemptRecord(variant, alpha, False, detail=why))
+                self._record_failure(variant, alpha, detail=why)
             alpha = max(2.0 * alpha, pol.shift0)
         return False
 
@@ -284,11 +378,11 @@ class ResilientFactor:
         try:
             bj = BlockJacobi(self.policy.block_size).setup(self.A)
         except Exception as e:  # singular blocks already regularized; be safe
-            self.report.record(AttemptRecord("block_jacobi", 0.0, False, detail=str(e)))
+            self._record_failure("block_jacobi", 0.0, detail=str(e))
             return False
         why = self._validate(bj.solve)
         if why is not None:
-            self.report.record(AttemptRecord("block_jacobi", 0.0, False, detail=why))
+            self._record_failure("block_jacobi", 0.0, detail=why)
             return False
         self.report.record(AttemptRecord("block_jacobi", 0.0, True))
         self.report.final_variant = "block_jacobi"
@@ -395,13 +489,10 @@ class ResilientFactor:
         """
         if not self._ready:
             raise RuntimeError("call setup(A) first")
-        self.report.record(
-            AttemptRecord(
-                self.report.final_variant or "?",
-                self.report.final_shift,
-                False,
-                detail="demoted: non-finite apply observed during solve",
-            )
+        self._record_failure(
+            self.report.final_variant or "?",
+            self.report.final_shift,
+            detail="demoted: non-finite apply observed during solve",
         )
         self.report.resetups += 1
         self._advance()

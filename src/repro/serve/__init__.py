@@ -31,9 +31,16 @@ request served alone (asserted by property tests and the bench gate).
 from .request import OUTCOMES, RequestResult, SolveRequest
 from .queue import ADMISSION_POLICIES, AdmissionQueue
 from .batcher import Batch, BatchPolicy, MicroBatcher
-from .factor_cache import FactorCache, FactorEntry
+from .factor_cache import FactorCache, FactorEntry, live_factor_caches
 from .workers import SOLVERS, CostModel, SolveService, WorkerShard, blocked_richardson
-from .workload import WorkloadSpec, build_matrices, generate_requests, summarize
+from .workload import (
+    WORKLOAD_SHAPES,
+    WorkloadSpec,
+    arrival_rate,
+    build_matrices,
+    generate_requests,
+    summarize,
+)
 
 __all__ = [
     "OUTCOMES",
@@ -46,12 +53,15 @@ __all__ = [
     "MicroBatcher",
     "FactorCache",
     "FactorEntry",
+    "live_factor_caches",
     "SOLVERS",
     "CostModel",
     "WorkerShard",
     "SolveService",
     "blocked_richardson",
+    "WORKLOAD_SHAPES",
     "WorkloadSpec",
+    "arrival_rate",
     "build_matrices",
     "generate_requests",
     "summarize",

@@ -47,7 +47,13 @@ from ..sched.options import SCHEDULER_NAMES
 from .batcher import BatchPolicy
 from .request import OUTCOMES
 from .workers import CostModel, SolveService, blocked_richardson
-from .workload import WorkloadSpec, build_matrices, generate_requests, summarize
+from .workload import (
+    WORKLOAD_SHAPES,
+    WorkloadSpec,
+    build_matrices,
+    generate_requests,
+    summarize,
+)
 
 __all__ = ["main", "build_parser", "run_bench"]
 
@@ -133,13 +139,17 @@ def _measure_speedup(widths, *, nx=48, tol=1e-8, maxiter=60):
     return out
 
 
-def run_bench(*, check=False, seed=0, out_path="BENCH_serve.json", scheduler=None):
+def run_bench(*, check=False, seed=0, out_path="BENCH_serve.json", scheduler=None,
+              workload="poisson"):
     """Run the serving benchmark; returns (record, n_failures).
 
     ``scheduler`` stamps every generated request with that trisolve
     scheduler (see :data:`repro.sched.SCHEDULER_NAMES`); the default
     ``None`` keeps the historical p2p pricing, bit-identical to the
-    pre-knob service.
+    pre-knob service.  ``workload`` selects the arrival/mix shape (one
+    of :data:`repro.serve.workload.WORKLOAD_SHAPES`): ``diurnal``,
+    ``flash_crowd`` and ``hot_key_storm`` stress the queue and the
+    factor caches in ways the constant-rate stream cannot.
     """
     failures = []
 
@@ -158,6 +168,9 @@ def run_bench(*, check=False, seed=0, out_path="BENCH_serve.json", scheduler=Non
             deadline_hi=0.2,
             maxiter=60,
             scheduler=scheduler,
+            shape=workload,
+            burst_at=0.02,
+            burst_duration=0.03,
         )
     else:
         spec = WorkloadSpec(
@@ -169,6 +182,7 @@ def run_bench(*, check=False, seed=0, out_path="BENCH_serve.json", scheduler=Non
             deadline_hi=0.5,
             maxiter=80,
             scheduler=scheduler,
+            shape=workload,
         )
 
     print("serve bench: workload")
@@ -276,6 +290,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="trisolve scheduler stamped on every request "
         "(default: the service's p2p pricing, unchanged)",
     )
+    b.add_argument(
+        "--workload",
+        default="poisson",
+        choices=list(WORKLOAD_SHAPES),
+        help="arrival/mix shape: constant-rate poisson (default), diurnal "
+        "rate curve, flash crowd, or hot-key storm",
+    )
     return p
 
 
@@ -283,7 +304,7 @@ def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     _, n_failures = run_bench(
         check=args.check, seed=args.seed, out_path=args.out,
-        scheduler=args.scheduler,
+        scheduler=args.scheduler, workload=args.workload,
     )
     if n_failures:
         print(f"serve bench: {n_failures} gate(s) FAILED")

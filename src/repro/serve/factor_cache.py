@@ -19,10 +19,27 @@ shape so :func:`repro.obs.record_cache_metrics` works on either.
 
 from __future__ import annotations
 
+import weakref
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
-__all__ = ["FactorEntry", "FactorCache"]
+__all__ = ["FactorEntry", "FactorCache", "live_factor_caches"]
+
+#: every FactorCache registers itself here (weakly), so the obs layer
+#: can aggregate hit/miss/eviction counts across all live caches
+#: without the serving layers having to thread a registry through
+_LIVE_CACHES: weakref.WeakSet = weakref.WeakSet()
+
+
+def live_factor_caches():
+    """All live :class:`FactorCache` instances, stable order by name.
+
+    The observability collector
+    (:func:`repro.obs.record_factor_cache_metrics`) iterates this to
+    report factor-cache counts next to the symbolic cache's — sorted so
+    the metric names a snapshot produces are deterministic.
+    """
+    return sorted(_LIVE_CACHES, key=lambda c: c.name)
 
 
 @dataclass(eq=False)
@@ -60,14 +77,16 @@ class FactorEntry:
 class FactorCache:
     """LRU of :class:`FactorEntry`, keyed by pattern fingerprint."""
 
-    def __init__(self, max_entries=8):
+    def __init__(self, max_entries=8, *, name=None):
         if max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.max_entries = int(max_entries)
+        self.name = str(name) if name is not None else f"factor_cache@{id(self):x}"
         self._entries: OrderedDict[str, FactorEntry] = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        _LIVE_CACHES.add(self)
 
     def get(self, fingerprint):
         """The cached entry (refreshing recency), or None on a miss."""

@@ -44,7 +44,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.javelin import JavelinOptions
-from ..kernels.cache import cached_analysis, pattern_fingerprint
+from ..kernels.cache import cached_analysis, matrix_fingerprint
 from ..obs import spans as _spans
 from ..resilience import ResilientFactor, RetryPolicy
 from ..sparse import spmv_csr
@@ -229,7 +229,7 @@ class WorkerShard:
         fault_plan=None,
     ):
         self.shard_id = int(shard_id)
-        self.cache = FactorCache(cache_entries)
+        self.cache = FactorCache(cache_entries, name=f"shard{self.shard_id}")
         self.cost = cost or CostModel()
         self.options = options or JavelinOptions()
         self.retry_policy = retry_policy or RetryPolicy()
@@ -456,7 +456,9 @@ class SolveService:
         if n_shards < 1:
             raise ValueError(f"n_shards must be >= 1, got {n_shards}")
         self.matrices = dict(matrices)
-        self.fingerprints = {k: pattern_fingerprint(A) for k, A in self.matrices.items()}
+        # value-aware digests: factors depend on the values, so two
+        # matrices sharing a stencil must not share a cache slot
+        self.fingerprints = {k: matrix_fingerprint(A) for k, A in self.matrices.items()}
         self.capacity = int(capacity)
         self.admission = admission
         self.batch_policy = batch_policy or BatchPolicy()
@@ -602,11 +604,8 @@ class SolveService:
             reg.histogram("serve.latency").observe_many(r.latency for r in finished)
             reg.histogram("serve.wait_time").observe_many(r.wait_time for r in finished)
             reg.histogram("serve.batch_size").observe_many(r.batch_size for r in finished)
-        for s in self.shards:
-            st = s.cache.stats()
-            prefix = f"serve.factor_cache.shard{s.shard_id}"
-            reg.gauge(f"{prefix}.hits").set(st["hits"])
-            reg.gauge(f"{prefix}.misses").set(st["misses"])
-            reg.gauge(f"{prefix}.evictions").set(st["evictions"])
-            reg.gauge(f"{prefix}.entries").set(st["entries"])
-            reg.gauge(f"{prefix}.hit_rate").set(st["hit_rate"])
+        from ..obs.metrics import record_factor_cache_metrics
+
+        record_factor_cache_metrics(
+            reg, [s.cache for s in self.shards], prefix="serve.factor_cache"
+        )

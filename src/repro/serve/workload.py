@@ -34,7 +34,24 @@ import numpy as np
 from ..matrices import circuit_network, grid2d, rhs_stream
 from .request import SolveRequest
 
-__all__ = ["WorkloadSpec", "build_matrices", "generate_requests", "summarize"]
+__all__ = [
+    "WORKLOAD_SHAPES",
+    "WorkloadSpec",
+    "arrival_rate",
+    "build_matrices",
+    "generate_requests",
+    "summarize",
+]
+
+#: arrival/mix shapes a :class:`WorkloadSpec` can take.  ``poisson`` is
+#: the historical constant-rate stream (draw-for-draw identical to the
+#: pre-shape generator); the others stress the serving tier's weak
+#: spots: ``diurnal`` (sinusoidal rate curve — sustained swing between
+#: quiet and rush hours), ``flash_crowd`` (a rate spike of
+#: ``flash_factor``× during a window — queue/backpressure stress), and
+#: ``hot_key_storm`` (pattern mix collapses onto one hot key during a
+#: window — replication and cache-placement stress).
+WORKLOAD_SHAPES = ("poisson", "diurnal", "flash_crowd", "hot_key_storm")
 
 
 @dataclass(frozen=True)
@@ -55,6 +72,15 @@ class WorkloadSpec:
     maxiter: int = 200
     drift: float = 0.1
     scheduler: str | None = None  # trisolve scheduler for every request
+    #: arrival/mix shape (one of :data:`WORKLOAD_SHAPES`) and its knobs
+    shape: str = "poisson"
+    diurnal_period: float = 0.5  # one full day on the virtual clock
+    diurnal_amplitude: float = 0.8  # rate swings rate·(1 ± amplitude)
+    burst_at: float = 0.1  # flash-crowd / storm window start (virtual time)
+    burst_duration: float = 0.1
+    flash_factor: float = 6.0  # rate multiplier inside the flash window
+    storm_intensity: float = 0.95  # P(hot key) inside the storm window
+    storm_rank: int = 0  # which pattern (by zipf rank) the storm hammers
 
     def __post_init__(self):
         if self.n_requests < 1:
@@ -65,6 +91,27 @@ class WorkloadSpec:
             raise ValueError("patterns must be non-empty")
         if len(self.solvers) != len(self.solver_weights):
             raise ValueError("solvers and solver_weights must have equal length")
+        if self.shape not in WORKLOAD_SHAPES:
+            raise ValueError(
+                f"shape must be one of {WORKLOAD_SHAPES}, got {self.shape!r}"
+            )
+        if not 0.0 <= self.diurnal_amplitude < 1.0:
+            raise ValueError(
+                f"diurnal_amplitude must be in [0, 1), got {self.diurnal_amplitude}"
+            )
+        if self.diurnal_period <= 0.0:
+            raise ValueError(f"diurnal_period must be positive, got {self.diurnal_period}")
+        if self.flash_factor < 1.0:
+            raise ValueError(f"flash_factor must be >= 1, got {self.flash_factor}")
+        if not 0.0 <= self.storm_intensity <= 1.0:
+            raise ValueError(
+                f"storm_intensity must be in [0, 1], got {self.storm_intensity}"
+            )
+        if not 0 <= self.storm_rank < len(self.patterns):
+            raise ValueError(
+                f"storm_rank must index patterns (0..{len(self.patterns) - 1}), "
+                f"got {self.storm_rank}"
+            )
 
 
 def build_matrices(patterns):
@@ -92,8 +139,51 @@ def build_matrices(patterns):
     return out
 
 
+def arrival_rate(spec: WorkloadSpec, t: float) -> float:
+    """Instantaneous arrival rate λ(t) of the spec's shape at time ``t``."""
+    if spec.shape == "diurnal":
+        phase = 2.0 * math.pi * t / spec.diurnal_period
+        return spec.rate * (1.0 + spec.diurnal_amplitude * math.sin(phase))
+    if spec.shape == "flash_crowd":
+        in_burst = spec.burst_at <= t < spec.burst_at + spec.burst_duration
+        return spec.rate * (spec.flash_factor if in_burst else 1.0)
+    return spec.rate  # poisson and hot_key_storm arrive at constant rate
+
+
+def _peak_rate(spec: WorkloadSpec) -> float:
+    """An upper bound on λ(t), the thinning envelope."""
+    if spec.shape == "diurnal":
+        return spec.rate * (1.0 + spec.diurnal_amplitude)
+    if spec.shape == "flash_crowd":
+        return spec.rate * spec.flash_factor
+    return spec.rate
+
+
+def _next_arrival(spec, rng, now):
+    """One inter-arrival step of the (possibly inhomogeneous) process.
+
+    Constant-rate shapes draw one exponential gap; time-varying shapes
+    use Lewis–Shedler thinning against the peak-rate envelope — still a
+    pure function of the seeded generator's draw sequence.
+    """
+    peak = _peak_rate(spec)
+    if spec.shape in ("poisson", "hot_key_storm"):
+        return now + float(rng.exponential(1.0 / peak))
+    while True:
+        now += float(rng.exponential(1.0 / peak))
+        if float(rng.random()) * peak <= arrival_rate(spec, now):
+            return now
+
+
 def generate_requests(spec: WorkloadSpec, matrices):
-    """The workload as a list of :class:`SolveRequest`, sorted by arrival."""
+    """The workload as a list of :class:`SolveRequest`, sorted by arrival.
+
+    For the default ``poisson`` shape the draw sequence is identical to
+    the historical generator, so existing seeded workloads replay
+    unchanged; the other :data:`WORKLOAD_SHAPES` reinterpret the same
+    seeded stream as an inhomogeneous arrival process or a skewed
+    pattern mix.
+    """
     rng = np.random.default_rng(spec.seed)
     ranks = np.arange(1, len(spec.patterns) + 1, dtype=np.float64)
     p_pattern = ranks ** (-spec.zipf_s)
@@ -107,8 +197,14 @@ def generate_requests(spec: WorkloadSpec, matrices):
     reqs = []
     now = 0.0
     for rid in range(spec.n_requests):
-        now += float(rng.exponential(1.0 / spec.rate))
+        now = _next_arrival(spec, rng, now)
         key = spec.patterns[int(rng.choice(len(spec.patterns), p=p_pattern))]
+        if (
+            spec.shape == "hot_key_storm"
+            and spec.burst_at <= now < spec.burst_at + spec.burst_duration
+            and float(rng.random()) < spec.storm_intensity
+        ):
+            key = spec.patterns[spec.storm_rank]  # the storm's hot key
         solver = spec.solvers[int(rng.choice(len(spec.solvers), p=p_solver))]
         reqs.append(
             SolveRequest(

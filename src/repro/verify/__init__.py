@@ -17,11 +17,17 @@ into executable checks:
   (including the frozen-cache-arrays rule), installable as debug hooks
   on kernel dispatch and cache lookups.
 * :mod:`repro.verify.lint` — repo-specific AST rules (JAV001–JAV005).
+* :mod:`repro.verify.conservation` — the dynamic request-conservation
+  auditor for the serving/cluster layers: every admitted request
+  terminates in exactly one structured outcome, under any fault
+  schedule (the cluster bench's planted-bug gate drops a failover
+  re-route and demands this checker catch the loss).
 
 Run everything with ``python -m repro.verify`` (or ``repro verify``);
 see ``docs/static_analysis.md``.
 """
 
+from .conservation import ConservationReport, check_conservation
 from .invariants import (
     InvariantViolation,
     disable_debug_validation,
@@ -52,6 +58,8 @@ from .races import (
 )
 
 __all__ = [
+    "ConservationReport",
+    "check_conservation",
     "InvariantViolation",
     "validate",
     "validate_csr",

@@ -1,0 +1,226 @@
+"""ClusterService end-to-end: placement identity, failover, hedging."""
+
+import math
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterNode, ClusterService, NodeFaultPlan
+from repro.matrices import grid2d
+from repro.obs.chrome_trace import validate_events
+from repro.obs.metrics import MetricsRegistry, validate_metrics
+from repro.serve import BatchPolicy, SolveRequest
+from repro.verify import check_conservation
+
+
+def _matrices():
+    return {"g10": grid2d(10), "c10": grid2d(10, convection=1.0), "g14": grid2d(14)}
+
+
+def _requests(n=48, *, seed=0, deadline=0.3, rate=800.0, maxiter=60):
+    ms = _matrices()
+    keys = sorted(ms)
+    rng = np.random.default_rng(seed)
+    reqs, t = [], 0.0
+    for i in range(n):
+        t += float(rng.exponential(1.0 / rate))
+        key = keys[int(rng.integers(len(keys)))]
+        reqs.append(
+            SolveRequest(
+                request_id=i,
+                tenant=f"t{int(rng.integers(2))}",
+                matrix_key=key,
+                b=rng.standard_normal(ms[key].n_rows),
+                arrival_time=t,
+                deadline=t + deadline,
+                maxiter=maxiter,
+            )
+        )
+    return reqs
+
+
+def _service(**kw):
+    kw.setdefault("n_nodes", 3)
+    kw.setdefault("replication", 2)
+    kw.setdefault("batch_policy", BatchPolicy(max_batch=8, max_wait=0.01))
+    return ClusterService(_matrices(), **kw)
+
+
+def _sig(results):
+    return [(r.request_id, r.outcome, r.shard, r.iterations, r.residual) for r in results]
+
+
+def _storm_plan(reqs):
+    """Kill the busiest rehearsal node mid-flight (the bench's recipe)."""
+    rehearsal = _service()
+    rehearsal.run(reqs)
+    victim = Counter(rec["node"] for rec in rehearsal._timeline).most_common(1)[0][0]
+    mids = sorted(
+        0.5 * (rec["start"] + rec["finish"])
+        for rec in rehearsal._timeline
+        if rec["node"] == victim
+    )
+    return NodeFaultPlan.kill_one(victim, mids[len(mids) // 2]), victim
+
+
+class TestNode:
+    def test_fingerprints_distinguish_values_on_shared_pattern(self):
+        svc = _service()
+        # g10 and c10 share a stencil; their factors must not collide
+        assert svc.fingerprints["g10"] != svc.fingerprints["c10"]
+
+    def test_adopt_shares_factor_object(self):
+        svc = _service()
+        svc.run(_requests(n=24))
+        donors = [
+            (n, fp)
+            for n in svc.nodes
+            for fp in list(n.shard.cache._entries)
+        ]
+        node, fp = donors[0]
+        fresh = ClusterNode(9)
+        fresh.adopt(node.entry(fp))
+        assert fresh.holds(fp)
+        assert fresh.entry(fp).factor is node.entry(fp).factor
+        assert fresh.n_rewarms == 1
+
+    def test_on_crash_clears_cache(self):
+        svc = _service()
+        svc.run(_requests(n=24))
+        node = max(svc.nodes, key=lambda n: len(n.shard.cache._entries))
+        assert len(node.shard.cache._entries) > 0
+        node.on_crash()
+        assert len(node.shard.cache._entries) == 0
+        assert node.n_crashes == 1 and not node.busy
+
+
+class TestHealthy:
+    def test_every_request_terminates_and_conserves(self):
+        svc = _service()
+        reqs = _requests()
+        results = svc.run(reqs)
+        assert len(results) == len(reqs)
+        report = check_conservation(reqs, results)
+        assert report.ok, report.violations
+
+    def test_replay_is_bit_identical(self):
+        reqs = _requests(seed=3)
+        a = _service().run(reqs)
+        b = _service().run(reqs)
+        assert _sig(a) == _sig(b)
+        for ra, rb in zip(a, b):
+            if ra.x is not None:
+                assert np.array_equal(ra.x, rb.x, equal_nan=True)
+
+    def test_placement_identity_one_node_vs_cluster(self):
+        # generous deadlines + capacity: every request is served on
+        # both topologies, so the bits must match exactly
+        reqs = [
+            SolveRequest(
+                request_id=r.request_id,
+                tenant=r.tenant,
+                matrix_key=r.matrix_key,
+                b=r.b,
+                arrival_time=r.arrival_time,
+                deadline=r.arrival_time + 1e9,
+                maxiter=r.maxiter,
+            )
+            for r in _requests(n=36)
+        ]
+        one = _service(n_nodes=1, replication=1, capacity=len(reqs)).run(reqs)
+        many = _service(n_nodes=4, capacity=len(reqs)).run(reqs)
+        assert [r.outcome for r in one] == [r.outcome for r in many]
+        for ra, rb in zip(one, many):
+            assert np.array_equal(ra.x, rb.x, equal_nan=True)
+            assert ra.iterations == rb.iterations
+
+
+class TestFailover:
+    def test_kill_one_node_storm_serves_and_conserves(self):
+        reqs = _requests(n=64, seed=5)
+        plan, victim = _storm_plan(reqs)
+        svc = _service(node_fault_plan=plan)
+        results = svc.run(reqs)
+        assert len(results) == len(reqs)
+        report = check_conservation(reqs, results)
+        assert report.ok, report.violations
+        assert svc.n_failovers >= 1
+        served = sum(1 for r in results if r.outcome == "served")
+        assert served / len(reqs) >= 0.9
+
+    def test_storm_bits_match_healthy_run(self):
+        reqs = _requests(n=64, seed=5)
+        plan, _ = _storm_plan(reqs)
+        healthy = {r.request_id: r for r in _service().run(reqs)}
+        storm = _service(node_fault_plan=plan).run(reqs)
+        for r in storm:
+            if r.outcome == "served" and healthy[r.request_id].outcome == "served":
+                assert np.array_equal(r.x, healthy[r.request_id].x, equal_nan=True)
+
+    def test_planted_drop_failover_is_caught(self):
+        reqs = _requests(n=64, seed=5)
+        plan, _ = _storm_plan(reqs)
+        svc = _service(node_fault_plan=plan, drop_failover=True, hedge_after=None)
+        results = svc.run(reqs)
+        assert svc.n_dropped > 0
+        report = check_conservation(reqs, results)
+        assert not report.ok
+        assert any("never terminated" in v for v in report.violations)
+
+    def test_seeded_chaos_terminates_and_replays(self):
+        reqs = _requests(n=48, seed=2)
+        plan = NodeFaultPlan.seeded(
+            3, seed=11, horizon=0.08, crash_frac=0.6, crash_duration=(0.01, 0.04),
+            slow_frac=0.5, slow_factor=3.0, slow_duration=(0.02, 0.05),
+            n_delayed_joins=1, join_by=0.02,
+        )
+        a = _service(node_fault_plan=plan).run(reqs)
+        b = _service(node_fault_plan=plan).run(reqs)
+        assert len(a) == len(reqs)
+        assert check_conservation(reqs, a).ok
+        assert _sig(a) == _sig(b)
+
+    def test_all_nodes_dead_rejects_cleanly(self):
+        plan = NodeFaultPlan(crashes=((0, 0.0, math.inf), (1, 0.0, math.inf)))
+        reqs = _requests(n=8)
+        svc = _service(n_nodes=2, node_fault_plan=plan)
+        results = svc.run(reqs)
+        assert len(results) == len(reqs)
+        assert all(r.outcome == "rejected" for r in results)
+        assert check_conservation(reqs, results).ok
+
+
+class TestGray:
+    def test_hedging_rescues_gray_node(self):
+        reqs = _requests(n=64, seed=7, deadline=0.15)
+        plan = NodeFaultPlan(slow=((0, 0.0, 10.0, 20.0), (1, 0.0, 10.0, 20.0),
+                                   (2, 0.0, 10.0, 20.0)))
+        # every node gray: hedging can't help, establishes the floor
+        floor = _service(node_fault_plan=plan, hedge_after=None)
+        floor_served = sum(1 for r in floor.run(reqs) if r.outcome == "served")
+        one_gray = NodeFaultPlan(slow=((1, 0.0, 10.0, 20.0),))
+        unhedged = _service(node_fault_plan=one_gray, hedge_after=None)
+        u_served = sum(1 for r in unhedged.run(reqs) if r.outcome == "served")
+        hedged = _service(node_fault_plan=one_gray, hedge_after=0.02)
+        h_results = hedged.run(reqs)
+        h_served = sum(1 for r in h_results if r.outcome == "served")
+        assert check_conservation(reqs, h_results).ok
+        assert hedged.n_hedges >= 1
+        assert h_served >= u_served >= floor_served
+
+
+class TestObservability:
+    def test_trace_and_metrics_validate(self):
+        reqs = _requests(n=48, seed=5)
+        plan, _ = _storm_plan(reqs)
+        reg = MetricsRegistry()
+        svc = _service(node_fault_plan=plan, registry=reg)
+        svc.run(reqs)
+        events = svc.trace_events()
+        assert validate_events(events) == []
+        assert any(e.get("ph") == "i" for e in events)
+        snap = reg.snapshot()
+        assert validate_metrics(snap) == []
+        assert "cluster.requests" in snap["counters"]
+        assert "cluster.failovers" in snap["counters"]

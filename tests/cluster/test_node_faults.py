@@ -1,0 +1,92 @@
+"""NodeFaultPlan: seeded chaos schedules and their state queries."""
+
+import math
+
+import pytest
+
+from repro.cluster import NodeFaultPlan
+from repro.resilience import FaultPlan
+
+
+class TestQueries:
+    def test_is_up_respects_crash_window(self):
+        plan = NodeFaultPlan(crashes=((1, 0.1, 0.3),))
+        assert plan.is_up(1, 0.05)
+        assert not plan.is_up(1, 0.1)
+        assert not plan.is_up(1, 0.29)
+        assert plan.is_up(1, 0.3)
+        assert plan.is_up(0, 0.2)
+
+    def test_is_up_respects_join_time(self):
+        plan = NodeFaultPlan(joins=((2, 0.15),))
+        assert not plan.is_up(2, 0.0)
+        assert plan.is_up(2, 0.15)
+        assert plan.join_time(2) == 0.15
+        assert plan.join_time(0) == 0.0
+
+    def test_rate_inside_gray_window(self):
+        plan = NodeFaultPlan(slow=((1, 0.1, 0.5, 4.0),))
+        assert plan.rate(1, 0.05) == 1.0
+        assert plan.rate(1, 0.3) == 4.0
+        assert plan.rate(1, 0.5) == 1.0
+        assert plan.rate(0, 0.3) == 1.0
+
+    def test_down_during_half_open(self):
+        plan = NodeFaultPlan(crashes=((1, 0.2, 0.4),))
+        # crash at the dispatch instant does not kill the (not yet
+        # started) flight; crash exactly at finish does
+        assert plan.down_during(1, 0.2, 0.3) is None
+        assert plan.down_during(1, 0.1, 0.2) == 0.2
+        assert plan.down_during(1, 0.1, 0.3) == 0.2
+        assert plan.down_during(1, 0.25, 0.35) is None
+        assert plan.down_during(0, 0.0, 1.0) is None
+
+    def test_transitions_and_events_sorted(self):
+        plan = NodeFaultPlan(
+            crashes=((1, 0.2, 0.4), (2, 0.1, math.inf)),
+            slow=((0, 0.05, 0.3, 2.0),),
+            joins=((2, 0.02),),
+        )
+        trans = plan.transitions()
+        assert trans == tuple(sorted(trans))
+        assert 0.4 in trans and math.inf not in trans
+        kinds = [(k, n) for _, k, n in plan.events()]
+        assert ("crash", 1) in kinds and ("recover", 1) in kinds
+        assert ("crash", 2) in kinds and ("recover", 2) not in kinds
+        assert ("join", 2) in kinds
+        assert ("slow_start", 0) in kinds and ("slow_end", 0) in kinds
+
+
+class TestConstruction:
+    def test_kill_one(self):
+        plan = NodeFaultPlan.kill_one(2, 0.1)
+        assert plan.crashes == ((2, 0.1, math.inf),)
+        assert not plan.is_up(2, 5.0)
+
+    def test_seeded_is_reproducible(self):
+        a = NodeFaultPlan.seeded(4, seed=7, crash_frac=0.5, slow_frac=0.5, n_delayed_joins=1)
+        b = NodeFaultPlan.seeded(4, seed=7, crash_frac=0.5, slow_frac=0.5, n_delayed_joins=1)
+        assert a == b
+        c = NodeFaultPlan.seeded(4, seed=8, crash_frac=0.5, slow_frac=0.5, n_delayed_joins=1)
+        assert a != c
+
+    def test_seeded_node0_exempt(self):
+        for seed in range(20):
+            plan = NodeFaultPlan.seeded(3, seed=seed, crash_frac=1.0, n_delayed_joins=2)
+            assert all(n != 0 for n, _, _ in plan.crashes)
+            assert all(n != 0 for n, _ in plan.joins)
+
+    def test_shard_plan_composes(self):
+        sp = FaultPlan.seeded(2, seed=1)
+        plan = NodeFaultPlan.seeded(2, seed=0, shard_plan=sp)
+        assert plan.shard_plan is sp
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NodeFaultPlan(slow=((0, 0.1, 0.2, 0.5),))  # factor < 1
+        with pytest.raises(ValueError):
+            NodeFaultPlan(slow=((0, 0.3, 0.2, 2.0),))  # ends before start
+        with pytest.raises(ValueError):
+            NodeFaultPlan(crashes=((0, 0.3, 0.2),))
+        with pytest.raises(ValueError):
+            NodeFaultPlan(crashes=((0, 0.1),))  # wrong arity

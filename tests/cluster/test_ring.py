@@ -1,0 +1,109 @@
+"""HashRing placement and Router replication/dispatch policy."""
+
+import collections
+
+import pytest
+
+from repro.cluster import HashRing, Router
+
+
+class TestHashRing:
+    def test_walk_is_deterministic_and_complete(self):
+        ring = HashRing(range(5), vnodes=32, seed=3)
+        w1 = ring.walk("abc123")
+        w2 = HashRing(range(5), vnodes=32, seed=3).walk("abc123")
+        assert w1 == w2
+        assert sorted(w1) == [0, 1, 2, 3, 4]
+
+    def test_seed_changes_layout(self):
+        fps = [f"fp{i}" for i in range(64)]
+        a = [HashRing(range(4), seed=0).walk(fp)[0] for fp in fps]
+        b = [HashRing(range(4), seed=1).walk(fp)[0] for fp in fps]
+        assert a != b
+
+    def test_owners_are_walk_prefix(self):
+        ring = HashRing(range(6), vnodes=16, seed=0)
+        for fp in ("x", "y", "z"):
+            walk = ring.walk(fp)
+            for k in (1, 2, 4):
+                assert ring.owners(fp, k) == walk[:k]
+
+    def test_owners_clamped_to_membership(self):
+        ring = HashRing(range(3), seed=0)
+        assert len(ring.owners("fp", 10)) == 3
+
+    def test_distribution_is_roughly_even(self):
+        ring = HashRing(range(4), vnodes=64, seed=0)
+        counts = collections.Counter(ring.walk(f"fp{i}")[0] for i in range(2000))
+        assert set(counts) == {0, 1, 2, 3}
+        assert min(counts.values()) > 2000 / 4 / 3
+
+    def test_membership_churn_moves_few_keys(self):
+        # the consistent-hashing property: adding one node remaps only
+        # the keys in the arcs it takes over
+        fps = [f"fp{i}" for i in range(1000)]
+        small = HashRing(range(4), vnodes=64, seed=0)
+        big = HashRing(range(5), vnodes=64, seed=0)
+        moved = sum(1 for fp in fps if small.walk(fp)[0] != big.walk(fp)[0])
+        # keys either stay or move to the new node; expect ~1/5 to move
+        for fp in fps:
+            if small.walk(fp)[0] != big.walk(fp)[0]:
+                assert big.walk(fp)[0] == 4
+        assert moved < 1000 / 2
+
+    def test_failover_order_matches_removed_node_ownership(self):
+        # the next node on the walk is the node that would own the key
+        # had the dead one never existed
+        full = HashRing(range(4), vnodes=64, seed=0)
+        for fp in (f"fp{i}" for i in range(200)):
+            walk = full.walk(fp)
+            without = HashRing([n for n in range(4) if n != walk[0]], vnodes=64, seed=0)
+            assert without.walk(fp)[0] == walk[1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HashRing([])
+        with pytest.raises(ValueError):
+            HashRing([1, 1])
+        with pytest.raises(ValueError):
+            HashRing([0], vnodes=0)
+        with pytest.raises(ValueError):
+            HashRing(range(3)).owners("fp", 0)
+
+
+class TestRouter:
+    def test_hot_promotion_fires_once(self):
+        r = Router(range(3), hot_promote=3)
+        assert r.observe("fp") is False
+        assert r.observe("fp") is False
+        assert r.observe("fp") is True
+        assert r.observe("fp") is False
+        assert r.is_hot("fp")
+        assert r.hot() == ("fp",)
+
+    def test_replicas_grow_on_promotion(self):
+        r = Router(range(4), replication=3, hot_promote=2)
+        assert len(r.replicas("fp")) == 1
+        r.observe("fp")
+        r.observe("fp")
+        reps = r.replicas("fp")
+        assert len(reps) == 3
+        assert reps == r.ring.owners("fp", 3)
+
+    def test_pick_skips_down_and_excluded(self):
+        r = Router(range(4), seed=0)
+        walk = r.ring.walk("fp")
+        assert r.pick("fp", lambda n: True) == walk[0]
+        assert r.pick("fp", lambda n: n != walk[0]) == walk[1]
+        assert r.pick("fp", lambda n: True, exclude=(walk[0], walk[1])) == walk[2]
+        assert r.pick("fp", lambda n: False) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Router(range(2), replication=0)
+
+    def test_stats(self):
+        r = Router(range(2), replication=2, hot_promote=1)
+        r.observe("a")
+        r.observe("b")
+        assert r.stats() == {"fingerprints": 2, "hot": 2, "replication": 2}

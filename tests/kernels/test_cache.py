@@ -9,6 +9,7 @@ from repro.kernels import (
     cached_analysis,
     clear_default_cache,
     default_cache,
+    matrix_fingerprint,
     pattern_fingerprint,
 )
 from repro.sparse import CSRMatrix, from_dense
@@ -49,6 +50,21 @@ class TestFingerprint:
         E1 = CSRMatrix(2, 2, [0, 0, 0], [], [])
         E2 = CSRMatrix(3, 3, [0, 0, 0, 0], [], [])
         assert pattern_fingerprint(E1) != pattern_fingerprint(E2)
+
+    def test_matrix_fingerprint_distinguishes_values(self):
+        F = _factor()
+        G = CSRMatrix(
+            F.n_rows, F.n_cols, F.indptr.copy(), F.indices.copy(), F.data * 3.0
+        )
+        # same stencil, different values: same symbolic identity but
+        # distinct numeric identity (factor caches must not collide)
+        assert pattern_fingerprint(F) == pattern_fingerprint(G)
+        assert matrix_fingerprint(F) != matrix_fingerprint(G)
+
+    def test_matrix_fingerprint_stable(self):
+        F = _factor()
+        assert matrix_fingerprint(F) == matrix_fingerprint(F)
+        int(matrix_fingerprint(F), 16)  # hex, usable for shard routing
 
 
 class TestCacheBehavior:
