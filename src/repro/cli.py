@@ -15,7 +15,9 @@ solve MATRIX
     preconditioner; print the iteration count and residual.
 verify [ARGS...]
     Static-analysis suite (``repro.verify``): lint rules, schedule
-    race replay, pruning proof, structural invariants.  All arguments
+    race replay, pruning proof, structural invariants; ``--protocol``
+    adds exhaustive model checking of the cluster request protocol and
+    ``--deadlock`` the scheduler wait-for-graph proofs.  All arguments
     are forwarded to ``python -m repro.verify``.
 obs {report,export,diff}
     Observability (``repro.obs``): trace a factorization (real threads

@@ -30,6 +30,11 @@ delays.  The failure protocol, end to end:
   ``drop_failover=True`` disables the re-route — the *planted bug*
   the CI gate uses to prove the request-conservation checker
   (:func:`repro.verify.check_conservation`) has teeth;
+  ``dual_dispatch=True`` plants the complementary bug: the duplicate-
+  completion guard is skipped, so a hedge loser terminates its batch a
+  second time.  That one is *invisible* to the dynamic conservation
+  audit (the rewrite is bit-identical) and exists for the protocol
+  model checker (:mod:`repro.verify.protocol`) to catch statically;
 * **cache-aware re-warming** — when a fingerprint is promoted to the
   zipf-head hot set (``hot_promote`` requests), its factor is copied
   to all ``replication`` ring owners; when a node joins late or
@@ -114,6 +119,7 @@ class ClusterService:
         rewarm_cost=5e-4,
         registry=None,
         drop_failover=False,
+        dual_dispatch=False,
     ):
         if n_nodes < 1:
             raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
@@ -148,6 +154,7 @@ class ClusterService:
         self.rewarm_cost = float(rewarm_cost)
         self.registry = registry
         self.drop_failover = bool(drop_failover)
+        self.dual_dispatch = bool(dual_dispatch)
         self._backoff = (retry_policy or RetryPolicy()).backoff(
             base=float(failover_backoff), jitter_seed=self.plan.seed
         )
@@ -168,9 +175,13 @@ class ClusterService:
         self.n_duplicates = 0
         self.n_rewarms = 0
         self.n_dropped = 0  # requests silently lost (drop_failover only)
+        self.n_double_terminations = 0  # duplicate wins (dual_dispatch only)
         self._timeline: list = []  # committed/lost batch executions, for tracing
         self._events_log: list = []  # (t, kind, node, detail) fault/protocol instants
         self._ready: list = []  # (bid, batch) awaiting a routable idle node
+        # protocol-level event word, replayable through the abstract model
+        # by repro.verify.protocol.check_cluster_trace (abstraction check)
+        self.protocol_trace: list = []
 
     # ------------------------------------------------------------------
     # failure detection and routing
@@ -294,6 +305,7 @@ class ClusterService:
         st = bstate[bid]
         st["batch"] = batch
         st["nodes"].append(nid)
+        self.protocol_trace.append(("dispatch", now, bid, nid, bool(is_hedge)))
         A = self.matrices[batch.matrix_key]
         results, finish = node.execute(batch, A, fp, now)
         lost_at = self.plan.down_during(nid, now, finish)
@@ -355,6 +367,7 @@ class ClusterService:
         bstate: dict = {}
         self._seq = 0
         self._ready = []
+        self.protocol_trace = []
         for node in self.nodes:
             node.busy = False
             node.free_at = 0.0
@@ -387,7 +400,8 @@ class ClusterService:
                 # cluster permanently dead with work stranded: backpressure
                 # turns into rejection, never a silent drop
                 detail = "cluster down: no live node and no scheduled recovery"
-                for _, batch in self._ready:
+                for bid, batch in self._ready:
+                    self.protocol_trace.append(("reject", now, bid))
                     for r in batch.requests:
                         results[r.request_id] = self._reject(r, now, detail)
                 self._ready = []
@@ -404,6 +418,8 @@ class ClusterService:
                 t_ev, kind, nid = plan_events[ei]
                 ei += 1
                 self._events_log.append((t_ev, kind, nid, ""))
+                if kind in ("crash", "recover", "join"):
+                    self.protocol_trace.append((kind, t_ev, nid))
                 _spans.instant(f"cluster.{kind}", cat="cluster", node=nid)
                 if kind == "crash":
                     self.nodes[nid].on_crash()
@@ -421,6 +437,7 @@ class ClusterService:
                 st = bstate[fl.bid]
                 if fl.lost:
                     # the node died under the batch; its work is gone
+                    self.protocol_trace.append(("lose", now, fl.bid, fl.node))
                     if st["done"] or any(f.bid == fl.bid for f in inflight):
                         continue  # another copy already won / is still running
                     if self.drop_failover:
@@ -443,9 +460,18 @@ class ClusterService:
                 if node.free_at <= now and not any(f.node == fl.node for f in inflight):
                     node.busy = False
                 if st["done"]:
-                    self.n_duplicates += 1  # a slower copy finishing after the winner
-                    continue
+                    if not self.dual_dispatch:
+                        self.n_duplicates += 1  # a slower copy finishing after the winner
+                        self.protocol_trace.append(("duplicate", now, fl.bid, fl.node))
+                        continue
+                    # PLANTED BUG (CI gate): the duplicate-completion guard is
+                    # skipped — a hedge loser terminates the batch a *second*
+                    # time.  Invisible to check_conservation (the rewritten
+                    # results are bit-identical), which is exactly why the
+                    # protocol model checker must catch it statically.
+                    self.n_double_terminations += 1
                 st["done"] = True
+                self.protocol_trace.append(("complete", now, fl.bid, fl.node))
                 if fl.is_hedge:
                     self.n_hedge_wins += 1
                     self._events_log.append((now, "hedge_win", fl.node, ""))
@@ -529,6 +555,7 @@ class ClusterService:
                     )
                 if not alive:
                     st["done"] = True
+                    self.protocol_trace.append(("deadline", now, bid))
                     continue
                 if len(alive) != len(batch.requests):
                     batch = Batch(key=batch.key, requests=alive, formed_at=now)
@@ -590,6 +617,8 @@ class ClusterService:
         reg.counter("cluster.rewarms").inc(self.n_rewarms)
         if self.n_dropped:
             reg.counter("cluster.dropped").inc(self.n_dropped)
+        if self.n_double_terminations:
+            reg.counter("cluster.double_terminations").inc(self.n_double_terminations)
         reg.gauge("cluster.nodes").set(len(self.nodes))
         reg.gauge("cluster.queue_depth_peak").set(queue.peak_depth)
         for node in self.nodes:

@@ -38,6 +38,7 @@ from .chrome_trace import (
     chrome_trace,
     execution_trace_events,
     recorder_events,
+    transition_lane_events,
     validate_events,
     write_chrome_trace,
 )
@@ -65,6 +66,7 @@ __all__ = [
     "counter",
     "recorder_events",
     "execution_trace_events",
+    "transition_lane_events",
     "chrome_trace",
     "write_chrome_trace",
     "validate_events",

@@ -25,6 +25,7 @@ import json
 __all__ = [
     "recorder_events",
     "execution_trace_events",
+    "transition_lane_events",
     "chrome_trace",
     "write_chrome_trace",
     "validate_events",
@@ -214,6 +215,59 @@ def execution_trace_events(
                     "args": {"row": int(row)},
                 }
             )
+    return out
+
+
+def transition_lane_events(steps, *, pid=7, cat="verify", lane_names=None, title=None):
+    """Render an abstract transition sequence as per-lane instant events.
+
+    ``steps`` is an iterable of ``(index, lane, label)`` — e.g. a model
+    checker's counterexample trace, one lane per cluster node — spaced
+    1 us apart in sequence order so the interleaving reads left to
+    right in the trace viewer.  ``lane_names`` maps lane id to a
+    display name; ``title`` adds a global instant at t=0 naming the
+    whole sequence.  Output passes :func:`validate_events`.
+    """
+    out = []
+    lanes_seen = sorted({int(lane) for _, lane, _ in steps})
+    names = dict(lane_names or {})
+    for lane in lanes_seen:
+        out.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": lane,
+                "args": {"name": str(names.get(lane, f"lane {lane}"))},
+            }
+        )
+    if title:
+        tid = lanes_seen[0] if lanes_seen else 0
+        out.append(
+            {
+                "name": str(title),
+                "cat": cat,
+                "ph": "i",
+                "s": "g",
+                "pid": pid,
+                "tid": tid,
+                "ts": 0.0,
+                "args": {},
+            }
+        )
+    for index, lane, label in steps:
+        out.append(
+            {
+                "name": str(label),
+                "cat": cat,
+                "ph": "i",
+                "s": "t",
+                "pid": pid,
+                "tid": int(lane),
+                "ts": float(index + 1),
+                "args": {"step": int(index) + 1},
+            }
+        )
     return out
 
 

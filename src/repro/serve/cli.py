@@ -43,6 +43,7 @@ import numpy as np
 from ..matrices import grid2d
 from ..obs.metrics import MetricsRegistry, validate_metrics
 from ..resilience import FaultPlan, ResilientFactor
+from ..verify.conservation import check_conservation
 from ..sched.options import SCHEDULER_NAMES
 from .batcher import BatchPolicy
 from .request import OUTCOMES
@@ -191,6 +192,15 @@ def run_bench(*, check=False, seed=0, out_path="BENCH_serve.json", scheduler=Non
     summary = summarize(results)
     gate(len(results) == spec.n_requests, "every request terminated")
     gate(all(r.outcome in OUTCOMES for r in results), "all outcomes structured")
+    # the conservation auditor is the stronger form of the two gates
+    # above: exactly one structured outcome per submitted request id,
+    # solutions present and finite exactly when served
+    conserv = check_conservation(
+        generate_requests(spec, build_matrices(spec.patterns)), results
+    )
+    for v in conserv.violations[:4]:
+        print(f"    {v}")
+    gate(conserv.ok, "request conservation audited")
 
     print("serve bench: deterministic replay")
     _, replay = _run_workload(spec)
@@ -237,6 +247,12 @@ def run_bench(*, check=False, seed=0, out_path="BENCH_serve.json", scheduler=Non
         _outcome_sig(faulted) == _outcome_sig(faulted2),
         "faulted run replays deterministically",
     )
+    fault_conserv = check_conservation(
+        generate_requests(fault_spec, build_matrices(fault_spec.patterns)), faulted
+    )
+    for v in fault_conserv.violations[:4]:
+        print(f"    {v}")
+    gate(fault_conserv.ok, "faulted run conserves requests")
     fault_summary = summarize(faulted)
 
     speedup = None

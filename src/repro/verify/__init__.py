@@ -16,18 +16,35 @@ into executable checks:
   matrices, level sets, sweep plans and cached symbolic products
   (including the frozen-cache-arrays rule), installable as debug hooks
   on kernel dispatch and cache lookups.
-* :mod:`repro.verify.lint` — repo-specific AST rules (JAV001–JAV005).
+* :mod:`repro.verify.lint` — repo-specific AST rules (JAV001–JAV008).
 * :mod:`repro.verify.conservation` — the dynamic request-conservation
   auditor for the serving/cluster layers: every admitted request
   terminates in exactly one structured outcome, under any fault
   schedule (the cluster bench's planted-bug gate drops a failover
   re-route and demands this checker catch the loss).
+* :mod:`repro.verify.protocol` — exhaustive small-N model checking of
+  the cluster request protocol: every interleaving of dispatch /
+  failover / hedge / crash / recover / join keeps the termination
+  invariants, livelock-freedom under fairness, replication-prefix, and
+  conformance replay of real :class:`ClusterService` traces.
+* :mod:`repro.verify.deadlock` — static wait-for-graph analysis of the
+  trisolve schedulers: superstep barrier acyclicity, sync-free
+  flag-poll acyclicity, and the elastic ``final_sweep`` fixpoint bound,
+  with wait-chain witnesses for tampered schedules.
 
-Run everything with ``python -m repro.verify`` (or ``repro verify``);
-see ``docs/static_analysis.md``.
+Run everything with ``python -m repro.verify`` (or ``repro verify``;
+the protocol and deadlock stages are opt-in via ``--protocol`` /
+``--deadlock``); see ``docs/static_analysis.md``.
 """
 
 from .conservation import ConservationReport, check_conservation
+from .deadlock import (
+    DeadlockReport,
+    WaitWitness,
+    check_elastic_schedule,
+    check_superstep_deadlock,
+    check_syncfree_deadlock,
+)
 from .invariants import (
     InvariantViolation,
     disable_debug_validation,
@@ -40,6 +57,16 @@ from .invariants import (
     validate_plan,
 )
 from .lint import Finding, RULES, lint_paths, lint_source
+from .protocol import (
+    ConformanceReport,
+    ProtocolConfig,
+    ProtocolReport,
+    ProtocolWitness,
+    check_cluster_trace,
+    check_replication_prefix,
+    model_check,
+    witness_trace_events,
+)
 from .pruning import (
     PruningReport,
     check_lower_er,
@@ -60,6 +87,19 @@ from .races import (
 __all__ = [
     "ConservationReport",
     "check_conservation",
+    "ProtocolConfig",
+    "ProtocolWitness",
+    "ProtocolReport",
+    "ConformanceReport",
+    "model_check",
+    "check_cluster_trace",
+    "check_replication_prefix",
+    "witness_trace_events",
+    "DeadlockReport",
+    "WaitWitness",
+    "check_superstep_deadlock",
+    "check_syncfree_deadlock",
+    "check_elastic_schedule",
     "InvariantViolation",
     "validate",
     "validate_csr",

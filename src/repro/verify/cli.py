@@ -23,6 +23,23 @@ Passes (any failure makes the exit code 1):
     *flagged* by the race detector (on the schedule and on a DES trace
     replay), and deleting one retained sync edge must break the pruning
     proof.  A detector that cannot see planted bugs proves nothing.
+``protocol`` (opt-in: ``--protocol``)
+    Exhaustive small-N model checking of the cluster request protocol
+    (:mod:`repro.verify.protocol`): every interleaving of dispatch /
+    complete / lose / failover / hedge / crash / recover / join must
+    keep the termination invariants, with livelock-freedom proved by
+    backward reachability; the replication set must stay a prefix of
+    the ring walk; the two planted protocol bugs (``drop_failover``,
+    ``dual_dispatch``) must each be *caught* with a shortest
+    counterexample; and a real :class:`ClusterService` run's recorded
+    ``protocol_trace`` must conform to the model.
+``deadlock`` (opt-in: ``--deadlock``)
+    Static wait-for-graph analysis of the trisolve schedulers
+    (:mod:`repro.verify.deadlock`): superstep barrier/program-order
+    acyclicity, sync-free flag-poll acyclicity by topological sort,
+    and the elastic ``final_sweep`` fixpoint recursion + its
+    ``staleness``-based sweep bound — clean on every suite schedule,
+    with tampered negative controls that must be caught.
 """
 
 from __future__ import annotations
@@ -33,9 +50,17 @@ from pathlib import Path
 
 import numpy as np
 
-__all__ = ["main", "build_parser", "run_lint", "run_schedules", "run_selftest"]
+__all__ = [
+    "main",
+    "build_parser",
+    "run_lint",
+    "run_schedules",
+    "run_selftest",
+    "run_protocol",
+    "run_deadlock",
+]
 
-_PASSES = ("lint", "schedules", "invariants", "selftest")
+_PASSES = ("lint", "schedules", "invariants", "selftest", "protocol", "deadlock")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -60,6 +85,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip a pass (repeatable)",
     )
     p.add_argument("--list-rules", action="store_true", help="print lint rule IDs and exit")
+    p.add_argument(
+        "--protocol",
+        action="store_true",
+        help="also model-check the cluster request protocol (exhaustive small-N)",
+    )
+    p.add_argument(
+        "--deadlock",
+        action="store_true",
+        help="also run the static scheduler deadlock/fixpoint analysis",
+    )
+    p.add_argument(
+        "--witness-out",
+        default=None,
+        metavar="PATH",
+        help="write the protocol counterexample traces as Chrome trace JSON",
+    )
     p.add_argument("-v", "--verbose", action="store_true")
     return p
 
@@ -287,6 +328,227 @@ def run_selftest(args, *, out=print) -> int:
     return failures
 
 
+def run_protocol(args, *, out=print) -> int:
+    """Model-check the cluster protocol; planted bugs must be caught."""
+    import dataclasses
+
+    from .protocol import (
+        ProtocolConfig,
+        check_cluster_trace,
+        check_replication_prefix,
+        model_check,
+        witness_trace_events,
+    )
+
+    failures = 0
+    witness_events = []
+
+    # 1) replication sets are always a prefix of the ring walk, even
+    # across hot-key promotion
+    viols = check_replication_prefix()
+    if viols:
+        failures += 1
+        out(f"[protocol] FAIL: replication-prefix violated: {viols[0]}")
+    else:
+        out("[protocol] replication sets stay a prefix of the ring walk")
+
+    # 2) the real protocol is safe across ALL interleavings of the
+    # selftest configuration (>=3 nodes, >=4 requests, crash + hedge)
+    cfg = ProtocolConfig()
+    rep = model_check(cfg)
+    if not rep.ok:
+        failures += 1
+    out(f"[protocol] {rep.format()}")
+
+    # 3) ... and livelock-free under fairness on a richer configuration
+    # (deeper crash budget + a delayed join)
+    cfg_live = dataclasses.replace(cfg, crash_budget=2, delayed_joins=1)
+    rep_live = model_check(cfg_live, liveness=True)
+    if not rep_live.ok:
+        failures += 1
+    out(f"[protocol] {rep_live.format()}")
+
+    # 4) negative controls: both planted bugs must produce a shortest
+    # counterexample (a checker that cannot see them proves nothing)
+    for flag, expect in (("drop_failover", "dropped-reroute"),
+                         ("dual_dispatch", "double-termination")):
+        bad = model_check(
+            dataclasses.replace(cfg, **{flag: True}), stop_on_first=True
+        )
+        hit = [w for w in bad.witnesses if w.kind == expect]
+        if not hit:
+            failures += 1
+            out(f"[protocol] FAIL: planted {flag} bug was not caught")
+        else:
+            w = hit[0]
+            out(
+                f"[protocol] planted {flag} caught: {w.kind} in "
+                f"{len(w.trace)} transition(s)"
+            )
+            if args.verbose:
+                out(w.format())
+            witness_events.extend(
+                witness_trace_events(w, n_nodes=cfg.n_nodes)
+            )
+
+    # 5) a real ClusterService run (crashes mid-flight, hedging on)
+    # must replay inside the abstract model
+    failures += _protocol_conformance_smoke(out=out)
+
+    if args.witness_out and witness_events:
+        from ..obs.chrome_trace import validate_events, write_chrome_trace
+
+        errs = validate_events(witness_events)
+        if errs:
+            failures += 1
+            out(f"[protocol] FAIL: witness trace invalid: {errs[0]}")
+        else:
+            write_chrome_trace(args.witness_out, witness_events)
+            out(f"[protocol] counterexample traces written to {args.witness_out}")
+    return failures
+
+
+def _protocol_conformance_smoke(*, out=print) -> int:
+    """Replay one real crashy ClusterService run through the model."""
+    from ..cluster import ClusterService, NodeFaultPlan
+    from ..matrices import grid2d
+    from ..serve import BatchPolicy, SolveRequest
+    from .protocol import check_cluster_trace
+
+    matrices = {
+        "g10": grid2d(10),
+        "c10": grid2d(10, convection=1.0),
+        "g14": grid2d(14),
+    }
+    keys = sorted(matrices)
+    rng = np.random.default_rng(0)
+    reqs, t = [], 0.0
+    for i in range(48):
+        t += float(rng.exponential(1.0 / 800.0))
+        key = keys[int(rng.integers(len(keys)))]
+        reqs.append(
+            SolveRequest(
+                request_id=i,
+                tenant=f"t{int(rng.integers(2))}",
+                matrix_key=key,
+                b=rng.standard_normal(matrices[key].n_rows),
+                arrival_time=t,
+                deadline=t + 0.3,
+                maxiter=60,
+            )
+        )
+    plan = NodeFaultPlan(
+        seed=1,
+        crashes=((1, 0.01, 0.08), (2, 0.05, 0.12)),
+        slow=((1, 0.0, 0.01, 8.0),),
+    )
+    svc = ClusterService(
+        matrices,
+        n_nodes=3,
+        replication=2,
+        batch_policy=BatchPolicy(max_batch=8, max_wait=0.01),
+        node_fault_plan=plan,
+        hedge_after=0.005,
+    )
+    svc.run(reqs)
+    conf = check_cluster_trace(
+        svc.protocol_trace,
+        n_nodes=3,
+        up_at_start=lambda n: plan.is_up(n, 0.0),
+    )
+    out(f"[protocol] {conf.format()}")
+    return 0 if conf.ok else 1
+
+
+def run_deadlock(args, *, out=print) -> int:
+    """Static scheduler wait-for analysis; tampering must be caught."""
+    import dataclasses
+
+    from ..sched import build_elastic_schedule, build_superstep_plan
+    from .deadlock import (
+        check_elastic_schedule,
+        check_superstep_deadlock,
+        check_syncfree_deadlock,
+    )
+
+    failures = 0
+    p = args.threads
+    n_edges = 0
+    n_plans = 0
+    last = None  # (name, pattern, lower plan) for the negative controls
+    for name, A in _suite_matrices(args.matrices, args.scale):
+        S = A  # scheduler analyses run on the preordered pattern itself
+        for part in ("lower", "upper"):
+            plan = build_superstep_plan(S, part, n_threads=p)
+            rep = check_superstep_deadlock(plan, S)
+            n_edges += rep.n_edges
+            n_plans += 1
+            if not rep.ok:
+                failures += 1
+                out(f"[deadlock] {name} superstep/{part}: {rep.format()}")
+            sf = check_syncfree_deadlock(S, p, part)
+            if not sf.ok:
+                failures += 1
+                out(f"[deadlock] {name} syncfree/{part}: {sf.format()}")
+            for staleness in (0, 2):
+                es = build_elastic_schedule(S, part, staleness=staleness)
+                er = check_elastic_schedule(es, S)
+                if not er.ok:
+                    failures += 1
+                    out(f"[deadlock] {name} elastic/{part}/s={staleness}: {er.format()}")
+            if part == "lower" and plan.n_steps >= 2:
+                last = (name, S, plan)
+        if args.verbose:
+            out(f"[deadlock] {name}: superstep/syncfree/elastic wait-for graphs acyclic")
+    out(
+        f"[deadlock] {n_plans} superstep plans + sync-free lanes + elastic "
+        f"fixpoints proved acyclic/terminating ({n_edges} dependency edges)"
+    )
+
+    # negative controls on the last multi-step lower plan
+    if last is None:
+        out("[deadlock] no multi-step plan at this scale; raise --scale")
+        return failures + 1
+    name, S, plan = last
+    tampered = np.delete(plan.step_ptr, plan.n_steps // 2 or 1)
+    rep = check_superstep_deadlock(plan, S, step_ptr=tampered)
+    if rep.ok or not any(w.kind == "unordered-read" for w in rep.witnesses):
+        failures += 1
+        out(f"[deadlock] FAIL: deleted barrier on {name} not caught")
+    else:
+        out(
+            f"[deadlock] deleted barrier on {name} caught "
+            f"({len(rep.witnesses)} unordered-read witness(es))"
+        )
+    sf = check_syncfree_deadlock(
+        S, p, "lower", order=np.arange(S.n_rows - 1, -1, -1)
+    )
+    if sf.ok or not any(w.kind == "deadlock" for w in sf.witnesses):
+        failures += 1
+        out(f"[deadlock] FAIL: reversed sync-free traversal on {name} not caught")
+    else:
+        out(f"[deadlock] reversed sync-free traversal on {name} caught (poll cycle)")
+    es = build_elastic_schedule(S, "lower", staleness=2)
+    fs = np.asarray(es.final_sweep).copy()
+    if fs.max() == 0:
+        out(f"[deadlock] {name} has a flat elastic fixpoint; raise --scale")
+        failures += 1
+    else:
+        fs[int(np.argmax(fs))] = 0
+        er = check_elastic_schedule(dataclasses.replace(es, final_sweep=fs), S)
+        if er.ok or not any(w.kind == "fixpoint" for w in er.witnesses):
+            failures += 1
+            out(f"[deadlock] FAIL: tampered final_sweep on {name} not caught")
+        else:
+            out(
+                f"[deadlock] tampered elastic final_sweep on {name} caught "
+                "(fixpoint witness)"
+            )
+    if args.verbose and rep.witnesses:
+        out(rep.witnesses[0].format())
+    return failures
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if args.list_rules:
@@ -308,6 +570,10 @@ def main(argv=None) -> int:
         failures += run_invariants(worklist)
     if "selftest" not in args.skip:
         failures += run_selftest(args)
+    if args.protocol and "protocol" not in args.skip:
+        failures += run_protocol(args)
+    if args.deadlock and "deadlock" not in args.skip:
+        failures += run_deadlock(args)
     print("PASS" if failures == 0 else f"FAIL ({failures} failure(s))")
     return 0 if failures == 0 else 1
 

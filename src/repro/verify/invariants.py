@@ -183,6 +183,8 @@ def validate_analysis(ana: Any, *, name: str = "SymbolicAnalysis") -> bool:
     from ..kernels.cache import SymbolicAnalysis  # noqa: F401  (type anchor)
     from ..kernels.plans import TriSolvePlan
     from ..ordering.levelsets import LevelSets
+    from ..sched.elastic import ElasticSchedule
+    from ..sched.superstep import SuperstepPlan, validate_superstep_plan
 
     pat = getattr(ana, "_pattern", None)
     if pat is not None:
@@ -201,6 +203,29 @@ def validate_analysis(ana: Any, *, name: str = "SymbolicAnalysis") -> bool:
                 validate_plan(item, pat, name=where)
                 for f in ("rows", "level_ptr", "ent_idx", "ent_local", "lev_ent_ptr", "diag_idx"):
                     _assert_frozen(getattr(item, f), f"{key}.{f}", name)
+            elif isinstance(item, SuperstepPlan):
+                if pat is not None:
+                    errs = validate_superstep_plan(item, pat)
+                    if errs:
+                        _fail(where, errs[0])
+                for f in ("rows", "step_ptr", "thread_ptr", "thread_of", "step_of",
+                          "level_of", "ent_idx", "ent_local", "diag_idx"):
+                    arr = getattr(item, f, None)
+                    if arr is not None:
+                        _assert_frozen(arr, f"{key}.{f}", name)
+            elif isinstance(item, ElasticSchedule):
+                if pat is not None:
+                    from .deadlock import check_elastic_schedule
+
+                    rep = check_elastic_schedule(item, pat)
+                    if not rep.ok:
+                        first = rep.witnesses[0].detail if rep.witnesses else rep.errors[0]
+                        _fail(where, first)
+                for f in ("rows", "level_of", "level_ptr", "block_of",
+                          "final_sweep", "ent_ptr", "ent_idx", "diag_idx"):
+                    arr = getattr(item, f, None)
+                    if arr is not None:
+                        _assert_frozen(arr, f"{key}.{f}", name)
     return True
 
 

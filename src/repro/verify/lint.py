@@ -46,6 +46,30 @@ reports and in suppression comments):
     Instrument with :func:`repro.obs.span` / :func:`repro.obs.instant`
     instead.
 
+``JAV006`` — *no unordered-collection iteration in seeded layers.*  In
+    ``serve/``, ``cluster/``, ``sched/`` and ``resilience/`` — the
+    layers whose runs are replayed byte-for-byte from a seed —
+    iterating a ``set``/``frozenset`` (literal, constructor,
+    comprehension, or a name bound from one) feeds hash order into
+    results: Python randomizes string hashing per process, so the same
+    seed produces different traces.  Iterate ``sorted(the_set)``
+    instead.
+
+``JAV007`` — *randomness must be seeded.*  Module-level ``random.*``
+    and ``np.random.*`` calls (and ``default_rng()`` / ``Random()`` /
+    ``RandomState()`` with no seed argument) draw from global or
+    OS-seeded state, unreproducible by construction.  Everything
+    outside the ``workload.py`` generator modules must take an
+    explicit seed: ``np.random.default_rng(seed)`` or
+    ``random.Random(seed)``.
+
+``JAV008`` — *no builtin ``sum()`` in kernels.*  The ``kernels/``
+    layer carries the bit-identity contract (same inputs, same bits,
+    any thread count); Python's builtin ``sum`` accumulates
+    left-to-right over whatever order its iterable happens to have
+    and rounds at every step.  Use ``math.fsum`` (exact) or a fixed
+    ``np.add.reduce`` ordering instead.
+
 A finding can be suppressed in place with a trailing comment
 ``# verify: ok[JAV002] <reason>`` (comma-separate several IDs, ``*``
 suppresses all); module-scope rules accept the comment anywhere in the
@@ -407,12 +431,192 @@ def _check_all_declared(tree: ast.Module, path: str) -> list[Finding]:
     ]
 
 
+# ----------------------------------------------------------------------
+# JAV006
+# ----------------------------------------------------------------------
+_SEEDED_LAYERS = {"serve", "cluster", "sched", "resilience"}
+
+
+def _is_set_expr(node: ast.AST, tainted: set[str]) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id in ("set", "frozenset"):
+            return True
+    if isinstance(node, ast.Name):
+        return node.id in tainted
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        # set algebra preserves unorderedness
+        return _is_set_expr(node.left, tainted) or _is_set_expr(node.right, tainted)
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        if node.func.attr in ("union", "intersection", "difference",
+                              "symmetric_difference", "copy"):
+            return _is_set_expr(node.func.value, tainted)
+    return False
+
+
+def _scope_nodes(scope: ast.AST):
+    """Walk ``scope`` without descending into nested function scopes."""
+    stack = list(ast.iter_child_nodes(scope))
+    while stack:
+        node = stack.pop()
+        yield node
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            stack.extend(ast.iter_child_nodes(node))
+
+
+def _check_unordered_iteration(tree: ast.Module, path: str) -> list[Finding]:
+    """seeded layers must not let set iteration order reach results."""
+    if not (_SEEDED_LAYERS & set(_path_parts(path))):
+        return []
+    findings = []
+    scopes = [tree] + [
+        n for n in ast.walk(tree) if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+    for scope in scopes:
+        body_nodes = list(_scope_nodes(scope))
+        # taint is per-scope: a `seen = set()` in one method must not
+        # implicate an unrelated list of the same name elsewhere
+        tainted: set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            for node in body_nodes:
+                tgt = None
+                if (
+                    isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                ):
+                    tgt, val = node.targets[0].id, node.value
+                elif (
+                    isinstance(node, ast.AnnAssign)
+                    and node.value is not None
+                    and isinstance(node.target, ast.Name)
+                ):
+                    tgt, val = node.target.id, node.value
+                if tgt and tgt not in tainted and _is_set_expr(val, tainted):
+                    tainted.add(tgt)
+                    changed = True
+        # a generator consumed by an order-insensitive sink (another
+        # set, or an explicit sort) is fine regardless of its source
+        exempt: set[int] = set()
+        for node in body_nodes:
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in ("set", "frozenset", "sorted", "max", "min")
+                and len(node.args) == 1
+                and isinstance(node.args[0], ast.GeneratorExp)
+            ):
+                exempt.add(id(node.args[0]))
+        iters: list[ast.AST] = []
+        for node in body_nodes:
+            if isinstance(node, ast.For):
+                iters.append(node.iter)
+            elif isinstance(node, ast.SetComp) or (
+                isinstance(node, ast.GeneratorExp) and id(node) in exempt
+            ):
+                continue
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+                iters.extend(gen.iter for gen in node.generators)
+        for it in iters:
+            if _is_set_expr(it, tainted):
+                findings.append(
+                    Finding(
+                        "JAV006",
+                        path,
+                        it.lineno,
+                        it.col_offset,
+                        "iteration over an unordered set in a seeded layer — hash "
+                        "order leaks into the replayed results; iterate "
+                        "sorted(...) instead",
+                    )
+                )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# JAV007
+# ----------------------------------------------------------------------
+_RNG_CTORS = {"default_rng", "Random", "RandomState", "SeedSequence", "Generator"}
+
+
+def _check_unseeded_random(tree: ast.Module, path: str) -> list[Finding]:
+    """random draws outside workload.py generators must carry a seed."""
+    if Path(path).name == "workload.py":
+        return []
+    findings = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        f = node.func
+        if not isinstance(f, ast.Attribute):
+            continue
+        root = f.value
+        is_random = isinstance(root, ast.Name) and root.id == "random"
+        is_np_random = (
+            isinstance(root, ast.Attribute)
+            and root.attr == "random"
+            and isinstance(root.value, ast.Name)
+            and root.value.id in ("np", "numpy")
+        )
+        if not (is_random or is_np_random):
+            continue
+        if f.attr in _RNG_CTORS:
+            if node.args or node.keywords:
+                continue  # explicitly seeded constructor
+            what = f"{'np.random' if is_np_random else 'random'}.{f.attr}()"
+            msg = f"{what} with no seed draws OS entropy — pass an explicit seed"
+        else:
+            what = f"{'np.random' if is_np_random else 'random'}.{f.attr}"
+            msg = (
+                f"{what} uses global RNG state — construct a seeded "
+                "np.random.default_rng(seed) / random.Random(seed) instead"
+            )
+        findings.append(Finding("JAV007", path, node.lineno, node.col_offset, msg))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# JAV008
+# ----------------------------------------------------------------------
+def _check_builtin_sum(tree: ast.Module, path: str) -> list[Finding]:
+    """kernels' bit-identity paths must not use builtin sum()."""
+    if "kernels" not in _path_parts(path):
+        return []
+    findings = []
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "sum"
+        ):
+            findings.append(
+                Finding(
+                    "JAV008",
+                    path,
+                    node.lineno,
+                    node.col_offset,
+                    "builtin sum() in a kernels/ module — per-step rounding in "
+                    "iterable order breaks the bit-identity contract; use "
+                    "math.fsum or a fixed np.add.reduce ordering",
+                )
+            )
+    return findings
+
+
 RULES = {
     "JAV001": _check_core_division,
     "JAV002": _check_sync_primitives,
     "JAV003": _check_cache_mutation,
     "JAV004": _check_all_declared,
     "JAV005": _check_raw_clocks,
+    "JAV006": _check_unordered_iteration,
+    "JAV007": _check_unseeded_random,
+    "JAV008": _check_builtin_sum,
 }
 _MODULE_SCOPE_RULES = {"JAV004"}
 

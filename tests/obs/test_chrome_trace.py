@@ -8,6 +8,7 @@ from repro.obs import (
     execution_trace_events,
     recorder_events,
     tracing,
+    transition_lane_events,
     validate_events,
     write_chrome_trace,
 )
@@ -143,3 +144,31 @@ class TestWriteFile:
         assert doc["otherData"] == {"threads": 2}
         assert validate_events(doc["traceEvents"]) == []
         assert len(doc["traceEvents"]) == len(events)
+
+
+class TestTransitionLanes:
+    def _steps(self):
+        return [
+            (0, 0, "dispatch req 0 -> node 0"),
+            (1, 1, "crash node 1"),
+            (2, 0, "complete req 0 on node 0"),
+        ]
+
+    def test_lane_events_validate(self):
+        events = transition_lane_events(self._steps(), title="counterexample")
+        assert validate_events(events) == []
+
+    def test_lanes_get_named_and_steps_ordered(self):
+        events = transition_lane_events(
+            self._steps(), lane_names={0: "node 0", 1: "node 1"}
+        )
+        meta = [e for e in events if e["ph"] == "M"]
+        assert {m["args"]["name"] for m in meta} == {"node 0", "node 1"}
+        instants = [e for e in events if e["ph"] == "i"]
+        assert [e["args"]["step"] for e in instants] == [1, 2, 3]
+        assert [e["ts"] for e in instants] == sorted(e["ts"] for e in instants)
+
+    def test_title_is_a_global_instant(self):
+        events = transition_lane_events(self._steps(), title="drop_failover witness")
+        head = [e for e in events if e.get("s") == "g"]
+        assert len(head) == 1 and head[0]["name"] == "drop_failover witness"

@@ -1,0 +1,115 @@
+"""Property-based conformance: real cluster traces live inside the model.
+
+The model checker's value rests on one claim: the abstract transition
+system of :mod:`repro.verify.protocol` *over-approximates* the real
+:class:`ClusterService` — every event sequence the service can emit is
+a path of the model.  If that holds, exhaustively checking the model's
+interleavings covers every schedule the service could ever take.  So:
+
+* for **arbitrary** :class:`NodeFaultPlan` chaos hypothesis can draw
+  (crashes, gray slowdowns, delayed joins), the recorded
+  ``protocol_trace`` of a real run must replay cleanly through the
+  abstract transition rules (:func:`check_cluster_trace`);
+* the model checker itself must pass on arbitrary small
+  configurations of the *unmodified* protocol — safety is not an
+  artifact of the one default configuration the CI gate explores.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import ClusterService, NodeFaultPlan
+from repro.matrices import grid2d
+from repro.serve import BatchPolicy, SolveRequest
+from repro.verify import ProtocolConfig, check_cluster_trace, model_check
+
+_MATRICES = {"g8": grid2d(8), "c8": grid2d(8, convection=1.0)}
+
+
+def _requests(n, seed, rate=600.0, deadline=0.25):
+    keys = sorted(_MATRICES)
+    rng = np.random.default_rng(seed)
+    reqs, t = [], 0.0
+    for i in range(n):
+        t += float(rng.exponential(1.0 / rate))
+        key = keys[int(rng.integers(len(keys)))]
+        reqs.append(
+            SolveRequest(
+                request_id=i,
+                tenant=f"t{int(rng.integers(2))}",
+                matrix_key=key,
+                b=rng.standard_normal(_MATRICES[key].n_rows),
+                arrival_time=t,
+                deadline=t + deadline,
+                maxiter=40,
+            )
+        )
+    return reqs
+
+
+@st.composite
+def node_fault_plans(draw):
+    """Arbitrary chaos over 3 nodes and a ~0.1s horizon."""
+    crashes = []
+    for node in draw(st.lists(st.integers(1, 2), unique=True, max_size=2)):
+        at = draw(st.floats(0.0, 0.1, allow_nan=False))
+        dur = draw(st.floats(0.005, 0.08, allow_nan=False))
+        crashes.append((node, at, at + dur))
+    slow = []
+    for node in draw(st.lists(st.integers(0, 2), unique=True, max_size=2)):
+        at = draw(st.floats(0.0, 0.1, allow_nan=False))
+        dur = draw(st.floats(0.01, 0.1, allow_nan=False))
+        factor = draw(st.floats(1.0, 8.0, allow_nan=False))
+        slow.append((node, at, at + dur, factor))
+    joins = []
+    if draw(st.booleans()):
+        joins.append((draw(st.integers(1, 2)), draw(st.floats(0.0, 0.05, allow_nan=False))))
+    return NodeFaultPlan(crashes=tuple(crashes), slow=tuple(slow), joins=tuple(joins))
+
+
+@settings(max_examples=15, deadline=None)
+@given(node_fault_plans(), st.integers(0, 2**31 - 1), st.floats(0.003, 0.05))
+def test_real_traces_conform_to_the_model(plan, seed, hedge_after):
+    """Every transition sequence a real run takes is a path of the model."""
+    svc = ClusterService(
+        _MATRICES,
+        n_nodes=3,
+        replication=2,
+        batch_policy=BatchPolicy(max_batch=8, max_wait=0.01),
+        node_fault_plan=plan,
+        hedge_after=float(hedge_after),
+    )
+    svc.run(_requests(24, seed))
+    report = check_cluster_trace(
+        svc.protocol_trace,
+        n_nodes=3,
+        up_at_start=lambda n: plan.is_up(n, 0.0),
+    )
+    assert report.ok, report.format()
+    assert report.n_events == len(svc.protocol_trace)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    st.integers(2, 4),   # n_nodes
+    st.integers(1, 3),   # n_requests
+    st.integers(0, 1),   # max_hedges
+    st.integers(0, 2),   # crash_budget
+    st.booleans(),       # allow_recover
+    st.integers(0, 7),   # ring_seed
+)
+def test_unmodified_protocol_is_safe_everywhere(
+    n_nodes, n_requests, max_hedges, crash_budget, allow_recover, ring_seed
+):
+    """The model checker passes on arbitrary small configurations."""
+    cfg = ProtocolConfig(
+        n_nodes=n_nodes,
+        n_requests=n_requests,
+        max_hedges=max_hedges,
+        crash_budget=min(crash_budget, n_nodes - 1),
+        allow_recover=allow_recover,
+        ring_seed=ring_seed,
+    )
+    rep = model_check(cfg, max_states=400_000)
+    assert rep.ok, rep.format()
+    assert rep.n_states > 0

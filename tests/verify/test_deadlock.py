@@ -1,0 +1,133 @@
+"""Static wait-for-graph analysis: clean schedules prove out, tampering is caught."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from helpers import random_csr
+from repro.sched import build_elastic_schedule, build_superstep_plan
+from repro.verify import (
+    check_elastic_schedule,
+    check_superstep_deadlock,
+    check_syncfree_deadlock,
+)
+
+
+@pytest.fixture
+def F():
+    return random_csr(60, density=0.2, seed=21)
+
+
+class TestSuperstep:
+    @pytest.mark.parametrize("part", ["lower", "upper"])
+    @pytest.mark.parametrize("p", [2, 4, 8])
+    def test_shipped_plans_prove_acyclic(self, F, part, p):
+        plan = build_superstep_plan(F, part, n_threads=p)
+        rep = check_superstep_deadlock(plan, F)
+        assert rep.ok, rep.format()
+        assert rep.n_edges > 0
+        assert "acyclic" in rep.format()
+
+    def test_deleted_barrier_is_caught(self, F):
+        plan = build_superstep_plan(F, "lower", n_threads=4)
+        if plan.n_steps < 2:
+            pytest.skip("plan fused to a single step")
+        tampered = np.delete(plan.step_ptr, plan.n_steps // 2 or 1)
+        rep = check_superstep_deadlock(plan, F, step_ptr=tampered)
+        assert not rep.ok
+        assert all(w.kind == "unordered-read" for w in rep.witnesses)
+
+    def test_matches_dynamic_replay_on_tampering(self, F):
+        # the static classification and the vector-clock replay must
+        # agree on whether a tampered plan is broken
+        from repro.verify import replay_superstep_schedule
+
+        plan = build_superstep_plan(F, "lower", n_threads=4)
+        if plan.n_steps < 2:
+            pytest.skip("plan fused to a single step")
+        tampered = np.delete(plan.step_ptr, 1)
+        static = check_superstep_deadlock(plan, F, step_ptr=tampered)
+        dynamic = replay_superstep_schedule(F, plan, step_ptr=tampered)
+        assert (not static.ok) and (not dynamic.ok)
+
+    def test_swapped_steps_close_a_wait_cycle(self, F):
+        plan = build_superstep_plan(F, "lower", n_threads=4)
+        if plan.n_steps < 2:
+            pytest.skip("plan fused to a single step")
+        so = np.asarray(plan.step_of).copy()
+        m0, m1 = so == 0, so == 1
+        so[m0], so[m1] = 1, 0
+        rep = check_superstep_deadlock(plan, F, step_of=so)
+        cyc = [w for w in rep.witnesses if w.kind == "deadlock"]
+        assert cyc
+        # the witness carries the full wait chain through the barrier
+        assert len(cyc[0].chain) >= 3
+        assert "cycle" in cyc[0].format()
+
+
+class TestSyncFree:
+    @pytest.mark.parametrize("part", ["lower", "upper"])
+    @pytest.mark.parametrize("p", [1, 3, 8])
+    def test_natural_traversal_is_acyclic(self, F, part, p):
+        rep = check_syncfree_deadlock(F, p, part)
+        assert rep.ok, rep.format()
+
+    def test_reversed_traversal_deadlocks(self, F):
+        rep = check_syncfree_deadlock(
+            F, 4, "lower", order=np.arange(F.n_rows - 1, -1, -1)
+        )
+        assert not rep.ok
+        w = rep.witnesses[0]
+        assert w.kind == "deadlock"
+        assert any("flag poll" in s for s in w.chain)
+
+    def test_non_permutation_order_is_an_error(self, F):
+        rep = check_syncfree_deadlock(F, 4, "lower", order=np.zeros(F.n_rows))
+        assert not rep.ok and rep.errors
+
+    def test_bad_args_raise(self, F):
+        with pytest.raises(ValueError):
+            check_syncfree_deadlock(F, 0, "lower")
+        with pytest.raises(ValueError):
+            check_syncfree_deadlock(F, 4, "middle")
+
+
+class TestElastic:
+    @pytest.mark.parametrize("part", ["lower", "upper"])
+    @pytest.mark.parametrize("staleness", [0, 1, 3])
+    def test_shipped_schedules_prove_out(self, F, part, staleness):
+        sched = build_elastic_schedule(F, part, staleness=staleness)
+        rep = check_elastic_schedule(sched, F)
+        assert rep.ok, rep.format()
+
+    def test_fixpoint_bound_holds(self, F):
+        # final_sweep[r] <= staleness*block + in-block level offset; for
+        # a DAG fitting one block this is the max_sweeps = staleness+1
+        # guarantee
+        for staleness in (1, 2):
+            sched = build_elastic_schedule(F, "lower", staleness=staleness)
+            span = staleness + 1
+            fs = np.asarray(sched.final_sweep)
+            bound = staleness * np.asarray(sched.block_of) + (
+                np.asarray(sched.level_of) % span
+            )
+            assert np.all(fs <= bound)
+            assert sched.n_sweeps <= staleness * (int(sched.block_of.max()) + 1) + 1
+
+    def test_undercounted_final_sweep_is_caught(self, F):
+        sched = build_elastic_schedule(F, "lower", staleness=2)
+        fs = np.asarray(sched.final_sweep).copy()
+        assert fs.max() > 0
+        fs[int(np.argmax(fs))] = 0
+        rep = check_elastic_schedule(dataclasses.replace(sched, final_sweep=fs), F)
+        assert not rep.ok
+        w = [w for w in rep.witnesses if w.kind == "fixpoint"][0]
+        assert "stale read" in w.detail
+
+    def test_tampered_block_of_is_caught(self, F):
+        sched = build_elastic_schedule(F, "lower", staleness=2)
+        bad = dataclasses.replace(sched, block_of=np.zeros_like(sched.block_of))
+        rep = check_elastic_schedule(bad, F)
+        assert not rep.ok
+        assert any("block_of" in e for e in rep.errors)

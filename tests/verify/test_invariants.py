@@ -156,3 +156,48 @@ def test_kernel_dispatch_hook_validates_arguments():
 
     # with the hook cleared, dispatch returns the raw implementation again
     assert get_kernel("trisolve_lower", "batched") is trisolve_lower_batched
+
+
+def test_cached_superstep_plan_validates_and_freezes():
+    S = random_csr(40, 0.2, 12)
+    ana = cached_analysis(S)
+    plan = ana.superstep_plan("lower", n_threads=4)
+    assert not plan.rows.flags.writeable
+    assert validate_analysis(ana)
+    # thaw + corrupt the cached step map: a dependency appears to run
+    # in a later step than its consumer, which validate_analysis must
+    # now reject via validate_superstep_plan
+    plan.step_of.flags.writeable = True
+    plan.step_of[:] = plan.step_of[::-1].copy()
+    plan.step_of.flags.writeable = False
+    with pytest.raises(InvariantViolation):
+        validate_analysis(ana)
+
+
+def test_cached_elastic_schedule_validates_and_freezes():
+    S = random_csr(40, 0.2, 13)
+    ana = cached_analysis(S)
+    es = ana.elastic_schedule("lower", staleness=2)
+    assert not es.final_sweep.flags.writeable
+    assert validate_analysis(ana)
+    fs = es.final_sweep
+    assert fs.max() > 0  # the pattern has same-block chains to under-count
+    fs.flags.writeable = True
+    fs[int(np.argmax(fs))] = 0  # under-count: a sweep would commit stale reads
+    fs.flags.writeable = False
+    with pytest.raises(InvariantViolation):
+        validate_analysis(ana)
+
+
+def test_debug_hook_covers_scheduler_products():
+    S = random_csr(40, 0.2, 14)
+    ana = cached_analysis(S)
+    ana.superstep_plan("upper", n_threads=2)
+    enable_debug_validation()
+    try:
+        assert cached_analysis(S) is ana  # clean scheduler products pass
+        ana.superstep_plan("upper", n_threads=2).thread_of.flags.writeable = True
+        with pytest.raises(InvariantViolation):
+            cached_analysis(S)
+    finally:
+        disable_debug_validation()

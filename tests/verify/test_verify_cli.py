@@ -68,3 +68,57 @@ def test_unknown_matrix_is_an_error(tmp_path):
 def test_repro_cli_forwards_verify(capsys):
     assert repro_main(["verify", "--list-rules"]) == 0
     assert "JAV001" in capsys.readouterr().out
+
+
+def test_protocol_stage(capsys, tmp_path):
+    out = tmp_path / "witness.json"
+    rc = verify_main(
+        [
+            "--skip", "lint", "--skip", "schedules",
+            "--skip", "invariants", "--skip", "selftest",
+            "--protocol", "--witness-out", str(out),
+        ]
+    )
+    text = capsys.readouterr().out
+    assert rc == 0, text
+    assert "explored exhaustively" in text
+    assert "livelock-freedom" in text
+    assert "planted drop_failover caught" in text
+    assert "planted dual_dispatch caught" in text
+    assert "trace conforms" in text
+    assert out.exists()
+
+
+def test_deadlock_stage(capsys):
+    rc = verify_main(
+        [
+            "--skip", "lint", "--skip", "schedules",
+            "--skip", "invariants", "--skip", "selftest",
+            "--deadlock", "--scale", "0.15", "--matrices", "wang3",
+        ]
+    )
+    text = capsys.readouterr().out
+    assert rc == 0, text
+    assert "proved acyclic/terminating" in text
+    assert "deleted barrier" in text and "caught" in text
+    assert "reversed sync-free traversal" in text
+    assert "tampered elastic final_sweep" in text
+
+
+def test_new_stages_are_opt_in(capsys, tmp_path):
+    # without --protocol/--deadlock the default gate must not pay for them
+    clean = tmp_path / "clean.py"
+    clean.write_text("__all__ = []\n")
+    rc = verify_main(
+        ["--skip", "schedules", "--skip", "invariants", "--skip", "selftest", str(clean)]
+    )
+    text = capsys.readouterr().out
+    assert rc == 0
+    assert "protocol" not in text and "deadlock" not in text
+
+
+def test_list_rules_includes_new_ids(capsys):
+    assert verify_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("JAV006", "JAV007", "JAV008"):
+        assert rule_id in out
