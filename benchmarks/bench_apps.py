@@ -1,0 +1,60 @@
+"""Application-driver benchmark: the ``repro apps bench`` gates, recorded.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_apps.py
+        # records benchmarks/results/BENCH_apps.json
+    PYTHONPATH=src python benchmarks/bench_apps.py --check
+        # fast CI gate: refactor bit-identity + staleness sanity
+
+The heavy lifting lives in :func:`repro.apps.cli.run_bench` — this
+script points it at the shared ``benchmarks/results`` directory so the
+time-evolving workload record (cold-rebuild vs value-only refactor vs
+stale-factor steps/sec, iteration-drift curves) sits beside the
+serve/cluster baselines.  The acceptance properties are exact: a
+value-only refactor is bitwise identical to a cold factorization of
+the same values, reuses the cached symbolic products, and is
+measurably cheaper than cold setup on the heat/Newton drivers.
+"""
+
+import argparse
+import os
+import sys
+
+from bench_util import RESULTS_DIR
+
+BASELINE_PATH = os.path.join(RESULTS_DIR, "BENCH_apps.json")
+
+
+def _run(check):
+    from repro.apps.cli import run_bench
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    out_path = None if check else BASELINE_PATH
+    _, n_failures = run_bench(check=check, seed=0, out_path=out_path)
+    if n_failures:
+        print(f"bench_apps: {n_failures} gate(s) failed", file=sys.stderr)
+    return 1 if n_failures else 0
+
+
+def _run_full():
+    return _run(check=False)
+
+
+def _run_check():
+    return _run(check=True)
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument(
+        "--check",
+        action="store_true",
+        help="fast mode: exact identity/staleness properties at small sizes",
+    )
+    args = ap.parse_args(argv)
+    return _run_check() if args.check else _run_full()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,159 @@
+"""AppSession: drive the solve service one step at a time.
+
+The serve layer's workload driver fires batches of independent
+requests; an *application* is the opposite shape — a sequential loop
+where step ``t+1``'s matrix and right-hand side depend on step ``t``'s
+solution (implicit time-steppers, Newton iterations).  The session
+wraps one :class:`~repro.serve.SolveService` around one registered
+matrix key and exposes exactly that loop:
+
+    rec = session.step(b, A_new=J)   # update values, solve, record
+
+Each step optionally swaps the matrix values
+(:meth:`SolveService.update_matrix` — value-only updates revalue or
+serve stale per the service's
+:class:`~repro.serve.staleness.StalenessPolicy`), submits a single
+request, runs the virtual-clock event loop to completion, and appends
+a :class:`StepRecord`.  The per-step records are the apps bench's raw
+material: iteration-drift curves, refactor counts, virtual steps/sec.
+
+Time remains virtual throughout: one step's ``virtual_time`` is the
+service time the :class:`~repro.serve.CostModel` charged, so two runs
+with the same seed produce bit-identical histories.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..serve import SolveRequest, SolveService, StalenessPolicy
+
+__all__ = ["StepRecord", "AppSession"]
+
+
+@dataclass(eq=False)
+class StepRecord:
+    """One application step: what was solved and what it cost."""
+
+    step: int
+    outcome: str
+    iterations: int
+    residual: float
+    converged: bool
+    #: virtual service time of this step (arrival → finish, clock reset per step)
+    virtual_time: float
+    #: what the matrix update was: "none", "unchanged", "values_changed",
+    #: or "pattern_changed"
+    update: str
+    variant: str | None
+    x: np.ndarray | None
+
+    def to_dict(self):
+        """JSON-ready summary (the solution vector is omitted)."""
+        return {
+            "step": int(self.step),
+            "outcome": self.outcome,
+            "iterations": int(self.iterations),
+            "residual": float(self.residual),
+            "converged": bool(self.converged),
+            "virtual_time": float(self.virtual_time),
+            "update": self.update,
+            "variant": self.variant,
+        }
+
+
+class AppSession:
+    """One matrix key, one tenant, one step-by-step solve loop."""
+
+    def __init__(
+        self,
+        A,
+        *,
+        key="app",
+        solver="richardson",
+        tol=1e-8,
+        maxiter=500,
+        staleness: StalenessPolicy | None = None,
+        options=None,
+        registry=None,
+    ):
+        self.key = str(key)
+        self.solver = solver
+        self.tol = float(tol)
+        self.maxiter = int(maxiter)
+        self.service = SolveService(
+            {self.key: A},
+            n_shards=1,
+            staleness=staleness,
+            options=options,
+            registry=registry,
+        )
+        self._rid = 0
+        self.history: list[StepRecord] = []
+        self.virtual_total = 0.0
+
+    @property
+    def shard(self):
+        """The single worker shard behind this session."""
+        return self.service.shards[0]
+
+    def step(self, b, A_new=None) -> StepRecord:
+        """Solve ``A x = b`` after optionally updating the matrix values."""
+        update = "none"
+        if A_new is not None:
+            update = self.service.update_matrix(self.key, A_new)
+        req = SolveRequest(
+            request_id=self._rid,
+            tenant="app",
+            matrix_key=self.key,
+            b=b,
+            solver=self.solver,
+            tol=self.tol,
+            maxiter=self.maxiter,
+        )
+        self._rid += 1
+        res = self.service.run([req])[0]
+        rec = StepRecord(
+            step=len(self.history),
+            outcome=res.outcome,
+            iterations=res.iterations,
+            residual=res.residual,
+            converged=res.converged,
+            virtual_time=res.finish_time,
+            update=update,
+            variant=res.variant,
+            x=res.x,
+        )
+        self.history.append(rec)
+        self.virtual_total += rec.virtual_time
+        return rec
+
+    # ------------------------------------------------------------------
+    def iteration_curve(self):
+        """Per-step iteration counts — the staleness drift signal."""
+        return [int(r.iterations) for r in self.history]
+
+    def summary(self):
+        """Scalar roll-up for the apps bench record."""
+        n = len(self.history)
+        shard = self.shard
+        vt = self.virtual_total
+        return {
+            "steps": n,
+            "virtual_total": float(vt),
+            "steps_per_sec": (n / vt) if vt > 0 else math.nan,
+            "mean_iterations": (
+                float(np.mean([r.iterations for r in self.history])) if n else math.nan
+            ),
+            "outcomes": {
+                o: sum(1 for r in self.history if r.outcome == o)
+                for o in sorted({r.outcome for r in self.history})
+            },
+            "cold_builds": shard.n_cold,
+            "refactors": shard.n_refactors,
+            "stale_steps": shard.n_stale_steps,
+            "iteration_curve": self.iteration_curve(),
+        }

@@ -35,6 +35,12 @@ cluster bench [--check]
     hash placement, replication, heartbeat suspicion, hedging and
     failover under a kill-one-node storm and seeded chaos plans;
     writes ``BENCH_cluster.json``.  ``--check`` is the fast CI gate.
+apps bench [--check]
+    Time-evolving application drivers (``repro.apps``): implicit
+    heat/convection stepping and power-flow Newton loops over the
+    serve API, comparing cold-rebuild vs value-only refactor vs
+    stale-factor policies; writes ``BENCH_apps.json``.  ``--check``
+    is the fast CI gate (refactor bit-identity, staleness sanity).
 
 The ``REPRO_SYMBOLIC_CACHE_SIZE`` environment variable resizes the
 process-wide symbolic cache (``repro.kernels.cache``) before any
@@ -194,6 +200,12 @@ def cmd_cluster(args):
     from .cluster.cli import main as cluster_main
 
     return cluster_main(args.rest)
+
+
+def cmd_apps(args):
+    from .apps.cli import main as apps_main
+
+    return apps_main(args.rest)
 
 
 def _traced_factor_run(args):
@@ -430,6 +442,12 @@ def build_parser():
     sp.add_argument("rest", nargs=argparse.REMAINDER, help="arguments for repro.cluster")
     sp.set_defaults(func=cmd_cluster)
 
+    sp = sub.add_parser(
+        "apps", help="time-evolving application drivers benchmark", add_help=False
+    )
+    sp.add_argument("rest", nargs=argparse.REMAINDER, help="arguments for repro.apps")
+    sp.set_defaults(func=cmd_apps)
+
     sp = sub.add_parser("obs", help="observability: trace, export, compare")
     obs_sub = sp.add_subparsers(dest="obs_command", required=True)
 
@@ -502,6 +520,10 @@ def main(argv=None):
         from .cluster.cli import main as cluster_main
 
         return cluster_main(argv[1:])
+    if argv[:1] == ["apps"]:
+        from .apps.cli import main as apps_main
+
+        return apps_main(argv[1:])
     args = build_parser().parse_args(argv)
     return args.func(args)
 

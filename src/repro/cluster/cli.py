@@ -257,6 +257,7 @@ def run_bench(*, check=False, seed=0, out_path="BENCH_cluster.json",
                             "served_fraction": cs["served_fraction"],
                             "p99_latency": cs["p99_latency"],
                             "throughput": cs["throughput"],
+                            "goodput": cs["goodput"],
                             "conservation_ok": ccons.ok,
                         }
                     )

@@ -23,7 +23,13 @@ Layout mirrors §III of the paper:
 
 from .symbolic import ilu0_pattern, iluk_pattern, row_factor_costs, row_solve_costs
 from .breakdown import FactorizationBreakdown, classify_pivot
-from .iluk import ilu_factor_sequential, ilu0_factor, iluk_factor, PivotBreakdownError
+from .iluk import (
+    ilu_factor_sequential,
+    ilu_refactor,
+    ilu0_factor,
+    iluk_factor,
+    PivotBreakdownError,
+)
 from .ilut import ilut_factor, iluk_tau_factor
 from .schedule import TwoStageSchedule, ScheduleOptions, build_schedule, rows_moved_for_alpha
 from .upper import simulate_upper_p2p, simulate_upper_barrier, factor_rows_upper
@@ -53,6 +59,7 @@ __all__ = [
     "row_factor_costs",
     "row_solve_costs",
     "ilu_factor_sequential",
+    "ilu_refactor",
     "ilu0_factor",
     "iluk_factor",
     "PivotBreakdownError",

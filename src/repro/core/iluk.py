@@ -23,7 +23,13 @@ from ..sparse.csr import CSRMatrix
 from .breakdown import FactorizationBreakdown, classify_pivot
 from .symbolic import ilu0_pattern, iluk_pattern
 
-__all__ = ["ilu_factor_sequential", "ilu0_factor", "PivotBreakdownError", "factor_row"]
+__all__ = [
+    "ilu_factor_sequential",
+    "ilu_refactor",
+    "ilu0_factor",
+    "PivotBreakdownError",
+    "factor_row",
+]
 
 
 class PivotBreakdownError(FactorizationBreakdown, ZeroDivisionError):
@@ -154,6 +160,31 @@ def ilu_factor_sequential(A: CSRMatrix, S: CSRMatrix | None = None, *, pivot_tol
         S = ilu0_pattern(A)
     F = _scatter_values(S, A)
     diag_pos = _diag_positions(F)
+    for i in range(F.n_rows):
+        factor_row(F, i, diag_pos, pivot_tol=pivot_tol)
+    return F
+
+
+def ilu_refactor(A: CSRMatrix, S: CSRMatrix, *, pivot_tol=0.0):
+    """Value-only numeric phase: factor new values on a known pattern ``S``.
+
+    The symbolic identity of an incomplete factorization is
+    ``(indptr, indices)`` alone — so when only values change (a Newton
+    step, an implicit time step), the diagonal positions come from the
+    pattern-keyed symbolic cache instead of being recomputed, and no
+    pattern analysis runs at all.  Bitwise identical to
+    :func:`ilu_factor_sequential` on the same ``(A, S)``; the only
+    difference is where ``diag_pos`` comes from.
+
+    This is the sequential reference for the value-only path; the
+    staged equivalent is :meth:`repro.core.javelin.JavelinILU.refactor`.
+    """
+    from ..kernels import cached_analysis
+
+    F = _scatter_values(S, A)
+    diag_pos = cached_analysis(F).diag_pos(
+        message="pattern has no diagonal entry in row {row}"
+    )
     for i in range(F.n_rows):
         factor_row(F, i, diag_pos, pivot_tol=pivot_tol)
     return F

@@ -38,6 +38,7 @@ from .symbolic import (
     row_factor_costs_split,
 )
 from ..kernels import cached_analysis
+from ..kernels.cache import pattern_fingerprint
 from .iluk import (
     _scatter_values,
     drop_row_fixed_pattern,
@@ -158,20 +159,56 @@ class JavelinILU:
         self.S_perm = S.permute(row_perm=self.perm, col_perm=self.perm).pattern_copy()
         self.level_ptr = self.schedule.upper_level_ptr()
         self.m = self.schedule.n_upper_rows
-        if opts.tau > 0.0:
-            norms = np.zeros(self.A_perm.n_rows)
-            for r in range(self.A_perm.n_rows):
-                _, vals = self.A_perm.row(r)
-                norms[r] = np.sqrt(np.sum(vals * vals))
-            self.drop_threshold = opts.tau * norms
-        else:
-            self.drop_threshold = None
+        self.pattern_key = pattern_fingerprint(A)
+        self._set_drop_threshold()
         self._costs = None
         self._split_costs = None
         self._ready = True
         self._factored = False
         self._solver = None
         return self
+
+    def _set_drop_threshold(self):
+        """Value-dependent ILU(k, τ) thresholds of the current ``A_perm``."""
+        if self.options.tau > 0.0:
+            norms = np.zeros(self.A_perm.n_rows)
+            for r in range(self.A_perm.n_rows):
+                _, vals = self.A_perm.row(r)
+                norms[r] = np.sqrt(np.sum(vals * vals))
+            self.drop_threshold = self.options.tau * norms
+        else:
+            self.drop_threshold = None
+
+    def refactor(self, A: CSRMatrix, method: str | None = None) -> FactorResult:
+        """Value-only re-factorization: new values, same sparsity pattern.
+
+        The time-evolving regime the framework targets — Newton loops,
+        implicit time-steppers — re-factors the *same* pattern for
+        thousands of steps with drifting values.  Everything
+        :meth:`setup` computes is a pure function of the pattern (fill
+        pattern, level schedule, two-stage split, permutation), so a
+        value change needs none of it: this re-permutes the new values,
+        refreshes the value-dependent ILU(k, τ) drop thresholds, and
+        runs the numeric phase against the cached symbolic products.
+
+        Contract: the result is **bitwise identical** to
+        ``JavelinILU(options).setup(A).factor(method)`` on the same
+        ``A`` — value-only reuse is a cost optimization, never a
+        numerical one.  Raises ``ValueError`` when ``A``'s pattern
+        differs from the setup pattern (call :meth:`setup` instead).
+        """
+        if not self._ready:
+            raise RuntimeError("call setup(A) before refactor()")
+        key = pattern_fingerprint(A)
+        if key != self.pattern_key:
+            raise ValueError(
+                "refactor() requires the setup sparsity pattern "
+                f"(got {key[:12]}, setup was {self.pattern_key[:12]}); "
+                "call setup() for a new pattern"
+            )
+        self.A_perm = A.permute(row_perm=self.perm, col_perm=self.perm)
+        self._set_drop_threshold()
+        return self.factor(method)
 
     # ------------------------------------------------------------------
     # numeric phase

@@ -43,7 +43,7 @@ from ..core.breakdown import FactorizationBreakdown
 from ..core.ilut import ilut_factor
 from ..core.javelin import JavelinILU, JavelinOptions
 from ..core.trisolve import LevelizedTriangularSolver
-from ..kernels.cache import default_cache
+from ..kernels.cache import default_cache, pattern_fingerprint
 from ..obs import spans as _spans
 from ..sparse.pattern import has_full_diagonal
 
@@ -274,6 +274,10 @@ class ResilientFactor:
         self._ready = False
         self._apply = None
         self.ilu = None  # the JavelinILU behind an ILU-variant win, if any
+        # per-variant JavelinILU instances, so shift retries and
+        # value-only refactor()s reuse one symbolic setup per variant
+        self._ilu_cache: dict = {}
+        self.n_refactors = 0
         # the chain's virtual retry-delay schedule (shared implementation
         # with the cluster router's hedging — see RetryPolicy.backoff)
         self._backoff = self.policy.backoff()
@@ -293,6 +297,10 @@ class ResilientFactor:
     # ------------------------------------------------------------------
     def setup(self, A):
         """Run the retry chain until a validated preconditioner wins."""
+        key = pattern_fingerprint(A)
+        if getattr(self, "_pattern_key", None) != key:
+            self._ilu_cache.clear()  # symbolic reuse is per pattern
+        self._pattern_key = key
         self.A = A
         self._base_diag = A.diagonal()
         self._row_scale = _row_scales(A)
@@ -302,6 +310,49 @@ class ResilientFactor:
         self._advance()
         self.report.cache = default_cache().stats()
         self._ready = True
+        return self
+
+    def refactor(self, A):
+        """Value-only re-setup: same pattern, new values, symbolic reuse.
+
+        The regime Javelin's setup amortization actually targets —
+        Newton loops and implicit time-steppers — re-factors one
+        sparsity pattern for thousands of steps with drifting values.
+        This re-runs the retry chain against the new values while every
+        ILU variant reuses its cached :class:`JavelinILU` symbolic
+        setup (fill pattern, level schedule, permutation — all pure
+        functions of the pattern), so only the numeric phase is paid.
+
+        Contract: the winning factor, the applies, and the attempt
+        history are **bitwise identical** to
+        ``ResilientFactor(options, policy).setup(A)`` on the same
+        values — value-only reuse moves cost, never bits.  Raises
+        ``ValueError`` when ``A``'s pattern differs from the setup
+        pattern (that needs a real :meth:`setup`).
+        """
+        if not self._ready:
+            raise RuntimeError("call setup(A) before refactor()")
+        key = pattern_fingerprint(A)
+        if key != self._pattern_key:
+            raise ValueError(
+                "refactor() requires the setup sparsity pattern "
+                f"(got {key[:12]}, setup was {self._pattern_key[:12]}); "
+                "call setup() for a new pattern"
+            )
+        self.A = A
+        self._base_diag = A.diagonal()
+        self._row_scale = _row_scales(A)
+        self.report = ResilienceReport()
+        self._stage = 0
+        self._advance()
+        self.report.cache = default_cache().stats()
+        self.n_refactors += 1
+        _spans.instant(
+            "resilience.refactor",
+            cat="resilience",
+            variant=self.report.final_variant,
+            n_refactors=self.n_refactors,
+        )
         return self
 
     # ------------------------------------------------------------------
@@ -351,11 +402,30 @@ class ResilientFactor:
             alpha = max(2.0 * alpha, pol.shift0)
         return False
 
+    def _ilu_build(self, variant, opts, B):
+        """Factor ``B`` with ``opts``, reusing the variant's symbolic setup.
+
+        Every matrix one :class:`ResilientFactor` factors shares the
+        setup pattern (Manteuffel shifts only rewrite the structurally
+        present diagonal; :meth:`refactor` requires it), and a
+        :class:`JavelinILU`'s setup products are pure functions of that
+        pattern — so each chain variant keeps one instance and later
+        builds run the value-only numeric phase.  Bit-identical to a
+        fresh ``setup(B).factor()`` by the :meth:`JavelinILU.refactor`
+        contract.
+        """
+        ilu = self._ilu_cache.get(variant)
+        if ilu is not None and ilu.options == opts:
+            res = ilu.refactor(B)
+        else:
+            ilu = JavelinILU(opts).setup(B)
+            res = ilu.factor()
+            self._ilu_cache[variant] = ilu
+        return ilu.build_solver(), res.F.data, ilu
+
     def _build_primary(self, B):
         opts = self.options.with_(pivot_tol=max(self.options.pivot_tol, self.policy.pivot_floor))
-        ilu = JavelinILU(opts).setup(B)
-        res = ilu.factor()
-        return ilu.build_solver(), res.F.data, ilu
+        return self._ilu_build("primary", opts, B)
 
     def _build_ilu0(self, B):
         opts = self.options.with_(
@@ -364,9 +434,7 @@ class ResilientFactor:
             modified=False,
             pivot_tol=max(self.options.pivot_tol, self.policy.pivot_floor),
         )
-        ilu = JavelinILU(opts).setup(B)
-        res = ilu.factor()
-        return ilu.build_solver(), res.F.data, ilu
+        return self._ilu_build("ilu0", opts, B)
 
     def _build_milu(self, B):
         F = ilut_factor(

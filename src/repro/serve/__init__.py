@@ -28,10 +28,11 @@ numerically invisible: a batched column is bit-identical to the same
 request served alone (asserted by property tests and the bench gate).
 """
 
-from .request import OUTCOMES, RequestResult, SolveRequest
-from .queue import ADMISSION_POLICIES, AdmissionQueue
+from .request import OUTCOMES, SLA_CLASSES, RequestResult, SolveRequest
+from .queue import ADMISSION_POLICIES, FAIRNESS_MODES, AdmissionQueue
 from .batcher import Batch, BatchPolicy, MicroBatcher
 from .factor_cache import FactorCache, FactorEntry, live_factor_caches
+from .staleness import STALENESS_MODES, StalenessPolicy
 from .workers import SOLVERS, CostModel, SolveService, WorkerShard, blocked_richardson
 from .workload import (
     WORKLOAD_SHAPES,
@@ -44,10 +45,14 @@ from .workload import (
 
 __all__ = [
     "OUTCOMES",
+    "SLA_CLASSES",
     "SolveRequest",
     "RequestResult",
     "ADMISSION_POLICIES",
+    "FAIRNESS_MODES",
     "AdmissionQueue",
+    "STALENESS_MODES",
+    "StalenessPolicy",
     "BatchPolicy",
     "Batch",
     "MicroBatcher",

@@ -287,7 +287,8 @@ def run_bench(*, check=False, seed=0, out_path="BENCH_serve.json", scheduler=Non
     print(
         f"workload: served {summary['outcomes'].get('served', 0)}/{summary['n_requests']}"
         f", p50 {summary['p50_latency']:.4f}, p99 {summary['p99_latency']:.4f}, "
-        f"mean batch {summary['mean_batch_size']:.2f}"
+        f"mean batch {summary['mean_batch_size']:.2f}, "
+        f"goodput {summary['goodput']:.1f}/s"
     )
     return record, len(failures)
 

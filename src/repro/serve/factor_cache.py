@@ -19,11 +19,24 @@ shape so :func:`repro.obs.record_cache_metrics` works on either.
 
 from __future__ import annotations
 
+import itertools
 import weakref
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
 __all__ = ["FactorEntry", "FactorCache", "live_factor_caches"]
+
+#: process-local monotonic source for default cache names.  ``id(self)``
+#: would be nondeterministic across runs (allocator-dependent), which
+#: broke both ``live_factor_caches()`` ordering and the obs metric
+#: names derived from it.
+_NAME_COUNTER = itertools.count()
+
+
+def _reset_name_counter():
+    """Restart default naming at 0 — test isolation only."""
+    global _NAME_COUNTER
+    _NAME_COUNTER = itertools.count()
 
 #: every FactorCache registers itself here (weakly), so the obs layer
 #: can aggregate hit/miss/eviction counts across all live caches
@@ -65,6 +78,34 @@ class FactorEntry:
     resetups: int = 0
     #: per-scheduler sync-point counts, lazily priced by the shards
     sync_points: dict = field(default_factory=dict)
+    #: structure-only fingerprint — what a value-only revalue must match
+    pattern_fp: str = ""
+    #: iteration count observed while the factor was fresh (staleness baseline)
+    base_iters: float = 0.0
+    #: mean iterations / convergence of the most recent solve — the
+    #: degradation signal :class:`repro.serve.staleness.StalenessPolicy` reads
+    last_iters: float = 0.0
+    last_converged: bool = True
+    #: batches served against values newer than the factor ("stale" policy)
+    stale_steps: int = 0
+    #: value-only refactors applied in place
+    refactors: int = 0
+
+    def revalue(self, A_new, new_fingerprint):
+        """Value-only refresh: same pattern, new values, factor in place.
+
+        Runs the resilient chain's :meth:`refactor` (numeric phase only,
+        symbolic products reused) and rebuilds the applies.  The caller
+        guarantees ``A_new`` shares this entry's pattern; the factor
+        itself re-verifies via its pattern key and raises ``ValueError``
+        on a mismatch, so a fingerprint collision cannot silently
+        produce a wrong preconditioner.
+        """
+        self.factor.refactor(A_new)
+        self.refresh_applies()
+        self.fingerprint = new_fingerprint
+        self.stale_steps = 0
+        self.refactors += 1
 
     def refresh_applies(self):
         """Rebuild both applies after the factor's chain advanced."""
@@ -72,6 +113,10 @@ class FactorEntry:
         self.apply_multi = self.factor.build_multi_solver()
         self.variant = self.factor.report.final_variant
         self.resetups = self.factor.report.resetups
+        if self.resetups > 0:
+            # a mid-solve resetup IS a demotion down the chain — stats
+            # and bench output must say so, same as a budget demotion
+            self.demoted = True
 
 
 class FactorCache:
@@ -81,7 +126,7 @@ class FactorCache:
         if max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.max_entries = int(max_entries)
-        self.name = str(name) if name is not None else f"factor_cache@{id(self):x}"
+        self.name = str(name) if name is not None else f"factor_cache-{next(_NAME_COUNTER)}"
         self._entries: OrderedDict[str, FactorEntry] = OrderedDict()
         self.hits = 0
         self.misses = 0
@@ -108,6 +153,19 @@ class FactorCache:
             self.evictions += 1
             evicted.append(old)
         return evicted
+
+    def rekey(self, old_fingerprint, new_fingerprint):
+        """Move an entry to a new fingerprint key (after a revalue).
+
+        Preserves recency order; the entry's own ``fingerprint`` field
+        is the revalue's job, this only fixes the index.  Returns the
+        entry, or None if ``old_fingerprint`` is absent.
+        """
+        if old_fingerprint not in self._entries:
+            return None
+        entry = self._entries.pop(old_fingerprint)
+        self._entries[new_fingerprint] = entry
+        return entry
 
     def __contains__(self, fingerprint):
         return fingerprint in self._entries

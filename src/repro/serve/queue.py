@@ -11,10 +11,12 @@ live here and nowhere else:
   service can terminate them with a ``rejected`` outcome — backpressure
   never silently drops work.
 
-* **Per-tenant fairness.**  Extraction round-robins across the tenants
-  waiting in a batch group, so one chatty tenant cannot monopolize a
-  batch; within a tenant, higher ``priority`` goes first, ties broken
-  by ``(arrival_time, request_id)``.
+* **Per-tenant fairness.**  Default extraction round-robins across the
+  tenants waiting in a batch group, so one chatty tenant cannot
+  monopolize a batch; within a tenant, higher ``priority`` goes first,
+  ties broken by ``(arrival_time, request_id)``.  The alternative
+  ``edf`` mode orders globally by SLA class then deadline
+  (deadline-aware earliest-deadline-first).
 
 * **Group indexing.**  Requests are bucketed by ``batch_key`` so the
   micro-batcher (:mod:`repro.serve.batcher`) can ask "how many are
@@ -30,21 +32,31 @@ from __future__ import annotations
 
 import math
 
-__all__ = ["ADMISSION_POLICIES", "AdmissionQueue"]
+__all__ = ["ADMISSION_POLICIES", "FAIRNESS_MODES", "AdmissionQueue"]
 
 ADMISSION_POLICIES = ("reject", "shed_oldest")
+
+#: extraction orders: ``round_robin`` rotates across tenants (the
+#: default, throughput-fair); ``edf`` is deadline-aware earliest-
+#: deadline-first, ordered by ``(sla_rank, deadline, arrival, id)`` —
+#: SLA class outranks raw deadline so an "interactive" tenant's
+#: contract holds even against urgent "batch" stragglers.
+FAIRNESS_MODES = ("round_robin", "edf")
 
 
 class AdmissionQueue:
     """Bounded, group-indexed, tenant-fair waiting room."""
 
-    def __init__(self, capacity=64, policy="reject"):
+    def __init__(self, capacity=64, policy="reject", fairness="round_robin"):
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         if policy not in ADMISSION_POLICIES:
             raise ValueError(f"policy must be one of {ADMISSION_POLICIES}, got {policy!r}")
+        if fairness not in FAIRNESS_MODES:
+            raise ValueError(f"fairness must be one of {FAIRNESS_MODES}, got {fairness!r}")
         self.capacity = int(capacity)
         self.policy = policy
+        self.fairness = fairness
         # group key -> tenant -> list of requests (kept extraction-sorted)
         self._groups: dict = {}
         # group key -> rotating tenant offset (the round-robin cursor)
@@ -106,11 +118,16 @@ class AdmissionQueue:
     def take(self, key, k):
         """Up to ``k`` requests of group ``key``, in fair order.
 
-        Round-robins across the group's tenants (cursor persists across
-        calls, so a group repeatedly batched keeps rotating who goes
-        first); each tenant contributes its own best request — highest
-        priority, then earliest arrival — per turn.
+        Under ``round_robin`` fairness, rotates across the group's
+        tenants (cursor persists across calls, so a group repeatedly
+        batched keeps rotating who goes first); each tenant contributes
+        its own best request — highest priority, then earliest arrival
+        — per turn.  Under ``edf``, extraction is deadline-aware:
+        globally ordered by ``(sla_rank, deadline, arrival_time,
+        request_id)``, tenants ignored.
         """
+        if self.fairness == "edf":
+            return self._take_edf(key, k)
         bucket = self._groups.get(key)
         if not bucket:
             return []
@@ -134,9 +151,35 @@ class AdmissionQueue:
                 break
         for tenant in list(bucket):
             self._prune(key, tenant)
-        if key in self._groups:
-            self._cursor[key] = (start + turns) % max(1, len(tenants))
-        else:
+        # Advance by pops *modulo a full rotation*, not by raw pops:
+        # when a take drains exactly c full cycles (turns % n == 0) the
+        # raw advance would land back on `start` and the same tenant
+        # would lead every batch.  A completed rotation means everyone
+        # was served once, so the lead moves one step; a partial cycle
+        # resumes at the first unserved tenant, as before.  The cursor
+        # survives the group emptying — a group that refills and fully
+        # drains every batch round must still rotate its lead.
+        n = len(tenants)
+        step = turns % n
+        if turns and step == 0:
+            step = 1
+        self._cursor[key] = (start + step) % max(1, n)
+        self._depth -= len(out)
+        return out
+
+    def _take_edf(self, key, k):
+        """Deadline-aware extraction: tightest contract first."""
+        bucket = self._groups.get(key)
+        if not bucket:
+            return []
+        waiting = [req for lane in bucket.values() for req in lane]
+        waiting.sort(key=_edf_order)
+        out = waiting[: int(k)]
+        for req in out:
+            bucket[req.tenant].remove(req)
+        for tenant in list(bucket):
+            self._prune(key, tenant)
+        if key not in self._groups:
             self._cursor.pop(key, None)
         self._depth -= len(out)
         return out
@@ -181,3 +224,7 @@ class AdmissionQueue:
 
 def _lane_order(req):
     return (-req.priority, req.arrival_time, req.request_id)
+
+
+def _edf_order(req):
+    return (req.sla_rank, req.deadline, req.arrival_time, req.request_id)

@@ -21,10 +21,17 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["OUTCOMES", "SolveRequest", "RequestResult"]
+__all__ = ["OUTCOMES", "SLA_CLASSES", "SolveRequest", "RequestResult"]
 
 #: the complete outcome vocabulary — every admitted request ends in one
 OUTCOMES = ("served", "deadline_miss", "rejected", "breakdown")
+
+#: per-tenant service classes, tightest first.  Under ``edf`` fairness
+#: the admission queue extracts by ``(sla_rank, deadline, ...)`` — an
+#: interactive request with a loose deadline still beats a batch
+#: request with a tight one, because the class encodes the *contract*
+#: (what the tenant paid for), not the instantaneous urgency.
+SLA_CLASSES = ("interactive", "standard", "batch")
 
 
 @dataclass(frozen=True, eq=False)
@@ -52,8 +59,11 @@ class SolveRequest:
     arrival_time: float = 0.0
     maxiter: int = 200
     scheduler: str | None = None
+    sla: str = "standard"
 
     def __post_init__(self):
+        if self.sla not in SLA_CLASSES:
+            raise ValueError(f"sla must be one of {SLA_CLASSES}, got {self.sla!r}")
         object.__setattr__(self, "b", np.asarray(self.b, dtype=np.float64))
         if self.b.ndim != 1:
             raise ValueError(f"b must be 1-D, got shape {self.b.shape}")
@@ -84,6 +94,11 @@ class SolveRequest:
         would be mis-priced.
         """
         return (self.matrix_key, self.solver, self.tol, self.maxiter, self.scheduler)
+
+    @property
+    def sla_rank(self):
+        """Position of this request's SLA class in :data:`SLA_CLASSES` (0 = tightest)."""
+        return SLA_CLASSES.index(self.sla)
 
 
 @dataclass(eq=False)

@@ -1,0 +1,72 @@
+"""Factor-staleness policy: when do changed values force a refactor?
+
+Time-evolving workloads (Newton loops, implicit time-steppers — the
+:mod:`repro.apps` drivers) update a registered matrix's *values* while
+its pattern stays fixed.  The preconditioner in the factor cache was
+built from older values; three responses exist, ordered by cost:
+
+* ``"cold"`` — rebuild from scratch on every value change.  Pays the
+  full symbolic + numeric setup each step; the baseline the paper's
+  setup-amortization argument is against.
+* ``"refactor"`` — value-only numeric refactor on every change
+  (:meth:`repro.resilience.ResilientFactor.refactor`).  Symbolic
+  products are reused, the factor always matches the current values.
+* ``"stale"`` — keep applying the *old* factor to the new system until
+  per-step iteration counts degrade past a threshold, then refactor.
+  An ILU preconditioner of nearby values is still an excellent
+  preconditioner — iteration drift, not wall-clock, is the honest
+  staleness signal.  Degradation means: the last solve failed to
+  converge, or its mean iteration count exceeded
+  ``max(base_iters * degrade_factor, base_iters + degrade_margin)``
+  where ``base_iters`` was measured right after the factor was (re)built.
+
+The policy object is deliberately tiny and deterministic — it reads
+only counters the shard records on the cache entry, so a replayed
+workload makes identical refactor decisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["STALENESS_MODES", "StalenessPolicy"]
+
+STALENESS_MODES = ("cold", "refactor", "stale")
+
+
+@dataclass(frozen=True)
+class StalenessPolicy:
+    """Decide whether a value-drifted factor entry must be refreshed."""
+
+    mode: str = "refactor"
+    #: relative iteration-growth trigger (1.5 = 50% more iterations)
+    degrade_factor: float = 1.5
+    #: absolute slack on top of the baseline, for small baselines where
+    #: a ratio alone would trigger on +1 iteration of noise
+    degrade_margin: int = 4
+
+    def __post_init__(self):
+        if self.mode not in STALENESS_MODES:
+            raise ValueError(f"mode must be one of {STALENESS_MODES}, got {self.mode!r}")
+        if self.degrade_factor < 1.0:
+            raise ValueError(f"degrade_factor must be >= 1.0, got {self.degrade_factor}")
+        if self.degrade_margin < 0:
+            raise ValueError(f"degrade_margin must be >= 0, got {self.degrade_margin}")
+
+    def should_refactor(self, entry) -> bool:
+        """Has ``entry``'s solve quality degraded past the threshold?
+
+        Only meaningful in ``"stale"`` mode ("cold"/"refactor" never
+        serve a drifted factor).  With no baseline recorded yet the
+        entry is kept — the first drifted solve establishes the drift
+        curve the apps bench plots.
+        """
+        if not entry.last_converged:
+            return True
+        if entry.base_iters <= 0.0:
+            return False
+        threshold = max(
+            entry.base_iters * self.degrade_factor,
+            entry.base_iters + float(self.degrade_margin),
+        )
+        return entry.last_iters > threshold

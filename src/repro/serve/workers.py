@@ -44,7 +44,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.javelin import JavelinOptions
-from ..kernels.cache import cached_analysis, matrix_fingerprint
+from ..kernels.cache import cached_analysis, matrix_fingerprint, pattern_fingerprint
 from ..obs import spans as _spans
 from ..resilience import ResilientFactor, RetryPolicy
 from ..sparse import spmv_csr
@@ -52,6 +52,7 @@ from .batcher import BatchPolicy, MicroBatcher
 from .factor_cache import FactorCache, FactorEntry
 from .queue import AdmissionQueue
 from .request import RequestResult, SolveRequest
+from .staleness import StalenessPolicy
 
 __all__ = ["CostModel", "WorkerShard", "SolveService", "blocked_richardson", "SOLVERS"]
 
@@ -73,6 +74,10 @@ class CostModel:
     """
 
     factor_per_nnz: float = 4e-6
+    #: value-only numeric refactor: no pattern analysis, no level-set
+    #: construction, no schedule planning — the symbolic products are
+    #: cache hits, so the charge is well under the cold rate
+    refactor_per_nnz: float = 1.5e-6
     level_pass: float = 4e-6
     entry_op: float = 6e-9
     spmv_entry: float = 4e-9
@@ -83,6 +88,10 @@ class CostModel:
     def factor_cost(self, nnz, fill_level=0):
         """Setup charge for one factorization at the given fill tier."""
         return self.factor_per_nnz * float(nnz) * (1.0 + float(fill_level))
+
+    def refactor_cost(self, nnz, fill_level=0):
+        """Charge for a value-only refactor of an already-analyzed pattern."""
+        return self.refactor_per_nnz * float(nnz) * (1.0 + float(fill_level))
 
     def solve_cost(self, n_levels, nnz, passes, col_iters, sync_points=None):
         """Charge for one (possibly batched) iterative solve.
@@ -227,6 +236,7 @@ class WorkerShard:
         options: JavelinOptions | None = None,
         retry_policy: RetryPolicy | None = None,
         fault_plan=None,
+        staleness: StalenessPolicy | None = None,
     ):
         self.shard_id = int(shard_id)
         self.cache = FactorCache(cache_entries, name=f"shard{self.shard_id}")
@@ -234,11 +244,20 @@ class WorkerShard:
         self.options = options or JavelinOptions()
         self.retry_policy = retry_policy or RetryPolicy()
         self.fault_plan = fault_plan
+        self.staleness = staleness or StalenessPolicy()
         self.free_at = 0.0
         self.busy = False
         self.n_batches = 0
         self.n_cold = 0
         self.n_demotions = 0
+        self.n_refactors = 0
+        self.n_stale_steps = 0
+        # matrix_key -> fingerprint the live cache entry is stored under.
+        # Value-only updates move the *service's* fingerprint while the
+        # entry stays put (stale policy) — pattern fingerprints cannot
+        # index this lineage because distinct matrices legitimately
+        # share a pattern.
+        self._lineage: dict = {}
 
     # ------------------------------------------------------------------
     def _build_entry(self, A, fingerprint, budget):
@@ -277,6 +296,7 @@ class WorkerShard:
             nnz=nnz,
             build_cost=charge,
             demoted=demoted,
+            pattern_fp=pattern_fingerprint(A),
         )
         self.cache.put(entry)
         self.n_cold += 1
@@ -289,6 +309,41 @@ class WorkerShard:
             key=fingerprint[:12],
             variant=entry.variant,
             demoted=demoted,
+        )
+        return entry, charge
+
+    # ------------------------------------------------------------------
+    def invalidate(self, matrix_key):
+        """Forget the live entry for ``matrix_key`` (pattern changed).
+
+        The next batch cold-builds; the orphaned cache entry ages out
+        of the LRU on its own.
+        """
+        self._lineage.pop(matrix_key, None)
+
+    def _revalue_entry(self, entry, A, fingerprint, matrix_key):
+        """Value-only refresh of a cached entry, in place.
+
+        Runs the numeric phase on the cached symbolic products
+        (:meth:`FactorEntry.revalue`), re-keys the cache slot to the new
+        matrix fingerprint, and re-baselines the staleness iteration
+        counter.  Charged at the refactor rate — the measurable win the
+        apps bench gates on.
+        """
+        old_fp = entry.fingerprint
+        entry.revalue(A, fingerprint)
+        self.cache.rekey(old_fp, fingerprint)
+        self._lineage[matrix_key] = fingerprint
+        entry.base_iters = 0.0
+        self.n_refactors += 1
+        charge = self.cost.refactor_cost(entry.nnz)
+        _spans.instant(
+            "serve.refactor",
+            cat="serve",
+            shard=self.shard_id,
+            key=fingerprint[:12],
+            variant=entry.variant,
+            refactors=entry.refactors,
         )
         return entry, charge
 
@@ -326,12 +381,29 @@ class WorkerShard:
         never change the computed numbers.
         """
         reqs = batch.requests
-        _, solver, tol, maxiter, scheduler = batch.key
+        matrix_key, solver, tol, maxiter, scheduler = batch.key
         budget = min(r.deadline for r in reqs) - now
-        entry = self.cache.get(fingerprint)
+        entry = self.cache.get(self._lineage.get(matrix_key, fingerprint))
         factor_charge = 0.0
+        stale_this_batch = False
         if entry is None:
             entry, factor_charge = self._build_entry(A, fingerprint, budget)
+            self._lineage[matrix_key] = fingerprint
+        elif entry.fingerprint != fingerprint:
+            # values drifted under a fixed pattern since this factor was
+            # built — the staleness policy picks the response
+            mode = self.staleness.mode
+            if mode == "refactor" or (
+                mode == "stale" and self.staleness.should_refactor(entry)
+            ):
+                entry, factor_charge = self._revalue_entry(
+                    entry, A, fingerprint, matrix_key
+                )
+            elif mode == "cold":
+                entry, factor_charge = self._build_entry(A, fingerprint, budget)
+                self._lineage[matrix_key] = fingerprint
+            else:
+                stale_this_batch = True
         sync_points = self._scheduler_sync_points(entry, scheduler)
         if solver == "richardson":
             out = blocked_richardson(
@@ -361,6 +433,25 @@ class WorkerShard:
             # timeout per dropped event — late, never lost
             n_dropped = sum(1 for r in reqs if plan.is_dropped(self.shard_id, r.request_id))
             finish += plan.watchdog_timeout * n_dropped
+        # staleness bookkeeping: record this solve's quality on the
+        # entry (the policy's degradation signal), and baseline a
+        # freshly (re)built factor on its first solve
+        mean_iters = float(np.mean(out["iterations"])) if len(reqs) else 0.0
+        entry.last_iters = mean_iters
+        entry.last_converged = bool(np.all(out["converged"]))
+        if stale_this_batch:
+            entry.stale_steps += 1
+            self.n_stale_steps += 1
+            _spans.instant(
+                "serve.stale",
+                cat="serve",
+                shard=self.shard_id,
+                key=fingerprint[:12],
+                stale_steps=entry.stale_steps,
+                mean_iters=mean_iters,
+            )
+        elif entry.base_iters == 0.0:
+            entry.base_iters = mean_iters
         self.n_batches += 1
         _spans.instant(
             "serve.batch",
@@ -452,6 +543,8 @@ class SolveService:
         fault_plan=None,
         factor_cache_entries=8,
         registry=None,
+        staleness: StalenessPolicy | None = None,
+        fairness="round_robin",
     ):
         if n_shards < 1:
             raise ValueError(f"n_shards must be >= 1, got {n_shards}")
@@ -459,8 +552,16 @@ class SolveService:
         # value-aware digests: factors depend on the values, so two
         # matrices sharing a stencil must not share a cache slot
         self.fingerprints = {k: matrix_fingerprint(A) for k, A in self.matrices.items()}
+        # structure-only digests decide whether an update_matrix() is a
+        # value-only drift (revalue-eligible) or a new pattern
+        self.pattern_fps = {k: pattern_fingerprint(A) for k, A in self.matrices.items()}
+        # routing fingerprints are pinned at registration so value-only
+        # updates keep a matrix on the shard that holds its factor
+        self._route_fps = dict(self.fingerprints)
         self.capacity = int(capacity)
         self.admission = admission
+        self.fairness = fairness
+        self.staleness = staleness or StalenessPolicy()
         self.batch_policy = batch_policy or BatchPolicy()
         self.cost = cost or CostModel()
         self.registry = registry
@@ -472,6 +573,7 @@ class SolveService:
                 options=options,
                 retry_policy=retry_policy,
                 fault_plan=fault_plan,
+                staleness=self.staleness,
             )
             for i in range(int(n_shards))
         ]
@@ -490,8 +592,47 @@ class SolveService:
         return out
 
     def shard_of(self, matrix_key) -> int:
-        """Pattern affinity: one fingerprint always lands on one shard."""
-        return int(self.fingerprints[matrix_key], 16) % len(self.shards)
+        """Shard affinity: a matrix key always lands on one shard.
+
+        Routes on the fingerprint pinned at registration (or at the
+        last pattern change), NOT the live value fingerprint — a
+        value-only :meth:`update_matrix` must keep routing to the shard
+        whose cache holds the factor being revalued.
+        """
+        return int(self._route_fps[matrix_key], 16) % len(self.shards)
+
+    # ------------------------------------------------------------------
+    def update_matrix(self, key, A_new):
+        """Swap the values (or whole matrix) behind a registered key.
+
+        Returns what downstream should expect:
+
+        * ``"unchanged"`` — identical value fingerprint, no-op;
+        * ``"values_changed"`` — same pattern, new values: the owning
+          shard revalues / serves stale per its
+          :class:`~repro.serve.staleness.StalenessPolicy`;
+        * ``"pattern_changed"`` — structure moved: the old factor is
+          invalidated and the next batch cold-builds (routing may move
+          to a different shard).
+        """
+        if key not in self.matrices:
+            raise KeyError(f"unknown matrix_key {key!r}")
+        new_fp = matrix_fingerprint(A_new)
+        if new_fp == self.fingerprints[key]:
+            return "unchanged"
+        new_pat = pattern_fingerprint(A_new)
+        self.matrices[key] = A_new
+        self.fingerprints[key] = new_fp
+        if new_pat != self.pattern_fps[key]:
+            self.pattern_fps[key] = new_pat
+            self._route_fps[key] = new_fp
+            for s in self.shards:
+                s.invalidate(key)
+            kind = "pattern_changed"
+        else:
+            kind = "values_changed"
+        _spans.instant("serve.matrix_update", cat="serve", key=key, kind=kind)
+        return kind
 
     def _est_cost(self, key, size):
         """Deadline-pressure estimate before anything has been factored."""
@@ -515,7 +656,7 @@ class SolveService:
             if r.solver not in SOLVERS:
                 raise ValueError(f"unknown solver {r.solver!r}; supported: {SOLVERS}")
         reqs.sort(key=lambda r: (r.arrival_time, r.request_id))
-        queue = AdmissionQueue(self.capacity, self.admission)
+        queue = AdmissionQueue(self.capacity, self.admission, self.fairness)
         batcher = MicroBatcher(self.batch_policy)
         results: dict[int, RequestResult] = {}
         for s in self.shards:
@@ -598,6 +739,8 @@ class SolveService:
                 reg.counter(f"serve.{outcome}").inc(n)
         reg.counter("serve.batches").inc(batcher.n_batches)
         reg.counter("serve.demotions").inc(sum(s.n_demotions for s in self.shards))
+        reg.counter("serve.refactors").inc(sum(s.n_refactors for s in self.shards))
+        reg.counter("serve.stale_steps").inc(sum(s.n_stale_steps for s in self.shards))
         reg.gauge("serve.queue_depth_peak").set(queue.peak_depth)
         finished = [r for r in results if r.outcome != "rejected"]
         if finished:

@@ -252,5 +252,10 @@ def summarize(results):
             float(np.mean([r.batch_size for r in finished])) if finished else math.nan
         ),
         "makespan": makespan,
+        # throughput counts everything that *ran* (including deadline
+        # misses and breakdowns — work was done); goodput counts only
+        # requests that terminated ``served``.  Gates that mean "useful
+        # work per unit time" must read goodput.
         "throughput": (len(finished) / makespan) if makespan > 0 else math.nan,
+        "goodput": (served / makespan) if makespan > 0 else math.nan,
     }

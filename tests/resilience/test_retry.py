@@ -283,3 +283,70 @@ def test_resilient_factor_always_terminates_finitely(A, max_shifts):
     assert np.all(np.isfinite(z))
     # bounded attempt count: shifts per factorization variant + fallbacks
     assert rf.report.n_attempts <= 3 * (max_shifts + 1) + 2
+
+
+# ----------------------------------------------------------------------
+# value-only refactor: bit-identity + symbolic reuse through the chain
+# ----------------------------------------------------------------------
+class TestRefactor:
+    def _drift(self, A, seed):
+        from repro.kernels import diag_positions
+
+        rng = np.random.default_rng(seed)
+        B = A.copy()
+        B.data = B.data * (1.0 + 0.15 * rng.standard_normal(B.data.shape))
+        B.data[diag_positions(B)] += np.abs(B.data).max()
+        return B
+
+    def test_refactor_bitwise_identical_to_fresh_setup(self):
+        A = grid2d(8)
+        rf = ResilientFactor().setup(A)
+        b = np.linspace(0.5, 1.5, A.n_rows)
+        for seed in range(3):
+            B = self._drift(A, seed)
+            rf.refactor(B)
+            fresh = ResilientFactor().setup(B)
+            assert rf.report.final_variant == fresh.report.final_variant
+            assert rf.report.final_shift == fresh.report.final_shift
+            assert rf.report.n_attempts == fresh.report.n_attempts
+            assert np.array_equal(rf.build_solver()(b), fresh.build_solver()(b))
+
+    def test_refactor_reuses_symbolic_products(self):
+        from repro.kernels.cache import default_cache
+
+        A = grid2d(8)
+        rf = ResilientFactor().setup(A)
+        before = default_cache().stats()["misses"]
+        for seed in range(4):
+            rf.refactor(self._drift(A, seed))
+        assert default_cache().stats()["misses"] == before
+        assert rf.n_refactors == 4
+
+    def test_refactor_rejects_pattern_change(self):
+        rf = ResilientFactor().setup(grid2d(8))
+        with pytest.raises(ValueError, match="pattern"):
+            rf.refactor(grid2d(9))
+
+    def test_refactor_before_setup_raises(self):
+        with pytest.raises(RuntimeError, match="setup"):
+            ResilientFactor().refactor(grid2d(6))
+
+    def test_setup_on_new_pattern_resets_variant_cache(self):
+        rf = ResilientFactor().setup(grid2d(8))
+        rf.refactor(self._drift(grid2d(8), 0))
+        stale = rf._ilu_cache["primary"]
+        rf.setup(grid2d(9))  # new pattern: old symbolic products invalid
+        # the chain rebuilt its cached primary against the new pattern
+        assert rf._ilu_cache["primary"] is not stale
+        assert rf._ilu_cache["primary"].pattern_key == rf._pattern_key
+
+    def test_refactor_survives_breakdown_values(self):
+        # new values that break the primary still walk the chain
+        A = grid2d(8)
+        rf = ResilientFactor().setup(A)
+        bad = zero_diag_rows(A, [0, 3])
+        rf.refactor(bad)
+        fresh = ResilientFactor().setup(bad)
+        assert rf.report.final_variant == fresh.report.final_variant
+        z = rf.solve(np.ones(A.n_rows))
+        assert np.all(np.isfinite(z))

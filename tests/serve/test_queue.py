@@ -4,11 +4,13 @@ import math
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.serve import AdmissionQueue, SolveRequest
 
 
-def _req(rid, tenant="t0", key="m", arrival=None, priority=0, deadline=math.inf):
+def _req(rid, tenant="t0", key="m", arrival=None, priority=0, deadline=math.inf,
+         sla="standard"):
     return SolveRequest(
         request_id=rid,
         tenant=tenant,
@@ -17,6 +19,7 @@ def _req(rid, tenant="t0", key="m", arrival=None, priority=0, deadline=math.inf)
         arrival_time=float(rid) if arrival is None else arrival,
         priority=priority,
         deadline=deadline,
+        sla=sla,
     )
 
 
@@ -104,6 +107,111 @@ class TestFairness:
             q.push(r)
         got = q.take(reqs[0].batch_key, 3)
         assert [r.request_id for r in got] == [1, 2, 3]
+
+    def test_cursor_rotates_when_take_is_multiple_of_tenant_count(self):
+        # regression: with k % n_tenants == 0 the cursor used to advance
+        # by a whole number of rotations and land back on `start`, so
+        # the same tenant led every batch
+        q = AdmissionQueue(capacity=64)
+        key = _req(0).batch_key
+        rid = 0
+        leads = []
+        for _ in range(3):
+            for t in ("a", "b", "c"):
+                for _ in range(2):
+                    q.push(_req(rid, tenant=t))
+                    rid += 1
+            leads.append(q.take(key, 6)[0].tenant)  # 6 % 3 == 0
+        assert leads == ["a", "b", "c"]
+
+    def test_cursor_rotates_without_draining_group(self):
+        # same bug, non-draining shape: each tenant keeps a backlog
+        q = AdmissionQueue(capacity=64)
+        key = _req(0).batch_key
+        rid = 0
+        for t in ("a", "b", "c"):
+            for _ in range(3):
+                q.push(_req(rid, tenant=t))
+                rid += 1
+        assert q.take(key, 3)[0].tenant != q.take(key, 3)[0].tenant
+
+    def test_partial_cycle_resumes_at_unserved_tenant(self):
+        # the fix must not break the good case: a take that stops
+        # mid-rotation resumes at the first tenant it did not serve
+        q = AdmissionQueue(capacity=64)
+        key = _req(0).batch_key
+        for i, t in enumerate(("a", "b", "c")):
+            q.push(_req(i, tenant=t))
+        assert [r.tenant for r in q.take(key, 2)] == ["a", "b"]
+        for i, t in enumerate(("a", "b")):
+            q.push(_req(10 + i, tenant=t))
+        assert q.take(key, 3)[0].tenant == "c"
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        n_tenants=st.integers(2, 5),
+        k=st.integers(1, 12),
+        rounds=st.integers(2, 6),
+    )
+    def test_lead_tenant_rotates_over_repeated_takes(self, n_tenants, k, rounds):
+        # property: while every tenant keeps a backlog, the lead of each
+        # take advances by k positions (mod n) — or by exactly one when
+        # k is a whole number of rotations — so consecutive takes that
+        # serve at least one full rotation never repeat a lead
+        q = AdmissionQueue(capacity=4096)
+        key = _req(0).batch_key
+        tenants = [f"t{i}" for i in range(n_tenants)]
+        rid = 0
+        for t in tenants:
+            for _ in range(rounds * k):  # deep lanes: nobody empties
+                q.push(_req(rid, tenant=t))
+                rid += 1
+        leads = [q.take(key, k)[0].tenant for _ in range(rounds)]
+        step = k % n_tenants or 1
+        expected = [tenants[(i * step) % n_tenants] for i in range(rounds)]
+        assert leads == expected
+        if k >= n_tenants:
+            # a full rotation per take -> the lead always moves
+            for a, b in zip(leads, leads[1:]):
+                assert a != b
+
+
+class TestEDF:
+    def test_sla_class_outranks_deadline(self):
+        q = AdmissionQueue(capacity=16, fairness="edf")
+        key = _req(0).batch_key
+        q.push(_req(1, tenant="t1", sla="batch", deadline=0.1))
+        q.push(_req(2, tenant="t2", sla="interactive", deadline=9.0))
+        q.push(_req(3, tenant="t3", sla="standard", deadline=0.5))
+        q.push(_req(4, tenant="t4", sla="standard", deadline=0.2))
+        assert [r.request_id for r in q.take(key, 4)] == [2, 4, 3, 1]
+
+    def test_edf_ignores_tenant_lanes(self):
+        q = AdmissionQueue(capacity=16, fairness="edf")
+        key = _req(0).batch_key
+        # one tenant's tight deadlines may legitimately monopolize
+        for i, dl in enumerate((0.1, 0.2)):
+            q.push(_req(i, tenant="hog", deadline=dl))
+        q.push(_req(9, tenant="other", deadline=5.0))
+        assert [r.request_id for r in q.take(key, 2)] == [0, 1]
+        assert len(q) == 1
+
+    def test_edf_depth_and_prune(self):
+        q = AdmissionQueue(capacity=16, fairness="edf")
+        key = _req(0).batch_key
+        for i in range(3):
+            q.push(_req(i, tenant=f"t{i}"))
+        q.take(key, 3)
+        assert len(q) == 0
+        assert q.group_sizes() == {}
+
+    def test_invalid_fairness_mode(self):
+        with pytest.raises(ValueError, match="fairness"):
+            AdmissionQueue(fairness="lifo")
+
+    def test_invalid_sla_class(self):
+        with pytest.raises(ValueError, match="sla"):
+            _req(0, sla="platinum")
 
 
 class TestGroupViews:
