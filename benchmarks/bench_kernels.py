@@ -161,8 +161,8 @@ def _trisolve_case(nx, repeats=3):
     b = np.random.default_rng(0).standard_normal(F.n_rows)
     analysis = cached_analysis(F)
     analysis.plan("lower"), analysis.plan("upper")  # symbolic setup up front
-    t_scalar, x_scalar = _timeit(trisolve_factor, F, b, repeats=repeats)
-    t_batched, x_batched = _timeit(
+    t_scalar, x_scalar, scalar_samples = _timeit(trisolve_factor, F, b, repeats=repeats)
+    t_batched, x_batched, batched_samples = _timeit(
         lambda: trisolve_factor_levels(F, b, analysis=analysis), repeats=repeats
     )
     return {
@@ -173,6 +173,8 @@ def _trisolve_case(nx, repeats=3):
         "n_levels": int(analysis.plan("lower").n_levels),
         "scalar_s": t_scalar,
         "batched_s": t_batched,
+        "scalar_samples": scalar_samples,
+        "batched_samples": batched_samples,
         "speedup": t_scalar / t_batched,
         "max_abs_diff": float(np.max(np.abs(x_scalar - x_batched))) if F.n_rows else 0.0,
         "exact_equal": bool(np.array_equal(x_scalar, x_batched)),
@@ -188,13 +190,13 @@ def _des_case(nx=64, p=8, repeats=3):
     Sp, lsp = level_ordered_pattern(nx)
     flops, touched = row_factor_costs(Sp)
     mach = SimMachine(haswell(), p)
-    t_scalar, res_s = _timeit(
+    t_scalar, res_s, scalar_samples = _timeit(
         lambda: simulate_upper_p2p(
             Sp, lsp.level_ptr, mach, flops, touched, backend="scalar"
         ),
         repeats=repeats,
     )
-    t_batched, res_b = _timeit(
+    t_batched, res_b, batched_samples = _timeit(
         lambda: simulate_upper_p2p(
             Sp, lsp.level_ptr, mach, flops, touched, backend="batched"
         ),
@@ -207,6 +209,8 @@ def _des_case(nx=64, p=8, repeats=3):
         "p": int(p),
         "scalar_s": t_scalar,
         "batched_s": t_batched,
+        "scalar_samples": scalar_samples,
+        "batched_samples": batched_samples,
         "speedup": t_scalar / t_batched,
         "exact_equal": bool(
             res_s[0] == res_b[0] and np.array_equal(res_s[1], res_b[1])

@@ -29,7 +29,6 @@ import argparse
 import json
 import os
 import sys
-import time
 
 import numpy as np
 
@@ -43,7 +42,7 @@ from repro.matrices import grid2d
 from repro.runtime import threaded_factor
 from repro.solvers import bicgstab, cg, fgmres, gmres, sor_solve
 
-from bench_util import RESULTS_DIR, level_ordered_matrix
+from bench_util import RESULTS_DIR, level_ordered_matrix, timeit_best as _timeit
 
 BASELINE_PATH = os.path.join(RESULTS_DIR, "BENCH_obs.json")
 
@@ -85,18 +84,24 @@ def traced_factor(nx=32, p=8):
     }
 
 
-def span_overhead(nx=16, p=4):
+def span_overhead(nx=16, p=4, repeats=3):
     """Real-thread factorization, tracing off vs on, bit-identity check."""
     A, S, ls = level_ordered_matrix(nx)
 
-    t0 = time.perf_counter()
-    F_plain = threaded_factor(A, S, ls.level_ptr, p)
-    t_plain = time.perf_counter() - t0
+    t_plain, F_plain, plain_samples = _timeit(
+        lambda: threaded_factor(A, S, ls.level_ptr, p), repeats=repeats
+    )
 
-    t0 = time.perf_counter()
-    with obs.tracing() as rec:
-        F_traced = threaded_factor(A, S, ls.level_ptr, p)
-    t_traced = time.perf_counter() - t0
+    last = {}
+
+    def traced():
+        with obs.tracing() as rec:
+            F = threaded_factor(A, S, ls.level_ptr, p)
+        last["rec"] = rec
+        return F
+
+    t_traced, F_traced, traced_samples = _timeit(traced, repeats=repeats)
+    rec = last["rec"]
 
     names = {e.name for e in rec.events()}
     try:
@@ -111,6 +116,8 @@ def span_overhead(nx=16, p=4):
         "p": p,
         "plain_s": t_plain,
         "traced_s": t_traced,
+        "plain_samples": plain_samples,
+        "traced_samples": traced_samples,
         "n_events": len(rec.events()),
         "has_wait_and_work": bool({"wait", "factor_row"} <= names),
         "wellformed": wellformed,

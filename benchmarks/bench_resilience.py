@@ -124,14 +124,16 @@ def retry_overhead(nx=32, repeats=3):
     def resilient():
         return ResilientFactor().setup(A)
 
-    t_bare, _ = _timeit(bare, repeats=repeats)
-    t_res, rf = _timeit(resilient, repeats=repeats)
+    t_bare, _, bare_samples = _timeit(bare, repeats=repeats)
+    t_res, rf, res_samples = _timeit(resilient, repeats=repeats)
     return {
         "kernel": "retry_overhead",
         "case": f"grid2d-{nx}",
         "n": int(A.n_rows),
         "bare_s": t_bare,
         "resilient_s": t_res,
+        "bare_samples": bare_samples,
+        "resilient_samples": res_samples,
         "overhead": t_res / t_bare,
         "n_attempts": rf.report.n_attempts,
         "final_variant": rf.report.final_variant,

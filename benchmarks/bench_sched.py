@@ -47,10 +47,10 @@ from repro.sched import (
     superstep_stats,
     validate_superstep_plan,
 )
-from repro.sparse.csr import CSRMatrix
+from repro.tune.shapes import chain_matrix, grid_matrix, wide_matrix
 from repro.verify import replay_superstep_schedule
 
-from bench_util import HASWELL, KNL, RESULTS_DIR, SCALE, level_ordered_pattern
+from bench_util import HASWELL, KNL, RESULTS_DIR, SCALE
 
 BASELINE_PATH = os.path.join(RESULTS_DIR, "BENCH_sched.json")
 
@@ -61,61 +61,8 @@ NEW_SCHEDULERS = ("superstep", "elastic", "syncfree")
 
 
 # ----------------------------------------------------------------------
-# DAG shapes
+# DAG shapes — builders shared with the tuner (repro.tune.shapes)
 # ----------------------------------------------------------------------
-def chain_matrix(n):
-    """Tridiagonal chain: ``n`` levels of width 1 — the deep/thin extreme."""
-    indptr = [0]
-    indices = []
-    for i in range(n):
-        indices.extend(c for c in (i - 1, i, i + 1) if 0 <= c < n)
-        indptr.append(len(indices))
-    return _with_values(
-        CSRMatrix(n, n, np.asarray(indptr), np.asarray(indices), np.ones(len(indices)))
-    )
-
-
-def wide_matrix(n_levels, width):
-    """``width`` independent chains interleaved: shallow/wide extreme.
-
-    Row ``l * width + j`` depends only on its predecessor in chain
-    ``j`` — every level holds ``width`` independent rows.
-    """
-    n = n_levels * width
-    indptr = [0]
-    indices = []
-    for r in range(n):
-        l, j = divmod(r, width)
-        if l > 0:
-            indices.append(r - width)
-        indices.append(r)
-        indptr.append(len(indices))
-    return _with_values(
-        CSRMatrix(n, n, np.asarray(indptr), np.asarray(indices), np.ones(len(indices)))
-    )
-
-
-def grid_matrix(nx):
-    """ILU(0) pattern of ``grid2d(nx)`` in level order — the realistic mix."""
-    Sp, _ = level_ordered_pattern(nx)
-    return _with_values(Sp)
-
-
-def _with_values(S):
-    """Deterministic diagonally-dominant values on a pattern (a factor stand-in)."""
-    from repro.kernels.plans import diag_positions
-
-    rng = np.random.default_rng(S.n_rows)
-    F = CSRMatrix(
-        S.n_rows, S.n_cols, S.indptr.copy(), S.indices.copy(),
-        0.1 * rng.standard_normal(int(S.indptr[-1])),
-        sort=False, check=False,
-    )
-    dp = diag_positions(F)
-    F.data[dp] = 3.0 + np.abs(F.data[dp])
-    return F
-
-
 def shapes(check):
     if check:
         return {"chain-200": chain_matrix(200), "wide-12x64": wide_matrix(12, 64),

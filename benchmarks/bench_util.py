@@ -74,16 +74,23 @@ def report(name, rows, columns=None, title=None):
 
 
 def timeit_best(fn, *args, repeats=3):
-    """Best-of-``repeats`` wall-clock timing: ``(best_seconds, output)``."""
+    """Best-of-``repeats`` wall-clock timing.
+
+    Returns ``(best_seconds, output, samples)`` where ``samples`` is
+    the per-repeat list — the regression tracker
+    (``repro.tune.regress``) uses the sample spread as each metric's
+    noise floor, so record the samples next to the best-of value
+    (conventionally under a ``*_samples`` key).
+    """
     import time
 
-    best = float("inf")
     out = None
+    samples = []
     for _ in range(repeats):
         t0 = time.perf_counter()
         out = fn(*args)
-        best = min(best, time.perf_counter() - t0)
-    return best, out
+        samples.append(time.perf_counter() - t0)
+    return min(samples), out, samples
 
 
 def level_ordered_pattern(nx):

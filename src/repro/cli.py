@@ -41,6 +41,13 @@ apps bench [--check]
     serve API, comparing cold-rebuild vs value-only refactor vs
     stale-factor policies; writes ``BENCH_apps.json``.  ``--check``
     is the fast CI gate (refactor bit-identity, staleness sanity).
+tune {recommend,fit,check-regressions}
+    Autotuning and regression tracking (``repro.tune``): ``recommend``
+    prints the fitted model's (backend, scheduler, batch width, tier)
+    pick for a bench shape; ``fit`` re-fits the cost model from the
+    committed ``BENCH_*.json``; ``check-regressions`` diffs bench
+    snapshots with noise-aware thresholds (with a planted-slowdown
+    self-test) and fails on unexplained slowdowns.
 
 The ``REPRO_SYMBOLIC_CACHE_SIZE`` environment variable resizes the
 process-wide symbolic cache (``repro.kernels.cache``) before any
@@ -208,6 +215,12 @@ def cmd_apps(args):
     return apps_main(args.rest)
 
 
+def cmd_tune(args):
+    from .tune.cli import main as tune_main
+
+    return tune_main(args.rest)
+
+
 def _traced_factor_run(args):
     """One observed factorization: real-thread spans + simulated timeline.
 
@@ -368,10 +381,16 @@ def cmd_obs_diff(args):
             doc = json.load(fh)
         # bench files wrap the snapshot under "metrics"; accept both
         doc = doc.get("metrics", doc) if isinstance(doc, dict) else doc
-        for e in obs.validate_metrics(doc):
-            print(f"{path}: {e}", file=sys.stderr)
+        if isinstance(doc, dict):
+            for e in obs.validate_metrics(doc):
+                print(f"{path}: {e}", file=sys.stderr)
         docs.append(doc)
+    rep = obs.compare_snapshots(docs[0], docs[1])
     print(obs.diff_metrics(docs[0], docs[1], rel_threshold=args.rel_threshold))
+    if not rep["ok"]:
+        for e in rep["errors"]:
+            print(f"error: {e}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -447,6 +466,12 @@ def build_parser():
     )
     sp.add_argument("rest", nargs=argparse.REMAINDER, help="arguments for repro.apps")
     sp.set_defaults(func=cmd_apps)
+
+    sp = sub.add_parser(
+        "tune", help="autotuning and performance-regression tracking", add_help=False
+    )
+    sp.add_argument("rest", nargs=argparse.REMAINDER, help="arguments for repro.tune")
+    sp.set_defaults(func=cmd_tune)
 
     sp = sub.add_parser("obs", help="observability: trace, export, compare")
     obs_sub = sp.add_subparsers(dest="obs_command", required=True)
@@ -524,6 +549,10 @@ def main(argv=None):
         from .apps.cli import main as apps_main
 
         return apps_main(argv[1:])
+    if argv[:1] == ["tune"]:
+        from .tune.cli import main as tune_main
+
+        return tune_main(argv[1:])
     args = build_parser().parse_args(argv)
     return args.func(args)
 

@@ -51,7 +51,13 @@ from .metrics import (
     record_trace_metrics,
     validate_metrics,
 )
-from .report import aggregate_spans, diff_metrics, render_flame, render_trace_report
+from .report import (
+    aggregate_spans,
+    compare_snapshots,
+    diff_metrics,
+    render_flame,
+    render_trace_report,
+)
 
 __all__ = [
     "SpanEvent",
@@ -80,5 +86,6 @@ __all__ = [
     "aggregate_spans",
     "render_flame",
     "render_trace_report",
+    "compare_snapshots",
     "diff_metrics",
 ]

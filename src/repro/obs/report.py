@@ -5,8 +5,11 @@ the Chrome trace export).  :func:`aggregate_spans` folds a recorder's
 events into per-name totals with self-time; :func:`render_flame`
 prints them as an indentation-free flamegraph summary — one bar per
 name, widest first — and :func:`render_trace_report` does the busy vs.
-wait per-thread breakdown for simulated traces.  :func:`diff_metrics`
-compares two metric snapshots (the ``repro obs diff`` command).
+wait per-thread breakdown for simulated traces.  :func:`compare_snapshots`
+structurally diffs two metric snapshots — tolerating malformed
+sections, non-numeric leaves, disjoint key sets, and schema-version
+mismatches — and :func:`diff_metrics` renders that report as the text
+the ``repro obs diff`` command prints.
 """
 
 from __future__ import annotations
@@ -15,6 +18,7 @@ __all__ = [
     "aggregate_spans",
     "render_flame",
     "render_trace_report",
+    "compare_snapshots",
     "diff_metrics",
 ]
 
@@ -85,42 +89,120 @@ def render_trace_report(trace, *, title="simulated timeline", width=40):
     return "\n".join(lines)
 
 
-def _flatten(doc):
-    """Numeric leaves of a metrics snapshot as ``{dotted.name: value}``."""
+def _flatten(doc, errors=None):
+    """Numeric leaves of a metrics snapshot as ``{dotted.name: value}``.
+
+    Never raises on malformed input: a non-dict document or section, or
+    a leaf that cannot be coerced to ``float``, is recorded in
+    ``errors`` (when given) and skipped.
+    """
     flat = {}
+    if not isinstance(doc, dict):
+        if errors is not None:
+            errors.append(f"snapshot is {type(doc).__name__}, expected a dict")
+        return flat
+
+    def put(name, v):
+        try:
+            flat[name] = float(v)
+        except (TypeError, ValueError):
+            if errors is not None:
+                errors.append(f"{name}: non-numeric value {v!r}")
+
     for section in ("counters", "gauges"):
-        for name, v in (doc.get(section) or {}).items():
-            flat[f"{section}.{name}"] = float(v)
-    for name, h in (doc.get("histograms") or {}).items():
-        if isinstance(h, dict):
-            for k in ("count", "mean", "p50", "p90", "p99", "max"):
-                if k in h:
-                    flat[f"histograms.{name}.{k}"] = float(h[k])
+        sec = doc.get(section) or {}
+        if not isinstance(sec, dict):
+            if errors is not None:
+                errors.append(f"{section}: expected a dict, got {type(sec).__name__}")
+            continue
+        for name, v in sec.items():
+            put(f"{section}.{name}", v)
+    hists = doc.get("histograms") or {}
+    if not isinstance(hists, dict):
+        if errors is not None:
+            errors.append(f"histograms: expected a dict, got {type(hists).__name__}")
+        hists = {}
+    for name, h in hists.items():
+        if not isinstance(h, dict):
+            if errors is not None:
+                errors.append(f"histograms.{name}: expected a dict, got {type(h).__name__}")
+            continue
+        for k in ("count", "mean", "p50", "p90", "p99", "max"):
+            if k in h:
+                put(f"histograms.{name}.{k}", h[k])
     return flat
+
+
+def compare_snapshots(old, new):
+    """Structural diff of two metric snapshots; never raises.
+
+    Returns a report dict::
+
+        {"ok": bool,            # no errors and schemas match
+         "errors": [str, ...],  # malformed sections / non-numeric leaves
+         "schema": {"old": ..., "new": ..., "match": bool},
+         "added":   {name: new_value},        # present in new only
+         "removed": {name: old_value},        # present in old only
+         "changed": {name: (old, new, rel)}}  # both sides, any delta
+
+    ``rel`` is the relative change ``|new-old|/|old|`` (``inf`` when
+    old is zero and new is not).  Disjoint key sets land entirely in
+    ``added``/``removed`` rather than failing; a schema-version
+    mismatch is reported under ``schema`` and flips ``ok`` without
+    suppressing the value comparison.
+    """
+    errors = []
+    a, b = _flatten(old, errors), _flatten(new, errors)
+    schema_old = old.get("schema") if isinstance(old, dict) else None
+    schema_new = new.get("schema") if isinstance(new, dict) else None
+    schema_match = schema_old == schema_new
+    if not schema_match:
+        errors.append(f"schema mismatch: old {schema_old!r} vs new {schema_new!r}")
+    added = {n: b[n] for n in b if n not in a}
+    removed = {n: a[n] for n in a if n not in b}
+    changed = {}
+    for n in sorted(set(a) & set(b)):
+        if a[n] == b[n]:
+            continue
+        d = b[n] - a[n]
+        rel = abs(d) / abs(a[n]) if a[n] != 0.0 else float("inf")
+        changed[n] = (a[n], b[n], rel)
+    return {
+        "ok": not errors,
+        "errors": errors,
+        "schema": {"old": schema_old, "new": schema_new, "match": schema_match},
+        "added": added,
+        "removed": removed,
+        "changed": changed,
+    }
 
 
 def diff_metrics(old, new, *, rel_threshold=0.0):
     """Line-per-metric comparison of two snapshot documents.
 
-    Returns the rendered text; metrics present on one side only are
-    marked added/removed.  ``rel_threshold`` hides rows whose relative
-    change is below the threshold (0 shows everything).
+    A text rendering of :func:`compare_snapshots`: metrics present on
+    one side only are marked added/removed, and any structural errors
+    (schema mismatch, malformed sections) are listed first.
+    ``rel_threshold`` hides changed rows below the threshold (0 shows
+    everything).  Never raises on malformed input.
     """
+    rep = compare_snapshots(old, new)
     a, b = _flatten(old), _flatten(new)
+    lines = [f"WARNING: {e}" for e in rep["errors"]]
     names = sorted(set(a) | set(b))
     if not names:
-        return "(no numeric metrics on either side)"
+        lines.append("(no numeric metrics on either side)")
+        return "\n".join(lines)
     name_w = max(len(n) for n in names) + 1
-    lines = [f"{'metric':<{name_w}} {'old':>12} {'new':>12} {'delta':>12}"]
+    lines.append(f"{'metric':<{name_w}} {'old':>12} {'new':>12} {'delta':>12}")
     for n in names:
-        if n not in a:
+        if n in rep["added"]:
             lines.append(f"{n:<{name_w}} {'-':>12} {b[n]:12.4g} {'added':>12}")
-        elif n not in b:
+        elif n in rep["removed"]:
             lines.append(f"{n:<{name_w}} {a[n]:12.4g} {'-':>12} {'removed':>12}")
         else:
-            d = b[n] - a[n]
-            rel = abs(d) / abs(a[n]) if a[n] != 0.0 else (0.0 if d == 0.0 else float("inf"))
+            rel = rep["changed"][n][2] if n in rep["changed"] else 0.0
             if rel < rel_threshold:
                 continue
-            lines.append(f"{n:<{name_w}} {a[n]:12.4g} {b[n]:12.4g} {d:+12.4g}")
+            lines.append(f"{n:<{name_w}} {a[n]:12.4g} {b[n]:12.4g} {b[n] - a[n]:+12.4g}")
     return "\n".join(lines)

@@ -15,6 +15,9 @@ A waiting group closes into a batch when **any** of:
 * **max-size** — ``max_batch`` requests are waiting (a full block);
 * **max-wait** — the oldest waiting request has aged ``max_wait``
   (bounds the latency cost of fishing for batch-mates);
+* **SLA wait** — a waiting request of a class named in
+  :attr:`BatchPolicy.sla_waits` has aged its class budget (interactive
+  traffic stops fishing for batch-mates sooner than the global cap);
 * **deadline pressure** — the group's tightest deadline leaves only
   enough slack to run the batch now (``min_deadline - now ≤
   est_cost + deadline_slack``);
@@ -45,18 +48,32 @@ class BatchPolicy:
     ``deadline_slack`` extra margin subtracted from a group's deadline
     budget before pressure-closing; ``batchable`` the solvers whose
     column-separable iterations may share a block.
+
+    ``sla_waits`` is the SLA-aware close rule: ``(sla_class, budget)``
+    pairs that cap how long a waiting request of that class may age
+    before its group closes — an ``interactive`` request in a forming
+    batch *tightens* the close deadline to its SLA budget instead of
+    only ordering extraction via EDF.  Classes absent from the group
+    have no effect.
     """
 
     max_batch: int = 16
     max_wait: float = 0.01
     deadline_slack: float = 0.0
     batchable: tuple = ("richardson",)
+    sla_waits: tuple = ()
 
     def __post_init__(self):
         if self.max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
         if self.max_wait < 0.0:
             raise ValueError(f"max_wait must be >= 0, got {self.max_wait}")
+        for item in self.sla_waits:
+            cls, budget = item
+            if budget < 0.0:
+                raise ValueError(
+                    f"sla_waits budget must be >= 0, got {budget} for {cls!r}"
+                )
 
 
 @dataclass(eq=False)
@@ -95,6 +112,10 @@ class MicroBatcher:
         if solver not in pol.batchable or size >= pol.max_batch:
             return queue.oldest_arrival(key)  # ready since its oldest arrival
         t_wait = queue.oldest_arrival(key) + pol.max_wait
+        for cls, budget in pol.sla_waits:
+            t0 = queue.oldest_arrival_sla(key, cls)
+            if math.isfinite(t0):
+                t_wait = min(t_wait, t0 + budget)
         deadline = queue.min_deadline(key)
         if math.isfinite(deadline):
             t_pressure = deadline - est_cost(key, size) - pol.deadline_slack

@@ -90,7 +90,16 @@ def _solutions_identical(a, b):
     return True
 
 
-def _run_workload(spec, *, registry=None, fault_plan=None, max_batch=16, capacity=64):
+def _make_controller(max_batch=16):
+    """Fresh tune controller for one run (lazy import: ``--tune`` opt-in)."""
+    from ..tune import TuneController
+
+    return TuneController(batch_policy=BatchPolicy(max_batch=max_batch, max_wait=0.01))
+
+
+def _run_workload(
+    spec, *, registry=None, fault_plan=None, max_batch=16, capacity=64, tune=False
+):
     matrices = build_matrices(spec.patterns)
     service = _service(
         matrices,
@@ -98,6 +107,7 @@ def _run_workload(spec, *, registry=None, fault_plan=None, max_batch=16, capacit
         fault_plan=fault_plan,
         max_batch=max_batch,
         capacity=capacity,
+        controller=_make_controller(max_batch) if tune else None,
     )
     results = service.run(generate_requests(spec, matrices))
     return service, results
@@ -118,21 +128,26 @@ def _measure_speedup(widths, *, nx=48, tol=1e-8, maxiter=60):
     target_met = False
     for k in widths:
         B = rng.standard_normal((A.n_rows, k))
-        best_batch = math.inf
-        best_seq = math.inf
+        batch_samples = []
+        seq_samples = []
         for _ in range(3):
             t0 = time.perf_counter()  # verify: ok[JAV005]
             blocked_richardson(A, entry, B, tol, maxiter)
-            best_batch = min(best_batch, time.perf_counter() - t0)  # verify: ok[JAV005]
+            batch_samples.append(time.perf_counter() - t0)  # verify: ok[JAV005]
             t0 = time.perf_counter()  # verify: ok[JAV005]
             for j in range(k):
                 blocked_richardson(A, entry, B[:, j : j + 1], tol, maxiter)
-            best_seq = min(best_seq, time.perf_counter() - t0)  # verify: ok[JAV005]
+            seq_samples.append(time.perf_counter() - t0)  # verify: ok[JAV005]
+        best_batch = min(batch_samples)
+        best_seq = min(seq_samples)
         speedup = best_seq / best_batch
         out[str(k)] = {
             "batched_s": best_batch,
             "sequential_s": best_seq,
             "speedup": speedup,
+            # per-repeat samples: the regression tracker's noise floor
+            "batched_samples": batch_samples,
+            "sequential_samples": seq_samples,
         }
         if k >= 8 and speedup >= 3.0:
             target_met = True
@@ -141,7 +156,7 @@ def _measure_speedup(widths, *, nx=48, tol=1e-8, maxiter=60):
 
 
 def run_bench(*, check=False, seed=0, out_path="BENCH_serve.json", scheduler=None,
-              workload="poisson"):
+              workload="poisson", tune=False):
     """Run the serving benchmark; returns (record, n_failures).
 
     ``scheduler`` stamps every generated request with that trisolve
@@ -186,9 +201,9 @@ def run_bench(*, check=False, seed=0, out_path="BENCH_serve.json", scheduler=Non
             shape=workload,
         )
 
-    print("serve bench: workload")
+    print("serve bench: workload" + (" (tuned)" if tune else ""))
     registry = MetricsRegistry()
-    _, results = _run_workload(spec, registry=registry)
+    _, results = _run_workload(spec, registry=registry, tune=tune)
     summary = summarize(results)
     gate(len(results) == spec.n_requests, "every request terminated")
     gate(all(r.outcome in OUTCOMES for r in results), "all outcomes structured")
@@ -203,7 +218,7 @@ def run_bench(*, check=False, seed=0, out_path="BENCH_serve.json", scheduler=Non
     gate(conserv.ok, "request conservation audited")
 
     print("serve bench: deterministic replay")
-    _, replay = _run_workload(spec)
+    _, replay = _run_workload(spec, tune=tune)
     replay_ok = _outcome_sig(results) == _outcome_sig(replay) and _solutions_identical(
         results, replay
     )
@@ -236,8 +251,8 @@ def run_bench(*, check=False, seed=0, out_path="BENCH_serve.json", scheduler=Non
         watchdog_timeout=0.02,
     )
     fault_spec = dataclasses.replace(spec, deadline_lo=0.01, deadline_hi=0.1)
-    _, faulted = _run_workload(fault_spec, fault_plan=plan)
-    _, faulted2 = _run_workload(fault_spec, fault_plan=plan)
+    _, faulted = _run_workload(fault_spec, fault_plan=plan, tune=tune)
+    _, faulted2 = _run_workload(fault_spec, fault_plan=plan, tune=tune)
     gate(
         len(faulted) == spec.n_requests
         and all(r.outcome in OUTCOMES for r in faulted),
@@ -270,6 +285,7 @@ def run_bench(*, check=False, seed=0, out_path="BENCH_serve.json", scheduler=Non
         "bench": "serve",
         "mode": "check" if check else "full",
         "scheduler": scheduler or "p2p",
+        "tuned": bool(tune),
         "spec": dataclasses.asdict(spec),
         "workload": summary,
         "fault_workload": fault_summary,
@@ -312,7 +328,13 @@ def build_parser() -> argparse.ArgumentParser:
         default="poisson",
         choices=list(WORKLOAD_SHAPES),
         help="arrival/mix shape: constant-rate poisson (default), diurnal "
-        "rate curve, flash crowd, or hot-key storm",
+        "rate curve, flash crowd, hot-key storm, or multi-region mix",
+    )
+    b.add_argument(
+        "--tune",
+        action="store_true",
+        help="enable the repro.tune online controller for the workload "
+        "runs (off by default; numerics are bit-identical either way)",
     )
     return p
 
@@ -321,7 +343,7 @@ def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     _, n_failures = run_bench(
         check=args.check, seed=args.seed, out_path=args.out,
-        scheduler=args.scheduler, workload=args.workload,
+        scheduler=args.scheduler, workload=args.workload, tune=args.tune,
     )
     if n_failures:
         print(f"serve bench: {n_failures} gate(s) FAILED")

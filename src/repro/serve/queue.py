@@ -215,6 +215,22 @@ class AdmissionQueue:
         deadlines = [req.deadline for lane in bucket.values() for req in lane]
         return min(deadlines) if deadlines else math.inf
 
+    def oldest_arrival_sla(self, key, sla):
+        """Earliest arrival of an ``sla``-class request in group ``key``.
+
+        ``inf`` when no request of that class is waiting — the
+        SLA-aware batch-close rule only engages for classes actually
+        present in the forming batch.
+        """
+        bucket = self._groups.get(key, {})
+        times = [
+            req.arrival_time
+            for lane in bucket.values()
+            for req in lane
+            if req.sla == sla
+        ]
+        return min(times) if times else math.inf
+
     def __len__(self):
         return self._depth
 

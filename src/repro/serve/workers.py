@@ -245,6 +245,9 @@ class WorkerShard:
         self.retry_policy = retry_policy or RetryPolicy()
         self.fault_plan = fault_plan
         self.staleness = staleness or StalenessPolicy()
+        # cold-build budget multiplier the tune controller may shrink:
+        # bias < 1 makes tight-deadline cold misses demote sooner
+        self.budget_bias = 1.0
         self.free_at = 0.0
         self.busy = False
         self.n_batches = 0
@@ -270,6 +273,7 @@ class WorkerShard:
         preconditioner serves nobody, a cruder one might.
         """
         full = self.cost.factor_cost(A.nnz, self.options.fill_level)
+        budget = budget * self.budget_bias
         opts, pol, demoted, charge = self.options, self.retry_policy, False, full
         if budget < full:
             opts = self.options.with_(fill_level=0, tau=0.0, modified=False)
@@ -373,15 +377,20 @@ class WorkerShard:
         return sp
 
     # ------------------------------------------------------------------
-    def execute(self, batch, A, fingerprint, now):
+    def execute(self, batch, A, fingerprint, now, *, scheduler_override=None):
         """Run one batch starting at virtual time ``now``.
 
         Returns ``(results, finish_time)``; the shard is busy until
         ``finish_time``.  Faults scale or delay the virtual charges but
-        never change the computed numbers.
+        never change the computed numbers.  ``scheduler_override``
+        substitutes for an *unpinned* batch scheduler (the tune
+        controller's per-pattern pick); a request that named its own
+        scheduler keeps it.
         """
         reqs = batch.requests
         matrix_key, solver, tol, maxiter, scheduler = batch.key
+        if scheduler is None:
+            scheduler = scheduler_override
         budget = min(r.deadline for r in reqs) - now
         entry = self.cache.get(self._lineage.get(matrix_key, fingerprint))
         factor_charge = 0.0
@@ -545,6 +554,7 @@ class SolveService:
         registry=None,
         staleness: StalenessPolicy | None = None,
         fairness="round_robin",
+        controller=None,
     ):
         if n_shards < 1:
             raise ValueError(f"n_shards must be >= 1, got {n_shards}")
@@ -565,6 +575,10 @@ class SolveService:
         self.batch_policy = batch_policy or BatchPolicy()
         self.cost = cost or CostModel()
         self.registry = registry
+        # duck-typed repro.tune controller (scheduler_override / observe
+        # / batch_policy / staleness / budget_bias); None = untuned, the
+        # default — serve never imports repro.tune
+        self.controller = controller
         self.shards = [
             WorkerShard(
                 i,
@@ -657,7 +671,8 @@ class SolveService:
                 raise ValueError(f"unknown solver {r.solver!r}; supported: {SOLVERS}")
         reqs.sort(key=lambda r: (r.arrival_time, r.request_id))
         queue = AdmissionQueue(self.capacity, self.admission, self.fairness)
-        batcher = MicroBatcher(self.batch_policy)
+        ctl = self.controller
+        batcher = MicroBatcher(ctl.batch_policy if ctl is not None else self.batch_policy)
         results: dict[int, RequestResult] = {}
         for s in self.shards:
             s.busy = False
@@ -712,15 +727,33 @@ class SolveService:
                 start = now
                 for batch in batches:
                     A = self.matrices[batch.matrix_key]
+                    override = (
+                        ctl.scheduler_override(A) if ctl is not None else None
+                    )
                     batch_results, finish = s.execute(
-                        batch, A, self.fingerprints[batch.matrix_key], start
+                        batch,
+                        A,
+                        self.fingerprints[batch.matrix_key],
+                        start,
+                        scheduler_override=override,
                     )
                     for res in batch_results:
                         results[res.request_id] = res
                     start = finish
+                    if ctl is not None:
+                        ctl.observe(
+                            batch_results, queue_depth=len(queue), now=finish
+                        )
                 if batches:
                     s.busy = True
                     s.free_at = start
+            if ctl is not None:
+                # re-read the knobs the controller may have moved; all
+                # of them select among bit-identical paths only
+                batcher.policy = ctl.batch_policy
+                for sh in self.shards:
+                    sh.staleness = ctl.staleness
+                    sh.budget_bias = ctl.budget_bias
         ordered = [results[r.request_id] for r in sorted(reqs, key=lambda r: r.request_id)]
         self._record_metrics(ordered, queue, batcher)
         return ordered
@@ -752,3 +785,6 @@ class SolveService:
         record_factor_cache_metrics(
             reg, [s.cache for s in self.shards], prefix="serve.factor_cache"
         )
+        if self.controller is not None:
+            for name, value in self.controller.metrics().items():
+                reg.counter(name).inc(int(value))

@@ -50,8 +50,11 @@ __all__ = [
 #: quiet and rush hours), ``flash_crowd`` (a rate spike of
 #: ``flash_factor``× during a window — queue/backpressure stress), and
 #: ``hot_key_storm`` (pattern mix collapses onto one hot key during a
-#: window — replication and cache-placement stress).
-WORKLOAD_SHAPES = ("poisson", "diurnal", "flash_crowd", "hot_key_storm")
+#: window — replication and cache-placement stress), and
+#: ``multi_region`` (``n_regions`` regions, each with its own zipf skew
+#: — the hot pattern differs per region — and a phase-shifted diurnal
+#: arrival curve, so "rush hour" rolls around the regions).
+WORKLOAD_SHAPES = ("poisson", "diurnal", "flash_crowd", "hot_key_storm", "multi_region")
 
 
 @dataclass(frozen=True)
@@ -81,6 +84,14 @@ class WorkloadSpec:
     flash_factor: float = 6.0  # rate multiplier inside the flash window
     storm_intensity: float = 0.95  # P(hot key) inside the storm window
     storm_rank: int = 0  # which pattern (by zipf rank) the storm hammers
+    #: multi_region knobs: each region's zipf ranking is rotated by its
+    #: index (region r's hottest pattern is ``patterns[r % len]``) and
+    #: its diurnal phase shifted by ``r / n_regions`` of a period
+    n_regions: int = 3
+    region_weights: tuple = ()  # per-region traffic share; () = equal
+    #: optional SLA-class mix, ``((class, weight), ...)``; () keeps the
+    #: historical draw sequence (every request "standard")
+    sla_weights: tuple = ()
 
     def __post_init__(self):
         if self.n_requests < 1:
@@ -112,6 +123,24 @@ class WorkloadSpec:
                 f"storm_rank must index patterns (0..{len(self.patterns) - 1}), "
                 f"got {self.storm_rank}"
             )
+        if self.n_regions < 1:
+            raise ValueError(f"n_regions must be >= 1, got {self.n_regions}")
+        if self.region_weights and len(self.region_weights) != self.n_regions:
+            raise ValueError(
+                f"region_weights must have n_regions={self.n_regions} entries, "
+                f"got {len(self.region_weights)}"
+            )
+        if any(w <= 0.0 for w in self.region_weights):
+            raise ValueError("region_weights must be positive")
+        from .request import SLA_CLASSES
+
+        for cls, w in self.sla_weights:
+            if cls not in SLA_CLASSES:
+                raise ValueError(
+                    f"sla_weights class must be one of {SLA_CLASSES}, got {cls!r}"
+                )
+            if w <= 0.0:
+                raise ValueError(f"sla_weights weight must be positive, got {w}")
 
 
 def build_matrices(patterns):
@@ -139,6 +168,34 @@ def build_matrices(patterns):
     return out
 
 
+def _region_shares(spec: WorkloadSpec):
+    """Normalized per-region traffic shares (equal when unspecified)."""
+    if spec.region_weights:
+        w = np.asarray(spec.region_weights, dtype=np.float64)
+    else:
+        w = np.ones(spec.n_regions)
+    return w / w.sum()
+
+
+def _region_rates(spec: WorkloadSpec, t: float):
+    """Per-region instantaneous rates: phase-shifted diurnal curves.
+
+    Region ``r`` peaks ``r / n_regions`` of a period after region 0 —
+    rush hour rolls around the globe instead of hitting everywhere at
+    once.
+    """
+    shares = _region_shares(spec)
+    rates = []
+    for r in range(spec.n_regions):
+        phase = 2.0 * math.pi * (t / spec.diurnal_period - r / spec.n_regions)
+        rates.append(
+            float(shares[r])
+            * spec.rate
+            * (1.0 + spec.diurnal_amplitude * math.sin(phase))
+        )
+    return rates
+
+
 def arrival_rate(spec: WorkloadSpec, t: float) -> float:
     """Instantaneous arrival rate λ(t) of the spec's shape at time ``t``."""
     if spec.shape == "diurnal":
@@ -147,12 +204,16 @@ def arrival_rate(spec: WorkloadSpec, t: float) -> float:
     if spec.shape == "flash_crowd":
         in_burst = spec.burst_at <= t < spec.burst_at + spec.burst_duration
         return spec.rate * (spec.flash_factor if in_burst else 1.0)
+    if spec.shape == "multi_region":
+        return sum(_region_rates(spec, t))
     return spec.rate  # poisson and hot_key_storm arrive at constant rate
 
 
 def _peak_rate(spec: WorkloadSpec) -> float:
     """An upper bound on λ(t), the thinning envelope."""
-    if spec.shape == "diurnal":
+    if spec.shape in ("diurnal", "multi_region"):
+        # multi_region: shares sum to 1, so the total is bounded by the
+        # all-regions-at-peak envelope even though phases never align
         return spec.rate * (1.0 + spec.diurnal_amplitude)
     if spec.shape == "flash_crowd":
         return spec.rate * spec.flash_factor
@@ -196,9 +257,31 @@ def generate_requests(spec: WorkloadSpec, matrices):
     }
     reqs = []
     now = 0.0
+    if spec.sla_weights:
+        sla_classes = tuple(cls for cls, _ in spec.sla_weights)
+        sw = np.asarray([w for _, w in spec.sla_weights], dtype=np.float64)
+        p_sla = sw / sw.sum()
     for rid in range(spec.n_requests):
         now = _next_arrival(spec, rng, now)
-        key = spec.patterns[int(rng.choice(len(spec.patterns), p=p_pattern))]
+        region = None
+        if spec.shape == "multi_region":
+            # attribute the arrival to a region ∝ its instantaneous
+            # rate (one uniform draw), so regional mix follows the
+            # rolling rush hour
+            rates = _region_rates(spec, now)
+            u = float(rng.random()) * sum(rates)
+            region, acc = spec.n_regions - 1, 0.0
+            for ri, rr in enumerate(rates):
+                acc += rr
+                if u <= acc:
+                    region = ri
+                    break
+        rank = int(rng.choice(len(spec.patterns), p=p_pattern))
+        if region is not None:
+            # per-region zipf skew: rotate the ranking so each region's
+            # hottest pattern is a different key
+            rank = (rank + region) % len(spec.patterns)
+        key = spec.patterns[rank]
         if (
             spec.shape == "hot_key_storm"
             and spec.burst_at <= now < spec.burst_at + spec.burst_duration
@@ -206,10 +289,16 @@ def generate_requests(spec: WorkloadSpec, matrices):
         ):
             key = spec.patterns[spec.storm_rank]  # the storm's hot key
         solver = spec.solvers[int(rng.choice(len(spec.solvers), p=p_solver))]
+        tenant = f"tenant{int(rng.integers(spec.n_tenants))}"
+        if region is not None:
+            tenant = f"r{region}-{tenant}"
+        sla = "standard"
+        if spec.sla_weights:
+            sla = sla_classes[int(rng.choice(len(sla_classes), p=p_sla))]
         reqs.append(
             SolveRequest(
                 request_id=rid,
-                tenant=f"tenant{int(rng.integers(spec.n_tenants))}",
+                tenant=tenant,
                 matrix_key=key,
                 b=next(streams[key]),
                 solver=solver,
@@ -219,6 +308,7 @@ def generate_requests(spec: WorkloadSpec, matrices):
                 arrival_time=now,
                 maxiter=spec.maxiter,
                 scheduler=spec.scheduler,
+                sla=sla,
             )
         )
     return reqs

@@ -1,0 +1,42 @@
+"""repro.tune — closed-loop autotuning and performance-regression tracking.
+
+The eighth layer: turns the committed bench artifacts and the
+``repro.obs`` counters into decisions.  Three parts:
+
+* :mod:`repro.tune.features` / :mod:`repro.tune.model` — a pattern
+  fingerprint feature vector read off the symbolic cache, and a
+  deterministic least-squares cost model fit from ``BENCH_*.json``
+  exposing ``recommend(pattern, machine, sla)``;
+* :mod:`repro.tune.controller` — the ``--tune`` opt-in serving-loop
+  feedback controller (scheduler override, batch shape, staleness,
+  factor tier), bit-identical numerics by construction;
+* :mod:`repro.tune.regress` — noise-aware diffing of committed bench
+  files, the ``repro tune check-regressions`` CI gate.
+"""
+
+from .controller import TuneController, TunePolicy
+from .features import PatternFeatures, extract_features
+from .model import (
+    SlaSpec,
+    TuneChoice,
+    TuneModel,
+    default_model,
+    fit_model,
+)
+from .regress import check_regressions, plant_slowdown
+from .shapes import bench_shape
+
+__all__ = [
+    "PatternFeatures",
+    "extract_features",
+    "SlaSpec",
+    "TuneChoice",
+    "TuneModel",
+    "default_model",
+    "fit_model",
+    "TuneController",
+    "TunePolicy",
+    "check_regressions",
+    "plant_slowdown",
+    "bench_shape",
+]

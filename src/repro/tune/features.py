@@ -1,0 +1,157 @@
+"""Pattern-fingerprint feature extraction from cached symbolic products.
+
+Everything the cost model conditions on is a pure function of the
+sparsity pattern, and everything here is *already computed* by the
+symbolic layer: level sets, superstep plans, elastic schedules and
+per-row sweep costs all live in the pattern-keyed
+:class:`~repro.kernels.cache.SymbolicAnalysis`.  Feature extraction is
+therefore a read — it never re-analyzes a pattern the system has
+already touched, which is what makes consulting the tuner cheap enough
+to do per batch in the serving loop.
+
+The feature vector deliberately mirrors the quantities the paper's
+crossover discussion ranks schedulers by: level count and level-width
+histogram (thin levels ⇒ sync-bound), critical-path depth (the serial
+floor), total sweep work and bytes (the parallel term), bandwidth and
+row density (locality), plus the two scheduler-specific structural
+counts — superstep count at a reference thread count and the elastic
+sweep bound — that price the alternatives' synchronization economy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+import numpy as np
+
+from ..kernels.cache import cached_analysis
+
+__all__ = ["N_WIDTH_BUCKETS", "PatternFeatures", "extract_features"]
+
+#: log2-spaced level-width histogram buckets: bucket ``k`` counts
+#: levels of width in ``[2^k, 2^(k+1))``; the last bucket is open-ended
+N_WIDTH_BUCKETS = 12
+
+
+@dataclass(frozen=True)
+class PatternFeatures:
+    """One pattern's tuning-relevant fingerprint (both sweep directions).
+
+    ``superstep_steps`` and ``elastic_sweeps`` are evaluated at
+    ``plan_threads`` / ``plan_staleness`` — they are structural counts
+    of cached plans, recorded so a recommendation is reproducible from
+    the features alone (the purity contract the property tests assert).
+    """
+
+    fingerprint: str
+    n: int
+    nnz: int
+    n_levels: int  # lower + upper sweep levels combined
+    n_levels_lower: int
+    n_levels_upper: int
+    critical_path: int  # rows on the longest dependency chain (lower sweep)
+    max_width: int
+    mean_width: float
+    median_width: float
+    width_hist: tuple  # fraction of levels per log2 width bucket
+    bandwidth: int
+    row_density: float
+    total_flops: float  # one full L+U sweep, all rows
+    total_bytes: float
+    crit_flops: float  # sum over levels of the widest row's flops
+    superstep_steps: int
+    elastic_sweeps: int
+    plan_threads: int
+    plan_staleness: int
+
+    def as_vector(self):
+        """Flat numeric tuple (histogram inlined) — hashing/property-test aid."""
+        out = []
+        for f in fields(self):
+            v = getattr(self, f.name)
+            if f.name == "fingerprint":
+                continue
+            if f.name == "width_hist":
+                out.extend(float(x) for x in v)
+            else:
+                out.append(float(v))
+        return tuple(out)
+
+    @property
+    def nnz_per_level(self):
+        """Mean entries swept per level — the batched backend's amortization unit."""
+        return self.nnz / max(1, self.n_levels_lower)
+
+
+def _width_histogram(widths):
+    hist = np.zeros(N_WIDTH_BUCKETS)
+    if widths.size == 0:
+        return tuple(hist)
+    buckets = np.minimum(
+        np.floor(np.log2(np.maximum(widths, 1))).astype(int), N_WIDTH_BUCKETS - 1
+    )
+    for b in buckets:
+        hist[b] += 1.0
+    return tuple(hist / widths.size)
+
+
+def extract_features(M, *, n_threads=8, staleness=4) -> PatternFeatures:
+    """Feature vector of ``M``'s pattern, read off the symbolic cache.
+
+    Deterministic: same pattern (same fingerprint) ⇒ same features,
+    across processes — every input is a frozen symbolic product or a
+    direct function of ``(indptr, indices)``.
+    """
+    an = cached_analysis(M)
+    lv_lo = an.levels("lower")
+    lv_up = an.levels("upper")
+    widths = np.diff(lv_lo.level_ptr)
+
+    total_flops = total_bytes = crit_flops = 0.0
+    for part, lv in (("lower", lv_lo), ("upper", lv_up)):
+        fl, tl = an.solve_costs(part)
+        total_flops += float(np.sum(fl))
+        total_bytes += 8.0 * float(np.sum(tl))
+        fl_levelled = fl[lv.rows]
+        lp = lv.level_ptr
+        crit_flops += float(
+            sum(fl_levelled[lp[i]: lp[i + 1]].max() for i in range(lv.n_levels))
+        )
+
+    steps = sum(
+        int(an.superstep_plan(part, n_threads=n_threads).n_steps)
+        for part in ("lower", "upper")
+    )
+    sweeps = 0
+    for part in ("lower", "upper"):
+        es = an.elastic_schedule(part, staleness=staleness)
+        sweeps += int(es.final_sweep.max()) + 1 if es.final_sweep.size else 1
+
+    row_of_entry = np.repeat(np.arange(M.n_rows), np.diff(M.indptr))
+    bandwidth = (
+        int(np.max(np.abs(np.asarray(M.indices) - row_of_entry)))
+        if row_of_entry.size
+        else 0
+    )
+    return PatternFeatures(
+        fingerprint=an.fingerprint,
+        n=int(M.n_rows),
+        nnz=int(M.nnz),
+        n_levels=int(lv_lo.n_levels + lv_up.n_levels),
+        n_levels_lower=int(lv_lo.n_levels),
+        n_levels_upper=int(lv_up.n_levels),
+        critical_path=int(lv_lo.n_levels),
+        max_width=int(widths.max()) if widths.size else 0,
+        mean_width=float(widths.mean()) if widths.size else 0.0,
+        median_width=float(np.median(widths)) if widths.size else 0.0,
+        width_hist=_width_histogram(widths),
+        bandwidth=bandwidth,
+        row_density=float(M.nnz / max(1, M.n_rows)),
+        total_flops=total_flops,
+        total_bytes=total_bytes,
+        crit_flops=crit_flops,
+        superstep_steps=steps,
+        elastic_sweeps=sweeps,
+        plan_threads=int(n_threads),
+        plan_staleness=int(staleness),
+    )

@@ -1,0 +1,494 @@
+"""Fitted cost model and ``recommend(pattern, machine, sla)``.
+
+The model turns the committed bench artifacts into a *policy*: given a
+pattern's :class:`~repro.tune.features.PatternFeatures`, a machine and
+an SLA, pick the (backend, scheduler, batch width, factorization tier)
+tuple the knobs currently leave to the operator.
+
+Three fits, all deterministic (``numpy.linalg.lstsq`` on fixed inputs
+— the recorded ``seed`` only stamps provenance):
+
+* **Scheduler** — per-scheduler linear models over structural columns
+  (serial critical-path time, roofline parallel time, and each mode's
+  own sync term: levels × spin for p2p/syncfree, levels × barrier for
+  the barrier baseline, supersteps × barrier for DAG partitions, sweep
+  multiples for elastic), fit against ``BENCH_sched.json`` in
+  *relative* error — ``lstsq(X / y, 1)`` — so the microsecond chain
+  points weigh the same as the millisecond grids.
+* **Backend** — scalar sweeps pay per entry, batched sweeps pay per
+  level plus per entry; the crossover is the entries-per-level ratio.
+  Fit from ``BENCH_kernels.json`` trisolve rows.
+* **Width margin** — the diminishing-returns cutoff for batch width is
+  noise-aware when the serve bench recorded per-repeat samples: the
+  margin grows to twice the worst coefficient of variation, so a width
+  step is only taken when its gain clears measurement noise.
+
+The scheduler fit is the ROADMAP item-2 follow-on: superstep vs p2p vs
+elastic is read off the level structure instead of a ``--scheduler``
+knob.  Correctness on the bench grid is judged with 2% regret — a pick
+is right if its *true* time is within 2% of the oracle best — because
+p2p and syncfree are priced identically by the DES and several points
+are genuine ties.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .features import PatternFeatures, extract_features
+
+__all__ = [
+    "SCHEDULERS",
+    "PREFERENCE",
+    "WIDTHS",
+    "SlaSpec",
+    "TuneChoice",
+    "TuneModel",
+    "fit_model",
+    "default_model",
+    "results_dir",
+]
+
+SCHEDULERS = ("p2p", "barrier", "superstep", "syncfree", "elastic")
+#: tie-break order for equal predictions: prefer the modes that are
+#: exact and cheapest to plan
+PREFERENCE = ("p2p", "superstep", "syncfree", "barrier", "elastic")
+WIDTHS = (1, 2, 4, 8, 16, 32, 64)
+#: staleness the elastic columns are fit against (the bench's middle arm)
+ELASTIC_STALENESS = 4
+
+
+@dataclass(frozen=True)
+class SlaSpec:
+    """Deadline budget, expressed as a multiple of the pattern's own
+    single-request solve cost.
+
+    A relative budget keeps the oracle and the model comparable: each
+    side judges width feasibility against *its own* single-request
+    estimate, so the choice reflects batching economics rather than
+    absolute clock scale.
+    """
+
+    sla_class: str = "standard"
+    budget_factor: float = 4.0
+
+    _CLASS_BUDGETS = {"interactive": 2.0, "standard": 4.0, "batch": 16.0}
+
+    @classmethod
+    def from_class(cls, name):
+        try:
+            return cls(sla_class=name, budget_factor=cls._CLASS_BUDGETS[name])
+        except KeyError:
+            raise ValueError(
+                f"unknown SLA class {name!r}; expected one of "
+                f"{tuple(cls._CLASS_BUDGETS)}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class TuneChoice:
+    """One recommendation — every field names an existing bit-identical path."""
+
+    backend: str  # "scalar" | "batched"
+    scheduler: str
+    max_batch: int
+    factor_tier: str  # "full" | "ilu0"
+    predicted_solve_s: float  # picked scheduler, DES scale
+    predicted_batch_s: float  # picked width, serve CostModel scale
+
+    def as_dict(self):
+        return {
+            "backend": self.backend,
+            "scheduler": self.scheduler,
+            "max_batch": self.max_batch,
+            "factor_tier": self.factor_tier,
+            "predicted_solve_s": self.predicted_solve_s,
+            "predicted_batch_s": self.predicted_batch_s,
+        }
+
+
+def _scheduler_columns(f: PatternFeatures, spec, p, sched):
+    """Structural cost columns for one scheduler on one machine point."""
+    spin = spec.spin_poll
+    barrier = spec.barrier_base + spec.barrier_per_log2p * math.log2(max(2, p))
+    serial = f.crit_flops / spec.flops_per_core
+    par = f.total_flops / (p * spec.flops_per_core) + f.total_bytes / min(
+        p * spec.single_thread_bw, spec.socket_bw * spec.n_sockets
+    )
+    if sched in ("p2p", "syncfree"):
+        chain_frac = f.crit_flops / f.total_flops if f.total_flops else 0.0
+        return [serial, par, f.n_levels * spin, chain_frac * f.n_levels * spin]
+    if sched == "barrier":
+        return [serial, par, f.n_levels * barrier]
+    if sched == "superstep":
+        return [serial, par, f.superstep_steps * barrier]
+    if sched == "elastic":
+        return [serial * f.elastic_sweeps, par * f.elastic_sweeps,
+                f.elastic_sweeps * barrier]
+    raise ValueError(f"unknown scheduler {sched!r}")
+
+
+def _machine_presets(scale):
+    from ..machine import gpulike, haswell, knl
+
+    specs = {"haswell": haswell(), "knl": knl(), "gpulike": gpulike()}
+    if scale is not None:
+        specs = {k: v.scaled_overheads(scale) for k, v in specs.items()}
+    return specs
+
+
+@dataclass
+class TuneModel:
+    """Fitted predictor behind :meth:`recommend`; serializable, pure."""
+
+    sched_coef: dict  # scheduler -> list of column weights
+    backend_scalar_rate: float  # seconds per factor entry, scalar sweep
+    backend_batched_coef: tuple  # (per-level, per-entry) seconds
+    width_margin: float = 0.05
+    overhead_scale: float | None = None  # machine overhead scale the fit used
+    seed: int = 0
+    meta: dict = field(default_factory=dict)
+
+    # -- scheduler ----------------------------------------------------
+    def predict_scheduler_times(self, features, machine, *, p=None):
+        spec = self._resolve_machine(machine)
+        if p is None:
+            p = spec.n_sockets * spec.cores_per_socket
+        return {
+            s: float(np.dot(_scheduler_columns(features, spec, p, s), w))
+            for s, w in self.sched_coef.items()
+        }
+
+    def pick_scheduler(self, features, machine, *, p=None):
+        preds = self.predict_scheduler_times(features, machine, p=p)
+        pick = min(preds, key=lambda k: (preds[k], PREFERENCE.index(k)))
+        return pick, preds
+
+    # -- backend ------------------------------------------------------
+    def predict_backend_times(self, features):
+        scalar = self.backend_scalar_rate * features.nnz
+        w_level, w_nnz = self.backend_batched_coef
+        batched = w_level * features.n_levels_lower + w_nnz * features.nnz
+        return {"scalar": float(scalar), "batched": float(max(batched, 0.0))}
+
+    def pick_backend(self, features):
+        t = self.predict_backend_times(features)
+        return ("batched" if t["batched"] < t["scalar"] else "scalar"), t
+
+    # -- width / tier (serve CostModel economics) ---------------------
+    def sync_points_for(self, features, scheduler):
+        """Sync charge one preconditioner pass pays under ``scheduler``,
+        read off the features (mirrors ``repro.sched.effective_sync_passes``
+        as the serving layer prices it; elastic is approximated by its
+        sweep multiple since the exact count needs the block schedule)."""
+        if scheduler in ("p2p", "barrier"):
+            return 2.0 * features.n_levels_lower
+        if scheduler == "superstep":
+            return float(features.superstep_steps)
+        if scheduler == "syncfree":
+            return 1.0
+        if scheduler == "elastic":
+            return float(features.n_levels * features.elastic_sweeps)
+        raise ValueError(f"unknown scheduler {scheduler!r}")
+
+    def batch_cost(self, features, scheduler, k, *, cost=None):
+        """Serve-CostModel charge for one batch of ``k`` like requests."""
+        cost = cost or self._serve_cost()
+        return cost.solve_cost(
+            features.n_levels_lower,
+            features.nnz,
+            cost.est_iters,
+            cost.est_iters * int(k),
+            sync_points=self.sync_points_for(features, scheduler),
+        )
+
+    def pick_width(self, features, scheduler, sla: SlaSpec):
+        """Smallest width whose per-request cost is within ``width_margin``
+        of the best feasible per-request cost.
+
+        Feasibility: a request waits for its whole batch, so batch cost
+        must fit the SLA budget (``budget_factor`` × the width-1 cost).
+        Among feasible widths the *smallest* near-optimal one wins —
+        wider batches add queueing delay the cost model does not see.
+        """
+        cost = self._serve_cost()
+        c1 = self.batch_cost(features, scheduler, 1, cost=cost)
+        budget = sla.budget_factor * c1
+        per_req = {}
+        for k in WIDTHS:
+            ck = self.batch_cost(features, scheduler, k, cost=cost)
+            if ck <= budget:
+                per_req[k] = ck / k
+        if not per_req:
+            return 1, c1
+        best = min(per_req.values())
+        for k in WIDTHS:
+            if k in per_req and per_req[k] <= (1.0 + self.width_margin) * best:
+                return k, per_req[k] * k
+        return 1, c1  # unreachable; keeps the contract total
+
+    def pick_tier(self, features, sla: SlaSpec):
+        """Demote to ILU(0) when a full-tier factor blows the SLA budget."""
+        cost = self._serve_cost()
+        c1 = self.batch_cost(features, "p2p", 1, cost=cost)
+        full = cost.factor_cost(features.nnz, fill_level=1)
+        return "full" if full <= sla.budget_factor * c1 else "ilu0"
+
+    # -- the policy ---------------------------------------------------
+    def recommend(self, pattern, machine, sla=None, *, p=None) -> TuneChoice:
+        """Pure function of (features, machine, sla) → :class:`TuneChoice`.
+
+        ``pattern`` may be a matrix or an already-extracted
+        :class:`PatternFeatures`; ``machine`` a MachineSpec or a preset
+        name; ``sla`` an :class:`SlaSpec` or an SLA class name.
+        """
+        features = self._resolve_features(pattern)
+        if sla is None:
+            sla = SlaSpec()
+        elif isinstance(sla, str):
+            sla = SlaSpec.from_class(sla)
+        scheduler, sched_preds = self.pick_scheduler(features, machine, p=p)
+        backend, _ = self.pick_backend(features)
+        width, batch_s = self.pick_width(features, scheduler, sla)
+        tier = self.pick_tier(features, sla)
+        return TuneChoice(
+            backend=backend,
+            scheduler=scheduler,
+            max_batch=width,
+            factor_tier=tier,
+            predicted_solve_s=sched_preds[scheduler],
+            predicted_batch_s=batch_s,
+        )
+
+    def serve_scheduler(self, features):
+        """Serving-loop scheduler override: ``"superstep"`` when the DAG
+        partition pays fewer syncs than the default level-set charge,
+        else ``None`` (keep the p2p default).
+
+        Restricted to superstep deliberately: it is the one exact mode
+        whose serve-side sync economy is a pure structural count of the
+        cached plan (``n_steps``), so the override is reproducible from
+        features alone and provably changes only the virtual-time
+        charge, never the applied numerics.
+        """
+        if features.superstep_steps < 2 * features.n_levels_lower:
+            return "superstep"
+        return None
+
+    # -- plumbing -----------------------------------------------------
+    def _resolve_features(self, pattern):
+        if isinstance(pattern, PatternFeatures):
+            return pattern
+        return extract_features(pattern)
+
+    def _resolve_machine(self, machine):
+        if isinstance(machine, str):
+            try:
+                return _machine_presets(self.overhead_scale)[machine]
+            except KeyError:
+                raise ValueError(
+                    f"unknown machine preset {machine!r}; expected one of "
+                    "('haswell', 'knl', 'gpulike') or a MachineSpec"
+                ) from None
+        return machine
+
+    def _serve_cost(self):
+        from ..serve.workers import CostModel
+
+        return CostModel()
+
+    # -- serialization ------------------------------------------------
+    def to_dict(self):
+        return {
+            "schema": "repro.tune.model/v1",
+            "seed": self.seed,
+            "overhead_scale": self.overhead_scale,
+            "width_margin": self.width_margin,
+            "sched_coef": {k: list(map(float, v)) for k, v in self.sched_coef.items()},
+            "backend": {
+                "scalar_rate": self.backend_scalar_rate,
+                "batched_coef": list(self.backend_batched_coef),
+            },
+            "meta": self.meta,
+        }
+
+    @classmethod
+    def from_dict(cls, doc):
+        if doc.get("schema") != "repro.tune.model/v1":
+            raise ValueError(f"unexpected model schema {doc.get('schema')!r}")
+        return cls(
+            sched_coef={k: [float(x) for x in v] for k, v in doc["sched_coef"].items()},
+            backend_scalar_rate=float(doc["backend"]["scalar_rate"]),
+            backend_batched_coef=tuple(float(x) for x in doc["backend"]["batched_coef"]),
+            width_margin=float(doc.get("width_margin", 0.05)),
+            overhead_scale=doc.get("overhead_scale"),
+            seed=int(doc.get("seed", 0)),
+            meta=doc.get("meta", {}),
+        )
+
+
+# ----------------------------------------------------------------------
+# fitting
+# ----------------------------------------------------------------------
+def _fit_schedulers(sched_doc):
+    """Per-scheduler relative-error least squares over the crossover grid."""
+    from .shapes import bench_shape
+
+    scale = sched_doc.get("meta", {}).get("scale")
+    specs = _machine_presets(scale)
+    points = sched_doc["points"]
+
+    shapes = {}
+    rows = []
+    for pt in points:
+        name = pt["shape"]
+        if name not in shapes:
+            shapes[name] = bench_shape(name)
+        f = extract_features(
+            shapes[name], n_threads=pt["p"], staleness=ELASTIC_STALENESS
+        )
+        rows.append((pt, f))
+
+    coef = {}
+    residuals = {}
+    for sched in SCHEDULERS:
+        X, y = [], []
+        for pt, f in rows:
+            t = pt["times"].get(
+                f"elastic-s{ELASTIC_STALENESS}" if sched == "elastic" else sched
+            )
+            if t is None:
+                continue
+            X.append(_scheduler_columns(f, specs[pt["machine"]], pt["p"], sched))
+            y.append(t)
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        # relative-error least squares: solve (X / y) w ≈ 1 so every
+        # grid point counts equally regardless of its absolute scale
+        w, *_ = np.linalg.lstsq(X / y[:, None], np.ones(len(y)), rcond=None)
+        coef[sched] = [float(c) for c in w]
+        rel = np.abs(X @ w - y) / y
+        residuals[sched] = {
+            "max_rel": float(rel.max()),
+            "mean_rel": float(rel.mean()),
+        }
+    return coef, scale, residuals
+
+
+def _fit_backend(kernels_doc):
+    """Segmented backend fit: scalar per-entry rate vs batched per-level
+    + per-entry rates, from the trisolve rows of ``BENCH_kernels.json``.
+
+    Falls back to rates distilled from the same committed data when the
+    document is absent, so a model is always constructible.
+    """
+    entries = [
+        e
+        for e in (kernels_doc or {}).get("entries", [])
+        if "scalar_s" in e and "batched_s" in e and "n_levels" in e
+    ]
+    if len(entries) >= 2:
+        scalar_rate = float(
+            np.mean([e["scalar_s"] / e["nnz"] for e in entries])
+        )
+        X = np.asarray([[e["n_levels"], e["nnz"]] for e in entries], dtype=np.float64)
+        y = np.asarray([e["batched_s"] for e in entries], dtype=np.float64)
+        w, *_ = np.linalg.lstsq(X, y, rcond=None)
+        batched = (float(w[0]), float(max(w[1], 0.0)))
+    else:
+        scalar_rate = 1.1e-6
+        batched = (1.2e-5, 2.5e-9)
+    return scalar_rate, batched
+
+
+def _calibrate_width_margin(serve_doc, base=0.05):
+    """Noise-aware diminishing-returns margin from serve speedup samples.
+
+    When the serve bench recorded per-repeat timing samples (see
+    ``bench_util.timeit_best``), the margin widens to twice the worst
+    coefficient of variation: a wider batch must beat the narrower one
+    by more than the measurement noise to be chosen.
+    """
+    margin = base
+    speedup = (serve_doc or {}).get("speedup", {})
+    records = speedup.values() if isinstance(speedup, dict) else speedup
+    for rec in records:
+        if not isinstance(rec, dict):
+            continue
+        for key in ("batched_samples", "sequential_samples"):
+            samples = rec.get(key)
+            if samples and len(samples) >= 2:
+                s = np.asarray(samples, dtype=np.float64)
+                mean = float(s.mean())
+                if mean > 0:
+                    margin = max(margin, 2.0 * float(s.std()) / mean)
+    return float(min(margin, 0.5))
+
+
+def fit_model(sched_doc, kernels_doc=None, serve_doc=None, *, seed=0) -> TuneModel:
+    """Fit a :class:`TuneModel` from the committed bench documents.
+
+    Deterministic: the fit is closed-form least squares on fixed
+    inputs; ``seed`` is recorded so two fits are comparable by
+    provenance, and a re-fit from the same JSON is bit-identical.
+    """
+    coef, scale, residuals = _fit_schedulers(sched_doc)
+    scalar_rate, batched = _fit_backend(kernels_doc)
+    margin = _calibrate_width_margin(serve_doc)
+    meta = {"n_points": len(sched_doc["points"]), "sched_residuals": residuals}
+    if serve_doc:
+        obs = serve_doc.get("metrics", {}).get("metrics", {})
+        observed = {}
+        for key in ("serve.batch_size", "serve.latency"):
+            if key in obs and isinstance(obs[key], dict):
+                observed[key] = {
+                    k: obs[key][k] for k in ("mean", "p50") if k in obs[key]
+                }
+        if observed:
+            meta["observed"] = observed
+    return TuneModel(
+        sched_coef=coef,
+        backend_scalar_rate=scalar_rate,
+        backend_batched_coef=batched,
+        width_margin=margin,
+        overhead_scale=scale,
+        seed=seed,
+        meta=meta,
+    )
+
+
+def results_dir():
+    """The committed bench-results directory (repo layout relative to here)."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    return os.path.normpath(
+        os.path.join(here, "..", "..", "..", "benchmarks", "results")
+    )
+
+
+def _load_json(path):
+    try:
+        with open(path) as fh:
+            return json.load(fh)
+    except (OSError, ValueError):
+        return None
+
+
+def default_model(results=None, *, seed=0) -> TuneModel:
+    """Fit from the committed ``benchmarks/results/BENCH_*.json``."""
+    results = results or results_dir()
+    sched_doc = _load_json(os.path.join(results, "BENCH_sched.json"))
+    if sched_doc is None:
+        raise FileNotFoundError(
+            f"no BENCH_sched.json under {results}; run benchmarks/bench_sched.py first"
+        )
+    return fit_model(
+        sched_doc,
+        _load_json(os.path.join(results, "BENCH_kernels.json")),
+        _load_json(os.path.join(results, "BENCH_serve.json")),
+        seed=seed,
+    )

@@ -1,0 +1,117 @@
+"""Canonical DAG-shape builders shared by the tuner and the benches.
+
+The scheduler crossover study (``benchmarks/bench_sched.py``) records
+its points against named shapes — ``chain-400``, ``wide-16x128``,
+``grid-24`` — and the cost model re-fits itself from that committed
+JSON.  Fitting therefore needs to rebuild the *same* matrix from the
+*same* name, so the builders live here, importable from both the bench
+scripts and :mod:`repro.tune.model`.
+
+Three families span the level-structure spectrum the schedulers
+discriminate on:
+
+* ``chain_matrix(n)`` — a tridiagonal chain: ``n`` levels of width 1,
+  the deep/thin extreme where DAG-partition scheduling pays no sync;
+* ``wide_matrix(n_levels, width)`` — interleaved independent chains:
+  the shallow/wide extreme where level batching already wins;
+* ``grid_matrix(nx)`` — the ILU(0) pattern of ``grid2d(nx)`` in level
+  order, the realistic mix.
+
+Values are deterministic and diagonally dominant (a factor stand-in),
+seeded by the row count, so a shape name always denotes one matrix
+bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparse.csr import CSRMatrix
+
+__all__ = [
+    "chain_matrix",
+    "wide_matrix",
+    "grid_matrix",
+    "with_values",
+    "bench_shape",
+]
+
+
+def chain_matrix(n):
+    """Tridiagonal chain: ``n`` levels of width 1 — the deep/thin extreme."""
+    indptr = [0]
+    indices = []
+    for i in range(n):
+        indices.extend(c for c in (i - 1, i, i + 1) if 0 <= c < n)
+        indptr.append(len(indices))
+    return with_values(
+        CSRMatrix(n, n, np.asarray(indptr), np.asarray(indices), np.ones(len(indices)))
+    )
+
+
+def wide_matrix(n_levels, width):
+    """``width`` independent chains interleaved: the shallow/wide extreme.
+
+    Row ``l * width + j`` depends only on its predecessor in chain
+    ``j`` — every level holds ``width`` independent rows.
+    """
+    n = n_levels * width
+    indptr = [0]
+    indices = []
+    for r in range(n):
+        l, _ = divmod(r, width)
+        if l > 0:
+            indices.append(r - width)
+        indices.append(r)
+        indptr.append(len(indices))
+    return with_values(
+        CSRMatrix(n, n, np.asarray(indptr), np.asarray(indices), np.ones(len(indices)))
+    )
+
+
+def grid_matrix(nx):
+    """ILU(0) pattern of ``grid2d(nx)`` in level order — the realistic mix."""
+    from ..core.symbolic import ilu0_pattern
+    from ..matrices import grid2d
+    from ..ordering.levelsets import level_schedule
+
+    S = ilu0_pattern(grid2d(nx))
+    perm = level_schedule(S).permutation()
+    Sp = S.permute(row_perm=perm, col_perm=perm)
+    return with_values(Sp)
+
+
+def with_values(S):
+    """Deterministic diagonally-dominant values on a pattern (a factor stand-in)."""
+    from ..kernels.plans import diag_positions
+
+    rng = np.random.default_rng(S.n_rows)
+    F = CSRMatrix(
+        S.n_rows, S.n_cols, S.indptr.copy(), S.indices.copy(),
+        0.1 * rng.standard_normal(int(S.indptr[-1])),
+        sort=False, check=False,
+    )
+    dp = diag_positions(F)
+    F.data[dp] = 3.0 + np.abs(F.data[dp])
+    return F
+
+
+def bench_shape(name):
+    """Rebuild a crossover-study shape from its recorded name.
+
+    ``chain-N`` → :func:`chain_matrix`; ``wide-LxW`` →
+    :func:`wide_matrix`; ``grid-N`` → :func:`grid_matrix`.  Raises
+    ``ValueError`` on anything else — fitting must fail loudly rather
+    than silently skip a bench point.
+    """
+    family, _, param = name.partition("-")
+    if family == "chain":
+        return chain_matrix(int(param))
+    if family == "wide":
+        lv, _, w = param.partition("x")
+        return wide_matrix(int(lv), int(w))
+    if family == "grid":
+        return grid_matrix(int(param))
+    raise ValueError(
+        f"unknown bench shape {name!r}; expected chain-N, wide-LxW or grid-N"
+    )

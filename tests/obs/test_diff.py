@@ -1,0 +1,81 @@
+"""Snapshot diffing must survive disjoint keys, bad schemas, junk input."""
+
+from repro.obs import MetricsRegistry, compare_snapshots, diff_metrics
+
+
+def _snap(**counters):
+    reg = MetricsRegistry()
+    for name, v in counters.items():
+        reg.counter(name).inc(v)
+    return reg.snapshot()
+
+
+class TestCompareSnapshots:
+    def test_identical(self):
+        s = _snap(hits=3)
+        rep = compare_snapshots(s, s)
+        assert rep["ok"]
+        assert rep["schema"]["match"]
+        assert not rep["added"] and not rep["removed"] and not rep["changed"]
+
+    def test_added_removed_changed(self):
+        rep = compare_snapshots(_snap(a=1, b=2), _snap(b=3, c=4))
+        assert rep["added"] == {"counters.c": 4.0}
+        assert rep["removed"] == {"counters.a": 1.0}
+        assert rep["changed"]["counters.b"] == (2.0, 3.0, 0.5)
+
+    def test_disjoint_key_sets(self):
+        rep = compare_snapshots(_snap(x=1), _snap(y=1))
+        assert rep["ok"]  # structure is fine; nothing shared
+        assert set(rep["added"]) == {"counters.y"}
+        assert set(rep["removed"]) == {"counters.x"}
+        assert rep["changed"] == {}
+
+    def test_schema_version_mismatch_flagged(self):
+        old, new = _snap(a=1), dict(_snap(a=1), schema="repro.obs.metrics/v999")
+        rep = compare_snapshots(old, new)
+        assert not rep["ok"]
+        assert not rep["schema"]["match"]
+        assert any("schema mismatch" in e for e in rep["errors"])
+        # the value comparison still happened despite the mismatch
+        assert rep["changed"] == {}
+
+    def test_zero_to_nonzero_is_infinite_rel(self):
+        rep = compare_snapshots(_snap(n=0), _snap(n=5))
+        assert rep["changed"]["counters.n"][2] == float("inf")
+
+    def test_malformed_sections_reported_not_raised(self):
+        rep = compare_snapshots(
+            {"counters": "junk", "histograms": {"h": [1, 2]}},
+            {"counters": {"x": "not-a-number"}},
+        )
+        assert not rep["ok"]
+        assert any("counters" in e for e in rep["errors"])
+        assert any("histograms.h" in e for e in rep["errors"])
+        assert any("not-a-number" in e for e in rep["errors"])
+
+    def test_non_dict_documents(self):
+        rep = compare_snapshots([1, 2, 3], None)
+        assert not rep["ok"]
+        assert rep["added"] == rep["removed"] == rep["changed"] == {}
+
+
+class TestDiffMetricsRendering:
+    def test_never_raises_on_junk(self):
+        out = diff_metrics([1], {"counters": {"x": object()}})
+        assert "WARNING" in out
+
+    def test_marks_added_and_removed(self):
+        out = diff_metrics(_snap(a=1), _snap(b=2))
+        assert "added" in out and "removed" in out
+
+    def test_threshold_hides_small_changes(self):
+        old, new = _snap(a=100), _snap(a=101)
+        shown = diff_metrics(old, new, rel_threshold=0.0)
+        hidden = diff_metrics(old, new, rel_threshold=0.5)
+        assert "counters.a" in shown
+        assert "counters.a" not in hidden
+
+    def test_schema_mismatch_warns_in_text(self):
+        out = diff_metrics(_snap(a=1), dict(_snap(a=1), schema="other/v2"))
+        assert "schema mismatch" in out

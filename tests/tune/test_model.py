@@ -1,0 +1,108 @@
+"""Cost model: deterministic fit, serializable, sane recommendations."""
+
+import numpy as np
+import pytest
+
+from repro.tune import SlaSpec, default_model, extract_features
+from repro.tune.model import TuneModel, WIDTHS
+from repro.tune.shapes import chain_matrix, grid_matrix, wide_matrix
+
+
+@pytest.fixture(scope="module")
+def model():
+    return default_model()
+
+
+class TestFit:
+    def test_refit_is_bit_identical(self, model):
+        again = default_model()
+        assert model.to_dict() == again.to_dict()
+
+    def test_roundtrip_serialization(self, model):
+        doc = model.to_dict()
+        back = TuneModel.from_dict(doc)
+        assert back.to_dict() == doc
+
+    def test_wrong_schema_rejected(self):
+        with pytest.raises(ValueError, match="schema"):
+            TuneModel.from_dict({"schema": "bogus/v0"})
+
+    def test_residuals_recorded(self, model):
+        res = model.meta["sched_residuals"]
+        assert set(res) == {"p2p", "barrier", "superstep", "syncfree", "elastic"}
+        for r in res.values():
+            assert r["mean_rel"] < 1.0  # the fit explains the grid
+
+
+class TestRecommend:
+    def test_choice_fields_name_real_paths(self, model):
+        c = model.recommend(grid_matrix(12), "haswell")
+        assert c.backend in ("scalar", "batched")
+        assert c.scheduler in ("p2p", "barrier", "superstep", "syncfree", "elastic")
+        assert c.max_batch in WIDTHS
+        assert c.factor_tier in ("full", "ilu0")
+        assert c.predicted_solve_s > 0 and c.predicted_batch_s > 0
+
+    def test_chain_prefers_dag_partition(self, model):
+        """Deep/thin DAGs are the superstep win the crossover study records."""
+        f = extract_features(chain_matrix(400), n_threads=68)
+        pick, _ = model.pick_scheduler(f, "knl", p=68)
+        assert pick == "superstep"
+
+    def test_wide_prefers_p2p(self, model):
+        f = extract_features(wide_matrix(16, 128), n_threads=14)
+        pick, _ = model.pick_scheduler(f, "haswell", p=14)
+        assert pick in ("p2p", "syncfree")  # priced identically; tie-break p2p
+
+    def test_tighter_sla_narrower_batch(self, model):
+        f = extract_features(grid_matrix(16))
+        inter = model.recommend(f, "haswell", "interactive")
+        batch = model.recommend(f, "haswell", "batch")
+        assert inter.max_batch <= batch.max_batch
+
+    def test_accepts_features_matrix_and_sla_spellings(self, model):
+        A = grid_matrix(8)
+        f = extract_features(A)
+        by_matrix = model.recommend(A, "haswell", "standard")
+        by_features = model.recommend(f, "haswell", SlaSpec.from_class("standard"))
+        assert by_matrix == by_features
+
+    def test_unknown_machine_and_sla_raise(self, model):
+        with pytest.raises(ValueError, match="machine"):
+            model.recommend(grid_matrix(6), "cray-1")
+        with pytest.raises(ValueError, match="SLA"):
+            model.recommend(grid_matrix(6), "haswell", "platinum")
+
+
+class TestServeScheduler:
+    def test_override_only_when_syncs_cheaper(self, model):
+        f = extract_features(chain_matrix(100))
+        assert model.serve_scheduler(f) == "superstep"
+        assert f.superstep_steps < 2 * f.n_levels_lower
+
+    def test_no_override_when_level_charge_wins(self, model):
+        f = extract_features(wide_matrix(4, 64))
+        ov = model.serve_scheduler(f)
+        if ov is None:
+            assert f.superstep_steps >= 2 * f.n_levels_lower
+        else:
+            assert f.superstep_steps < 2 * f.n_levels_lower
+
+
+class TestWidthEconomics:
+    def test_batch_cost_increases_with_width(self, model):
+        f = extract_features(grid_matrix(12))
+        costs = [model.batch_cost(f, "p2p", k) for k in (1, 4, 16)]
+        assert costs == sorted(costs)
+
+    def test_per_request_cost_decreases(self, model):
+        f = extract_features(grid_matrix(12))
+        per_req = [model.batch_cost(f, "p2p", k) / k for k in (1, 4, 16)]
+        assert per_req[0] > per_req[-1]
+
+    def test_width_feasibility_respects_budget(self, model):
+        f = extract_features(grid_matrix(12))
+        sla = SlaSpec(sla_class="tight", budget_factor=1.0)
+        width, batch_s = model.pick_width(f, "p2p", sla)
+        assert width == 1
+        assert batch_s == pytest.approx(model.batch_cost(f, "p2p", 1))
